@@ -1,0 +1,73 @@
+//! E1/E3 end-to-end: full pipeline (translate → ground → chase → stable
+//! models → output space) on the paper's worked examples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdlog_bench::workloads::{dime_quarter_workload, network_database, network_program, Topology};
+use gdlog_core::{coin_program, GrounderChoice, Pipeline};
+use gdlog_data::Database;
+use std::time::Duration;
+
+fn bench_paper_examples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("example_3_10_network_k3", |b| {
+        let program = network_program(0.1);
+        let db = network_database(3, Topology::Clique);
+        b.iter(|| {
+            Pipeline::new(&program, &db)
+                .unwrap()
+                .solve()
+                .unwrap()
+                .has_stable_model_probability()
+                .to_f64()
+        })
+    });
+
+    group.bench_function("coin_program", |b| {
+        let program = coin_program();
+        let db = Database::new();
+        b.iter(|| {
+            Pipeline::new(&program, &db)
+                .unwrap()
+                .solve()
+                .unwrap()
+                .has_stable_model_probability()
+                .to_f64()
+        })
+    });
+
+    for dimes in [2usize, 4] {
+        let (program, db) = dime_quarter_workload(dimes, 1);
+        group.bench_with_input(
+            BenchmarkId::new("dime_quarter_perfect", dimes),
+            &dimes,
+            |b, _| {
+                b.iter(|| {
+                    Pipeline::with_grounder(&program, &db, GrounderChoice::Perfect)
+                        .unwrap()
+                        .solve()
+                        .unwrap()
+                        .outcome_count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dime_quarter_simple", dimes),
+            &dimes,
+            |b, _| {
+                b.iter(|| {
+                    Pipeline::with_grounder(&program, &db, GrounderChoice::Simple)
+                        .unwrap()
+                        .solve()
+                        .unwrap()
+                        .outcome_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_examples);
+criterion_main!(benches);

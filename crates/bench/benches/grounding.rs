@@ -1,0 +1,44 @@
+//! E9 / E11 ablation: cost of the simple vs. perfect grounder as the
+//! database grows (dime/quarter family and router networks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdlog_bench::workloads::{dime_quarter_workload, network_database, network_program, Topology};
+use gdlog_core::{AtrSet, Grounder, PerfectGrounder, SigmaPi, SimpleGrounder};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_grounders_on_dimes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding/dime_quarter");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for dimes in [2usize, 4, 8] {
+        let (program, db) = dime_quarter_workload(dimes, dimes);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let simple = SimpleGrounder::new(sigma.clone());
+        let perfect = PerfectGrounder::new(sigma).unwrap();
+        group.bench_with_input(BenchmarkId::new("simple", dimes), &dimes, |b, _| {
+            b.iter(|| simple.ground(&AtrSet::new()).len())
+        });
+        group.bench_with_input(BenchmarkId::new("perfect", dimes), &dimes, |b, _| {
+            b.iter(|| perfect.ground(&AtrSet::new()).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_grounding_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grounding/network_clique");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 8, 12] {
+        let program = network_program(0.1);
+        let db = network_database(n, Topology::Clique);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let simple = SimpleGrounder::new(sigma);
+        group.bench_with_input(BenchmarkId::new("simple", n), &n, |b, _| {
+            b.iter(|| simple.ground(&AtrSet::new()).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grounders_on_dimes, bench_grounding_networks);
+criterion_main!(benches);

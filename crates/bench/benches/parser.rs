@@ -1,0 +1,51 @@
+//! E12: parser throughput on generated programs and databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdlog_bench::workloads::{network_database, Topology};
+use gdlog_parser::{parse_database, parse_program, pretty_database};
+use std::time::Duration;
+
+fn program_text(rules: usize) -> String {
+    let mut text = String::from(
+        "Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y]).\n\
+         Router(x), not Infected(x, 1) -> Uninfected(x).\n",
+    );
+    for i in 0..rules {
+        text.push_str(&format!(
+            "Hop{i}(x, y), Connected(y, z), not Blocked{i}(z) -> Hop{j}(x, z).\n",
+            i = i,
+            j = i + 1
+        ));
+    }
+    text
+}
+
+fn bench_parse_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/program");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for rules in [100usize, 1000] {
+        let text = program_text(rules);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| parse_program(&text).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_database(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/database");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [50usize, 200] {
+        let db = network_database(n, Topology::Ring);
+        let text = pretty_database(&db);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| parse_database(&text).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse_program, bench_parse_database);
+criterion_main!(benches);

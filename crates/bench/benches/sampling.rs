@@ -1,0 +1,39 @@
+//! E10: Monte-Carlo sampling throughput (paths per second) on networks where
+//! exact enumeration becomes expensive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdlog_bench::workloads::{network_database, network_program, Topology};
+use gdlog_core::{MonteCarlo, SigmaPi, SimpleGrounder};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling/network");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, db) in [
+        ("clique3", network_database(3, Topology::Clique)),
+        ("ring8", network_database(8, Topology::Ring)),
+        (
+            "er12",
+            network_database(
+                12,
+                Topology::ErdosRenyi {
+                    edge_probability: 0.25,
+                    seed: 42,
+                },
+            ),
+        ),
+    ] {
+        let grounder = SimpleGrounder::new(Arc::new(
+            SigmaPi::translate(&network_program(0.1), &db).unwrap(),
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let mut mc = MonteCarlo::new(&grounder, 256, 1);
+            b.iter(|| mc.sample().unwrap().is_finite())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

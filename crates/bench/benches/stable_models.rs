@@ -1,0 +1,84 @@
+//! E11: the stable-model engine — stratified fast path vs. the generic
+//! solver, and scaling of the enumeration with the number of even loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdlog_bench::workloads::choice_program;
+use gdlog_data::{Const, GroundAtom};
+use gdlog_engine::{
+    stable_models, stratified_model, well_founded, GroundProgram, GroundRule, StableModelLimits,
+};
+use std::time::Duration;
+
+fn stratified_chain(n: usize) -> GroundProgram {
+    // Reachability on a line of n nodes plus an "unreached" stratum:
+    //   R(1).  R(j) ← R(i), E(i, j).  U(i) ← V(i), ¬R(i).
+    // Predicate-level stratified, with O(n) ground rules.
+    let atom1 = |name: &str, i: i64| GroundAtom::make(name, vec![Const::Int(i)]);
+    let atom2 = |name: &str, i: i64, j: i64| {
+        GroundAtom::make(name, vec![Const::Int(i), Const::Int(j)])
+    };
+    let mut p = GroundProgram::new();
+    p.push(GroundRule::fact(atom1("R", 1)));
+    for i in 1..=n as i64 {
+        p.push(GroundRule::fact(atom1("V", i)));
+        if i + 1 <= n as i64 && i % 2 == 1 {
+            // Only odd positions are linked, so roughly half the nodes are
+            // unreachable and the negative stratum does real work.
+            p.push(GroundRule::fact(atom2("E", i, i + 1)));
+        }
+        if i > 1 {
+            p.push(GroundRule::new(
+                atom1("R", i),
+                vec![atom1("R", i - 1), atom2("E", i - 1, i)],
+                vec![],
+            ));
+        }
+        p.push(GroundRule::new(
+            atom1("U", i),
+            vec![atom1("V", i)],
+            vec![atom1("R", i)],
+        ));
+    }
+    p
+}
+
+fn bench_choice_programs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_models/even_loops");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for k in [4usize, 6, 8] {
+        let program = choice_program(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                stable_models(&program, &StableModelLimits::default())
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stratified_vs_generic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_models/stratified_chain");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [50usize, 200] {
+        let program = stratified_chain(n);
+        group.bench_with_input(BenchmarkId::new("stratified_eval", n), &n, |b, _| {
+            b.iter(|| stratified_model(&program).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("generic_solver", n), &n, |b, _| {
+            b.iter(|| {
+                stable_models(&program, &StableModelLimits::default())
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("well_founded", n), &n, |b, _| {
+            b.iter(|| well_founded(&program).true_atoms.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choice_programs, bench_stratified_vs_generic);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # gdlog-bench — workloads, experiments and benchmarks
+//!
+//! The paper *Generative Datalog with Stable Negation* is a semantics paper
+//! with no experimental section; the workloads here are the synthetic
+//! equivalents described in `DESIGN.md` §4 and `EXPERIMENTS.md`. The crate
+//! provides:
+//!
+//! * [`workloads`] — generators for the paper's worked examples (network
+//!   resilience, the coin program, dimes & quarters) and parameterised
+//!   families of them (ring/grid/clique/Erdős–Rényi networks, coin chains,
+//!   random stratified programs),
+//! * [`experiments`] — the per-claim experiment runners (E1–E12) that print
+//!   the paper-vs-measured report recorded in `EXPERIMENTS.md`,
+//! * Criterion benches under `benches/` for the performance studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use experiments::{run_all, run_experiment, ExperimentOutcome};
+pub use report::{Report, Row};

@@ -1,0 +1,219 @@
+//! Workload generators.
+//!
+//! The paper has no benchmark suite; these generators produce the synthetic
+//! families described in `DESIGN.md` §4: the paper's worked examples at their
+//! original size and parameterised scalings of them (network topologies, coin
+//! chains, dime/quarter batches).
+
+use gdlog_core::{dime_quarter_program, network_resilience_program, Program, ProgramBuilder};
+use gdlog_data::{Const, Database, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Network topologies for the resilience workload (Example 3.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Topology {
+    /// Every router connected to every other router (the paper's Example 3.6
+    /// database is `Clique` with `n = 3`).
+    Clique,
+    /// A ring `1 – 2 – … – n – 1`.
+    Ring,
+    /// A line `1 – 2 – … – n`.
+    Line,
+    /// An Erdős–Rényi random graph with the given edge probability.
+    ErdosRenyi {
+        /// Probability of each undirected edge.
+        edge_probability: f64,
+        /// RNG seed, so workloads are reproducible.
+        seed: u64,
+    },
+}
+
+/// Build a router network database: `Router(i)` for `i ∈ 1..=n`, symmetric
+/// `Connected` edges according to the topology, and `Infected(1, 1)`.
+pub fn network_database(n: usize, topology: Topology) -> Database {
+    let mut db = Database::new();
+    for i in 1..=n as i64 {
+        db.insert_fact("Router", [Const::Int(i)]);
+    }
+    let connect = |a: i64, b: i64, db: &mut Database| {
+        db.insert_fact("Connected", [Const::Int(a), Const::Int(b)]);
+        db.insert_fact("Connected", [Const::Int(b), Const::Int(a)]);
+    };
+    match topology {
+        Topology::Clique => {
+            for i in 1..=n as i64 {
+                for j in (i + 1)..=n as i64 {
+                    connect(i, j, &mut db);
+                }
+            }
+        }
+        Topology::Ring => {
+            for i in 1..=n as i64 {
+                let j = if i == n as i64 { 1 } else { i + 1 };
+                if i != j {
+                    connect(i, j, &mut db);
+                }
+            }
+        }
+        Topology::Line => {
+            for i in 1..n as i64 {
+                connect(i, i + 1, &mut db);
+            }
+        }
+        Topology::ErdosRenyi {
+            edge_probability,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 1..=n as i64 {
+                for j in (i + 1)..=n as i64 {
+                    if rng.gen::<f64>() < edge_probability {
+                        connect(i, j, &mut db);
+                    }
+                }
+            }
+        }
+    }
+    db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+    db
+}
+
+/// The network-resilience program of Example 3.1 with infection probability
+/// `p` (re-exported from `gdlog-core` for convenience).
+pub fn network_program(p: f64) -> Program {
+    network_resilience_program(p)
+}
+
+/// The dime/quarter program of Appendix E together with a database of
+/// `dimes` dimes and `quarters` quarters (quarter ids follow the dime ids).
+pub fn dime_quarter_workload(dimes: usize, quarters: usize) -> (Program, Database) {
+    let mut db = Database::new();
+    for i in 1..=dimes as i64 {
+        db.insert_fact("Dime", [Const::Int(i)]);
+    }
+    for q in 1..=quarters as i64 {
+        db.insert_fact("Quarter", [Const::Int(dimes as i64 + q)]);
+    }
+    (dime_quarter_program(), db)
+}
+
+/// A "coin chain": `n` independent coins are tossed and the chain succeeds if
+/// every coin shows tails; a constraint aborts the run as soon as one coin
+/// shows heads. Purely positive except for the constraint, with `2^n`
+/// configurations — a convenient knob for chase-size scaling.
+pub fn coin_chain(n: usize, p: f64) -> (Program, Database) {
+    let program = ProgramBuilder::new()
+        .rule(|r| {
+            r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                "Toss",
+                vec![Term::var("x")],
+                "Flip",
+                vec![Term::Const(Const::real(p).expect("finite"))],
+                vec![Term::var("x")],
+            )
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .head("Tails", vec![Term::var("x")])
+        })
+        .rule(|r| {
+            r.body("Coin", vec![Term::var("x")])
+                .not_body("Tails", vec![Term::var("x")])
+                .head("SomeHeads", vec![])
+        })
+        .build()
+        .expect("coin chain program is valid");
+    let mut db = Database::new();
+    for i in 1..=n as i64 {
+        db.insert_fact("Coin", [Const::Int(i)]);
+    }
+    (program, db)
+}
+
+/// A plain (non-probabilistic) ground program family for the stable-model
+/// engine benchmarks: `k` independent even loops plus a shared positive
+/// chain, yielding `2^k` stable models.
+pub fn choice_program(k: usize) -> gdlog_engine::GroundProgram {
+    use gdlog_data::GroundAtom;
+    use gdlog_engine::GroundRule;
+    let atom1 = |name: &str, i: i64| GroundAtom::make(name, vec![Const::Int(i)]);
+    let mut program = gdlog_engine::GroundProgram::new();
+    for i in 1..=k as i64 {
+        program.push(GroundRule::new(
+            atom1("In", i),
+            vec![],
+            vec![atom1("Out", i)],
+        ));
+        program.push(GroundRule::new(
+            atom1("Out", i),
+            vec![],
+            vec![atom1("In", i)],
+        ));
+        program.push(GroundRule::new(
+            atom1("Picked", i),
+            vec![atom1("In", i)],
+            vec![],
+        ));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_database_matches_example_3_6() {
+        let db = network_database(3, Topology::Clique);
+        assert_eq!(db.len(), 3 + 6 + 1);
+    }
+
+    #[test]
+    fn topologies_have_expected_edge_counts() {
+        assert_eq!(network_database(5, Topology::Ring).len(), 5 + 10 + 1);
+        assert_eq!(network_database(5, Topology::Line).len(), 5 + 8 + 1);
+        let er = network_database(
+            6,
+            Topology::ErdosRenyi {
+                edge_probability: 1.0,
+                seed: 1,
+            },
+        );
+        assert_eq!(er.len(), 6 + 30 + 1);
+        let empty = network_database(
+            6,
+            Topology::ErdosRenyi {
+                edge_probability: 0.0,
+                seed: 1,
+            },
+        );
+        assert_eq!(empty.len(), 6 + 1);
+    }
+
+    #[test]
+    fn er_generation_is_deterministic_per_seed() {
+        let a = network_database(8, Topology::ErdosRenyi { edge_probability: 0.4, seed: 9 });
+        let b = network_database(8, Topology::ErdosRenyi { edge_probability: 0.4, seed: 9 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dime_quarter_and_coin_workloads_validate() {
+        let (program, db) = dime_quarter_workload(3, 2);
+        assert!(program.validate().is_ok());
+        assert_eq!(db.len(), 5);
+        let (program, db) = coin_chain(4, 0.5);
+        assert!(program.validate().is_ok());
+        assert_eq!(db.len(), 4);
+        assert!(program.has_stratified_negation());
+    }
+
+    #[test]
+    fn choice_program_has_exponential_stable_models() {
+        let p = choice_program(3);
+        let models =
+            gdlog_engine::stable_models(&p, &gdlog_engine::StableModelLimits::default()).unwrap();
+        assert_eq!(models.len(), 8);
+    }
+}

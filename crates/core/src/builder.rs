@@ -1,0 +1,332 @@
+//! A fluent builder for GDatalog¬\[Δ\] programs.
+//!
+//! The builder is a convenience for writing programs in Rust without going
+//! through the textual syntax of `gdlog-parser`:
+//!
+//! ```
+//! use gdlog_core::ProgramBuilder;
+//! use gdlog_data::Term;
+//!
+//! let program = ProgramBuilder::new()
+//!     .rule(|r| {
+//!         r.body("Infected", vec![Term::var("x"), Term::int(1)])
+//!             .body("Connected", vec![Term::var("x"), Term::var("y")])
+//!             .head_with_delta(
+//!                 "Infected",
+//!                 vec![Term::var("y")],
+//!                 "Flip",
+//!                 vec![Term::int(0) /* placeholder parameter */],
+//!                 vec![Term::var("x"), Term::var("y")],
+//!             )
+//!     })
+//!     .rule(|r| {
+//!         r.body("Router", vec![Term::var("x")])
+//!             .not_body("Infected", vec![Term::var("x"), Term::int(1)])
+//!             .head("Uninfected", vec![Term::var("x")])
+//!     })
+//!     .constraint(|r| {
+//!         r.body("Uninfected", vec![Term::var("x")])
+//!             .body("Uninfected", vec![Term::var("y")])
+//!             .body("Connected", vec![Term::var("x"), Term::var("y")])
+//!     })
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(program.rules().len(), 4);
+//! ```
+
+use crate::delta::DeltaTerm;
+use crate::error::CoreError;
+use crate::program::Program;
+use crate::rule::{Head, HeadTerm, Rule};
+use gdlog_data::{Atom, Term};
+use gdlog_prob::DeltaRegistry;
+
+/// Builder for a single rule.
+#[derive(Default, Clone, Debug)]
+pub struct RuleBuilder {
+    pos: Vec<Atom>,
+    neg: Vec<Atom>,
+    head: Option<Head>,
+}
+
+impl RuleBuilder {
+    /// Add a positive body atom.
+    pub fn body(mut self, name: &str, args: Vec<Term>) -> Self {
+        self.pos.push(Atom::make(name, args));
+        self
+    }
+
+    /// Add a negative body literal.
+    pub fn not_body(mut self, name: &str, args: Vec<Term>) -> Self {
+        self.neg.push(Atom::make(name, args));
+        self
+    }
+
+    /// Set a plain (non-probabilistic) head.
+    pub fn head(mut self, name: &str, args: Vec<Term>) -> Self {
+        self.head = Some(Head::make(
+            name,
+            args.into_iter().map(HeadTerm::Term).collect(),
+        ));
+        self
+    }
+
+    /// Set a head whose *last* argument is a Δ-term `dist⟨params⟩[event]`,
+    /// preceded by the given plain arguments. For more general shapes use
+    /// [`RuleBuilder::head_terms`].
+    pub fn head_with_delta(
+        mut self,
+        name: &str,
+        leading_args: Vec<Term>,
+        dist: &str,
+        params: Vec<Term>,
+        event: Vec<Term>,
+    ) -> Self {
+        let mut args: Vec<HeadTerm> = leading_args.into_iter().map(HeadTerm::Term).collect();
+        args.push(HeadTerm::Delta(DeltaTerm::new(dist, params, event)));
+        self.head = Some(Head::make(name, args));
+        self
+    }
+
+    /// Set a head from explicit [`HeadTerm`]s.
+    pub fn head_terms(mut self, name: &str, args: Vec<HeadTerm>) -> Self {
+        self.head = Some(Head::make(name, args));
+        self
+    }
+
+    fn finish(self) -> Result<Rule, CoreError> {
+        let head = self.head.ok_or_else(|| {
+            CoreError::Validation("rule is missing a head (use head/head_terms)".to_owned())
+        })?;
+        let rule = Rule::new(self.pos, self.neg, head);
+        rule.validate()?;
+        Ok(rule)
+    }
+
+    fn finish_constraint(self) -> Result<(Vec<Atom>, Vec<Atom>), CoreError> {
+        if self.head.is_some() {
+            return Err(CoreError::Validation(
+                "a constraint must not set a head".to_owned(),
+            ));
+        }
+        if self.pos.is_empty() {
+            return Err(CoreError::Validation(
+                "a constraint needs at least one positive body atom".to_owned(),
+            ));
+        }
+        Ok((self.pos, self.neg))
+    }
+}
+
+/// Builder for whole programs.
+#[derive(Default)]
+pub struct ProgramBuilder {
+    rules: Vec<Rule>,
+    constraints: Vec<(Vec<Atom>, Vec<Atom>)>,
+    delta: Option<DeltaRegistry>,
+    error: Option<CoreError>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a custom distribution registry instead of the standard one.
+    pub fn registry(mut self, delta: DeltaRegistry) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Add a rule built with a [`RuleBuilder`].
+    pub fn rule<F>(mut self, build: F) -> Self
+    where
+        F: FnOnce(RuleBuilder) -> RuleBuilder,
+    {
+        if self.error.is_some() {
+            return self;
+        }
+        match build(RuleBuilder::default()).finish() {
+            Ok(rule) => self.rules.push(rule),
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Add a pre-built rule.
+    pub fn push_rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Add a fact `→ name(args…)`.
+    pub fn fact(mut self, name: &str, args: Vec<Term>) -> Self {
+        self.rules.push(Rule::fact(Head::make(
+            name,
+            args.into_iter().map(HeadTerm::Term).collect(),
+        )));
+        self
+    }
+
+    /// Add a constraint `body → ⊥`.
+    pub fn constraint<F>(mut self, build: F) -> Self
+    where
+        F: FnOnce(RuleBuilder) -> RuleBuilder,
+    {
+        if self.error.is_some() {
+            return self;
+        }
+        match build(RuleBuilder::default()).finish_constraint() {
+            Ok(c) => self.constraints.push(c),
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Finish and validate the program.
+    pub fn build(self) -> Result<Program, CoreError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut program = match self.delta {
+            Some(delta) => Program::with_registry(self.rules, delta),
+            None => Program::new(self.rules),
+        };
+        for (pos, neg) in self.constraints {
+            program.push_constraint(pos, neg);
+        }
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    #[test]
+    fn build_the_network_program() {
+        let p = Term::Const(Const::real(0.1).unwrap());
+        let program = ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Infected", vec![Term::var("x"), Term::int(1)])
+                    .body("Connected", vec![Term::var("x"), Term::var("y")])
+                    .head_with_delta(
+                        "Infected",
+                        vec![Term::var("y")],
+                        "Flip",
+                        vec![p],
+                        vec![Term::var("x"), Term::var("y")],
+                    )
+            })
+            .rule(|r| {
+                r.body("Router", vec![Term::var("x")])
+                    .not_body("Infected", vec![Term::var("x"), Term::int(1)])
+                    .head("Uninfected", vec![Term::var("x")])
+            })
+            .constraint(|r| {
+                r.body("Uninfected", vec![Term::var("x")])
+                    .body("Uninfected", vec![Term::var("y")])
+                    .body("Connected", vec![Term::var("x"), Term::var("y")])
+            })
+            .build()
+            .unwrap();
+        // Mirrors Example 3.1 / `network_resilience_program`.
+        assert_eq!(program.len(), 4);
+        assert!(program.is_probabilistic());
+        assert_eq!(
+            program.to_string(),
+            crate::program::network_resilience_program(0.1).to_string()
+        );
+    }
+
+    #[test]
+    fn facts_and_head_terms() {
+        let program = ProgramBuilder::new()
+            .fact("Router", vec![Term::int(1)])
+            .rule(|r| {
+                r.body("Router", vec![Term::var("x")]).head_terms(
+                    "Level",
+                    vec![
+                        HeadTerm::var("x"),
+                        HeadTerm::Delta(DeltaTerm::new(
+                            "UniformInt",
+                            vec![Term::int(1), Term::int(6)],
+                            vec![Term::var("x")],
+                        )),
+                    ],
+                )
+            })
+            .build()
+            .unwrap();
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported_at_build_time() {
+        // Missing head.
+        let err = ProgramBuilder::new()
+            .rule(|r| r.body("A", vec![Term::var("x")]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+
+        // Unsafe rule.
+        let err = ProgramBuilder::new()
+            .rule(|r| r.body("A", vec![Term::var("x")]).head("B", vec![Term::var("z")]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+
+        // Constraint with a head.
+        let err = ProgramBuilder::new()
+            .constraint(|r| r.body("A", vec![Term::var("x")]).head("B", vec![Term::var("x")]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+
+        // Constraint without positive body.
+        let err = ProgramBuilder::new()
+            .constraint(|r| r.not_body("A", vec![]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+    }
+
+    #[test]
+    fn custom_registry() {
+        let mut registry = DeltaRegistry::empty();
+        registry.register("Bernoulli", gdlog_prob::Distribution::Flip);
+        let program = ProgramBuilder::new()
+            .registry(registry)
+            .rule(|r| {
+                r.body("A", vec![Term::var("x")]).head_with_delta(
+                    "B",
+                    vec![Term::var("x")],
+                    "Bernoulli",
+                    vec![Term::Const(Const::real(0.5).unwrap())],
+                    vec![Term::var("x")],
+                )
+            })
+            .build()
+            .unwrap();
+        assert!(program.validate().is_ok());
+        // The standard name is unknown in this registry.
+        let err = ProgramBuilder::new()
+            .registry(DeltaRegistry::empty())
+            .rule(|r| {
+                r.body("A", vec![Term::var("x")]).head_with_delta(
+                    "B",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![Term::Const(Const::real(0.5).unwrap())],
+                    vec![],
+                )
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Dist(_)));
+    }
+}

@@ -1,0 +1,427 @@
+//! The chase procedure for generative Datalog¬ (Section 4).
+//!
+//! The chase operates on configurations of probabilistic choices (ground AtR
+//! sets). A *trigger* for `G(Σ)` on `Σ` is an `Active` atom occurring in
+//! `heads(G(Σ))` on which `AtR_Σ` is not yet defined; applying it branches
+//! over every outcome of positive probability (Definition 4.1). A chase tree
+//! (Definition 4.2) applies triggers until none is left; the results of its
+//! finite maximal paths are exactly the finite possible outcomes
+//! (Lemma 4.5), independently of the order in which triggers are applied
+//! (Lemma 4.4).
+//!
+//! [`enumerate_outcomes`] explores the chase tree exhaustively up to a
+//! [`ChaseBudget`]; the probability mass of anything not fully explored
+//! (paths that exceed the depth budget, tails of infinite supports, paths
+//! whose probability falls below the cut-off) is accumulated in
+//! [`ChaseResult::residual_mass`]. By Theorem 3.9 the explored mass plus the
+//! residual equals one.
+
+use crate::error::CoreError;
+use crate::grounding::{AtrRule, AtrSet, Grounder};
+use gdlog_data::GroundAtom;
+use gdlog_prob::Prob;
+
+use crate::outcome::PossibleOutcome;
+
+/// How the chase selects which trigger to apply at a node. By Lemma 4.4 the
+/// set of finite results is the same for every policy; exposing the policy
+/// lets tests verify exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TriggerOrder {
+    /// Apply the smallest trigger in the canonical atom order (deterministic
+    /// default).
+    #[default]
+    First,
+    /// Apply the largest trigger in the canonical atom order.
+    Last,
+    /// Apply the trigger at a pseudo-random position derived from the node's
+    /// choice set (deterministic per node, but "shuffled" across the tree).
+    Scrambled,
+}
+
+impl TriggerOrder {
+    fn pick(&self, triggers: &[GroundAtom], depth: usize) -> usize {
+        match self {
+            TriggerOrder::First => 0,
+            TriggerOrder::Last => triggers.len() - 1,
+            TriggerOrder::Scrambled => {
+                // A small deterministic hash of the depth and trigger count.
+                (depth.wrapping_mul(2654435761) ^ triggers.len()) % triggers.len()
+            }
+        }
+    }
+}
+
+/// Exploration budget for the exact chase enumeration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaseBudget {
+    /// Maximum number of finite outcomes to produce.
+    pub max_outcomes: usize,
+    /// Maximum number of trigger applications along a single path (chase
+    /// depth). Paths that exceed it contribute to the residual mass.
+    pub max_depth: usize,
+    /// Outcomes of a single trigger application are enumerated up to this
+    /// many branches (relevant for distributions with countably infinite
+    /// support); the remaining tail contributes to the residual mass.
+    pub max_branching: usize,
+    /// Paths whose accumulated probability falls strictly below this bound
+    /// are abandoned and contribute to the residual mass. Set to `0.0` to
+    /// disable.
+    pub min_path_probability: f64,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_outcomes: 100_000,
+            max_depth: 64,
+            max_branching: 64,
+            min_path_probability: 0.0,
+        }
+    }
+}
+
+impl ChaseBudget {
+    /// A small budget suitable for unit tests and examples.
+    pub fn small() -> Self {
+        ChaseBudget {
+            max_outcomes: 10_000,
+            max_depth: 32,
+            max_branching: 16,
+            min_path_probability: 0.0,
+        }
+    }
+}
+
+/// The result of an exhaustive (budgeted) chase enumeration.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The finite possible outcomes explored, with their probabilities.
+    pub outcomes: Vec<PossibleOutcome>,
+    /// Probability mass of everything that was not fully explored: infinite
+    /// paths (the error event) plus finite mass beyond the budget.
+    pub residual_mass: Prob,
+    /// Did the enumeration hit the budget anywhere? When `false`,
+    /// `residual_mass` is exactly the error-event probability.
+    pub truncated: bool,
+    /// Number of chase-tree nodes visited.
+    pub nodes_visited: usize,
+}
+
+impl ChaseResult {
+    /// Total probability mass of the explored finite outcomes.
+    pub fn explored_mass(&self) -> Prob {
+        Prob::sum(self.outcomes.iter().map(|o| o.probability))
+    }
+
+    /// Explored plus residual mass (should always be ≈ 1; exactly 1 when all
+    /// probabilities are exact rationals).
+    pub fn total_mass(&self) -> Prob {
+        self.explored_mass().add(&self.residual_mass)
+    }
+}
+
+/// Exhaustively enumerate the finite possible outcomes of the translated
+/// program relative to `grounder`, following the chase procedure.
+pub fn enumerate_outcomes(
+    grounder: &dyn Grounder,
+    budget: &ChaseBudget,
+    order: TriggerOrder,
+) -> Result<ChaseResult, CoreError> {
+    if budget.max_outcomes == 0 {
+        return Err(CoreError::Budget(
+            "max_outcomes must be at least one".to_owned(),
+        ));
+    }
+    let mut result = ChaseResult {
+        outcomes: Vec::new(),
+        residual_mass: Prob::ZERO,
+        truncated: false,
+        nodes_visited: 0,
+    };
+    explore(
+        grounder,
+        budget,
+        order,
+        AtrSet::new(),
+        Prob::ONE,
+        0,
+        &mut result,
+    )?;
+    Ok(result)
+}
+
+fn explore(
+    grounder: &dyn Grounder,
+    budget: &ChaseBudget,
+    order: TriggerOrder,
+    atr: AtrSet,
+    path_prob: Prob,
+    depth: usize,
+    result: &mut ChaseResult,
+) -> Result<(), CoreError> {
+    result.nodes_visited += 1;
+
+    if path_prob.to_f64() < budget.min_path_probability {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        return Ok(());
+    }
+
+    let rules = grounder.ground(&atr);
+    let triggers = grounder.triggers(&atr, &rules);
+
+    if triggers.is_empty() {
+        // Leaf node: Σ is terminal; `Σ ∪ G(Σ)` is a finite possible outcome.
+        if result.outcomes.len() >= budget.max_outcomes {
+            result.residual_mass = result.residual_mass.add(&path_prob);
+            result.truncated = true;
+            return Ok(());
+        }
+        result
+            .outcomes
+            .push(PossibleOutcome::new(atr, rules, path_prob));
+        return Ok(());
+    }
+
+    if depth >= budget.max_depth {
+        // The path is cut: its mass is unexplored (it may correspond to an
+        // infinite possible outcome, i.e. the error event, or merely to a
+        // deeper finite one).
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        return Ok(());
+    }
+
+    // Apply one trigger (Definition 4.1): branch over every outcome with
+    // positive probability.
+    let trigger = triggers[order.pick(&triggers, depth)].clone();
+    let schema = grounder
+        .sigma()
+        .schema_for_active(&trigger.predicate)
+        .ok_or_else(|| {
+            CoreError::Validation(format!(
+                "trigger {trigger} does not use a generated Active predicate"
+            ))
+        })?;
+    let branches = schema.outcomes(&trigger, budget.max_branching)?;
+
+    // Any tail of an infinite support that we do not enumerate contributes to
+    // the residual mass.
+    let branch_mass = Prob::sum(branches.iter().map(|(_, p)| *p));
+    let tail = path_prob.mul(&Prob::ONE.sub(&branch_mass));
+    if tail.to_f64() > 1e-15 {
+        result.residual_mass = result.residual_mass.add(&tail);
+        result.truncated = true;
+    }
+
+    for (outcome_value, mass) in branches {
+        let rule = AtrRule::new(grounder.sigma(), trigger.clone(), outcome_value)?;
+        let child = atr.extended(rule)?;
+        explore(
+            grounder,
+            budget,
+            order,
+            child,
+            path_prob.mul(&mass),
+            depth + 1,
+            result,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{coin_program, dime_quarter_program, network_resilience_program};
+    use crate::simple_grounder::SimpleGrounder;
+    use crate::perfect_grounder::PerfectGrounder;
+    use crate::translate::SigmaPi;
+    use gdlog_data::{Const, Database};
+    use gdlog_engine::StableModelLimits;
+    use std::sync::Arc;
+
+    fn network_db(n: i64) -> Database {
+        let mut db = Database::new();
+        for i in 1..=n {
+            db.insert_fact("Router", [Const::Int(i)]);
+            for j in 1..=n {
+                if i != j {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        db
+    }
+
+    fn simple_for(program: &crate::Program, db: &Database) -> SimpleGrounder {
+        SimpleGrounder::new(Arc::new(SigmaPi::translate(program, db).unwrap()))
+    }
+
+    #[test]
+    fn coin_program_has_two_outcomes_of_probability_one_half() {
+        let grounder = simple_for(&coin_program(), &Database::new());
+        let result =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 2);
+        assert!(!result.truncated);
+        assert_eq!(result.residual_mass, Prob::ZERO);
+        assert_eq!(result.total_mass(), Prob::ONE);
+        for outcome in &result.outcomes {
+            assert_eq!(outcome.probability, Prob::ratio(1, 2));
+            assert_eq!(outcome.choice_count(), 1);
+        }
+        // One outcome (tails) has two stable models, the other (heads) none —
+        // exactly the situation described in Section 3.
+        let limits = StableModelLimits::default();
+        let mut model_counts: Vec<usize> = result
+            .outcomes
+            .iter()
+            .map(|o| o.stable_models(&limits).unwrap().len())
+            .collect();
+        model_counts.sort();
+        assert_eq!(model_counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn network_example_3_10_outcome_structure() {
+        let grounder = simple_for(&network_resilience_program(0.1), &network_db(3));
+        let result =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert!(!result.truncated);
+        assert_eq!(result.total_mass(), Prob::ONE);
+        // The outcome where both neighbours resist infection has probability
+        // 0.9² = 0.81 and no stable model (the network is not dominated ⇒ the
+        // constraint kills every model ⇒ actually dominated-ness is the
+        // *other* way round: no stable model means the malware failed).
+        let limits = StableModelLimits::default();
+        let no_model_mass = Prob::sum(
+            result
+                .outcomes
+                .iter()
+                .filter(|o| o.stable_models(&limits).unwrap().is_empty())
+                .map(|o| o.probability),
+        );
+        // Probability that the network is dominated (has some stable model):
+        let dominated = Prob::ONE.sub(&no_model_mass);
+        assert_eq!(dominated, Prob::ratio(19, 100));
+    }
+
+    #[test]
+    fn chase_is_order_independent() {
+        // Lemma 4.4: the same set of finite results regardless of the trigger
+        // selection policy.
+        let grounder = simple_for(&network_resilience_program(0.1), &network_db(3));
+        let budget = ChaseBudget::default();
+        let canonical = |order: TriggerOrder| {
+            let mut keys: Vec<(Vec<crate::grounding::AtrRule>, String)> =
+                enumerate_outcomes(&grounder, &budget, order)
+                    .unwrap()
+                    .outcomes
+                    .iter()
+                    .map(|o| (o.atr.canonical(), o.probability.to_string()))
+                    .collect();
+            keys.sort();
+            keys
+        };
+        let first = canonical(TriggerOrder::First);
+        let last = canonical(TriggerOrder::Last);
+        let scrambled = canonical(TriggerOrder::Scrambled);
+        assert_eq!(first, last);
+        assert_eq!(first, scrambled);
+        assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn dime_quarter_with_perfect_grounder_has_six_outcomes() {
+        // Two dimes: 4 configurations; the two configurations with no tail
+        // each branch over the quarter (2 outcomes each): 3 + 1·... in fact
+        // TT, TH, HT are terminal (3 outcomes) and HH splits into 2 → 5? No:
+        // exactly one configuration (HH) requires the quarter toss, so
+        // 3 + 2 = 5 outcomes for one quarter.
+        let mut db = Database::new();
+        db.insert_fact("Dime", [Const::Int(1)]);
+        db.insert_fact("Dime", [Const::Int(2)]);
+        db.insert_fact("Quarter", [Const::Int(3)]);
+        let sigma = SigmaPi::translate(&dime_quarter_program(), &db).unwrap();
+        let grounder = PerfectGrounder::new(Arc::new(sigma)).unwrap();
+        let result =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 5);
+        assert_eq!(result.total_mass(), Prob::ONE);
+        assert!(!result.truncated);
+        // The 3 dime-only outcomes have probability 1/4 each, the 2
+        // quarter outcomes 1/8 each.
+        let mut probs: Vec<String> = result
+            .outcomes
+            .iter()
+            .map(|o| o.probability.to_string())
+            .collect();
+        probs.sort();
+        assert_eq!(probs, vec!["1/4", "1/4", "1/4", "1/8", "1/8"]);
+    }
+
+    #[test]
+    fn budget_truncation_is_accounted_in_residual_mass() {
+        let grounder = simple_for(&network_resilience_program(0.5), &network_db(3));
+        let tight = ChaseBudget {
+            max_outcomes: 4,
+            max_depth: 64,
+            max_branching: 64,
+            min_path_probability: 0.0,
+        };
+        let result = enumerate_outcomes(&grounder, &tight, TriggerOrder::First).unwrap();
+        assert!(result.truncated);
+        assert_eq!(result.outcomes.len(), 4);
+        assert!(result.residual_mass.is_positive());
+        assert!(result.total_mass().approx_eq(&Prob::ONE, 1e-9));
+    }
+
+    #[test]
+    fn depth_budget_truncates_deep_paths() {
+        let grounder = simple_for(&network_resilience_program(0.1), &network_db(3));
+        let shallow = ChaseBudget {
+            max_outcomes: 1000,
+            max_depth: 1,
+            max_branching: 64,
+            min_path_probability: 0.0,
+        };
+        let result = enumerate_outcomes(&grounder, &shallow, TriggerOrder::First).unwrap();
+        assert!(result.truncated);
+        assert!(result.residual_mass.is_positive());
+        assert!(result.total_mass().approx_eq(&Prob::ONE, 1e-9));
+    }
+
+    #[test]
+    fn zero_outcome_budget_is_rejected() {
+        let grounder = simple_for(&coin_program(), &Database::new());
+        let bad = ChaseBudget {
+            max_outcomes: 0,
+            ..ChaseBudget::default()
+        };
+        assert!(matches!(
+            enumerate_outcomes(&grounder, &bad, TriggerOrder::First),
+            Err(CoreError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn non_probabilistic_programs_have_a_single_certain_outcome() {
+        // A plain Datalog¬ program: the chase terminates immediately with the
+        // empty choice set and probability 1.
+        let program = crate::Program::new(
+            network_resilience_program(0.1).rules()[1..2].to_vec(),
+        );
+        let mut db = Database::new();
+        db.insert_fact("Router", [Const::Int(1)]);
+        let grounder = simple_for(&program, &db);
+        let result =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 1);
+        assert_eq!(result.outcomes[0].probability, Prob::ONE);
+        assert_eq!(result.outcomes[0].choice_count(), 0);
+        assert_eq!(result.nodes_visited, 1);
+    }
+}

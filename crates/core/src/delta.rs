@@ -1,0 +1,123 @@
+//! Δ-terms: samples from parameterized distributions.
+//!
+//! A Δ-term `δ⟨p̄⟩[q̄]` (Section 3, "Syntax") denotes a sample from the
+//! distribution `δ⟨p̄⟩`; different event signatures `q̄` denote *different*
+//! (independent) samples, identical ones denote the same sample. The event
+//! signature may be empty, written `δ⟨p̄⟩`.
+
+use gdlog_data::{Term, Var};
+use std::fmt;
+
+/// A Δ-term `δ⟨p̄⟩[q̄]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DeltaTerm {
+    /// Name of the distribution `δ` (resolved against the program's
+    /// [`gdlog_prob::DeltaRegistry`]).
+    pub distribution: String,
+    /// The distribution parameters `p̄` (a non-empty tuple of terms).
+    pub params: Vec<Term>,
+    /// The optional event signature `q̄`.
+    pub event: Vec<Term>,
+}
+
+impl DeltaTerm {
+    /// Create a Δ-term.
+    pub fn new(distribution: &str, params: Vec<Term>, event: Vec<Term>) -> Self {
+        DeltaTerm {
+            distribution: distribution.to_owned(),
+            params,
+            event,
+        }
+    }
+
+    /// Create a Δ-term with an empty event signature.
+    pub fn simple(distribution: &str, params: Vec<Term>) -> Self {
+        Self::new(distribution, params, Vec::new())
+    }
+
+    /// All variables occurring in the parameters or the event signature.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in self.params.iter().chain(self.event.iter()) {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the Δ-term ground (no variables)?
+    pub fn is_ground(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+impl fmt::Display for DeltaTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<", self.distribution)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ">")?;
+        if !self.event.is_empty() {
+            write!(f, "[")?;
+            for (i, q) in self.event.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{q}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    #[test]
+    fn construction_and_variables() {
+        let t = DeltaTerm::new(
+            "Flip",
+            vec![Term::Const(Const::real(0.1).unwrap())],
+            vec![Term::var("x"), Term::var("y")],
+        );
+        assert_eq!(t.distribution, "Flip");
+        assert_eq!(t.variables(), vec![Var::new("x"), Var::new("y")]);
+        assert!(!t.is_ground());
+
+        let g = DeltaTerm::simple("Flip", vec![Term::Const(Const::real(0.5).unwrap())]);
+        assert!(g.is_ground());
+        assert!(g.event.is_empty());
+    }
+
+    #[test]
+    fn duplicate_variables_are_reported_once() {
+        let t = DeltaTerm::new(
+            "UniformInt",
+            vec![Term::var("x"), Term::var("x")],
+            vec![Term::var("x")],
+        );
+        assert_eq!(t.variables(), vec![Var::new("x")]);
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        let t = DeltaTerm::new(
+            "Flip",
+            vec![Term::Const(Const::real(0.1).unwrap())],
+            vec![Term::var("x"), Term::var("y")],
+        );
+        assert_eq!(t.to_string(), "Flip<0.1>[x, y]");
+        let s = DeltaTerm::simple("Flip", vec![Term::Const(Const::real(0.5).unwrap())]);
+        assert_eq!(s.to_string(), "Flip<0.5>");
+    }
+}

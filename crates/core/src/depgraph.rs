@@ -1,0 +1,104 @@
+//! The dependency graph `dg(Π)` of a GDatalog¬\[Δ\] program.
+//!
+//! Section 5 of the paper: vertices are the predicates of `sch(Π)`; for every
+//! rule ρ with head predicate `P` there is a positive (resp. negative) edge
+//! `(R, P)` for every predicate `R` of `B⁺(ρ)` (resp. `B⁻(ρ)`). A program has
+//! stratified negation if no cycle of `dg(Π)` goes through a negative edge.
+//!
+//! The graph machinery itself (SCCs, topological strata) lives in
+//! [`gdlog_engine::depgraph`]; this module builds the graph from the
+//! *generative* (non-ground) rules and re-exports the shared types.
+
+use crate::program::Program;
+pub use gdlog_engine::depgraph::{DependencyGraph, EdgeSign, Stratification};
+
+/// Build `dg(Π)` for a program.
+pub fn dependency_graph(program: &Program) -> DependencyGraph {
+    let mut g = DependencyGraph::new();
+    for pred in program.schema().iter() {
+        g.add_vertex(*pred);
+    }
+    for rule in program.rules() {
+        let head = rule.head.predicate;
+        g.add_vertex(head);
+        for a in &rule.pos {
+            g.add_edge(a.predicate, head, EdgeSign::Positive);
+        }
+        for a in &rule.neg {
+            g.add_edge(a.predicate, head, EdgeSign::Negative);
+        }
+    }
+    g
+}
+
+/// Compute a stratification of `dg(Π)` (topologically ordered SCCs), or an
+/// error if the program is not stratified.
+pub fn stratification(
+    program: &Program,
+) -> Result<Stratification, gdlog_engine::depgraph::NotStratified> {
+    dependency_graph(program).stratify()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{coin_program, dime_quarter_program, network_resilience_program};
+    use gdlog_data::Predicate;
+
+    #[test]
+    fn figure_1_graph_of_the_dime_quarter_program() {
+        let program = dime_quarter_program();
+        let g = dependency_graph(&program);
+        // Vertices: Dime, Quarter, DimeTail, QuarterTail, SomeDimeTail.
+        assert_eq!(g.vertex_count(), 5);
+        // Exactly one negative edge: SomeDimeTail → QuarterTail (dashed arc in
+        // Figure 1).
+        let neg: Vec<_> = g
+            .edges()
+            .filter(|(_, _, s)| *s == EdgeSign::Negative)
+            .collect();
+        assert_eq!(neg.len(), 1);
+        assert_eq!(neg[0].0, Predicate::new("SomeDimeTail", 0));
+        assert_eq!(neg[0].1, Predicate::new("QuarterTail", 2));
+
+        let strat = stratification(&program).unwrap();
+        assert_eq!(strat.len(), 5);
+        let s = |name: &str, ar: usize| strat.stratum_of(&Predicate::new(name, ar)).unwrap();
+        assert!(s("Dime", 1) < s("DimeTail", 2));
+        assert!(s("DimeTail", 2) < s("SomeDimeTail", 0));
+        assert!(s("SomeDimeTail", 0) < s("QuarterTail", 2));
+    }
+
+    #[test]
+    fn coin_program_is_not_stratified() {
+        let program = coin_program();
+        let g = dependency_graph(&program);
+        assert!(!g.is_stratified());
+        assert!(stratification(&program).is_err());
+    }
+
+    #[test]
+    fn network_program_is_not_stratified_due_to_the_fail_aux_encoding() {
+        // The desugared ⊥ introduces `Fail, ¬Aux → Aux`, a negative
+        // self-loop, so the full Example 3.1 program is evaluated with the
+        // simple grounder (as the paper does in Example 3.10).
+        let program = network_resilience_program(0.1);
+        assert!(stratification(&program).is_err());
+
+        // Dropping the constraint leaves a stratified propagation program.
+        let propagation = crate::program::Program::new(
+            network_resilience_program(0.1).rules()[..2].to_vec(),
+        );
+        let strat = stratification(&propagation).unwrap();
+        let s = |name: &str, ar: usize| strat.stratum_of(&Predicate::new(name, ar)).unwrap();
+        assert!(s("Infected", 2) < s("Uninfected", 1));
+    }
+
+    #[test]
+    fn isolated_edb_predicates_are_vertices() {
+        let program = network_resilience_program(0.1);
+        let g = dependency_graph(&program);
+        assert!(g.vertices().any(|p| p.name() == "Router"));
+        assert!(g.vertices().any(|p| p.name() == "Connected"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type of the generative layer.
+
+use gdlog_data::DataError;
+use gdlog_engine::depgraph::NotStratified;
+use gdlog_engine::stable::StableError;
+use gdlog_prob::DistError;
+use std::fmt;
+
+/// Errors raised by `gdlog-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A rule violates a syntactic restriction (safety, arity, reserved
+    /// names).
+    Validation(String),
+    /// A distribution was used incorrectly.
+    Dist(DistError),
+    /// A relational-layer error.
+    Data(DataError),
+    /// The perfect grounder requires stratified negation.
+    NotStratified(NotStratified),
+    /// The stable-model engine hit a guard rail.
+    Stable(StableError),
+    /// The chase exceeded its budget in a way that prevents producing a
+    /// meaningful result (e.g. zero explored outcomes requested).
+    Budget(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Validation(msg) => write!(f, "invalid program: {msg}"),
+            CoreError::Dist(e) => write!(f, "distribution error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::NotStratified(e) => write!(f, "{e}"),
+            CoreError::Stable(e) => write!(f, "stable model search: {e}"),
+            CoreError::Budget(msg) => write!(f, "chase budget: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DistError> for CoreError {
+    fn from(e: DistError) -> Self {
+        CoreError::Dist(e)
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<NotStratified> for CoreError {
+    fn from(e: NotStratified) -> Self {
+        CoreError::NotStratified(e)
+    }
+}
+
+impl From<StableError> for CoreError {
+    fn from(e: StableError) -> Self {
+        CoreError::Stable(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = DistError::UnknownDistribution("Gauss".into()).into();
+        assert!(e.to_string().contains("Gauss"));
+        let e: CoreError = DataError::NonFiniteReal(f64::NAN).into();
+        assert!(e.to_string().contains("non-finite"));
+        let e = CoreError::Validation("unsafe variable x".into());
+        assert!(e.to_string().contains("unsafe variable"));
+        let e = CoreError::Budget("no outcomes".into());
+        assert!(e.to_string().contains("budget"));
+        let e: CoreError = StableError::TooManyModels { limit: 1 }.into();
+        assert!(e.to_string().contains("stable"));
+    }
+}

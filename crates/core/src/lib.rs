@@ -1,0 +1,78 @@
+//! # gdlog-core — Generative Datalog with Stable Negation
+//!
+//! The paper's primary contribution: GDatalog¬\[Δ\] programs — Datalog rules
+//! with stable negation whose heads may *sample* from parameterized discrete
+//! probability distributions — and their probabilistic semantics.
+//!
+//! The pipeline mirrors the paper:
+//!
+//! 1. **Syntax** ([`rule`], [`program`], [`delta`]): rules
+//!    `R₁(ū₁), …, ¬P₁(v̄₁), … → R₀(w̄)` whose head tuples may contain Δ-terms
+//!    `δ⟨p̄⟩[q̄]` (Section 3, "Syntax").
+//! 2. **Translation** ([`translate`]): each rule becomes existential-free
+//!    TGD¬ rules plus *active-to-result* (AtR) rules
+//!    `Activeᵟ(p̄,q̄) → ∃y Resultᵟ(p̄,q̄,y)` that encode the probabilistic
+//!    choices (Section 3, "From GDatalog¬\[Δ\] to TGD¬").
+//! 3. **Grounding** ([`grounding`], [`simple_grounder`], [`perfect_grounder`]):
+//!    a [`Grounder`] maps every functionally consistent set of ground AtR
+//!    rules to the ground rules consistent with those choices
+//!    (Definition 3.3); the simple grounder (Definition 3.4) and, for
+//!    stratified programs, the perfect grounder (Definition 5.1) are provided.
+//! 4. **Chase** ([`chase`]): the fixpoint procedure of Section 4 — triggers,
+//!    trigger applications and chase trees — which enumerates the possible
+//!    outcomes together with their probabilities, or samples a single
+//!    outcome ([`mc`]).
+//! 5. **Semantics** ([`outcome`], [`semantics`]): possible outcomes, the
+//!    error event, the event partition by induced sets of stable models, and
+//!    the output probability space `Π_G(D)` (Definitions 3.7–3.8,
+//!    Theorem 3.9).
+//! 6. **Comparison** ([`compare`], [`bckov`]): the "as good as" relation of
+//!    Definition 3.11, and the BCKOV semantics of positive generative Datalog
+//!    from Appendix C used as the baseline (Theorem C.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bckov;
+pub mod builder;
+pub mod chase;
+pub mod compare;
+pub mod delta;
+pub mod depgraph;
+pub mod error;
+pub mod grounding;
+pub mod mc;
+pub mod outcome;
+pub mod perfect_grounder;
+pub mod pipeline;
+pub mod program;
+pub mod query;
+pub mod rule;
+pub mod semantics;
+pub mod simple_grounder;
+pub mod translate;
+
+pub use bckov::{bckov_output, isomorphic_to_bckov, BckovOutcome, BckovOutput};
+pub use builder::{ProgramBuilder, RuleBuilder};
+pub use chase::{enumerate_outcomes, ChaseBudget, ChaseResult, TriggerOrder};
+pub use compare::{as_good_as, compare_outputs, SemanticsComparison};
+pub use delta::DeltaTerm;
+pub use depgraph::{dependency_graph, stratification, DependencyGraph, Stratification};
+pub use error::CoreError;
+pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder};
+pub use mc::{sample_outcome, MonteCarlo, SampleStats, SampledPath};
+pub use outcome::{ModelSetKey, PossibleOutcome};
+pub use perfect_grounder::PerfectGrounder;
+pub use pipeline::{GrounderChoice, Pipeline};
+pub use program::{
+    coin_program, dime_quarter_program, network_resilience_program, Program, AUX_PREDICATE,
+    FAIL_PREDICATE,
+};
+pub use query::{
+    brave_fact_probability, brave_probability, cautious_fact_probability, cautious_probability,
+    has_stable_model_probability,
+};
+pub use rule::{Head, HeadTerm, Rule};
+pub use semantics::OutputSpace;
+pub use simple_grounder::SimpleGrounder;
+pub use translate::{AtrSchema, SigmaPi, TgdRule};

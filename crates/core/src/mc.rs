@@ -1,0 +1,251 @@
+//! Monte-Carlo evaluation.
+//!
+//! For programs whose chase tree is too large to enumerate exhaustively, a
+//! single chase path can be *sampled*: at every trigger one outcome is drawn
+//! from `δ⟨p̄⟩` instead of branching over all of them. Repeating this yields
+//! unbiased estimates of any event probability of the output space (the
+//! sampling distribution over finite paths is exactly the chase-based
+//! probability space of Section 4).
+
+use crate::error::CoreError;
+use crate::grounding::{AtrRule, AtrSet, Grounder};
+use crate::outcome::PossibleOutcome;
+use gdlog_prob::sampler::{sample_distribution, Estimate};
+use gdlog_prob::Prob;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of sampling one chase path.
+#[derive(Clone, Debug)]
+pub enum SampledPath {
+    /// The path reached a terminal configuration: a finite possible outcome.
+    Finite(PossibleOutcome),
+    /// The path was abandoned after the trigger budget was exhausted — it
+    /// belongs (statistically) to the error event or to a deeper finite
+    /// outcome.
+    Abandoned {
+        /// The configuration reached when the budget ran out.
+        partial: AtrSet,
+        /// Number of triggers applied.
+        depth: usize,
+    },
+}
+
+impl SampledPath {
+    /// Is this a finite outcome?
+    pub fn is_finite(&self) -> bool {
+        matches!(self, SampledPath::Finite(_))
+    }
+
+    /// The finite outcome, if any.
+    pub fn outcome(&self) -> Option<&PossibleOutcome> {
+        match self {
+            SampledPath::Finite(o) => Some(o),
+            SampledPath::Abandoned { .. } => None,
+        }
+    }
+}
+
+/// Sample a single chase path with at most `max_triggers` trigger
+/// applications.
+pub fn sample_outcome<R: Rng + ?Sized>(
+    grounder: &dyn Grounder,
+    max_triggers: usize,
+    rng: &mut R,
+) -> Result<SampledPath, CoreError> {
+    let mut atr = AtrSet::new();
+    let mut probability = Prob::ONE;
+    for depth in 0..=max_triggers {
+        let rules = grounder.ground(&atr);
+        let triggers = grounder.triggers(&atr, &rules);
+        if triggers.is_empty() {
+            return Ok(SampledPath::Finite(PossibleOutcome::new(
+                atr,
+                rules,
+                probability,
+            )));
+        }
+        if depth == max_triggers {
+            break;
+        }
+        // Apply the first trigger (the order does not matter, Lemma 4.4).
+        let trigger = triggers[0].clone();
+        let schema = grounder
+            .sigma()
+            .schema_for_active(&trigger.predicate)
+            .ok_or_else(|| {
+                CoreError::Validation(format!("trigger {trigger} has no Active schema"))
+            })?;
+        let (params, _) = schema.split_active(&trigger);
+        let value = sample_distribution(schema.distribution, params, rng)?;
+        let mass = schema.outcome_probability(&trigger, &value)?;
+        probability = probability.mul(&mass);
+        atr.insert(AtrRule::new(grounder.sigma(), trigger, value)?)?;
+    }
+    Ok(SampledPath::Abandoned {
+        depth: max_triggers,
+        partial: atr,
+    })
+}
+
+/// Summary statistics of a Monte-Carlo run.
+#[derive(Clone, Debug)]
+pub struct SampleStats {
+    /// Estimate of the probability of the queried event.
+    pub estimate: Estimate,
+    /// Number of sampled paths that were abandoned (budget exhausted).
+    pub abandoned: usize,
+    /// Number of samples drawn in total.
+    pub samples: usize,
+}
+
+/// A Monte-Carlo estimator bound to a grounder.
+pub struct MonteCarlo<'a> {
+    grounder: &'a dyn Grounder,
+    max_triggers: usize,
+    rng: StdRng,
+}
+
+impl<'a> MonteCarlo<'a> {
+    /// Create an estimator with a deterministic seed.
+    pub fn new(grounder: &'a dyn Grounder, max_triggers: usize, seed: u64) -> Self {
+        MonteCarlo {
+            grounder,
+            max_triggers,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one path.
+    pub fn sample(&mut self) -> Result<SampledPath, CoreError> {
+        sample_outcome(self.grounder, self.max_triggers, &mut self.rng)
+    }
+
+    /// Estimate the probability of an event specified as a predicate over
+    /// finite outcomes. Abandoned paths count as "event false" — estimates of
+    /// events over finite outcomes are therefore lower bounds when abandoned
+    /// paths occur (report `abandoned` to judge their impact).
+    pub fn estimate<F>(&mut self, samples: usize, event: F) -> Result<SampleStats, CoreError>
+    where
+        F: Fn(&PossibleOutcome) -> bool,
+    {
+        let mut hits = 0usize;
+        let mut abandoned = 0usize;
+        for _ in 0..samples {
+            match self.sample()? {
+                SampledPath::Finite(outcome) => {
+                    if event(&outcome) {
+                        hits += 1;
+                    }
+                }
+                SampledPath::Abandoned { .. } => abandoned += 1,
+            }
+        }
+        Ok(SampleStats {
+            estimate: Estimate::from_bernoulli(hits, samples),
+            abandoned,
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{coin_program, network_resilience_program};
+    use crate::simple_grounder::SimpleGrounder;
+    use crate::translate::SigmaPi;
+    use gdlog_data::{Const, Database};
+    use gdlog_engine::StableModelLimits;
+    use std::sync::Arc;
+
+    fn network_grounder(n: i64) -> SimpleGrounder {
+        let mut db = Database::new();
+        for i in 1..=n {
+            db.insert_fact("Router", [Const::Int(i)]);
+            for j in 1..=n {
+                if i != j {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        SimpleGrounder::new(Arc::new(
+            SigmaPi::translate(&network_resilience_program(0.1), &db).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn sampled_paths_terminate_and_have_consistent_probability() {
+        let grounder = network_grounder(3);
+        let mut mc = MonteCarlo::new(&grounder, 100, 7);
+        for _ in 0..20 {
+            let path = mc.sample().unwrap();
+            assert!(path.is_finite());
+            let outcome = path.outcome().unwrap();
+            // The path probability equals the product of its choices.
+            assert_eq!(
+                outcome.probability,
+                outcome.atr.probability(grounder.sigma()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn domination_probability_estimate_converges_to_0_19() {
+        let grounder = network_grounder(3);
+        let mut mc = MonteCarlo::new(&grounder, 100, 42);
+        let limits = StableModelLimits::default();
+        let stats = mc
+            .estimate(4000, |outcome| {
+                !outcome.stable_models(&limits).unwrap().is_empty()
+            })
+            .unwrap();
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(stats.samples, 4000);
+        assert!(
+            stats.estimate.consistent_with(0.19, 4.0),
+            "estimate {:?} not consistent with 0.19",
+            stats.estimate
+        );
+    }
+
+    #[test]
+    fn coin_sampling_hits_both_outcomes() {
+        let sigma = SigmaPi::translate(&coin_program(), &Database::new()).unwrap();
+        let grounder = SimpleGrounder::new(Arc::new(sigma));
+        let mut mc = MonteCarlo::new(&grounder, 10, 3);
+        let mut tails = 0;
+        let mut heads = 0;
+        for _ in 0..200 {
+            let path = mc.sample().unwrap();
+            let outcome = path.outcome().unwrap();
+            let coin1 = gdlog_data::GroundAtom::make("Coin", vec![Const::Int(1)]);
+            if outcome.rules.heads().contains(&coin1) {
+                tails += 1;
+            } else {
+                heads += 1;
+            }
+        }
+        assert!(tails > 50 && heads > 50, "tails {tails}, heads {heads}");
+    }
+
+    #[test]
+    fn trigger_budget_abandons_paths() {
+        // With a zero trigger budget every probabilistic path is abandoned.
+        let grounder = network_grounder(3);
+        let mut mc = MonteCarlo::new(&grounder, 0, 1);
+        let path = mc.sample().unwrap();
+        assert!(!path.is_finite());
+        match path {
+            SampledPath::Abandoned { depth, partial } => {
+                assert_eq!(depth, 0);
+                assert!(partial.is_empty());
+            }
+            SampledPath::Finite(_) => unreachable!(),
+        }
+        let stats = mc.estimate(10, |_| true).unwrap();
+        assert_eq!(stats.abandoned, 10);
+        assert_eq!(stats.estimate.mean, 0.0);
+    }
+}

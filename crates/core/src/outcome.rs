@@ -1,0 +1,235 @@
+//! Possible outcomes (Definition 3.7).
+//!
+//! A possible outcome of `D` w.r.t. `Π` relative to a grounder `G` is a
+//! program `Σ ∪ G(Σ)` for a ⊆-minimal terminal `Σ` such that every chosen
+//! outcome has strictly positive probability. A [`PossibleOutcome`] couples
+//! the choice set `Σ` (an [`AtrSet`]), the grounder-produced rules `G(Σ)`,
+//! and the probability `Pr(Σ)`; the induced set of stable models
+//! `sms(Σ ∪ G(Σ))` is computed on demand through `gdlog-engine`.
+
+use crate::error::CoreError;
+use crate::grounding::{AtrSet, GroundRuleSet};
+use gdlog_data::{Database, GroundAtom};
+use gdlog_engine::{stable_models, GroundProgram, StableModelLimits};
+use gdlog_prob::Prob;
+use std::fmt;
+
+/// A canonical, hashable encoding of a *set of stable models* — the event key
+/// of the output probability space (two finite possible outcomes belong to
+/// the same event iff they induce the same set of stable models).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ModelSetKey(Vec<Vec<GroundAtom>>);
+
+impl ModelSetKey {
+    /// Build a key from a set of stable models.
+    pub fn from_models(models: &[Database]) -> Self {
+        let mut encoded: Vec<Vec<GroundAtom>> =
+            models.iter().map(Database::canonical_atoms).collect();
+        encoded.sort();
+        encoded.dedup();
+        ModelSetKey(encoded)
+    }
+
+    /// The empty set of stable models (the event "no stable model").
+    pub fn empty() -> Self {
+        ModelSetKey(Vec::new())
+    }
+
+    /// Number of stable models in the set.
+    pub fn model_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the empty set of stable models?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over the models as sorted atom lists.
+    pub fn models(&self) -> impl Iterator<Item = &Vec<GroundAtom>> {
+        self.0.iter()
+    }
+
+    /// Does the atom hold in *every* stable model of the set (cautiously)?
+    /// Returns `false` for the empty set.
+    pub fn cautious(&self, atom: &GroundAtom) -> bool {
+        !self.0.is_empty() && self.0.iter().all(|m| m.binary_search(atom).is_ok())
+    }
+
+    /// Does the atom hold in *some* stable model of the set (bravely)?
+    pub fn brave(&self, atom: &GroundAtom) -> bool {
+        self.0.iter().any(|m| m.binary_search(atom).is_ok())
+    }
+
+    /// Restrict every model to the given predicate filter, re-canonicalising
+    /// the key (used to compare outcomes "modulo active").
+    pub fn filter_atoms<F: Fn(&GroundAtom) -> bool>(&self, keep: F) -> ModelSetKey {
+        let mut encoded: Vec<Vec<GroundAtom>> = self
+            .0
+            .iter()
+            .map(|m| m.iter().filter(|a| keep(a)).cloned().collect())
+            .collect();
+        encoded.sort();
+        encoded.dedup();
+        ModelSetKey(encoded)
+    }
+}
+
+impl fmt::Display for ModelSetKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, a) in m.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A finite possible outcome together with its probability.
+#[derive(Clone, Debug)]
+pub struct PossibleOutcome {
+    /// The configuration of probabilistic choices `Σ`.
+    pub atr: AtrSet,
+    /// The grounder-produced rules `G(Σ)`.
+    pub rules: GroundRuleSet,
+    /// The probability `Pr(Σ) = ∏ δ⟨p̄⟩(o)`.
+    pub probability: Prob,
+}
+
+impl PossibleOutcome {
+    /// Assemble a possible outcome.
+    pub fn new(atr: AtrSet, rules: GroundRuleSet, probability: Prob) -> Self {
+        PossibleOutcome {
+            atr,
+            rules,
+            probability,
+        }
+    }
+
+    /// The full ground program `Σ ∪ G(Σ)` whose stable models this outcome
+    /// induces.
+    pub fn full_program(&self) -> GroundProgram {
+        let mut p = self.rules.clone();
+        p.extend(self.atr.to_ground_rules());
+        p
+    }
+
+    /// Compute `sms(Σ ∪ G(Σ))`.
+    pub fn stable_models(&self, limits: &StableModelLimits) -> Result<Vec<Database>, CoreError> {
+        Ok(stable_models(&self.full_program(), limits)?)
+    }
+
+    /// Compute the event key of the outcome (its set of stable models).
+    pub fn model_set_key(&self, limits: &StableModelLimits) -> Result<ModelSetKey, CoreError> {
+        Ok(ModelSetKey::from_models(&self.stable_models(limits)?))
+    }
+
+    /// Number of probabilistic choices made in this outcome.
+    pub fn choice_count(&self) -> usize {
+        self.atr.len()
+    }
+
+    /// Number of ground rules produced by the grounder.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+impl fmt::Display for PossibleOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "outcome(Pr = {}, {} choices, {} ground rules)",
+            self.probability,
+            self.choice_count(),
+            self.rule_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    fn atom(name: &str, args: &[i64]) -> GroundAtom {
+        GroundAtom::make(name, args.iter().map(|&i| Const::Int(i)).collect())
+    }
+
+    fn db(atoms: &[GroundAtom]) -> Database {
+        Database::from_atoms(atoms.iter().cloned())
+    }
+
+    #[test]
+    fn key_is_order_insensitive_and_deduplicated() {
+        let m1 = db(&[atom("A", &[1]), atom("B", &[2])]);
+        let m2 = db(&[atom("C", &[3])]);
+        let k1 = ModelSetKey::from_models(&[m1.clone(), m2.clone()]);
+        let k2 = ModelSetKey::from_models(&[m2.clone(), m1.clone(), m2]);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.model_count(), 2);
+        assert!(!k1.is_empty());
+        assert_eq!(ModelSetKey::empty().model_count(), 0);
+        assert!(ModelSetKey::empty().is_empty());
+        assert_eq!(k1.models().count(), 2);
+    }
+
+    #[test]
+    fn cautious_and_brave_reasoning() {
+        let m1 = db(&[atom("A", &[1]), atom("B", &[2])]);
+        let m2 = db(&[atom("A", &[1]), atom("C", &[3])]);
+        let k = ModelSetKey::from_models(&[m1, m2]);
+        assert!(k.cautious(&atom("A", &[1])));
+        assert!(!k.cautious(&atom("B", &[2])));
+        assert!(k.brave(&atom("B", &[2])));
+        assert!(k.brave(&atom("C", &[3])));
+        assert!(!k.brave(&atom("D", &[4])));
+        // The empty set is cautious about nothing and brave about nothing.
+        assert!(!ModelSetKey::empty().cautious(&atom("A", &[1])));
+        assert!(!ModelSetKey::empty().brave(&atom("A", &[1])));
+    }
+
+    #[test]
+    fn filtering_atoms_re_canonicalises() {
+        let m1 = db(&[atom("A", &[1]), atom("Hidden", &[9])]);
+        let m2 = db(&[atom("A", &[1])]);
+        let k = ModelSetKey::from_models(&[m1, m2]);
+        assert_eq!(k.model_count(), 2);
+        let filtered = k.filter_atoms(|a| a.predicate.name() != "Hidden");
+        // After dropping the Hidden atom both models coincide.
+        assert_eq!(filtered.model_count(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = ModelSetKey::from_models(&[db(&[atom("A", &[1])])]);
+        assert_eq!(k.to_string(), "{{A(1)}}");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = PossibleOutcome::new(
+            AtrSet::new(),
+            GroundRuleSet::new(),
+            Prob::ratio(1, 2),
+        );
+        assert_eq!(outcome.choice_count(), 0);
+        assert_eq!(outcome.rule_count(), 0);
+        assert_eq!(outcome.full_program().len(), 0);
+        let models = outcome.stable_models(&StableModelLimits::default()).unwrap();
+        assert_eq!(models, vec![Database::new()]);
+        let key = outcome.model_set_key(&StableModelLimits::default()).unwrap();
+        assert_eq!(key.model_count(), 1);
+        assert!(outcome.to_string().contains("Pr = 1/2"));
+    }
+}

@@ -1,0 +1,283 @@
+//! The perfect grounder `GPerfect_Π` for stratified programs (Definition 5.1).
+//!
+//! For a GDatalog¬ₛ\[Δ\] program the predicates can be ordered into strata
+//! `C₁, …, Cₙ` (a topological ordering of the SCCs of `dg(Π)`). The perfect
+//! grounder processes the rules stratum by stratum with the `Perfect`
+//! operator, which only instantiates a rule when its positive body is
+//! derivable *and* none of its negative body atoms is derivable — negative
+//! literals of a stratum-`i` rule only mention predicates of strictly lower
+//! strata, whose extension is already complete, so the check is final.
+//!
+//! Compared to the simple grounder this avoids "superfluous" ground rules
+//! (e.g. it never instantiates the quarter-tossing rule of Appendix E once
+//! some dime shows tails), which is exactly why its semantics is *as good as*
+//! any other grounder's on stratified programs (Theorem 5.3).
+
+use crate::error::CoreError;
+use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
+use crate::simple_grounder::saturate;
+use crate::translate::{SigmaPi, TgdRule};
+use gdlog_data::Predicate;
+use gdlog_engine::depgraph::{DependencyGraph, EdgeSign};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The perfect grounder. Construction fails if the program does not have
+/// stratified negation.
+#[derive(Clone)]
+pub struct PerfectGrounder {
+    sigma: Arc<SigmaPi>,
+    /// Rule indices of `sigma.rules`, grouped by the stratum of the rule's
+    /// originating head predicate, in bottom-up stratum order.
+    rules_by_stratum: Vec<Vec<usize>>,
+}
+
+impl PerfectGrounder {
+    /// Build a perfect grounder for a translated program.
+    pub fn new(sigma: Arc<SigmaPi>) -> Result<Self, CoreError> {
+        // Reconstruct dg(Π[D]) over the *original* predicates: generated
+        // Active/Result predicates are ignored (they are not part of sch(Π)).
+        let mut graph = DependencyGraph::new();
+        for p in sigma.original_schema() {
+            graph.add_vertex(*p);
+        }
+        for rule in &sigma.rules {
+            for a in &rule.pos {
+                if sigma.original_schema().contains(&a.predicate) {
+                    graph.add_edge(a.predicate, rule.origin_head, EdgeSign::Positive);
+                }
+            }
+            for a in &rule.neg {
+                graph.add_edge(a.predicate, rule.origin_head, EdgeSign::Negative);
+            }
+        }
+        let stratification = graph.stratify()?;
+
+        let stratum_of: HashMap<Predicate, usize> = stratification
+            .strata()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, comp)| comp.iter().map(move |p| (*p, i)))
+            .collect();
+        let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); stratification.len()];
+        for (idx, rule) in sigma.rules.iter().enumerate() {
+            let stratum = *stratum_of
+                .get(&rule.origin_head)
+                .expect("every origin predicate is a vertex of dg(Π)");
+            rules_by_stratum[stratum].push(idx);
+        }
+        Ok(PerfectGrounder {
+            sigma,
+            rules_by_stratum,
+        })
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.rules_by_stratum.len()
+    }
+}
+
+impl Grounder for PerfectGrounder {
+    fn sigma(&self) -> &SigmaPi {
+        &self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+
+    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+        let mut derived = GroundRuleSet::new();
+        for stratum_rules in &self.rules_by_stratum {
+            // Σ↑Cᵢ is only computed if AtR_Σ is compatible with Σ↑Cᵢ₋₁
+            // (defined on every Active atom derived so far); otherwise the
+            // grounding is stuck at the previous stratum.
+            if !self.is_compatible(atr, &derived) {
+                break;
+            }
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            let rules: Vec<&TgdRule> = stratum_rules
+                .iter()
+                .map(|&i| &self.sigma.rules[i])
+                .collect();
+            // Negative literals refer to strictly lower strata, whose
+            // extension (the heads derived so far) is final.
+            let neg_reference = derived.heads();
+            derived = saturate(&rules, atr, derived, Some(&neg_reference));
+        }
+        derived
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounding::AtrRule;
+    use crate::program::{coin_program, dime_quarter_program, network_resilience_program};
+    use crate::simple_grounder::SimpleGrounder;
+    use crate::translate::SigmaPi;
+    use gdlog_data::{Const, Database, GroundAtom, Predicate};
+    use gdlog_prob::Prob;
+
+    fn dime_db() -> Database {
+        let mut db = Database::new();
+        db.insert_fact("Dime", [Const::Int(1)]);
+        db.insert_fact("Dime", [Const::Int(2)]);
+        db.insert_fact("Quarter", [Const::Int(3)]);
+        db
+    }
+
+    fn dime_grounder() -> PerfectGrounder {
+        let sigma = SigmaPi::translate(&dime_quarter_program(), &dime_db()).unwrap();
+        PerfectGrounder::new(Arc::new(sigma)).unwrap()
+    }
+
+    fn flip_active(sigma: &SigmaPi, id: i64) -> GroundAtom {
+        let schema = &sigma.atr_schemas[0];
+        GroundAtom {
+            predicate: schema.active,
+            args: vec![Const::real(0.5).unwrap(), Const::Int(id)],
+        }
+    }
+
+    #[test]
+    fn non_stratified_programs_are_rejected() {
+        let sigma = SigmaPi::translate(&coin_program(), &Database::new()).unwrap();
+        assert!(matches!(
+            PerfectGrounder::new(Arc::new(sigma)),
+            Err(CoreError::NotStratified(_))
+        ));
+    }
+
+    #[test]
+    fn appendix_e_first_case_dime_one_tails() {
+        // Σ: dime 1 shows tails (1), dime 2 shows heads (0).
+        let grounder = dime_grounder();
+        let sigma = grounder.sigma();
+        let mut atr = AtrSet::new();
+        atr.insert(AtrRule::new(sigma, flip_active(sigma, 1), Const::Int(1)).unwrap())
+            .unwrap();
+        atr.insert(AtrRule::new(sigma, flip_active(sigma, 2), Const::Int(0)).unwrap())
+            .unwrap();
+
+        let rules = grounder.ground(&atr);
+        // The quarter rule is *not* instantiated: SomeDimeTail is derivable.
+        let quarter_active: Vec<_> = rules
+            .iter()
+            .filter(|r| {
+                r.head.predicate == sigma.atr_schemas[0].active
+                    && r.head.args[1] == Const::Int(3)
+            })
+            .collect();
+        assert!(quarter_active.is_empty(), "quarter must not be tossed");
+        // SomeDimeTail is derived from DimeTail(1, 1).
+        assert!(rules
+            .iter()
+            .any(|r| r.head.predicate == Predicate::new("SomeDimeTail", 0)));
+        // Σ is terminal for the perfect grounder (Appendix E).
+        assert!(grounder.is_terminal(&atr));
+
+        // The simple grounder, in contrast, *does* instantiate the quarter
+        // rule (negation is ignored), so the same Σ is not terminal for it.
+        let simple = SimpleGrounder::new(Arc::new(sigma.clone()));
+        assert!(!simple.is_terminal(&atr));
+    }
+
+    #[test]
+    fn appendix_e_second_case_no_dime_tails() {
+        // Σ: both dimes show heads — now the quarter must be tossed, so Σ is
+        // not terminal (Active_Flip(0.5, 3) is an undefined trigger).
+        let grounder = dime_grounder();
+        let sigma = grounder.sigma();
+        let mut atr = AtrSet::new();
+        for d in [1i64, 2] {
+            atr.insert(AtrRule::new(sigma, flip_active(sigma, d), Const::Int(0)).unwrap())
+                .unwrap();
+        }
+        let rules = grounder.ground(&atr);
+        assert!(!grounder.is_terminal(&atr));
+        let triggers = grounder.triggers(&atr, &rules);
+        assert_eq!(triggers, vec![flip_active(sigma, 3)]);
+
+        // Extending with the quarter toss yields a terminal configuration of
+        // probability 1/8.
+        let full = atr
+            .extended(AtrRule::new(sigma, flip_active(sigma, 3), Const::Int(1)).unwrap())
+            .unwrap();
+        assert!(grounder.is_terminal(&full));
+        assert_eq!(full.probability(sigma).unwrap(), Prob::ratio(1, 8));
+    }
+
+    #[test]
+    fn empty_choice_set_stops_at_the_dime_stratum() {
+        // With no choices at all, the dime tosses are undefined triggers and
+        // grounding stops before the SomeDimeTail / quarter strata.
+        let grounder = dime_grounder();
+        let rules = grounder.ground(&AtrSet::new());
+        let triggers = grounder.triggers(&AtrSet::new(), &rules);
+        assert_eq!(triggers.len(), 2);
+        // No DimeTail rule can be instantiated yet.
+        assert!(!rules
+            .iter()
+            .any(|r| r.head.predicate == Predicate::new("DimeTail", 2)));
+    }
+
+    #[test]
+    fn perfect_produces_no_more_rules_than_simple() {
+        let grounder = dime_grounder();
+        let sigma = grounder.sigma();
+        let simple = SimpleGrounder::new(Arc::new(sigma.clone()));
+        let mut atr = AtrSet::new();
+        atr.insert(AtrRule::new(sigma, flip_active(sigma, 1), Const::Int(1)).unwrap())
+            .unwrap();
+        atr.insert(AtrRule::new(sigma, flip_active(sigma, 2), Const::Int(0)).unwrap())
+            .unwrap();
+        let perfect_rules = grounder.ground(&atr);
+        let simple_rules = simple.ground(&atr);
+        assert!(perfect_rules.len() <= simple_rules.len());
+        for rule in perfect_rules.iter() {
+            assert!(simple_rules.contains(rule));
+        }
+    }
+
+    #[test]
+    fn perfect_grounder_is_monotone() {
+        let grounder = dime_grounder();
+        let sigma = grounder.sigma();
+        let small = AtrSet::new()
+            .extended(AtrRule::new(sigma, flip_active(sigma, 1), Const::Int(0)).unwrap())
+            .unwrap();
+        let large = small
+            .extended(AtrRule::new(sigma, flip_active(sigma, 2), Const::Int(0)).unwrap())
+            .unwrap();
+        let g_small = grounder.ground(&small);
+        let g_large = grounder.ground(&large);
+        for rule in g_small.iter() {
+            assert!(g_large.contains(rule));
+        }
+    }
+
+    #[test]
+    fn constraint_free_network_program_works_with_the_perfect_grounder() {
+        // The full Example 3.1 program is not stratified because of the ⊥
+        // desugaring; the propagation fragment (infection + Uninfected) is.
+        let mut db = Database::new();
+        for i in 1..=2i64 {
+            db.insert_fact("Router", [Const::Int(i)]);
+        }
+        db.insert_fact("Connected", [Const::Int(1), Const::Int(2)]);
+        db.insert_fact("Connected", [Const::Int(2), Const::Int(1)]);
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        let propagation = crate::program::Program::new(
+            network_resilience_program(0.1).rules()[..2].to_vec(),
+        );
+        let sigma = SigmaPi::translate(&propagation, &db).unwrap();
+        let grounder = PerfectGrounder::new(Arc::new(sigma)).unwrap();
+        assert!(grounder.stratum_count() >= 4);
+        let rules = grounder.ground(&AtrSet::new());
+        assert_eq!(grounder.triggers(&AtrSet::new(), &rules).len(), 1);
+    }
+}

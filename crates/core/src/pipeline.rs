@@ -1,0 +1,202 @@
+//! End-to-end pipeline: program + database → output probability space.
+//!
+//! [`Pipeline`] wires together the translation (Section 3), a grounder
+//! (Definitions 3.4 / 5.1), the chase (Section 4) and the output space
+//! (Definition 3.8) behind a small builder-style API. It is the entry point
+//! used by the examples and the experiment harness.
+
+use crate::chase::{enumerate_outcomes, ChaseBudget, ChaseResult, TriggerOrder};
+use crate::error::CoreError;
+use crate::grounding::Grounder;
+use crate::mc::MonteCarlo;
+use crate::perfect_grounder::PerfectGrounder;
+use crate::program::Program;
+use crate::semantics::OutputSpace;
+use crate::simple_grounder::SimpleGrounder;
+use crate::translate::SigmaPi;
+use gdlog_data::Database;
+use gdlog_engine::StableModelLimits;
+use std::sync::Arc;
+
+/// Which grounder the pipeline should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GrounderChoice {
+    /// The simple grounder (Definition 3.4) — correct for every program.
+    #[default]
+    Simple,
+    /// The perfect grounder (Definition 5.1) — requires stratified negation.
+    Perfect,
+    /// Use the perfect grounder when the program is stratified, otherwise
+    /// fall back to the simple grounder.
+    Auto,
+}
+
+/// A configured evaluation pipeline.
+pub struct Pipeline {
+    sigma: Arc<SigmaPi>,
+    grounder: Box<dyn Grounder>,
+    budget: ChaseBudget,
+    order: TriggerOrder,
+    limits: StableModelLimits,
+}
+
+impl Pipeline {
+    /// Build a pipeline for `program` on `database` with the default
+    /// (simple) grounder and default budgets.
+    pub fn new(program: &Program, database: &Database) -> Result<Self, CoreError> {
+        Self::with_grounder(program, database, GrounderChoice::Simple)
+    }
+
+    /// Build a pipeline choosing the grounder explicitly.
+    pub fn with_grounder(
+        program: &Program,
+        database: &Database,
+        choice: GrounderChoice,
+    ) -> Result<Self, CoreError> {
+        let sigma = Arc::new(SigmaPi::translate(program, database)?);
+        let grounder: Box<dyn Grounder> = match choice {
+            GrounderChoice::Simple => Box::new(SimpleGrounder::new(sigma.clone())),
+            GrounderChoice::Perfect => Box::new(PerfectGrounder::new(sigma.clone())?),
+            GrounderChoice::Auto => {
+                if program.has_stratified_negation() {
+                    Box::new(PerfectGrounder::new(sigma.clone())?)
+                } else {
+                    Box::new(SimpleGrounder::new(sigma.clone()))
+                }
+            }
+        };
+        Ok(Pipeline {
+            sigma,
+            grounder,
+            budget: ChaseBudget::default(),
+            order: TriggerOrder::First,
+            limits: StableModelLimits::default(),
+        })
+    }
+
+    /// Override the chase budget.
+    pub fn budget(mut self, budget: ChaseBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Override the trigger-selection order.
+    pub fn trigger_order(mut self, order: TriggerOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Override the stable-model search limits.
+    pub fn stable_limits(mut self, limits: StableModelLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The translated program.
+    pub fn sigma(&self) -> &SigmaPi {
+        &self.sigma
+    }
+
+    /// The grounder in use.
+    pub fn grounder(&self) -> &dyn Grounder {
+        self.grounder.as_ref()
+    }
+
+    /// Run the chase enumeration only.
+    pub fn chase(&self) -> Result<ChaseResult, CoreError> {
+        enumerate_outcomes(self.grounder.as_ref(), &self.budget, self.order)
+    }
+
+    /// Run the full pipeline: chase, stable models, output space.
+    pub fn solve(&self) -> Result<OutputSpace, CoreError> {
+        let chase = self.chase()?;
+        OutputSpace::from_chase(&chase, &self.limits)
+    }
+
+    /// A Monte-Carlo estimator over the same grounder.
+    pub fn monte_carlo(&self, max_triggers: usize, seed: u64) -> MonteCarlo<'_> {
+        MonteCarlo::new(self.grounder.as_ref(), max_triggers, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{coin_program, dime_quarter_program, network_resilience_program};
+    use gdlog_data::Const;
+    use gdlog_prob::Prob;
+
+    fn network_db() -> Database {
+        let mut db = Database::new();
+        for i in 1..=3i64 {
+            db.insert_fact("Router", [Const::Int(i)]);
+            for j in 1..=3i64 {
+                if i != j {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        db
+    }
+
+    #[test]
+    fn end_to_end_example_3_10() {
+        let pipeline = Pipeline::new(&network_resilience_program(0.1), &network_db()).unwrap();
+        let space = pipeline.solve().unwrap();
+        assert_eq!(space.has_stable_model_probability(), Prob::ratio(19, 100));
+        assert_eq!(space.residual_mass(), Prob::ZERO);
+    }
+
+    #[test]
+    fn auto_grounder_selection() {
+        // Stratified → perfect.
+        let p = Pipeline::with_grounder(
+            &dime_quarter_program(),
+            &Database::new(),
+            GrounderChoice::Auto,
+        )
+        .unwrap();
+        assert_eq!(p.grounder().name(), "perfect");
+        // Non-stratified → simple.
+        let p = Pipeline::with_grounder(&coin_program(), &Database::new(), GrounderChoice::Auto)
+            .unwrap();
+        assert_eq!(p.grounder().name(), "simple");
+        // Forcing the perfect grounder on a non-stratified program fails.
+        assert!(Pipeline::with_grounder(
+            &coin_program(),
+            &Database::new(),
+            GrounderChoice::Perfect
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn builder_style_configuration() {
+        let pipeline = Pipeline::new(&coin_program(), &Database::new())
+            .unwrap()
+            .budget(ChaseBudget::small())
+            .trigger_order(TriggerOrder::Last)
+            .stable_limits(StableModelLimits::default());
+        let chase = pipeline.chase().unwrap();
+        assert_eq!(chase.outcomes.len(), 2);
+        let space = pipeline.solve().unwrap();
+        assert_eq!(space.has_stable_model_probability(), Prob::ratio(1, 2));
+        assert!(pipeline.sigma().atr_schemas.len() == 1);
+    }
+
+    #[test]
+    fn monte_carlo_from_pipeline() {
+        let pipeline = Pipeline::new(&coin_program(), &Database::new()).unwrap();
+        let mut mc = pipeline.monte_carlo(16, 11);
+        let stats = mc
+            .estimate(500, |outcome| {
+                outcome
+                    .rules
+                    .heads()
+                    .contains(&gdlog_data::GroundAtom::make("Coin", vec![Const::Int(1)]))
+            })
+            .unwrap();
+        assert!(stats.estimate.consistent_with(0.5, 4.0));
+    }
+}

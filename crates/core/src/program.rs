@@ -1,0 +1,395 @@
+//! GDatalog¬\[Δ\] programs.
+
+use crate::delta::DeltaTerm;
+use crate::error::CoreError;
+use crate::rule::{Head, HeadTerm, Rule};
+use gdlog_data::{Atom, Predicate, Schema, Term};
+use gdlog_prob::DeltaRegistry;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The reserved 0-ary predicate used to desugar `⊥` rule heads (named `Fail`,
+/// exactly as in the paper's description of the encoding).
+pub const FAIL_PREDICATE: &str = "Fail";
+/// The reserved 0-ary predicate used by the `Fail, ¬Aux → Aux` constraint
+/// encoding described after Example 3.1 of the paper. Programs should not use
+/// `Fail`/`Aux` for their own predicates.
+pub const AUX_PREDICATE: &str = "Aux";
+
+/// A GDatalog¬\[Δ\] program: a finite set of rules over a finite set Δ of
+/// parameterized distributions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    rules: Vec<Rule>,
+    delta: DeltaRegistry,
+}
+
+impl Program {
+    /// Build a program from rules, using the standard distribution registry.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program {
+            rules,
+            delta: DeltaRegistry::standard(),
+        }
+    }
+
+    /// Build a program from rules and an explicit Δ registry.
+    pub fn with_registry(rules: Vec<Rule>, delta: DeltaRegistry) -> Self {
+        Program { rules, delta }
+    }
+
+    /// The program's rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The program's distribution registry Δ.
+    pub fn delta(&self) -> &DeltaRegistry {
+        &self.delta
+    }
+
+    /// Add a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Add a *constraint* `body → ⊥`.
+    ///
+    /// Following the paper (Example 3.1), `⊥` is syntactic sugar: the body
+    /// derives the reserved `Fail` atom and a single auxiliary rule
+    /// `Fail, ¬Aux → Aux` forces `Fail` to be false in every stable
+    /// model. The auxiliary rule is added at most once.
+    pub fn push_constraint(&mut self, pos: Vec<Atom>, neg: Vec<Atom>) {
+        let fail_head = Head::make(FAIL_PREDICATE, vec![]);
+        self.rules.push(Rule::new(pos, neg, fail_head));
+        self.ensure_fail_aux_rule();
+    }
+
+    fn ensure_fail_aux_rule(&mut self) {
+        let aux_rule = Rule::new(
+            vec![Atom::make(FAIL_PREDICATE, vec![])],
+            vec![Atom::make(AUX_PREDICATE, vec![])],
+            Head::make(AUX_PREDICATE, vec![]),
+        );
+        if !self.rules.contains(&aux_rule) {
+            self.rules.push(aux_rule);
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Is the program positive (no negation anywhere)?
+    pub fn is_positive(&self) -> bool {
+        self.rules.iter().all(Rule::is_positive)
+    }
+
+    /// Does any rule sample from a distribution?
+    pub fn is_probabilistic(&self) -> bool {
+        self.rules.iter().any(Rule::is_probabilistic)
+    }
+
+    /// The full schema `sch(Π)` (every predicate mentioned in the program).
+    pub fn schema(&self) -> Schema {
+        Schema::from_predicates(self.rules.iter().flat_map(|r| r.predicates()))
+    }
+
+    /// The intensional predicates `idb(Π)`: those occurring in some rule
+    /// head.
+    pub fn idb(&self) -> BTreeSet<Predicate> {
+        self.rules.iter().map(|r| r.head.predicate).collect()
+    }
+
+    /// The extensional (database) predicates `edb(Π)`: those occurring only
+    /// in rule bodies.
+    pub fn edb(&self) -> BTreeSet<Predicate> {
+        let idb = self.idb();
+        self.rules
+            .iter()
+            .flat_map(|r| r.predicates())
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// Validate every rule (safety, Δ-term well-formedness, known
+    /// distributions, consistent arities).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        // Consistent arities across the whole program.
+        let mut schema = Schema::new();
+        for rule in &self.rules {
+            rule.validate()?;
+            for p in rule.predicates() {
+                schema.add(p)?;
+            }
+            for (_, d) in rule.head.delta_terms() {
+                let dist = self.delta.get(&d.distribution)?;
+                if let Some(k) = dist.param_dim() {
+                    if d.params.len() != k {
+                        return Err(CoreError::Validation(format!(
+                            "Δ-term {d} supplies {} parameter(s) but {} expects {k}",
+                            d.params.len(),
+                            d.distribution
+                        )));
+                    }
+                } else if d.params.is_empty() {
+                    return Err(CoreError::Validation(format!(
+                        "Δ-term {d} must supply at least one parameter"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does the program have stratified negation (no cycle of `dg(Π)` through
+    /// a negative edge, Section 5)?
+    pub fn has_stratified_negation(&self) -> bool {
+        crate::depgraph::dependency_graph(self).is_stratified()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the GDatalog¬\[Δ\] program of Example 3.1 (network resilience).
+///
+/// Exposed because it is used pervasively in tests, examples and benchmarks.
+pub fn network_resilience_program(infection_probability: f64) -> Program {
+    let p = Term::Const(gdlog_data::Const::real(infection_probability).expect("finite"));
+    let mut program = Program::new(vec![
+        // Infected(x, 1), Connected(x, y) → Infected(y, Flip⟨p⟩[x, y])
+        Rule::new(
+            vec![
+                Atom::make("Infected", vec![Term::var("x"), Term::int(1)]),
+                Atom::make("Connected", vec![Term::var("x"), Term::var("y")]),
+            ],
+            vec![],
+            Head::make(
+                "Infected",
+                vec![
+                    HeadTerm::var("y"),
+                    HeadTerm::Delta(DeltaTerm::new(
+                        "Flip",
+                        vec![p],
+                        vec![Term::var("x"), Term::var("y")],
+                    )),
+                ],
+            ),
+        ),
+        // Router(x), ¬Infected(x, 1) → Uninfected(x)
+        Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![Atom::make("Infected", vec![Term::var("x"), Term::int(1)])],
+            Head::make("Uninfected", vec![HeadTerm::var("x")]),
+        ),
+    ]);
+    // Uninfected(x), Uninfected(y), Connected(x, y) → ⊥
+    program.push_constraint(
+        vec![
+            Atom::make("Uninfected", vec![Term::var("x")]),
+            Atom::make("Uninfected", vec![Term::var("y")]),
+            Atom::make("Connected", vec![Term::var("x"), Term::var("y")]),
+        ],
+        vec![],
+    );
+    program
+}
+
+/// Build the coin program Π_coin of Section 3.
+pub fn coin_program() -> Program {
+    let half = Term::Const(gdlog_data::Const::real(0.5).expect("finite"));
+    let mut program = Program::new(vec![
+        // → Coin(Flip⟨0.5⟩)
+        Rule::fact(Head::make(
+            "Coin",
+            vec![HeadTerm::Delta(DeltaTerm::simple("Flip", vec![half]))],
+        )),
+        // Coin(1), ¬Aux1 → Aux2
+        Rule::new(
+            vec![Atom::make("Coin", vec![Term::int(1)])],
+            vec![Atom::make("Aux1", vec![])],
+            Head::make("Aux2", vec![]),
+        ),
+        // Coin(1), ¬Aux2 → Aux1
+        Rule::new(
+            vec![Atom::make("Coin", vec![Term::int(1)])],
+            vec![Atom::make("Aux2", vec![])],
+            Head::make("Aux1", vec![]),
+        ),
+    ]);
+    // Coin(0) → ⊥
+    program.push_constraint(vec![Atom::make("Coin", vec![Term::int(0)])], vec![]);
+    program
+}
+
+/// Build the dimes-and-quarters program of Appendix E.
+pub fn dime_quarter_program() -> Program {
+    let half = || Term::Const(gdlog_data::Const::real(0.5).expect("finite"));
+    Program::new(vec![
+        // Dime(x) → DimeTail(x, Flip⟨0.5⟩[x])
+        Rule::new(
+            vec![Atom::make("Dime", vec![Term::var("x")])],
+            vec![],
+            Head::make(
+                "DimeTail",
+                vec![
+                    HeadTerm::var("x"),
+                    HeadTerm::Delta(DeltaTerm::new(
+                        "Flip",
+                        vec![half()],
+                        vec![Term::var("x")],
+                    )),
+                ],
+            ),
+        ),
+        // DimeTail(x, 1) → SomeDimeTail
+        Rule::new(
+            vec![Atom::make("DimeTail", vec![Term::var("x"), Term::int(1)])],
+            vec![],
+            Head::make("SomeDimeTail", vec![]),
+        ),
+        // Quarter(x), ¬SomeDimeTail → QuarterTail(x, Flip⟨0.5⟩[x])
+        Rule::new(
+            vec![Atom::make("Quarter", vec![Term::var("x")])],
+            vec![Atom::make("SomeDimeTail", vec![])],
+            Head::make(
+                "QuarterTail",
+                vec![
+                    HeadTerm::var("x"),
+                    HeadTerm::Delta(DeltaTerm::new(
+                        "Flip",
+                        vec![half()],
+                        vec![Term::var("x")],
+                    )),
+                ],
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_program_structure() {
+        let p = network_resilience_program(0.1);
+        assert!(p.validate().is_ok());
+        assert!(!p.is_positive());
+        assert!(p.is_probabilistic());
+        // Infection rule, uninfected rule, constraint rule, fail/aux rule.
+        assert_eq!(p.len(), 4);
+        let edb = p.edb();
+        assert!(edb.contains(&Predicate::new("Router", 1)));
+        assert!(edb.contains(&Predicate::new("Connected", 2)));
+        // Infected occurs in a head, so it is intensional.
+        let idb = p.idb();
+        assert!(idb.contains(&Predicate::new("Infected", 2)));
+        assert!(idb.contains(&Predicate::new("Uninfected", 1)));
+        assert!(idb.contains(&Predicate::new(FAIL_PREDICATE, 0)));
+    }
+
+    #[test]
+    fn coin_program_structure() {
+        let p = coin_program();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.len(), 5);
+        assert!(p.is_probabilistic());
+        assert!(!p.has_stratified_negation(), "Aux1/Aux2 form an even loop");
+        assert!(p.edb().is_empty());
+    }
+
+    #[test]
+    fn dime_quarter_program_is_stratified() {
+        let p = dime_quarter_program();
+        assert!(p.validate().is_ok());
+        assert!(p.has_stratified_negation());
+        assert_eq!(p.len(), 3);
+        let edb = p.edb();
+        assert!(edb.contains(&Predicate::new("Dime", 1)));
+        assert!(edb.contains(&Predicate::new("Quarter", 1)));
+    }
+
+    #[test]
+    fn network_program_is_not_stratified_because_of_the_constraint_encoding() {
+        // The ⊥ of Example 3.1 is desugared into `Fail, ¬Aux → Aux`
+        // (exactly the encoding described in the paper), which introduces an
+        // odd negative self-loop — so the desugared program is *not*
+        // stratified and is evaluated with the simple grounder, as in
+        // Example 3.10.
+        let p = network_resilience_program(0.1);
+        assert!(!p.has_stratified_negation());
+    }
+
+    #[test]
+    fn constraints_add_the_aux_rule_once() {
+        let mut p = Program::new(vec![]);
+        p.push_constraint(vec![Atom::make("A", vec![])], vec![]);
+        p.push_constraint(vec![Atom::make("B", vec![])], vec![]);
+        // Two constraint rules plus exactly one Fail/Aux rule.
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn validation_catches_unknown_distribution_and_bad_dimension() {
+        let bad = Program::new(vec![Rule::fact(Head::make(
+            "X",
+            vec![HeadTerm::Delta(DeltaTerm::simple(
+                "Gauss",
+                vec![Term::int(0)],
+            ))],
+        ))]);
+        assert!(bad.validate().is_err());
+
+        let bad_dim = Program::new(vec![Rule::fact(Head::make(
+            "X",
+            vec![HeadTerm::Delta(DeltaTerm::simple(
+                "Flip",
+                vec![Term::int(0), Term::int(1)],
+            ))],
+        ))]);
+        assert!(matches!(bad_dim.validate(), Err(CoreError::Validation(_))));
+    }
+
+    #[test]
+    fn validation_catches_inconsistent_arity() {
+        let p = Program::new(vec![
+            Rule::fact(Head::make("P", vec![HeadTerm::int(1)])),
+            Rule::fact(Head::make("P", vec![HeadTerm::int(1), HeadTerm::int(2)])),
+        ]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_readably() {
+        let p = coin_program();
+        let text = p.to_string();
+        assert!(text.contains("Coin(Flip<0.5>)"));
+        assert!(text.contains("not Aux1"));
+    }
+
+    #[test]
+    fn schema_and_mutation() {
+        let mut p = Program::new(vec![]);
+        assert!(p.is_empty());
+        p.push(Rule::fact(Head::make("A", vec![])));
+        assert_eq!(p.len(), 1);
+        assert!(p.schema().contains(&Predicate::new("A", 0)));
+        assert!(!p.is_probabilistic());
+        assert!(p.is_positive());
+        assert_eq!(p.delta().len(), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Convenience queries over an [`OutputSpace`].
+//!
+//! These are thin wrappers used by the examples and the experiment harness;
+//! anything more elaborate can be expressed directly with
+//! [`OutputSpace::probability_where`].
+
+use crate::semantics::OutputSpace;
+use gdlog_data::{Const, GroundAtom};
+use gdlog_prob::Prob;
+
+/// Probability that the program has at least one stable model — e.g. the
+/// probability that the malware dominates the network in Example 3.10.
+pub fn has_stable_model_probability(space: &OutputSpace) -> Prob {
+    space.has_stable_model_probability()
+}
+
+/// Probability that `atom` holds in *every* stable model (and at least one
+/// stable model exists).
+pub fn cautious_probability(space: &OutputSpace, atom: &GroundAtom) -> Prob {
+    space.cautious_probability(atom)
+}
+
+/// Probability that `atom` holds in *some* stable model.
+pub fn brave_probability(space: &OutputSpace, atom: &GroundAtom) -> Prob {
+    space.brave_probability(atom)
+}
+
+/// Probability that the fact `name(args…)` holds bravely.
+pub fn brave_fact_probability<I, C>(space: &OutputSpace, name: &str, args: I) -> Prob
+where
+    I: IntoIterator<Item = C>,
+    C: Into<Const>,
+{
+    let atom = GroundAtom::make(name, args.into_iter().map(Into::into).collect());
+    brave_probability(space, &atom)
+}
+
+/// Probability that the fact `name(args…)` holds cautiously.
+pub fn cautious_fact_probability<I, C>(space: &OutputSpace, name: &str, args: I) -> Prob
+where
+    I: IntoIterator<Item = C>,
+    C: Into<Const>,
+{
+    let atom = GroundAtom::make(name, args.into_iter().map(Into::into).collect());
+    cautious_probability(space, &atom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{enumerate_outcomes, ChaseBudget, TriggerOrder};
+    use crate::program::network_resilience_program;
+    use crate::simple_grounder::SimpleGrounder;
+    use crate::translate::SigmaPi;
+    use gdlog_data::Database;
+    use gdlog_engine::StableModelLimits;
+    use std::sync::Arc;
+
+    fn space() -> OutputSpace {
+        let mut db = Database::new();
+        for i in 1..=3i64 {
+            db.insert_fact("Router", [Const::Int(i)]);
+            for j in 1..=3i64 {
+                if i != j {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        let grounder = SimpleGrounder::new(Arc::new(
+            SigmaPi::translate(&network_resilience_program(0.1), &db).unwrap(),
+        ));
+        let chase =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        OutputSpace::from_chase(&chase, &StableModelLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn wrappers_agree_with_the_space() {
+        let s = space();
+        assert_eq!(has_stable_model_probability(&s), Prob::ratio(19, 100));
+        // Infected(1,1) is a database fact: it holds in every stable model,
+        // so its cautious probability equals the domination probability.
+        assert_eq!(
+            cautious_fact_probability(&s, "Infected", [Const::Int(1), Const::Int(1)]),
+            Prob::ratio(19, 100)
+        );
+        assert_eq!(
+            brave_fact_probability(&s, "Infected", [Const::Int(1), Const::Int(1)]),
+            Prob::ratio(19, 100)
+        );
+        // A nonsense fact has probability zero.
+        assert_eq!(
+            brave_fact_probability(&s, "Infected", [Const::Int(9), Const::Int(1)]),
+            Prob::ZERO
+        );
+        // Router 2 is infected in some dominated worlds but not all of them.
+        let brave2 = brave_fact_probability(&s, "Infected", [Const::Int(2), Const::Int(1)]);
+        let cautious2 = cautious_fact_probability(&s, "Infected", [Const::Int(2), Const::Int(1)]);
+        assert!(brave2.to_f64() > 0.0);
+        assert!(cautious2.to_f64() <= brave2.to_f64());
+    }
+}

@@ -1,0 +1,407 @@
+//! GDatalog¬\[Δ\] rules.
+//!
+//! A rule (Section 3, "Syntax") has the form
+//!
+//! ```text
+//! R₁(ū₁), …, Rₙ(ūₙ), ¬P₁(v̄₁), …, ¬Pₘ(v̄ₘ)  →  R₀(w̄)
+//! ```
+//!
+//! where the head tuple `w̄` may mix ordinary terms and Δ-terms, and every
+//! variable of the negative literals and of the head (including those inside
+//! distribution parameters and event signatures) must occur in some positive
+//! body atom (safety).
+
+use crate::delta::DeltaTerm;
+use crate::error::CoreError;
+use gdlog_data::{Atom, Predicate, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term of a rule head: an ordinary term or a Δ-term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum HeadTerm {
+    /// An ordinary term (constant or variable).
+    Term(Term),
+    /// A Δ-term `δ⟨p̄⟩[q̄]`.
+    Delta(DeltaTerm),
+}
+
+impl HeadTerm {
+    /// Shorthand for a variable head term.
+    pub fn var(name: &str) -> Self {
+        HeadTerm::Term(Term::var(name))
+    }
+
+    /// Shorthand for an integer-constant head term.
+    pub fn int(value: i64) -> Self {
+        HeadTerm::Term(Term::int(value))
+    }
+
+    /// The variables occurring in this head term.
+    pub fn variables(&self) -> Vec<Var> {
+        match self {
+            HeadTerm::Term(Term::Var(v)) => vec![*v],
+            HeadTerm::Term(_) => Vec::new(),
+            HeadTerm::Delta(d) => d.variables(),
+        }
+    }
+
+    /// Is this head term a Δ-term?
+    pub fn is_delta(&self) -> bool {
+        matches!(self, HeadTerm::Delta(_))
+    }
+}
+
+impl fmt::Display for HeadTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadTerm::Term(t) => write!(f, "{t}"),
+            HeadTerm::Delta(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<Term> for HeadTerm {
+    fn from(t: Term) -> Self {
+        HeadTerm::Term(t)
+    }
+}
+
+impl From<DeltaTerm> for HeadTerm {
+    fn from(d: DeltaTerm) -> Self {
+        HeadTerm::Delta(d)
+    }
+}
+
+/// The head of a rule: a predicate applied to head terms (a Δ-atom).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Head {
+    /// The head predicate `R₀`.
+    pub predicate: Predicate,
+    /// The head tuple `w̄`.
+    pub args: Vec<HeadTerm>,
+}
+
+impl Head {
+    /// Build a head, deriving the predicate arity from the argument count.
+    pub fn make(name: &str, args: Vec<HeadTerm>) -> Self {
+        Head {
+            predicate: Predicate::new(name, args.len()),
+            args,
+        }
+    }
+
+    /// The Δ-terms of the head, with their argument positions.
+    pub fn delta_terms(&self) -> Vec<(usize, &DeltaTerm)> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a {
+                HeadTerm::Delta(d) => Some((i, d)),
+                HeadTerm::Term(_) => None,
+            })
+            .collect()
+    }
+
+    /// Does the head mention any Δ-term?
+    pub fn has_delta(&self) -> bool {
+        self.args.iter().any(HeadTerm::is_delta)
+    }
+
+    /// All variables of the head (including inside Δ-terms).
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for a in &self.args {
+            for v in a.variables() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// View the head as an ordinary atom if it has no Δ-terms.
+    pub fn as_atom(&self) -> Option<Atom> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for a in &self.args {
+            match a {
+                HeadTerm::Term(t) => args.push(*t),
+                HeadTerm::Delta(_) => return None,
+            }
+        }
+        Some(Atom {
+            predicate: self.predicate,
+            args,
+        })
+    }
+}
+
+impl fmt::Display for Head {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate.name())?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A GDatalog¬\[Δ\] rule.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// Positive body atoms `B⁺(ρ)`.
+    pub pos: Vec<Atom>,
+    /// Atoms of the negative body literals `B⁻(ρ)`.
+    pub neg: Vec<Atom>,
+    /// The head Δ-atom `H(ρ)`.
+    pub head: Head,
+}
+
+impl Rule {
+    /// Build a rule.
+    pub fn new(pos: Vec<Atom>, neg: Vec<Atom>, head: Head) -> Self {
+        Rule { pos, neg, head }
+    }
+
+    /// A fact `→ head` (empty body).
+    pub fn fact(head: Head) -> Self {
+        Rule {
+            pos: Vec::new(),
+            neg: Vec::new(),
+            head,
+        }
+    }
+
+    /// Is the rule positive (no negative body literals)?
+    pub fn is_positive(&self) -> bool {
+        self.neg.is_empty()
+    }
+
+    /// Does the rule sample from a distribution (head mentions a Δ-term)?
+    pub fn is_probabilistic(&self) -> bool {
+        self.head.has_delta()
+    }
+
+    /// The variables of the positive body.
+    pub fn positive_variables(&self) -> BTreeSet<Var> {
+        self.pos.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// Check the safety condition: every variable of the negative body and of
+    /// the head occurs in some positive body atom.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let positive: BTreeSet<Var> = self.positive_variables();
+        for atom in &self.neg {
+            for v in atom.variables() {
+                if !positive.contains(&v) {
+                    return Err(CoreError::Validation(format!(
+                        "unsafe variable {v} in negative literal not {atom} of rule `{self}`"
+                    )));
+                }
+            }
+        }
+        for v in self.head.variables() {
+            if !positive.contains(&v) {
+                return Err(CoreError::Validation(format!(
+                    "unsafe variable {v} in head {} of rule `{self}`",
+                    self.head
+                )));
+            }
+        }
+        for (_, d) in self.head.delta_terms() {
+            if d.params.is_empty() {
+                return Err(CoreError::Validation(format!(
+                    "Δ-term {d} has an empty parameter tuple in rule `{self}`"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// All predicates mentioned by the rule.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        let mut out: BTreeSet<Predicate> = self
+            .pos
+            .iter()
+            .chain(self.neg.iter())
+            .map(|a| a.predicate)
+            .collect();
+        out.insert(self.head.predicate);
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.pos {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        for a in &self.neg {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "not {a}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "-> {}.", self.head)
+        } else {
+            write!(f, " -> {}.", self.head)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    fn infection_rule() -> Rule {
+        // Infected(x, 1), Connected(x, y) → Infected(y, Flip⟨0.1⟩[x, y])
+        Rule::new(
+            vec![
+                Atom::make("Infected", vec![Term::var("x"), Term::int(1)]),
+                Atom::make("Connected", vec![Term::var("x"), Term::var("y")]),
+            ],
+            vec![],
+            Head::make(
+                "Infected",
+                vec![
+                    HeadTerm::var("y"),
+                    HeadTerm::Delta(DeltaTerm::new(
+                        "Flip",
+                        vec![Term::Const(Const::real(0.1).unwrap())],
+                        vec![Term::var("x"), Term::var("y")],
+                    )),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn example_3_1_rule_is_valid_and_probabilistic() {
+        let r = infection_rule();
+        assert!(r.validate().is_ok());
+        assert!(r.is_probabilistic());
+        assert!(r.is_positive());
+        assert_eq!(r.head.delta_terms().len(), 1);
+        assert_eq!(r.predicates().len(), 2);
+    }
+
+    #[test]
+    fn uninfected_rule_with_negation() {
+        // Router(x), ¬Infected(x, 1) → Uninfected(x)
+        let r = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![Atom::make("Infected", vec![Term::var("x"), Term::int(1)])],
+            Head::make("Uninfected", vec![HeadTerm::var("x")]),
+        );
+        assert!(r.validate().is_ok());
+        assert!(!r.is_positive());
+        assert!(!r.is_probabilistic());
+    }
+
+    #[test]
+    fn safety_violations_are_caught() {
+        // Head variable not in the positive body.
+        let r = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![],
+            Head::make("Uninfected", vec![HeadTerm::var("z")]),
+        );
+        assert!(matches!(r.validate(), Err(CoreError::Validation(_))));
+
+        // Negative-literal variable not in the positive body.
+        let r = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![Atom::make("Infected", vec![Term::var("w"), Term::int(1)])],
+            Head::make("Uninfected", vec![HeadTerm::var("x")]),
+        );
+        assert!(r.validate().is_err());
+
+        // Δ-term parameter variable not in the positive body.
+        let r = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![],
+            Head::make(
+                "Level",
+                vec![HeadTerm::Delta(DeltaTerm::simple(
+                    "Flip",
+                    vec![Term::var("p")],
+                ))],
+            ),
+        );
+        assert!(r.validate().is_err());
+
+        // Empty parameter tuple.
+        let r = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![],
+            Head::make(
+                "Level",
+                vec![HeadTerm::Delta(DeltaTerm::simple("Flip", vec![]))],
+            ),
+        );
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn facts_and_constants_are_safe() {
+        let r = Rule::fact(Head::make("Router", vec![HeadTerm::int(1)]));
+        assert!(r.validate().is_ok());
+        assert!(r.pos.is_empty() && r.neg.is_empty());
+
+        // A ground Δ-term in a fact head is fine (the coin program's first
+        // rule: → Coin(Flip⟨0.5⟩)).
+        let r = Rule::fact(Head::make(
+            "Coin",
+            vec![HeadTerm::Delta(DeltaTerm::simple(
+                "Flip",
+                vec![Term::Const(Const::real(0.5).unwrap())],
+            ))],
+        ));
+        assert!(r.validate().is_ok());
+        assert!(r.is_probabilistic());
+    }
+
+    #[test]
+    fn head_accessors() {
+        let r = infection_rule();
+        assert!(r.head.as_atom().is_none());
+        assert_eq!(r.head.variables(), vec![Var::new("y"), Var::new("x")]);
+
+        let plain = Head::make("P", vec![HeadTerm::var("a"), HeadTerm::int(3)]);
+        let atom = plain.as_atom().unwrap();
+        assert_eq!(atom, Atom::make("P", vec![Term::var("a"), Term::int(3)]));
+        assert!(!plain.has_delta());
+    }
+
+    #[test]
+    fn display() {
+        let r = infection_rule();
+        assert_eq!(
+            r.to_string(),
+            "Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y])."
+        );
+        let neg = Rule::new(
+            vec![Atom::make("Router", vec![Term::var("x")])],
+            vec![Atom::make("Infected", vec![Term::var("x"), Term::int(1)])],
+            Head::make("Uninfected", vec![HeadTerm::var("x")]),
+        );
+        assert_eq!(
+            neg.to_string(),
+            "Router(x), not Infected(x, 1) -> Uninfected(x)."
+        );
+        let f = Rule::fact(Head::make("Router", vec![HeadTerm::int(1)]));
+        assert_eq!(f.to_string(), "-> Router(1).");
+    }
+}

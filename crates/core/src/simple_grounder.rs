@@ -1,0 +1,300 @@
+//! The simple grounder `GSimple_Π` (Definition 3.4).
+//!
+//! `GSimple_Π(Σ) = Simple^∞_{Σ′}(∅) \ Σ` with `Σ′ = Σ∄_Π ∪ Σ`, where the
+//! `Simple` operator extends a set of ground rules with every homomorphic
+//! image `h(σ)` of a rule `σ` whose *positive* body atoms are matched by head
+//! atoms derived so far. Negative literals are carried along but **not**
+//! inspected — that is exactly what makes the simple grounder correct for
+//! arbitrary programs (Proposition 3.5) at the price of producing superfluous
+//! rules for stratified ones (Section 5).
+
+use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
+use crate::translate::{SigmaPi, TgdRule};
+use gdlog_data::{Database, GroundAtom};
+use gdlog_engine::GroundRule;
+use gdlog_data::substitution::match_atoms;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The simple grounder.
+#[derive(Clone)]
+pub struct SimpleGrounder {
+    sigma: Arc<SigmaPi>,
+}
+
+impl SimpleGrounder {
+    /// Build a simple grounder for a translated program.
+    pub fn new(sigma: Arc<SigmaPi>) -> Self {
+        SimpleGrounder { sigma }
+    }
+}
+
+impl Grounder for SimpleGrounder {
+    fn sigma(&self) -> &SigmaPi {
+        &self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+
+    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+        let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
+        saturate(&rules, atr, GroundRuleSet::new(), None)
+    }
+}
+
+/// The shared saturation loop used by both grounders.
+///
+/// Starting from `initial` (already-derived ground rules), repeatedly add
+/// every ground instance `h(σ)` of a rule in `rules` whose positive body is
+/// contained in the current head set; when `neg_reference` is `Some(db)` a
+/// rule instance is only added if none of its (ground) negative body atoms
+/// occurs in `db` (the `Perfect` operator), otherwise negative literals are
+/// ignored (the `Simple` operator). Ground AtR rules of `atr` contribute
+/// their `Result` head as soon as their `Active` body has been derived.
+pub(crate) fn saturate(
+    rules: &[&TgdRule],
+    atr: &AtrSet,
+    initial: GroundRuleSet,
+    neg_reference: Option<&Database>,
+) -> GroundRuleSet {
+    let mut derived = initial;
+    let mut heads = derived.heads();
+    let mut included_atr: HashSet<GroundAtom> = HashSet::new();
+
+    // Seed: AtR rules whose Active atom is already derivable.
+    loop {
+        let mut changed = false;
+
+        // Activate AtR rules whose body is available.
+        for atr_rule in atr.iter() {
+            if !included_atr.contains(&atr_rule.active) && heads.contains(&atr_rule.active) {
+                included_atr.insert(atr_rule.active.clone());
+                if heads.insert(atr_rule.result.clone()) {
+                    changed = true;
+                }
+            }
+        }
+
+        // One pass over the non-ground rules.
+        let mut new_rules: Vec<GroundRule> = Vec::new();
+        for rule in rules {
+            let homs = match_atoms(&rule.pos, |pattern| heads.candidates(pattern));
+            for h in homs {
+                let head = rule
+                    .head
+                    .apply_ground(&h)
+                    .expect("safety guarantees the head grounds");
+                let pos: Vec<GroundAtom> = rule
+                    .pos
+                    .iter()
+                    .map(|a| a.apply_ground(&h).expect("matched atoms are ground"))
+                    .collect();
+                let neg: Vec<GroundAtom> = rule
+                    .neg
+                    .iter()
+                    .map(|a| a.apply_ground(&h).expect("safety grounds negative literals"))
+                    .collect();
+                if let Some(reference) = neg_reference {
+                    if neg.iter().any(|a| reference.contains(a)) {
+                        continue;
+                    }
+                }
+                new_rules.push(GroundRule::new(head, pos, neg));
+            }
+        }
+        for rule in new_rules {
+            let head = rule.head.clone();
+            if derived.push(rule) {
+                heads.insert(head);
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    derived
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grounding::AtrRule;
+    use crate::program::{coin_program, network_resilience_program};
+    use crate::translate::SigmaPi;
+    use gdlog_data::{Const, Predicate};
+
+    fn network_db() -> Database {
+        let mut db = Database::new();
+        for i in 1..=3i64 {
+            db.insert_fact("Router", [Const::Int(i)]);
+            for j in 1..=3i64 {
+                if i != j {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        db
+    }
+
+    fn network_grounder() -> SimpleGrounder {
+        let sigma = SigmaPi::translate(&network_resilience_program(0.1), &network_db()).unwrap();
+        SimpleGrounder::new(Arc::new(sigma))
+    }
+
+    #[test]
+    fn example_3_6_empty_choice_set() {
+        let grounder = network_grounder();
+        let rules = grounder.ground(&AtrSet::new());
+        let sigma = grounder.sigma();
+        let active_pred = sigma.atr_schemas[0].active;
+
+        // GSimple(∅) contains the two Active rules for router 1's neighbours
+        // (Example 3.6) and no Result-consuming Infected rules yet.
+        let active_heads: Vec<_> = rules
+            .iter()
+            .filter(|r| r.head.predicate == active_pred)
+            .collect();
+        assert_eq!(active_heads.len(), 2);
+
+        let infected_rules: Vec<_> = rules
+            .iter()
+            .filter(|r| {
+                r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty()
+            })
+            .collect();
+        assert!(infected_rules.is_empty());
+
+        // The Uninfected rules for all three routers are present (negation is
+        // not inspected by the simple grounder).
+        let uninfected: Vec<_> = rules
+            .iter()
+            .filter(|r| r.head.predicate == Predicate::new("Uninfected", 1))
+            .collect();
+        assert_eq!(uninfected.len(), 3);
+
+        // ∅ is not terminal: the two Active atoms are triggers.
+        assert!(!grounder.is_terminal(&AtrSet::new()));
+        assert_eq!(grounder.triggers(&AtrSet::new(), &rules).len(), 2);
+    }
+
+    #[test]
+    fn example_3_6_full_choice_set_is_terminal() {
+        let grounder = network_grounder();
+        let sigma = grounder.sigma();
+        let schema = &sigma.atr_schemas[0];
+        let p = Const::real(0.1).unwrap();
+
+        // Both neighbours stay uninfected (outcome 0) — the Σ of Example 3.6.
+        let mut atr = AtrSet::new();
+        for i in [2i64, 3] {
+            let active = GroundAtom {
+                predicate: schema.active,
+                args: vec![p, Const::Int(1), Const::Int(i)],
+            };
+            atr.insert(AtrRule::new(sigma, active, Const::Int(0)).unwrap())
+                .unwrap();
+        }
+        let rules = grounder.ground(&atr);
+        assert!(grounder.is_compatible(&atr, &rules));
+        assert!(grounder.is_terminal(&atr));
+        assert!(grounder.triggers(&atr, &rules).is_empty());
+
+        // The grounding now contains the Result-consuming rules deriving
+        // Infected(2, 0) and Infected(3, 0).
+        let infected_rules: Vec<_> = rules
+            .iter()
+            .filter(|r| {
+                r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty()
+            })
+            .collect();
+        assert_eq!(infected_rules.len(), 2);
+
+        // Pr(Σ) = 0.9² = 0.81 (Example 3.10).
+        assert_eq!(atr.probability(sigma).unwrap(), gdlog_prob::Prob::ratio(81, 100));
+    }
+
+    #[test]
+    fn infection_cascade_extends_the_grounding() {
+        // If router 2 becomes infected, new Active atoms for its neighbours
+        // appear (monotonicity of the grounder).
+        let grounder = network_grounder();
+        let sigma = grounder.sigma();
+        let schema = &sigma.atr_schemas[0];
+        let p = Const::real(0.1).unwrap();
+
+        let active_12 = GroundAtom {
+            predicate: schema.active,
+            args: vec![p, Const::Int(1), Const::Int(2)],
+        };
+        let atr = AtrSet::new()
+            .extended(AtrRule::new(sigma, active_12, Const::Int(1)).unwrap())
+            .unwrap();
+        let rules = grounder.ground(&atr);
+        // Router 2 is now infected, so Active atoms for (2,1) and (2,3) are
+        // derived; (2,1) and (2,3) are new triggers along with (1,3).
+        let triggers = grounder.triggers(&atr, &rules);
+        assert_eq!(triggers.len(), 3);
+        assert!(!grounder.is_terminal(&atr));
+    }
+
+    #[test]
+    fn grounder_is_monotone() {
+        let grounder = network_grounder();
+        let sigma = grounder.sigma();
+        let schema = &sigma.atr_schemas[0];
+        let p = Const::real(0.1).unwrap();
+        let active_12 = GroundAtom {
+            predicate: schema.active,
+            args: vec![p, Const::Int(1), Const::Int(2)],
+        };
+
+        let small = AtrSet::new();
+        let large = AtrSet::new()
+            .extended(AtrRule::new(sigma, active_12, Const::Int(1)).unwrap())
+            .unwrap();
+        let g_small = grounder.ground(&small);
+        let g_large = grounder.ground(&large);
+        for rule in g_small.iter() {
+            assert!(g_large.contains(rule), "monotonicity violated for {rule}");
+        }
+        assert!(g_large.len() >= g_small.len());
+    }
+
+    #[test]
+    fn coin_program_grounding() {
+        let sigma = SigmaPi::translate(&coin_program(), &Database::new()).unwrap();
+        let grounder = SimpleGrounder::new(Arc::new(sigma));
+        let rules = grounder.ground(&AtrSet::new());
+        // The bodyless Active rule is always present; the single trigger is
+        // the coin flip itself.
+        assert_eq!(grounder.triggers(&AtrSet::new(), &rules).len(), 1);
+
+        let sigma = grounder.sigma();
+        let schema = &sigma.atr_schemas[0];
+        let active = GroundAtom {
+            predicate: schema.active,
+            args: vec![Const::real(0.5).unwrap()],
+        };
+        let tails = AtrSet::new()
+            .extended(AtrRule::new(sigma, active.clone(), Const::Int(1)).unwrap())
+            .unwrap();
+        let rules = grounder.ground(&tails);
+        assert!(grounder.is_terminal(&tails));
+        // Coin(1) is derivable, so the Aux1/Aux2 rules are instantiated.
+        assert!(rules
+            .iter()
+            .any(|r| r.head.predicate == Predicate::new("Aux1", 0)));
+        assert!(rules
+            .iter()
+            .any(|r| r.head.predicate == Predicate::new("Aux2", 0)));
+
+        // Full program includes the AtR rule itself.
+        let full = grounder.full_program(&tails);
+        assert_eq!(full.len(), rules.len() + 1);
+    }
+}

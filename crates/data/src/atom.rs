@@ -1,0 +1,338 @@
+//! Atoms, ground atoms and literals.
+
+use crate::error::DataError;
+use crate::predicate::Predicate;
+use crate::substitution::Substitution;
+use crate::term::{Term, Var};
+use crate::value::Const;
+use std::fmt;
+
+/// Polarity of a literal: positive or negated (negation as failure).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Polarity {
+    /// A positive literal (the atom itself).
+    Positive,
+    /// A negative literal (`¬ atom`, interpreted under the stable model
+    /// semantics).
+    Negative,
+}
+
+/// A relational atom `R(t1, ..., tn)` whose arguments may contain variables.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// The argument terms; `args.len() == predicate.arity()`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom, checking the arity.
+    pub fn new(predicate: Predicate, args: Vec<Term>) -> Result<Self, DataError> {
+        if args.len() != predicate.arity() {
+            return Err(DataError::ArityMismatch {
+                predicate: predicate.name(),
+                expected: predicate.arity(),
+                actual: args.len(),
+            });
+        }
+        Ok(Atom { predicate, args })
+    }
+
+    /// Construct an atom from a predicate name and terms, deriving the arity
+    /// from the argument count.
+    pub fn make(name: &str, args: Vec<Term>) -> Self {
+        let predicate = Predicate::new(name, args.len());
+        Atom { predicate, args }
+    }
+
+    /// The set of variables occurring in the atom (in order of first
+    /// occurrence, without duplicates).
+    pub fn variables(&self) -> Vec<Var> {
+        let mut seen = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !seen.contains(v) {
+                    seen.push(*v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Is the atom ground (free of variables)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Convert into a [`GroundAtom`], failing if any argument is a variable.
+    pub fn to_ground(&self) -> Result<GroundAtom, DataError> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            match t {
+                Term::Const(c) => args.push(*c),
+                Term::Var(v) => return Err(DataError::NotGround(v.to_string())),
+            }
+        }
+        Ok(GroundAtom {
+            predicate: self.predicate,
+            args,
+        })
+    }
+
+    /// Apply a substitution to all arguments.
+    pub fn apply(&self, theta: &Substitution) -> Atom {
+        Atom {
+            predicate: self.predicate,
+            args: self.args.iter().map(|t| theta.apply_term(t)).collect(),
+        }
+    }
+
+    /// Apply a substitution and convert to a ground atom; the substitution
+    /// must cover all variables of the atom.
+    pub fn apply_ground(&self, theta: &Substitution) -> Result<GroundAtom, DataError> {
+        self.apply(theta).to_ground()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate.name())?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A ground atom `R(c1, ..., cn)`: all arguments are constants.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GroundAtom {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// The constant arguments.
+    pub args: Vec<Const>,
+}
+
+impl GroundAtom {
+    /// Construct a ground atom, checking the arity.
+    pub fn new(predicate: Predicate, args: Vec<Const>) -> Result<Self, DataError> {
+        if args.len() != predicate.arity() {
+            return Err(DataError::ArityMismatch {
+                predicate: predicate.name(),
+                expected: predicate.arity(),
+                actual: args.len(),
+            });
+        }
+        Ok(GroundAtom { predicate, args })
+    }
+
+    /// Construct a ground atom from a predicate name and constants, deriving
+    /// the arity from the argument count.
+    pub fn make(name: &str, args: Vec<Const>) -> Self {
+        let predicate = Predicate::new(name, args.len());
+        GroundAtom { predicate, args }
+    }
+
+    /// A 0-ary ground atom (propositional fact).
+    pub fn prop(name: &str) -> Self {
+        GroundAtom::make(name, vec![])
+    }
+
+    /// View as a non-ground [`Atom`] (all arguments constant).
+    pub fn to_atom(&self) -> Atom {
+        Atom {
+            predicate: self.predicate,
+            args: self.args.iter().map(|c| Term::Const(*c)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.args.is_empty() {
+            return write!(f, "{}", self.predicate.name());
+        }
+        write!(f, "{}(", self.predicate.name())?;
+        for (i, c) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A literal: an atom with a polarity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// Positive or negative.
+    pub polarity: Polarity,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn positive(atom: Atom) -> Self {
+        Literal {
+            atom,
+            polarity: Polarity::Positive,
+        }
+    }
+
+    /// A negative literal.
+    pub fn negative(atom: Atom) -> Self {
+        Literal {
+            atom,
+            polarity: Polarity::Negative,
+        }
+    }
+
+    /// Is the literal positive?
+    pub fn is_positive(&self) -> bool {
+        self.polarity == Polarity::Positive
+    }
+
+    /// Is the literal negative?
+    pub fn is_negative(&self) -> bool {
+        self.polarity == Polarity::Negative
+    }
+
+    /// Apply a substitution to the underlying atom.
+    pub fn apply(&self, theta: &Substitution) -> Literal {
+        Literal {
+            atom: self.atom.apply(theta),
+            polarity: self.polarity,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.polarity {
+            Polarity::Positive => write!(f, "{}", self.atom),
+            Polarity::Negative => write!(f, "not {}", self.atom),
+        }
+    }
+}
+
+/// A ground literal: a ground atom with a polarity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GroundLiteral {
+    /// The underlying ground atom.
+    pub atom: GroundAtom,
+    /// Positive or negative.
+    pub polarity: Polarity,
+}
+
+impl GroundLiteral {
+    /// A positive ground literal.
+    pub fn positive(atom: GroundAtom) -> Self {
+        GroundLiteral {
+            atom,
+            polarity: Polarity::Positive,
+        }
+    }
+
+    /// A negative ground literal.
+    pub fn negative(atom: GroundAtom) -> Self {
+        GroundLiteral {
+            atom,
+            polarity: Polarity::Negative,
+        }
+    }
+}
+
+impl fmt::Display for GroundLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.polarity {
+            Polarity::Positive => write!(f, "{}", self.atom),
+            Polarity::Negative => write!(f, "not {}", self.atom),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected(a: Term, b: Term) -> Atom {
+        Atom::make("Connected", vec![a, b])
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let p = Predicate::new("Router", 1);
+        assert!(Atom::new(p, vec![Term::int(1)]).is_ok());
+        assert!(Atom::new(p, vec![Term::int(1), Term::int(2)]).is_err());
+        assert!(GroundAtom::new(p, vec![]).is_err());
+    }
+
+    #[test]
+    fn variables_are_collected_in_order_without_duplicates() {
+        let a = Atom::make(
+            "T",
+            vec![Term::var("x"), Term::var("y"), Term::var("x"), Term::int(2)],
+        );
+        assert_eq!(a.variables(), vec![Var::new("x"), Var::new("y")]);
+    }
+
+    #[test]
+    fn groundness_and_conversion() {
+        let g = connected(Term::int(1), Term::int(2));
+        assert!(g.is_ground());
+        let ga = g.to_ground().unwrap();
+        assert_eq!(ga, GroundAtom::make("Connected", vec![Const::Int(1), Const::Int(2)]));
+        assert_eq!(ga.to_atom(), g);
+
+        let ng = connected(Term::var("x"), Term::int(2));
+        assert!(!ng.is_ground());
+        assert!(ng.to_ground().is_err());
+    }
+
+    #[test]
+    fn apply_substitution() {
+        let mut theta = Substitution::new();
+        theta.bind(Var::new("x"), Const::Int(7));
+        let a = connected(Term::var("x"), Term::var("y"));
+        let b = a.apply(&theta);
+        assert_eq!(b.args[0], Term::int(7));
+        assert_eq!(b.args[1], Term::var("y"));
+        assert!(a.apply_ground(&theta).is_err());
+
+        theta.bind(Var::new("y"), Const::Int(9));
+        let g = a.apply_ground(&theta).unwrap();
+        assert_eq!(g.args, vec![Const::Int(7), Const::Int(9)]);
+    }
+
+    #[test]
+    fn literal_polarity() {
+        let a = connected(Term::var("x"), Term::var("y"));
+        let pos = Literal::positive(a.clone());
+        let neg = Literal::negative(a);
+        assert!(pos.is_positive() && !pos.is_negative());
+        assert!(neg.is_negative() && !neg.is_positive());
+        assert!(neg.to_string().starts_with("not "));
+    }
+
+    #[test]
+    fn display() {
+        let a = connected(Term::var("x"), Term::int(3));
+        assert_eq!(a.to_string(), "Connected(x, 3)");
+        assert_eq!(GroundAtom::prop("Fail").to_string(), "Fail");
+        let gl = GroundLiteral::negative(GroundAtom::prop("Aux"));
+        assert_eq!(gl.to_string(), "not Aux");
+    }
+
+    #[test]
+    fn ground_literal_constructors() {
+        let g = GroundAtom::make("Coin", vec![Const::Int(1)]);
+        assert_eq!(GroundLiteral::positive(g.clone()).polarity, Polarity::Positive);
+        assert_eq!(GroundLiteral::negative(g).polarity, Polarity::Negative);
+    }
+}

@@ -1,0 +1,301 @@
+//! Databases and instances.
+//!
+//! A *database* of a schema **S** is a finite set of ground atoms over **S**
+//! (§2 of the paper); an *instance* may be infinite in the paper but is, of
+//! course, always finite in memory — [`Instance`] is simply a growable
+//! database used for fixpoint computations.
+
+use crate::atom::{Atom, GroundAtom};
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::value::Const;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite set of ground atoms with a per-predicate index.
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    atoms: HashSet<GroundAtom>,
+    by_predicate: HashMap<Predicate, Vec<GroundAtom>>,
+}
+
+/// An instance is a database that is conventionally used as the *output* of a
+/// fixpoint computation; structurally the two are identical.
+pub type Instance = Database;
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a database from an iterator of ground atoms.
+    pub fn from_atoms<I: IntoIterator<Item = GroundAtom>>(atoms: I) -> Self {
+        let mut db = Database::new();
+        for a in atoms {
+            db.insert(a);
+        }
+        db
+    }
+
+    /// Insert a ground atom. Returns `true` if the atom was not already
+    /// present.
+    pub fn insert(&mut self, atom: GroundAtom) -> bool {
+        if self.atoms.insert(atom.clone()) {
+            self.by_predicate.entry(atom.predicate).or_default().push(atom);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert the fact `name(args...)`.
+    pub fn insert_fact<I, C>(&mut self, name: &str, args: I) -> bool
+    where
+        I: IntoIterator<Item = C>,
+        C: Into<Const>,
+    {
+        let atom = GroundAtom::make(name, args.into_iter().map(Into::into).collect());
+        self.insert(atom)
+    }
+
+    /// Does the database contain `atom`?
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.atoms.contains(atom)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterate over all atoms (in unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &GroundAtom> {
+        self.atoms.iter()
+    }
+
+    /// Iterate over the atoms of a given predicate.
+    pub fn atoms_of(&self, predicate: &Predicate) -> impl Iterator<Item = &GroundAtom> {
+        self.by_predicate.get(predicate).into_iter().flatten()
+    }
+
+    /// The candidate atoms an [`Atom`] pattern can match: the atoms of the
+    /// pattern's predicate. Designed to plug into
+    /// [`crate::substitution::match_atoms`].
+    pub fn candidates(&self, pattern: &Atom) -> impl Iterator<Item = &GroundAtom> {
+        self.atoms_of(&pattern.predicate)
+    }
+
+    /// The predicates occurring in the database.
+    pub fn predicates(&self) -> impl Iterator<Item = &Predicate> {
+        self.by_predicate.keys()
+    }
+
+    /// The schema induced by the database (all predicates occurring in it).
+    pub fn schema(&self) -> Schema {
+        Schema::from_predicates(self.by_predicate.keys().copied())
+    }
+
+    /// The active domain: all constants occurring in the database
+    /// (`dom(I)` in the paper).
+    pub fn domain(&self) -> BTreeSet<Const> {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect()
+    }
+
+    /// Union with another database (set union of atoms).
+    pub fn union(&self, other: &Database) -> Database {
+        let mut out = self.clone();
+        for a in other.iter() {
+            out.insert(a.clone());
+        }
+        out
+    }
+
+    /// Set-difference: the atoms of `self` that are not in `other`.
+    pub fn difference(&self, other: &Database) -> Database {
+        Database::from_atoms(self.iter().filter(|a| !other.contains(a)).cloned())
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.iter().all(|a| other.contains(a))
+    }
+
+    /// A canonical, deterministic listing of the atoms (sorted), useful for
+    /// hashing/keying sets of stable models.
+    pub fn canonical_atoms(&self) -> Vec<GroundAtom> {
+        let mut v: Vec<GroundAtom> = self.atoms.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.atoms == other.atoms
+    }
+}
+
+impl Eq for Database {}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.canonical_atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<GroundAtom> for Database {
+    fn from_iter<I: IntoIterator<Item = GroundAtom>>(iter: I) -> Self {
+        Database::from_atoms(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Database {
+    type Item = &'a GroundAtom;
+    type IntoIter = std::collections::hash_set::Iter<'a, GroundAtom>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.atoms.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn router(i: i64) -> GroundAtom {
+        GroundAtom::make("Router", vec![Const::Int(i)])
+    }
+
+    fn connected(i: i64, j: i64) -> GroundAtom {
+        GroundAtom::make("Connected", vec![Const::Int(i), Const::Int(j)])
+    }
+
+    fn example_db() -> Database {
+        // The database of Example 3.6: three routers, fully connected, the
+        // first initially infected.
+        let mut db = Database::new();
+        for i in 1..=3i64 {
+            db.insert(router(i));
+        }
+        for i in 1..=3i64 {
+            for j in 1..=3i64 {
+                if i != j {
+                    db.insert(connected(i, j));
+                }
+            }
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        db
+    }
+
+    #[test]
+    fn insertion_and_membership() {
+        let mut db = Database::new();
+        assert!(db.is_empty());
+        assert!(db.insert(router(1)));
+        assert!(!db.insert(router(1)));
+        assert!(db.contains(&router(1)));
+        assert!(!db.contains(&router(2)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn example_3_6_database_has_expected_size() {
+        let db = example_db();
+        // 3 routers + 6 connections + 1 infected fact.
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.atoms_of(&Predicate::new("Connected", 2)).count(), 6);
+        assert_eq!(db.atoms_of(&Predicate::new("Router", 1)).count(), 3);
+    }
+
+    #[test]
+    fn domain_collects_all_constants() {
+        let db = example_db();
+        let dom = db.domain();
+        assert!(dom.contains(&Const::Int(1)));
+        assert!(dom.contains(&Const::Int(2)));
+        assert!(dom.contains(&Const::Int(3)));
+        assert_eq!(dom.len(), 3);
+    }
+
+    #[test]
+    fn union_difference_subset() {
+        let db = example_db();
+        let small = Database::from_atoms(vec![router(1), router(2)]);
+        assert!(small.is_subset_of(&db));
+        assert!(!db.is_subset_of(&small));
+        let u = small.union(&db);
+        assert_eq!(u, db);
+        let d = db.difference(&small);
+        assert_eq!(d.len(), db.len() - 2);
+        assert!(!d.contains(&router(1)));
+    }
+
+    #[test]
+    fn candidates_are_indexed_by_predicate() {
+        let db = example_db();
+        let pattern = Atom::make("Connected", vec![Term::var("x"), Term::var("y")]);
+        assert_eq!(db.candidates(&pattern).count(), 6);
+        let pattern = Atom::make("Missing", vec![Term::var("x")]);
+        assert_eq!(db.candidates(&pattern).count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = Database::from_atoms(vec![router(1), router(2)]);
+        let b = Database::from_atoms(vec![router(2), router(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn canonical_atoms_are_sorted_and_stable() {
+        let db = example_db();
+        let c1 = db.canonical_atoms();
+        let c2 = db.canonical_atoms();
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), db.len());
+        let mut sorted = c1.clone();
+        sorted.sort();
+        assert_eq!(c1, sorted);
+    }
+
+    #[test]
+    fn schema_and_predicates() {
+        let db = example_db();
+        let schema = db.schema();
+        assert!(schema.contains(&Predicate::new("Router", 1)));
+        assert!(schema.contains(&Predicate::new("Connected", 2)));
+        assert!(schema.contains(&Predicate::new("Infected", 2)));
+        assert_eq!(db.predicates().count(), 3);
+    }
+
+    #[test]
+    fn display_lists_atoms() {
+        let db = Database::from_atoms(vec![router(1)]);
+        assert_eq!(db.to_string(), "{Router(1)}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: Database = vec![router(1), router(2)].into_iter().collect();
+        assert_eq!(db.len(), 2);
+        assert_eq!((&db).into_iter().count(), 2);
+    }
+}

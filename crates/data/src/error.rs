@@ -1,0 +1,85 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the data layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A non-finite float was used as a constant.
+    NonFiniteReal(f64),
+    /// An atom was constructed with the wrong number of arguments for its
+    /// predicate.
+    ArityMismatch {
+        /// The predicate name.
+        predicate: String,
+        /// Arity declared by the predicate.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// A ground operation was attempted on a non-ground atom or term.
+    NotGround(String),
+    /// A predicate was used with two different arities.
+    InconsistentArity {
+        /// The predicate name.
+        predicate: String,
+        /// Previously registered arity.
+        previous: usize,
+        /// Newly requested arity.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::NonFiniteReal(v) => write!(f, "non-finite real constant: {v}"),
+            DataError::ArityMismatch {
+                predicate,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for predicate {predicate}: expected {expected}, got {actual}"
+            ),
+            DataError::NotGround(what) => write!(f, "expected a ground expression, found {what}"),
+            DataError::InconsistentArity {
+                predicate,
+                previous,
+                requested,
+            } => write!(
+                f,
+                "predicate {predicate} used with arity {requested} but previously declared with arity {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DataError::ArityMismatch {
+            predicate: "Connected".into(),
+            expected: 2,
+            actual: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("Connected"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        assert!(DataError::NonFiniteReal(f64::NAN).to_string().contains("non-finite"));
+        assert!(DataError::NotGround("X".into()).to_string().contains("ground"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&DataError::NonFiniteReal(1.0 / 0.0));
+    }
+}

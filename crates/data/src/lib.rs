@@ -1,0 +1,46 @@
+//! # gdlog-data — relational substrate
+//!
+//! This crate provides the relational machinery required by the rest of the
+//! `gdlog` workspace, mirroring Section 2 ("Relational Databases") of
+//! *Generative Datalog with Stable Negation*:
+//!
+//! * [`Symbol`] / [`Interner`] — cheap interned identifiers for predicate and
+//!   constant names,
+//! * [`Const`] — constants (the paper assumes constants are translatable into
+//!   real numbers; we additionally keep integers, booleans and symbols),
+//! * [`Term`] — constants or variables,
+//! * [`Predicate`] — relation names with an associated arity,
+//! * [`Atom`], [`GroundAtom`], [`Literal`] — (possibly negated) relational
+//!   atoms,
+//! * [`Substitution`] — assignments of constants to variables, including the
+//!   homomorphism-style matching used by the grounders of the paper,
+//! * [`Database`] / instances — finite and growable sets of ground atoms with
+//!   per-predicate indexes,
+//! * [`Schema`] — finite sets of predicates.
+//!
+//! Everything is deliberately engine-agnostic: `gdlog-engine` layers the
+//! stable-model machinery on top and `gdlog-core` layers the generative
+//! (probabilistic) constructs on top of that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod database;
+pub mod error;
+pub mod predicate;
+pub mod schema;
+pub mod substitution;
+pub mod symbol;
+pub mod term;
+pub mod value;
+
+pub use atom::{Atom, GroundAtom, GroundLiteral, Literal, Polarity};
+pub use database::{Database, Instance};
+pub use error::DataError;
+pub use predicate::Predicate;
+pub use schema::Schema;
+pub use substitution::Substitution;
+pub use symbol::{Interner, Symbol};
+pub use term::{Term, Var};
+pub use value::Const;

@@ -1,0 +1,80 @@
+//! Predicates (relation names with arity).
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A predicate (relation name) together with its arity.
+///
+/// In the paper a schema **S** is a finite set of relation names with
+/// associated arities; here the arity travels with the name so that atoms can
+/// be validated locally.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Predicate {
+    name: Symbol,
+    arity: usize,
+}
+
+impl Predicate {
+    /// Create a predicate from a name and arity.
+    pub fn new(name: &str, arity: usize) -> Self {
+        Predicate {
+            name: Symbol::new(name),
+            arity,
+        }
+    }
+
+    /// Create a predicate from an already-interned symbol.
+    pub fn from_symbol(name: Symbol, arity: usize) -> Self {
+        Predicate { name, arity }
+    }
+
+    /// The predicate's name symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.name
+    }
+
+    /// The predicate's name as a string.
+    pub fn name(&self) -> String {
+        self.name.as_str()
+    }
+
+    /// The predicate's arity (`ar(R)` in the paper).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_are_identified_by_name_and_arity() {
+        let p = Predicate::new("Connected", 2);
+        let q = Predicate::new("Connected", 2);
+        let r = Predicate::new("Connected", 3);
+        assert_eq!(p, q);
+        assert_ne!(p, r);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.name(), "Connected");
+    }
+
+    #[test]
+    fn display_uses_name_slash_arity() {
+        assert_eq!(Predicate::new("Router", 1).to_string(), "Router/1");
+    }
+
+    #[test]
+    fn from_symbol_round_trip() {
+        let sym = Symbol::new("Infected");
+        let p = Predicate::from_symbol(sym, 2);
+        assert_eq!(p.symbol(), sym);
+        assert_eq!(p, Predicate::new("Infected", 2));
+    }
+}

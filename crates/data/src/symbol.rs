@@ -1,0 +1,205 @@
+//! String interning.
+//!
+//! Predicate names, constant symbols and variable names are interned into a
+//! global, thread-safe [`Interner`] so that the rest of the workspace can
+//! compare and hash them as `u32` handles ([`Symbol`]).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A handle to an interned string.
+///
+/// Symbols are cheap to copy, compare and hash. Two symbols are equal iff the
+/// strings they intern are equal (interning is global per process).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Intern `name` and return its symbol.
+    pub fn new(name: &str) -> Self {
+        global().intern(name)
+    }
+
+    /// The raw index of this symbol in the global interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Resolve the symbol back to its string.
+    pub fn as_str(self) -> String {
+        global().resolve(self)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(&s)
+    }
+}
+
+/// A thread-safe string interner.
+///
+/// Most users never construct one directly: [`Symbol::new`] uses a global
+/// instance. A standalone interner is still exposed for tests and tools that
+/// need isolated symbol tables.
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+#[derive(Default)]
+struct InternerInner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its (stable) symbol.
+    pub fn intern(&self, name: &str) -> Symbol {
+        {
+            let guard = self.inner.read();
+            if let Some(&idx) = guard.map.get(name) {
+                return Symbol(idx);
+            }
+        }
+        let mut guard = self.inner.write();
+        if let Some(&idx) = guard.map.get(name) {
+            return Symbol(idx);
+        }
+        let idx = guard.strings.len() as u32;
+        guard.strings.push(name.to_owned());
+        guard.map.insert(name.to_owned(), idx);
+        Symbol(idx)
+    }
+
+    /// Resolve a symbol previously returned by [`Interner::intern`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was interned by a different interner and is out of
+    /// range for this one.
+    pub fn resolve(&self, sym: Symbol) -> String {
+        let guard = self.inner.read();
+        guard.strings[sym.0 as usize].clone()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn global() -> &'static Interner {
+    static GLOBAL: OnceLock<Interner> = OnceLock::new();
+    GLOBAL.get_or_init(Interner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("Router");
+        let b = Symbol::new("Router");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Router");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::new("Infected");
+        let b = Symbol::new("Uninfected");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "Infected");
+        assert_eq!(b.as_str(), "Uninfected");
+    }
+
+    #[test]
+    fn standalone_interner_is_isolated() {
+        let interner = Interner::new();
+        let a = interner.intern("x");
+        let b = interner.intern("y");
+        let a2 = interner.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+        assert_eq!(interner.resolve(b), "y");
+    }
+
+    #[test]
+    fn display_and_debug_show_the_string() {
+        let s = Symbol::new("Connected");
+        assert_eq!(format!("{s}"), "Connected");
+        assert_eq!(format!("{s:?}"), "\"Connected\"");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently_with_identity() {
+        let a = Symbol::new("zeta-ordering-test");
+        let b = Symbol::new("alpha-ordering-test");
+        // Ordering is by interning index, not lexicographic: it only matters
+        // that it is a total order usable for canonical sorting.
+        assert!(a < b || b < a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "FromStr".into();
+        let b: Symbol = String::from("FromStr").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let interner = std::sync::Arc::new(Interner::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let interner = interner.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut syms = Vec::new();
+                for i in 0..100 {
+                    syms.push(interner.intern(&format!("sym{}", (i + t) % 50)));
+                }
+                syms
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // (i + t) % 50 always lies in 0..50, so exactly 50 distinct strings.
+        assert_eq!(interner.len(), 50);
+    }
+}

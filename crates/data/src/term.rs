@@ -1,0 +1,159 @@
+//! Terms: variables and constants.
+
+use crate::symbol::Symbol;
+use crate::value::Const;
+use std::fmt;
+
+/// A variable of the set **V**.
+///
+/// Variables are identified by an interned name. Within a rule, equality of
+/// names means equality of variables (standard Datalog convention).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Create a variable from its name.
+    pub fn new(name: &str) -> Self {
+        Var(Symbol::new(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> String {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: either a constant of **C** or a variable of **V**.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A constant.
+    Const(Const),
+    /// A variable.
+    Var(Var),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for an integer constant term.
+    pub fn int(value: i64) -> Self {
+        Term::Const(Const::Int(value))
+    }
+
+    /// Shorthand for a symbolic constant term.
+    pub fn sym(name: &str) -> Self {
+        Term::Const(Const::sym(name))
+    }
+
+    /// Is this term a constant?
+    pub fn is_ground(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// View the constant, if this term is ground.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// View the variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<i64> for Term {
+    fn from(v: i64) -> Self {
+        Term::Const(Const::Int(v))
+    }
+}
+
+impl From<bool> for Term {
+    fn from(v: bool) -> Self {
+        Term::Const(Const::Bool(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_with_same_name_are_equal() {
+        assert_eq!(Var::new("x"), Var::new("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+        assert_eq!(Var::new("x").name(), "x");
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::int(3).is_ground());
+        assert!(!Term::var("x").is_ground());
+        assert_eq!(Term::int(3).as_const(), Some(&Const::Int(3)));
+        assert_eq!(Term::var("x").as_const(), None);
+        assert_eq!(Term::var("x").as_var(), Some(Var::new("x")));
+        assert_eq!(Term::int(3).as_var(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var("y").to_string(), "y");
+        assert_eq!(Term::int(42).to_string(), "42");
+        assert_eq!(Term::sym("alice").to_string(), "alice");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Term = Const::Int(1).into();
+        assert_eq!(t, Term::int(1));
+        let t: Term = Var::new("z").into();
+        assert_eq!(t, Term::var("z"));
+        let t: Term = 5i64.into();
+        assert_eq!(t, Term::int(5));
+        let t: Term = true.into();
+        assert_eq!(t, Term::Const(Const::Bool(true)));
+        let v: Var = "w".into();
+        assert_eq!(v, Var::new("w"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Constants.
+//!
+//! The paper assumes a countably infinite set **C** of constants that are
+//! "translatable into real numbers". [`Const`] keeps the concrete flavours we
+//! need in practice — 64-bit integers, finite 64-bit floats, booleans and
+//! interned symbols — together with a total order and a hash so constants can
+//! be used as keys in databases and probability tables.
+
+use crate::symbol::Symbol;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A constant of the universe **C**.
+///
+/// All constants are comparable and hashable. Floats are required to be
+/// finite (`NaN` and infinities are rejected on construction), which makes
+/// the ordering total.
+#[derive(Clone, Copy, Debug)]
+pub enum Const {
+    /// A 64-bit signed integer. The paper's examples (`0`, `1`, router ids,
+    /// die faces) are integers.
+    Int(i64),
+    /// A finite 64-bit float, used for numeric distribution parameters such
+    /// as `0.1`.
+    Real(f64),
+    /// A boolean constant (`true` / `false`).
+    Bool(bool),
+    /// An interned symbolic constant (e.g. `"alice"`).
+    Sym(Symbol),
+}
+
+impl Const {
+    /// Construct a real constant, rejecting non-finite values.
+    pub fn real(value: f64) -> Result<Self, crate::DataError> {
+        if value.is_finite() {
+            Ok(Const::Real(value))
+        } else {
+            Err(crate::DataError::NonFiniteReal(value))
+        }
+    }
+
+    /// Construct a symbolic constant.
+    pub fn sym(name: &str) -> Self {
+        Const::Sym(Symbol::new(name))
+    }
+
+    /// The paper treats every constant as a real number; this is that
+    /// translation. Symbols map to their interner index so the translation is
+    /// injective per process.
+    pub fn as_real(&self) -> f64 {
+        match self {
+            Const::Int(i) => *i as f64,
+            Const::Real(r) => *r,
+            Const::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Const::Sym(s) => s.index() as f64,
+        }
+    }
+
+    /// Return the integer value if this constant is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Const::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Return the boolean value if this constant is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Const::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if two constants denote the same number under [`Const::as_real`],
+    /// even if their flavours differ (`Int(1)` vs `Real(1.0)` vs `Bool(true)`).
+    pub fn numerically_equal(&self, other: &Const) -> bool {
+        self.as_real() == other.as_real()
+    }
+
+    /// A discriminant used for cross-flavour ordering.
+    fn flavour(&self) -> u8 {
+        match self {
+            Const::Bool(_) => 0,
+            Const::Int(_) => 1,
+            Const::Real(_) => 2,
+            Const::Sym(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Const {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a == b,
+            (Const::Real(a), Const::Real(b)) => a.to_bits() == b.to_bits(),
+            (Const::Bool(a), Const::Bool(b)) => a == b,
+            (Const::Sym(a), Const::Sym(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Const {}
+
+impl Hash for Const {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.flavour().hash(state);
+        match self {
+            Const::Int(i) => i.hash(state),
+            Const::Real(r) => r.to_bits().hash(state),
+            Const::Bool(b) => b.hash(state),
+            Const::Sym(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Const {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Const {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Const::Int(a), Const::Int(b)) => a.cmp(b),
+            (Const::Real(a), Const::Real(b)) => {
+                // Finite floats: partial_cmp never fails.
+                a.partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (Const::Bool(a), Const::Bool(b)) => a.cmp(b),
+            (Const::Sym(a), Const::Sym(b)) => a.cmp(b),
+            _ => self.flavour().cmp(&other.flavour()),
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Real(r) => {
+                if r.fract() == 0.0 && r.abs() < 1e15 {
+                    write!(f, "{r:.1}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Const::Bool(b) => write!(f, "{b}"),
+            Const::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(v: i64) -> Self {
+        Const::Int(v)
+    }
+}
+
+impl From<i32> for Const {
+    fn from(v: i32) -> Self {
+        Const::Int(v as i64)
+    }
+}
+
+impl From<usize> for Const {
+    fn from(v: usize) -> Self {
+        Const::Int(v as i64)
+    }
+}
+
+impl From<bool> for Const {
+    fn from(v: bool) -> Self {
+        Const::Bool(v)
+    }
+}
+
+impl From<Symbol> for Const {
+    fn from(v: Symbol) -> Self {
+        Const::Sym(v)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(v: &str) -> Self {
+        Const::sym(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn integer_constants_compare_numerically() {
+        assert!(Const::Int(1) < Const::Int(2));
+        assert_eq!(Const::Int(3), Const::from(3i64));
+    }
+
+    #[test]
+    fn real_construction_rejects_non_finite() {
+        assert!(Const::real(0.1).is_ok());
+        assert!(Const::real(f64::NAN).is_err());
+        assert!(Const::real(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn as_real_translation() {
+        assert_eq!(Const::Int(7).as_real(), 7.0);
+        assert_eq!(Const::Bool(true).as_real(), 1.0);
+        assert_eq!(Const::Bool(false).as_real(), 0.0);
+        assert_eq!(Const::real(2.5).unwrap().as_real(), 2.5);
+    }
+
+    #[test]
+    fn numerically_equal_crosses_flavours() {
+        assert!(Const::Int(1).numerically_equal(&Const::Bool(true)));
+        assert!(Const::Int(0).numerically_equal(&Const::real(0.0).unwrap()));
+        assert!(!Const::Int(1).numerically_equal(&Const::Int(2)));
+    }
+
+    #[test]
+    fn constants_are_usable_as_hash_keys() {
+        let mut set = HashSet::new();
+        set.insert(Const::Int(1));
+        set.insert(Const::Int(1));
+        set.insert(Const::Bool(true));
+        set.insert(Const::sym("a"));
+        set.insert(Const::sym("a"));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn ordering_is_total_across_flavours() {
+        let mut values = vec![
+            Const::sym("b"),
+            Const::Int(10),
+            Const::Bool(false),
+            Const::real(3.25).unwrap(),
+            Const::Int(-2),
+        ];
+        values.sort();
+        // sort() would panic on a broken Ord; additionally check idempotence.
+        let again = {
+            let mut v = values.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(values, again);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Const::Int(5).to_string(), "5");
+        assert_eq!(Const::Bool(true).to_string(), "true");
+        assert_eq!(Const::real(0.5).unwrap().to_string(), "0.5");
+        assert_eq!(Const::real(2.0).unwrap().to_string(), "2.0");
+        assert_eq!(Const::sym("alice").to_string(), "alice");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Const::from(3usize), Const::Int(3));
+        assert_eq!(Const::from(3i32), Const::Int(3));
+        assert_eq!(Const::from("x"), Const::sym("x"));
+        assert_eq!(Const::from(true), Const::Bool(true));
+    }
+}

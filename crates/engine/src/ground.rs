@@ -1,0 +1,357 @@
+//! Ground rules and ground programs.
+//!
+//! After translation and grounding, every object the semantics manipulates is
+//! a ground, existential-free TGD¬ — i.e. a rule `B⁺, ¬B⁻ → H` where `B⁺`,
+//! `B⁻` are sets of ground atoms and `H` is a ground atom. Facts are rules
+//! with an empty body (`→ α`, as in the paper's `Σ[D] = {True → α | α ∈ D}`).
+
+use gdlog_data::{Database, GroundAtom, Predicate};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A ground TGD¬ without existential quantification: `pos, ¬neg → head`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GroundRule {
+    /// The head atom.
+    pub head: GroundAtom,
+    /// Positive body atoms `B⁺(σ)`.
+    pub pos: Vec<GroundAtom>,
+    /// Atoms appearing in negative body literals `B⁻(σ)`.
+    pub neg: Vec<GroundAtom>,
+}
+
+impl GroundRule {
+    /// A rule with positive and negative body atoms.
+    pub fn new(head: GroundAtom, pos: Vec<GroundAtom>, neg: Vec<GroundAtom>) -> Self {
+        GroundRule { head, pos, neg }
+    }
+
+    /// A fact `→ head`.
+    pub fn fact(head: GroundAtom) -> Self {
+        GroundRule {
+            head,
+            pos: Vec::new(),
+            neg: Vec::new(),
+        }
+    }
+
+    /// Is this rule a fact (empty body)?
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+
+    /// Is the rule positive (no negative body literals)?
+    pub fn is_positive(&self) -> bool {
+        self.neg.is_empty()
+    }
+
+    /// Is the rule's positive body satisfied by `interpretation`?
+    pub fn pos_satisfied(&self, interpretation: &Database) -> bool {
+        self.pos.iter().all(|a| interpretation.contains(a))
+    }
+
+    /// Is the rule's negative body satisfied by `interpretation` (i.e. no
+    /// negated atom is present)?
+    pub fn neg_satisfied(&self, interpretation: &Database) -> bool {
+        self.neg.iter().all(|a| !interpretation.contains(a))
+    }
+
+    /// Is the whole rule body satisfied by `interpretation`?
+    pub fn body_satisfied(&self, interpretation: &Database) -> bool {
+        self.pos_satisfied(interpretation) && self.neg_satisfied(interpretation)
+    }
+
+    /// Is the rule (classically) satisfied by `interpretation`?
+    pub fn satisfied(&self, interpretation: &Database) -> bool {
+        !self.body_satisfied(interpretation) || interpretation.contains(&self.head)
+    }
+
+    /// All atoms mentioned by the rule (head, positive and negative body).
+    pub fn atoms(&self) -> impl Iterator<Item = &GroundAtom> {
+        std::iter::once(&self.head)
+            .chain(self.pos.iter())
+            .chain(self.neg.iter())
+    }
+}
+
+impl fmt::Display for GroundRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fact() {
+            return write!(f, "-> {}.", self.head);
+        }
+        let mut first = true;
+        for a in &self.pos {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        for a in &self.neg {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "not {a}")?;
+            first = false;
+        }
+        write!(f, " -> {}.", self.head)
+    }
+}
+
+/// A ground program: a (possibly large) set of ground rules.
+///
+/// The rule list preserves insertion order but equality and the
+/// [`GroundProgram::canonical_rules`] listing are order-insensitive, matching
+/// the paper's treatment of programs as *sets* of rules.
+#[derive(Clone, Default, Debug)]
+pub struct GroundProgram {
+    rules: Vec<GroundRule>,
+    dedup: std::collections::HashSet<GroundRule>,
+}
+
+impl GroundProgram {
+    /// The empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a program from rules.
+    pub fn from_rules<I: IntoIterator<Item = GroundRule>>(rules: I) -> Self {
+        let mut p = GroundProgram::new();
+        for r in rules {
+            p.push(r);
+        }
+        p
+    }
+
+    /// Build a program whose only rules are the facts of a database
+    /// (`Σ[D]` in the paper, for the database part).
+    pub fn from_database(db: &Database) -> Self {
+        Self::from_rules(db.iter().cloned().map(GroundRule::fact))
+    }
+
+    /// Add a rule (set semantics: duplicates are ignored). Returns whether the
+    /// rule was new.
+    pub fn push(&mut self, rule: GroundRule) -> bool {
+        if self.dedup.insert(rule.clone()) {
+            self.rules.push(rule);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Add many rules.
+    pub fn extend<I: IntoIterator<Item = GroundRule>>(&mut self, rules: I) {
+        for r in rules {
+            self.push(r);
+        }
+    }
+
+    /// Union of two programs.
+    pub fn union(&self, other: &GroundProgram) -> GroundProgram {
+        let mut out = self.clone();
+        out.extend(other.iter().cloned());
+        out
+    }
+
+    /// Does the program contain this exact rule?
+    pub fn contains(&self, rule: &GroundRule) -> bool {
+        self.dedup.contains(rule)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the program empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterate over the rules in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &GroundRule> {
+        self.rules.iter()
+    }
+
+    /// Are all rules positive?
+    pub fn is_positive(&self) -> bool {
+        self.rules.iter().all(GroundRule::is_positive)
+    }
+
+    /// The set of head atoms, `heads(Σ)` in the paper.
+    pub fn heads(&self) -> Database {
+        Database::from_atoms(self.rules.iter().map(|r| r.head.clone()))
+    }
+
+    /// All atoms mentioned anywhere in the program (its Herbrand base
+    /// restricted to mentioned atoms).
+    pub fn atoms(&self) -> Database {
+        Database::from_atoms(self.rules.iter().flat_map(|r| r.atoms().cloned()))
+    }
+
+    /// The predicates mentioned by the program.
+    pub fn predicates(&self) -> BTreeSet<Predicate> {
+        self.rules
+            .iter()
+            .flat_map(|r| r.atoms().map(|a| a.predicate))
+            .collect()
+    }
+
+    /// Is `interpretation` a classical model of the program?
+    pub fn is_model(&self, interpretation: &Database) -> bool {
+        self.rules.iter().all(|r| r.satisfied(interpretation))
+    }
+
+    /// A canonical, sorted listing of the rules (deterministic across
+    /// insertion orders).
+    pub fn canonical_rules(&self) -> Vec<GroundRule> {
+        let mut v = self.rules.clone();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for GroundProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.dedup == other.dedup
+    }
+}
+
+impl Eq for GroundProgram {}
+
+impl FromIterator<GroundRule> for GroundProgram {
+    fn from_iter<I: IntoIterator<Item = GroundRule>>(iter: I) -> Self {
+        GroundProgram::from_rules(iter)
+    }
+}
+
+impl fmt::Display for GroundProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in self.canonical_rules() {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    fn atom(name: &str, args: &[i64]) -> GroundAtom {
+        GroundAtom::make(name, args.iter().map(|&i| Const::Int(i)).collect())
+    }
+
+    #[test]
+    fn facts_and_rules() {
+        let f = GroundRule::fact(atom("Router", &[1]));
+        assert!(f.is_fact());
+        assert!(f.is_positive());
+        let r = GroundRule::new(
+            atom("Uninfected", &[1]),
+            vec![atom("Router", &[1])],
+            vec![atom("Infected", &[1, 1])],
+        );
+        assert!(!r.is_fact());
+        assert!(!r.is_positive());
+        assert_eq!(r.atoms().count(), 3);
+    }
+
+    #[test]
+    fn satisfaction() {
+        let r = GroundRule::new(
+            atom("Uninfected", &[1]),
+            vec![atom("Router", &[1])],
+            vec![atom("Infected", &[1, 1])],
+        );
+        let mut i = Database::new();
+        // Body not satisfied: rule trivially satisfied.
+        assert!(r.satisfied(&i));
+        i.insert(atom("Router", &[1]));
+        // Body satisfied (Router present, Infected absent) but head missing.
+        assert!(r.body_satisfied(&i));
+        assert!(!r.satisfied(&i));
+        i.insert(atom("Infected", &[1, 1]));
+        // Negative literal now blocks the body.
+        assert!(!r.body_satisfied(&i));
+        assert!(r.satisfied(&i));
+    }
+
+    #[test]
+    fn program_set_semantics() {
+        let mut p = GroundProgram::new();
+        assert!(p.is_empty());
+        let r = GroundRule::fact(atom("A", &[]));
+        assert!(p.push(r.clone()));
+        assert!(!p.push(r.clone()));
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&r));
+
+        let q = GroundProgram::from_rules(vec![r.clone(), r.clone()]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn heads_atoms_predicates() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[1])),
+            GroundRule::new(atom("B", &[1]), vec![atom("A", &[1])], vec![atom("C", &[2])]),
+        ]);
+        assert_eq!(p.heads().len(), 2);
+        assert_eq!(p.atoms().len(), 3);
+        assert_eq!(p.predicates().len(), 3);
+        assert!(!p.is_positive());
+    }
+
+    #[test]
+    fn from_database_wraps_facts() {
+        let mut db = Database::new();
+        db.insert(atom("Router", &[1]));
+        db.insert(atom("Router", &[2]));
+        let p = GroundProgram::from_database(&db);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(GroundRule::is_fact));
+        assert_eq!(p.heads(), db);
+    }
+
+    #[test]
+    fn is_model_checks_all_rules() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[])),
+            GroundRule::new(atom("B", &[]), vec![atom("A", &[])], vec![]),
+        ]);
+        let mut m = Database::new();
+        assert!(!p.is_model(&m));
+        m.insert(atom("A", &[]));
+        assert!(!p.is_model(&m));
+        m.insert(atom("B", &[]));
+        assert!(p.is_model(&m));
+    }
+
+    #[test]
+    fn union_and_equality_are_order_insensitive() {
+        let a = GroundRule::fact(atom("A", &[]));
+        let b = GroundRule::fact(atom("B", &[]));
+        let p1 = GroundProgram::from_rules(vec![a.clone(), b.clone()]);
+        let p2 = GroundProgram::from_rules(vec![b, a]);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.union(&p2), p1);
+        assert_eq!(p1.canonical_rules(), p2.canonical_rules());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = GroundRule::new(
+            atom("B", &[1]),
+            vec![atom("A", &[1])],
+            vec![atom("C", &[1])],
+        );
+        assert_eq!(r.to_string(), "A(1), not C(1) -> B(1).");
+        assert_eq!(GroundRule::fact(atom("A", &[1])).to_string(), "-> A(1).");
+        let p = GroundProgram::from_rules(vec![r]);
+        assert!(p.to_string().contains("-> B(1)."));
+    }
+}

@@ -1,0 +1,183 @@
+//! Least models of positive ground programs.
+//!
+//! A ground program without negation has a unique minimal (least) model,
+//! computed here by forward chaining with a counting index (each rule keeps a
+//! counter of unsatisfied positive body atoms, so the total work is linear in
+//! the total body size).
+
+use crate::ground::{GroundProgram, GroundRule};
+use gdlog_data::{Database, GroundAtom};
+use std::collections::HashMap;
+
+/// Compute the least model of a *positive* ground program.
+///
+/// Negative body literals are not permitted; in debug builds their presence
+/// panics (use [`crate::reduct`] first to eliminate them). In release builds
+/// rules with negative literals are treated as violating this contract and
+/// are ignored, which keeps the function total but is never relied upon by
+/// the rest of the workspace.
+pub fn least_model(program: &GroundProgram) -> Database {
+    debug_assert!(
+        program.is_positive(),
+        "least_model expects a positive program; apply the reduct first"
+    );
+    least_model_of(program.iter().filter(|r| r.is_positive()))
+}
+
+/// Forward chaining over an iterator of positive rules.
+pub(crate) fn least_model_of<'a, I>(rules: I) -> Database
+where
+    I: IntoIterator<Item = &'a GroundRule>,
+{
+    let rules: Vec<&GroundRule> = rules.into_iter().collect();
+    // counts[i] = number of distinct positive body atoms of rule i not yet
+    // derived; watchers maps an atom to the rules waiting on it.
+    let mut counts: Vec<usize> = Vec::with_capacity(rules.len());
+    let mut watchers: HashMap<&GroundAtom, Vec<usize>> = HashMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+
+    for (i, rule) in rules.iter().enumerate() {
+        // Deduplicate body atoms so the counter matches the watcher structure.
+        let mut distinct: Vec<&GroundAtom> = rule.pos.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        counts.push(distinct.len());
+        if distinct.is_empty() {
+            queue.push(i);
+        } else {
+            for atom in distinct {
+                watchers.entry(atom).or_default().push(i);
+            }
+        }
+    }
+
+    let mut model = Database::new();
+    while let Some(rule_idx) = queue.pop() {
+        let head = &rules[rule_idx].head;
+        if !model.insert(head.clone()) {
+            continue;
+        }
+        if let Some(waiting) = watchers.get(head) {
+            for &w in waiting {
+                counts[w] -= 1;
+                if counts[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_data::Const;
+
+    fn atom(name: &str, args: &[i64]) -> GroundAtom {
+        GroundAtom::make(name, args.iter().map(|&i| Const::Int(i)).collect())
+    }
+
+    #[test]
+    fn facts_only() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[1])),
+            GroundRule::fact(atom("B", &[2])),
+        ]);
+        let m = least_model(&p);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&atom("A", &[1])));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        // Edge facts along a path 1 → 2 → 3 → 4 and the usual TC rules,
+        // pre-grounded over the relevant pairs.
+        let mut p = GroundProgram::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            p.push(GroundRule::fact(atom("E", &[a, b])));
+        }
+        for a in 1..=4 {
+            for b in 1..=4 {
+                p.push(GroundRule::new(
+                    atom("T", &[a, b]),
+                    vec![atom("E", &[a, b])],
+                    vec![],
+                ));
+                for c in 1..=4 {
+                    p.push(GroundRule::new(
+                        atom("T", &[a, c]),
+                        vec![atom("T", &[a, b]), atom("E", &[b, c])],
+                        vec![],
+                    ));
+                }
+            }
+        }
+        let m = least_model(&p);
+        let t_atoms: Vec<_> = m.iter().filter(|a| a.predicate.name() == "T").collect();
+        // Pairs (1,2),(1,3),(1,4),(2,3),(2,4),(3,4).
+        assert_eq!(t_atoms.len(), 6);
+        assert!(m.contains(&atom("T", &[1, 4])));
+        assert!(!m.contains(&atom("T", &[4, 1])));
+    }
+
+    #[test]
+    fn unreachable_heads_are_not_derived() {
+        let p = GroundProgram::from_rules(vec![GroundRule::new(
+            atom("B", &[]),
+            vec![atom("A", &[])],
+            vec![],
+        )]);
+        let m = least_model(&p);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_body_atoms_do_not_stall_derivation() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[])),
+            GroundRule::new(
+                atom("B", &[]),
+                vec![atom("A", &[]), atom("A", &[])],
+                vec![],
+            ),
+        ]);
+        let m = least_model(&p);
+        assert!(m.contains(&atom("B", &[])));
+    }
+
+    #[test]
+    fn cyclic_positive_rules_reach_fixpoint() {
+        // A :- B. B :- A. with no facts: least model is empty.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("A", &[]), vec![atom("B", &[])], vec![]),
+            GroundRule::new(atom("B", &[]), vec![atom("A", &[])], vec![]),
+        ]);
+        assert!(least_model(&p).is_empty());
+
+        // Adding a fact for A derives both.
+        let p2 = {
+            let mut p2 = p.clone();
+            p2.push(GroundRule::fact(atom("A", &[])));
+            p2
+        };
+        let m = least_model(&p2);
+        assert!(m.contains(&atom("A", &[])) && m.contains(&atom("B", &[])));
+    }
+
+    #[test]
+    fn least_model_is_a_model_and_minimal() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[])),
+            GroundRule::new(atom("B", &[]), vec![atom("A", &[])], vec![]),
+            GroundRule::new(atom("C", &[]), vec![atom("B", &[])], vec![]),
+        ]);
+        let m = least_model(&p);
+        assert!(p.is_model(&m));
+        // Removing any atom breaks modelhood: minimality for this chain.
+        for a in m.iter() {
+            let smaller = Database::from_atoms(m.iter().filter(|x| *x != a).cloned());
+            assert!(!p.is_model(&smaller));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # gdlog-engine — ground Datalog¬ programs and stable models
+//!
+//! This crate implements the model-theoretic machinery of Section 2 ("TGDs
+//! with Stable Negation") of *Generative Datalog with Stable Negation*, for
+//! the ground, existential-free programs the generative layer produces:
+//!
+//! * [`GroundRule`] / [`GroundProgram`] — ground TGD¬ rules
+//!   `B⁺, ¬B⁻ → H` and (possibly large) sets thereof,
+//! * [`least_model`] — the minimal model of a ground *positive* program
+//!   (semi-naive fixpoint),
+//! * [`reduct`] — the Gelfond–Lifschitz reduct of a ground program w.r.t. an
+//!   interpretation,
+//! * [`is_stable_model`] / [`stable_models`] — checking and enumerating the
+//!   stable models `sms(Σ)` (the classical models of `SM[Σ]`),
+//! * [`well_founded`] — the well-founded (alternating fixpoint) approximation
+//!   used to prune the stable-model search,
+//! * [`stratified`] — the linear-time evaluation of stratified programs,
+//!   which have exactly one stable model (used by Proposition 5.2),
+//! * [`DependencyGraph`] — predicate-level dependency graphs, strongly
+//!   connected components and topological strata (Figure 1 / Section 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depgraph;
+pub mod ground;
+pub mod least_model;
+pub mod reduct;
+pub mod stable;
+pub mod stratified;
+pub mod wellfounded;
+
+pub use depgraph::{DependencyGraph, EdgeSign, Stratification};
+pub use ground::{GroundProgram, GroundRule};
+pub use least_model::least_model;
+pub use reduct::reduct;
+pub use stable::{is_stable_model, stable_models, StableModelLimits};
+pub use stratified::{stratified_model, StratifiedError};
+pub use wellfounded::{well_founded, WellFounded};

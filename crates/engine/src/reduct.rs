@@ -1,0 +1,116 @@
+//! The Gelfond–Lifschitz reduct.
+//!
+//! Given a ground program Σ and an interpretation `I`, the reduct `Σ^I` is
+//! obtained by (i) deleting every rule with a negative literal `¬α` such that
+//! `α ∈ I`, and (ii) deleting all negative literals from the remaining rules.
+//! `I` is a stable model of Σ iff `I` is the least model of `Σ^I` — this is
+//! equivalent to the second-order characterisation `SM[Σ]` recalled in
+//! Section 2 of the paper (for ground programs).
+
+use crate::ground::{GroundProgram, GroundRule};
+use gdlog_data::Database;
+
+/// Compute the Gelfond–Lifschitz reduct `Σ^I` of `program` w.r.t.
+/// `interpretation`.
+pub fn reduct(program: &GroundProgram, interpretation: &Database) -> GroundProgram {
+    let mut out = GroundProgram::new();
+    for rule in program.iter() {
+        if rule.neg.iter().any(|a| interpretation.contains(a)) {
+            continue;
+        }
+        out.push(GroundRule::new(rule.head.clone(), rule.pos.clone(), Vec::new()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::least_model::least_model;
+    use gdlog_data::{Const, GroundAtom};
+
+    fn atom(name: &str) -> GroundAtom {
+        GroundAtom::make(name, vec![])
+    }
+
+    fn atom1(name: &str, arg: i64) -> GroundAtom {
+        GroundAtom::make(name, vec![Const::Int(arg)])
+    }
+
+    #[test]
+    fn reduct_of_positive_program_is_the_program_itself() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A")),
+            GroundRule::new(atom("B"), vec![atom("A")], vec![]),
+        ]);
+        let i = Database::new();
+        assert_eq!(reduct(&p, &i), p);
+    }
+
+    #[test]
+    fn rules_blocked_by_true_negated_atoms_are_removed() {
+        let p = GroundProgram::from_rules(vec![GroundRule::new(
+            atom("B"),
+            vec![atom("A")],
+            vec![atom("C")],
+        )]);
+        let mut i = Database::new();
+        i.insert(atom("C"));
+        assert!(reduct(&p, &i).is_empty());
+    }
+
+    #[test]
+    fn surviving_rules_lose_their_negative_literals() {
+        let p = GroundProgram::from_rules(vec![GroundRule::new(
+            atom("B"),
+            vec![atom("A")],
+            vec![atom("C")],
+        )]);
+        let i = Database::new();
+        let r = reduct(&p, &i);
+        assert_eq!(r.len(), 1);
+        let rule = r.iter().next().unwrap();
+        assert!(rule.neg.is_empty());
+        assert_eq!(rule.pos, vec![atom("A")]);
+        assert!(r.is_positive());
+    }
+
+    #[test]
+    fn classic_even_loop_reducts() {
+        // The classic program { a ← ¬b.  b ← ¬a. } has stable models {a}, {b}.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("a"), vec![], vec![atom("b")]),
+            GroundRule::new(atom("b"), vec![], vec![atom("a")]),
+        ]);
+        let ia = Database::from_atoms(vec![atom("a")]);
+        let ra = reduct(&p, &ia);
+        assert_eq!(least_model(&ra), ia);
+
+        let ib = Database::from_atoms(vec![atom("b")]);
+        let rb = reduct(&p, &ib);
+        assert_eq!(least_model(&rb), ib);
+
+        // The empty interpretation keeps both rules; its least model {a, b}
+        // differs from ∅, so ∅ is not stable.
+        let empty = Database::new();
+        let r_empty = reduct(&p, &empty);
+        assert_eq!(least_model(&r_empty).len(), 2);
+    }
+
+    #[test]
+    fn reduct_matches_paper_coin_intuition() {
+        // Coin(1) with the two auxiliary rules of Π_coin: the reduct w.r.t.
+        // {Coin(1), Aux1} removes the rule producing Aux2 via ¬Aux1... wait:
+        // Aux2 ← Coin(1), ¬Aux1 is deleted because Aux1 ∈ I; Aux1 ← Coin(1),
+        // ¬Aux2 survives without the negative literal.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom1("Coin", 1)),
+            GroundRule::new(atom("Aux2"), vec![atom1("Coin", 1)], vec![atom("Aux1")]),
+            GroundRule::new(atom("Aux1"), vec![atom1("Coin", 1)], vec![atom("Aux2")]),
+        ]);
+        let i = Database::from_atoms(vec![atom1("Coin", 1), atom("Aux1")]);
+        let r = reduct(&p, &i);
+        assert_eq!(r.len(), 2);
+        assert_eq!(least_model(&r), i);
+    }
+}

@@ -1,0 +1,380 @@
+//! Stable model checking and enumeration.
+//!
+//! An interpretation `I` is a stable model of a ground program Σ iff `I` is
+//! the least model of the Gelfond–Lifschitz reduct `Σ^I` — the ground special
+//! case of the second-order sentence `SM[Σ]` recalled in Section 2 of the
+//! paper. `sms(Σ)` is the set of all stable models.
+//!
+//! Enumeration proceeds by:
+//!
+//! 1. computing the well-founded model (atoms decided there have the same
+//!    value in every stable model and need not be branched on),
+//! 2. branching on the *negative signature*: the undecided atoms that occur
+//!    in some negative body literal — the reduct, and hence the candidate
+//!    stable model, is a function of exactly those atoms' truth values,
+//! 3. for every assignment, computing the least model of the corresponding
+//!    reduct and keeping it if it is a stable model consistent with the
+//!    assignment and the well-founded core.
+//!
+//! The search is exact; [`StableModelLimits`] only guards against pathological
+//! inputs (it returns an error instead of silently truncating).
+
+use crate::ground::GroundProgram;
+use crate::least_model::least_model;
+use crate::reduct::reduct;
+use crate::wellfounded::{well_founded, WellFounded};
+use gdlog_data::{Database, GroundAtom};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Guard rails for the stable-model search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StableModelLimits {
+    /// Maximum number of branching atoms (atoms occurring in negative body
+    /// literals and undecided by the well-founded model). The search space is
+    /// `2^branching`, so this effectively bounds the worst-case work.
+    pub max_branch_atoms: usize,
+    /// Maximum number of stable models to return.
+    pub max_models: usize,
+}
+
+impl Default for StableModelLimits {
+    fn default() -> Self {
+        StableModelLimits {
+            max_branch_atoms: 26,
+            max_models: 100_000,
+        }
+    }
+}
+
+/// Errors raised by the stable-model enumerator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StableError {
+    /// The program has more undecided negatively-occurring atoms than
+    /// [`StableModelLimits::max_branch_atoms`].
+    TooManyBranchAtoms {
+        /// Number of branching atoms found.
+        found: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// More than [`StableModelLimits::max_models`] stable models exist.
+    TooManyModels {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StableError::TooManyBranchAtoms { found, limit } => write!(
+                f,
+                "stable-model search would branch on {found} atoms (limit {limit})"
+            ),
+            StableError::TooManyModels { limit } => {
+                write!(f, "program has more than {limit} stable models")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StableError {}
+
+/// Is `interpretation` a stable model of `program`?
+pub fn is_stable_model(program: &GroundProgram, interpretation: &Database) -> bool {
+    least_model(&reduct(program, interpretation)) == *interpretation
+}
+
+/// Enumerate all stable models of `program`.
+///
+/// The result is returned in a canonical (sorted) order so that callers can
+/// compare sets of stable models structurally.
+pub fn stable_models(
+    program: &GroundProgram,
+    limits: &StableModelLimits,
+) -> Result<Vec<Database>, StableError> {
+    let wf = well_founded(program);
+
+    // Fast path: a total well-founded model is the unique stable model
+    // (provided it actually is one — odd loops can make it non-stable, but a
+    // total WFM is always stable).
+    if wf.is_total() {
+        return Ok(vec![wf.true_atoms.clone()]);
+    }
+
+    let branch_atoms = branching_atoms(program, &wf);
+    if branch_atoms.len() > limits.max_branch_atoms {
+        return Err(StableError::TooManyBranchAtoms {
+            found: branch_atoms.len(),
+            limit: limits.max_branch_atoms,
+        });
+    }
+
+    let mut found: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
+    let mut assumed_true = Database::new();
+    search(
+        program,
+        &wf,
+        &branch_atoms,
+        0,
+        &mut assumed_true,
+        &mut found,
+        limits,
+    )?;
+
+    Ok(found
+        .into_iter()
+        .map(Database::from_atoms)
+        .collect())
+}
+
+/// The atoms the search must branch on: undecided atoms that occur in a
+/// negative body literal of some rule.
+fn branching_atoms(program: &GroundProgram, wf: &WellFounded) -> Vec<GroundAtom> {
+    let mut set: BTreeSet<GroundAtom> = BTreeSet::new();
+    for rule in program.iter() {
+        for a in &rule.neg {
+            if wf.unknown_atoms.contains(a) {
+                set.insert(a.clone());
+            }
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn search(
+    program: &GroundProgram,
+    wf: &WellFounded,
+    branch: &[GroundAtom],
+    idx: usize,
+    assumed_true: &mut Database,
+    found: &mut BTreeSet<Vec<GroundAtom>>,
+    limits: &StableModelLimits,
+) -> Result<(), StableError> {
+    if idx == branch.len() {
+        // The reduct only depends on the truth of negatively-occurring atoms.
+        // Atoms decided true by the WFM are in every stable model; assumed
+        // atoms complete the negative signature.
+        let mut guess = wf.true_atoms.union(assumed_true);
+        // Branch atoms not assumed true are assumed false — they are simply
+        // absent from `guess`.
+        let candidate = least_model(&reduct(program, &guess));
+        // The candidate must agree with the guess on the negative signature,
+        // otherwise the reduct we used was not the candidate's own reduct.
+        for a in branch {
+            let guessed = assumed_true.contains(a);
+            if candidate.contains(a) != guessed {
+                return Ok(());
+            }
+        }
+        guess = candidate;
+        if is_stable_model(program, &guess) {
+            if found.len() >= limits.max_models {
+                return Err(StableError::TooManyModels {
+                    limit: limits.max_models,
+                });
+            }
+            found.insert(guess.canonical_atoms());
+        }
+        return Ok(());
+    }
+
+    // Branch: atom false first (keeps models small/minimal-ish early).
+    search(program, wf, branch, idx + 1, assumed_true, found, limits)?;
+    assumed_true.insert(branch[idx].clone());
+    search(program, wf, branch, idx + 1, assumed_true, found, limits)?;
+    // Backtrack: rebuild without the atom (Database has no remove; cheap for
+    // the sizes involved).
+    let without: Database = Database::from_atoms(
+        assumed_true
+            .iter()
+            .filter(|a| **a != branch[idx])
+            .cloned(),
+    );
+    *assumed_true = without;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::GroundRule;
+    use gdlog_data::Const;
+
+    fn atom(name: &str) -> GroundAtom {
+        GroundAtom::make(name, vec![])
+    }
+
+    fn atom1(name: &str, arg: i64) -> GroundAtom {
+        GroundAtom::make(name, vec![Const::Int(arg)])
+    }
+
+    fn models(p: &GroundProgram) -> Vec<Database> {
+        stable_models(p, &StableModelLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn positive_program_has_its_least_model_as_unique_stable_model() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A")),
+            GroundRule::new(atom("B"), vec![atom("A")], vec![]),
+        ]);
+        let ms = models(&p);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0], least_model(&p));
+        assert!(is_stable_model(&p, &ms[0]));
+    }
+
+    #[test]
+    fn even_loop_has_two_stable_models() {
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("a"), vec![], vec![atom("b")]),
+            GroundRule::new(atom("b"), vec![], vec![atom("a")]),
+        ]);
+        let ms = models(&p);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&Database::from_atoms(vec![atom("a")])));
+        assert!(ms.contains(&Database::from_atoms(vec![atom("b")])));
+        assert!(!is_stable_model(&p, &Database::new()));
+        assert!(!is_stable_model(
+            &p,
+            &Database::from_atoms(vec![atom("a"), atom("b")])
+        ));
+    }
+
+    #[test]
+    fn odd_loop_has_no_stable_model() {
+        let p = GroundProgram::from_rules(vec![GroundRule::new(
+            atom("a"),
+            vec![],
+            vec![atom("a")],
+        )]);
+        assert!(models(&p).is_empty());
+    }
+
+    #[test]
+    fn constraint_encoding_via_fail_aux() {
+        // The paper's ⊥ encoding: Fail, ¬Aux → Aux kills every model with
+        // Fail. Program: Fail ← ¬G.  G ← ¬F.  F ← ¬G.  plus the constraint.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("Fail"), vec![], vec![atom("G")]),
+            GroundRule::new(atom("G"), vec![], vec![atom("F")]),
+            GroundRule::new(atom("F"), vec![], vec![atom("G")]),
+            GroundRule::new(atom("Aux"), vec![atom("Fail")], vec![atom("Aux")]),
+        ]);
+        let ms = models(&p);
+        // Without the constraint there would be two stable models ({G} and
+        // {F, Fail}); the constraint eliminates the one containing Fail.
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].contains(&atom("G")));
+        assert!(!ms[0].contains(&atom("Fail")));
+    }
+
+    #[test]
+    fn coin_program_stable_models_match_paper() {
+        // Π_coin for the configuration Coin(1): two stable models
+        // {Coin(1), Aux1} and {Coin(1), Aux2} (§3 of the paper).
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom1("Coin", 1)),
+            GroundRule::new(atom("Aux2"), vec![atom1("Coin", 1)], vec![atom("Aux1")]),
+            GroundRule::new(atom("Aux1"), vec![atom1("Coin", 1)], vec![atom("Aux2")]),
+        ]);
+        let ms = models(&p);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.contains(&Database::from_atoms(vec![atom1("Coin", 1), atom("Aux1")])));
+        assert!(ms.contains(&Database::from_atoms(vec![atom1("Coin", 1), atom("Aux2")])));
+
+        // For the configuration Coin(0) with the constraint Coin(0) → ⊥
+        // (encoded via Fail/Aux) there is no stable model.
+        let p0 = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom1("Coin", 0)),
+            GroundRule::new(atom("Fail"), vec![atom1("Coin", 0)], vec![]),
+            GroundRule::new(atom("Aux"), vec![atom("Fail")], vec![atom("Aux")]),
+            GroundRule::new(atom("Aux2"), vec![atom1("Coin", 1)], vec![atom("Aux1")]),
+            GroundRule::new(atom("Aux1"), vec![atom1("Coin", 1)], vec![atom("Aux2")]),
+        ]);
+        assert!(models(&p0).is_empty());
+    }
+
+    #[test]
+    fn stable_models_are_minimal_models() {
+        // Every stable model is a minimal (classical) model of the program.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("a"), vec![], vec![atom("b")]),
+            GroundRule::new(atom("b"), vec![], vec![atom("a")]),
+            GroundRule::new(atom("c"), vec![atom("a")], vec![]),
+        ]);
+        for m in models(&p) {
+            assert!(p.is_model(&m));
+            for a in m.iter() {
+                let smaller = Database::from_atoms(m.iter().filter(|x| *x != a).cloned());
+                assert!(
+                    !p.is_model(&smaller) || !is_stable_model(&p, &smaller),
+                    "proper subset is also a model and stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn three_independent_choices_give_eight_models() {
+        let mut p = GroundProgram::new();
+        for i in 1..=3 {
+            p.push(GroundRule::new(atom1("In", i), vec![], vec![atom1("Out", i)]));
+            p.push(GroundRule::new(atom1("Out", i), vec![], vec![atom1("In", i)]));
+        }
+        let ms = models(&p);
+        assert_eq!(ms.len(), 8);
+        // All models are distinct and each picks exactly one of In(i)/Out(i).
+        for m in &ms {
+            for i in 1..=3 {
+                assert!(m.contains(&atom1("In", i)) ^ m.contains(&atom1("Out", i)));
+            }
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let mut p = GroundProgram::new();
+        for i in 0..6 {
+            p.push(GroundRule::new(atom1("In", i), vec![], vec![atom1("Out", i)]));
+            p.push(GroundRule::new(atom1("Out", i), vec![], vec![atom1("In", i)]));
+        }
+        let tight = StableModelLimits {
+            max_branch_atoms: 4,
+            max_models: 100,
+        };
+        assert!(matches!(
+            stable_models(&p, &tight),
+            Err(StableError::TooManyBranchAtoms { .. })
+        ));
+        let tight_models = StableModelLimits {
+            max_branch_atoms: 64,
+            max_models: 10,
+        };
+        assert!(matches!(
+            stable_models(&p, &tight_models),
+            Err(StableError::TooManyModels { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StableError::TooManyBranchAtoms { found: 40, limit: 26 };
+        assert!(e.to_string().contains("40"));
+        let e = StableError::TooManyModels { limit: 5 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn stable_model_check_rejects_non_models() {
+        let p = GroundProgram::from_rules(vec![GroundRule::fact(atom("A"))]);
+        assert!(!is_stable_model(&p, &Database::new()));
+        assert!(is_stable_model(&p, &Database::from_atoms(vec![atom("A")])));
+        assert!(!is_stable_model(
+            &p,
+            &Database::from_atoms(vec![atom("A"), atom("B")])
+        ));
+    }
+}

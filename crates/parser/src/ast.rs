@@ -1,0 +1,100 @@
+//! A thin AST layer between the parser and `gdlog-core`.
+//!
+//! The parser produces [`RuleAst`] values which distinguish ordinary rules
+//! from constraints (`body -> false.`); [`ParsedProgram`] assembles them into
+//! a [`gdlog_core::Program`] (desugaring constraints through
+//! [`gdlog_core::Program::push_constraint`]) and collects ground facts into a
+//! [`gdlog_data::Database`].
+
+use gdlog_core::{CoreError, Program, Rule};
+use gdlog_data::{Atom, Database};
+
+/// One parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleAst {
+    /// An ordinary rule (possibly a fact if the body is empty).
+    Rule(Rule),
+    /// A constraint `pos, not neg -> false.`
+    Constraint {
+        /// Positive body atoms.
+        pos: Vec<Atom>,
+        /// Negative body atoms.
+        neg: Vec<Atom>,
+    },
+}
+
+/// The result of parsing a program text: rules plus ground facts.
+///
+/// Bodyless, variable-free, Δ-free heads (e.g. `Router(1).`) are treated as
+/// database facts rather than program rules, matching the paper's `Π[D]`
+/// construction which keeps the database separate.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedProgram {
+    /// The program rules (facts with variables or Δ-terms stay here).
+    pub statements: Vec<RuleAst>,
+    /// The ground facts, as a database.
+    pub facts: Database,
+}
+
+impl ParsedProgram {
+    /// Convert into a validated [`Program`] (the facts are returned
+    /// alongside so callers can pass them as the input database).
+    pub fn into_program(self) -> Result<(Program, Database), CoreError> {
+        let mut program = Program::new(Vec::new());
+        for statement in self.statements {
+            match statement {
+                RuleAst::Rule(rule) => program.push(rule),
+                RuleAst::Constraint { pos, neg } => program.push_constraint(pos, neg),
+            }
+        }
+        program.validate()?;
+        Ok((program, self.facts))
+    }
+
+    /// Number of parsed statements (excluding facts).
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Number of parsed ground facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_core::{Head, HeadTerm};
+    use gdlog_data::Term;
+
+    #[test]
+    fn into_program_desugars_constraints() {
+        let parsed = ParsedProgram {
+            statements: vec![
+                RuleAst::Rule(Rule::new(
+                    vec![Atom::make("A", vec![Term::var("x")])],
+                    vec![],
+                    Head::make("B", vec![HeadTerm::var("x")]),
+                )),
+                RuleAst::Constraint {
+                    pos: vec![Atom::make("B", vec![Term::var("x")])],
+                    neg: vec![],
+                },
+            ],
+            facts: Database::new(),
+        };
+        let (program, facts) = parsed.into_program().unwrap();
+        // Rule + constraint rule + fail/aux rule.
+        assert_eq!(program.len(), 3);
+        assert!(facts.is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let mut parsed = ParsedProgram::default();
+        assert_eq!(parsed.statement_count(), 0);
+        parsed.facts.insert_fact("Router", [1i64]);
+        assert_eq!(parsed.fact_count(), 1);
+    }
+}

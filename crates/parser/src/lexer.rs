@@ -1,0 +1,445 @@
+//! Tokenizer for the GDatalog¬\[Δ\] surface syntax.
+
+use std::fmt;
+
+/// The kinds of token produced by the lexer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// An identifier starting with an upper-case letter (predicate or
+    /// distribution name).
+    UpperIdent(String),
+    /// An identifier starting with a lower-case letter or `_` (variable).
+    LowerIdent(String),
+    /// A symbolic constant written `#name` or a quoted string `"name"`.
+    SymbolConst(String),
+    /// An integer literal.
+    Int(i64),
+    /// A decimal literal (kept as text so the parser can build an exact
+    /// rational or a float constant as appropriate).
+    Decimal(String),
+    /// `not` or `!`.
+    Not,
+    /// `false` or `#fail` (a ⊥ rule head).
+    False,
+    /// `->`.
+    Arrow,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `<`.
+    LAngle,
+    /// `>`.
+    RAngle,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::UpperIdent(s) | TokenKind::LowerIdent(s) => write!(f, "{s}"),
+            TokenKind::SymbolConst(s) => write!(f, "#{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Decimal(s) => write!(f, "{s}"),
+            TokenKind::Not => write!(f, "not"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LAngle => write!(f, "<"),
+            TokenKind::RAngle => write!(f, ">"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload).
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The lexer.
+pub struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            _source: source,
+        }
+    }
+
+    /// Tokenize the whole input (the trailing [`TokenKind::Eof`] is included).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let token = self.next_token()?;
+            let is_eof = token.kind == TokenKind::Eof;
+            out.push(token);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia();
+        let line = self.line;
+        let column = self.column;
+        let make = |kind| Token { kind, line, column };
+        let c = match self.peek() {
+            None => return Ok(make(TokenKind::Eof)),
+            Some(c) => c,
+        };
+        match c {
+            '(' => {
+                self.bump();
+                Ok(make(TokenKind::LParen))
+            }
+            ')' => {
+                self.bump();
+                Ok(make(TokenKind::RParen))
+            }
+            '<' => {
+                self.bump();
+                Ok(make(TokenKind::LAngle))
+            }
+            '>' => {
+                self.bump();
+                Ok(make(TokenKind::RAngle))
+            }
+            '[' => {
+                self.bump();
+                Ok(make(TokenKind::LBracket))
+            }
+            ']' => {
+                self.bump();
+                Ok(make(TokenKind::RBracket))
+            }
+            ',' => {
+                self.bump();
+                Ok(make(TokenKind::Comma))
+            }
+            '.' => {
+                self.bump();
+                Ok(make(TokenKind::Dot))
+            }
+            '!' => {
+                self.bump();
+                Ok(make(TokenKind::Not))
+            }
+            '-' => {
+                self.bump();
+                match self.peek() {
+                    Some('>') => {
+                        self.bump();
+                        Ok(make(TokenKind::Arrow))
+                    }
+                    Some(d) if d.is_ascii_digit() => self.number(true, line, column),
+                    _ => Err(self.error("expected '>' or a digit after '-'")),
+                }
+            }
+            '#' => {
+                self.bump();
+                let name = self.ident_chars();
+                if name.is_empty() {
+                    return Err(self.error("expected a name after '#'"));
+                }
+                if name == "fail" {
+                    Ok(make(TokenKind::False))
+                } else {
+                    Ok(make(TokenKind::SymbolConst(name)))
+                }
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Ok(make(TokenKind::SymbolConst(s)))
+            }
+            d if d.is_ascii_digit() => self.number(false, line, column),
+            a if a.is_alphabetic() || a == '_' => {
+                let word = self.ident_chars();
+                let kind = match word.as_str() {
+                    "not" => TokenKind::Not,
+                    "false" => TokenKind::False,
+                    _ => {
+                        let first = word.chars().next().expect("non-empty identifier");
+                        if first.is_uppercase() {
+                            TokenKind::UpperIdent(word)
+                        } else {
+                            TokenKind::LowerIdent(word)
+                        }
+                    }
+                };
+                Ok(make(kind))
+            }
+            other => Err(self.error(format!("unexpected character {other:?}"))),
+        }
+    }
+
+    fn ident_chars(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self, negative: bool, line: usize, column: usize) -> Result<Token, LexError> {
+        let mut digits = String::new();
+        if negative {
+            digits.push('-');
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A decimal point followed by a digit continues the number; a bare
+        // '.' is the end-of-rule dot.
+        if self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            digits.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Token {
+                kind: TokenKind::Decimal(digits),
+                line,
+                column,
+            });
+        }
+        let value: i64 = digits
+            .parse()
+            .map_err(|_| self.error(format!("integer literal {digits} out of range")))?;
+        Ok(Token {
+            kind: TokenKind::Int(value),
+            line,
+            column,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        Lexer::new(source)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_paper_rule() {
+        let ks = kinds("Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y]).");
+        assert!(ks.contains(&TokenKind::UpperIdent("Infected".into())));
+        assert!(ks.contains(&TokenKind::LowerIdent("x".into())));
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Decimal("0.1".into())));
+        assert!(ks.contains(&TokenKind::LAngle));
+        assert!(ks.contains(&TokenKind::LBracket));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn negation_and_false_keywords() {
+        let ks = kinds("Router(x), not Infected(x, 1) -> Uninfected(x). A(x) -> false.");
+        assert!(ks.contains(&TokenKind::Not));
+        assert!(ks.contains(&TokenKind::False));
+        let ks = kinds("A(x), !B(x) -> #fail.");
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Not).count(), 1);
+        assert!(ks.contains(&TokenKind::False));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let ks = kinds("% a comment\n// another\n  Router(1).");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::UpperIdent("Router".into()),
+                TokenKind::LParen,
+                TokenKind::Int(1),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_integers_decimals_negatives() {
+        assert_eq!(
+            kinds("3 -4 2.5 -0.25"),
+            vec![
+                TokenKind::Int(3),
+                TokenKind::Int(-4),
+                TokenKind::Decimal("2.5".into()),
+                TokenKind::Decimal("-0.25".into()),
+                TokenKind::Eof
+            ]
+        );
+        // A trailing dot is the rule terminator, not part of the number.
+        assert_eq!(
+            kinds("Router(3)."),
+            vec![
+                TokenKind::UpperIdent("Router".into()),
+                TokenKind::LParen,
+                TokenKind::Int(3),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn symbolic_constants() {
+        assert_eq!(
+            kinds("#alice \"bob\""),
+            vec![
+                TokenKind::SymbolConst("alice".into()),
+                TokenKind::SymbolConst("bob".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = Lexer::new("Router(1) @").tokenize().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+        assert!(err.to_string().contains("unexpected"));
+        assert!(Lexer::new("\"unterminated").tokenize().is_err());
+        assert!(Lexer::new("- x").tokenize().is_err());
+        assert!(Lexer::new("#").tokenize().is_err());
+    }
+}

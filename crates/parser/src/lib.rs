@@ -1,0 +1,39 @@
+//! # gdlog-parser — surface syntax for GDatalog¬\[Δ\]
+//!
+//! A hand-written lexer and recursive-descent parser for the rule syntax used
+//! throughout the paper's examples, e.g. the network-resilience program of
+//! Example 3.1:
+//!
+//! ```text
+//! % malware propagation
+//! Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y]).
+//! Router(x), not Infected(x, 1) -> Uninfected(x).
+//! Uninfected(x), Uninfected(y), Connected(x, y) -> false.
+//! ```
+//!
+//! and databases as lists of facts:
+//!
+//! ```text
+//! Router(1). Router(2). Router(3).
+//! Connected(1, 2). Connected(2, 1). Infected(1, 1).
+//! ```
+//!
+//! Identifiers starting with a lower-case letter are variables; identifiers
+//! starting with an upper-case letter are predicate names (inside argument
+//! positions, quoted strings and numbers are constants and `#name` is a
+//! symbolic constant). `not` (or `!`) marks negative body literals, `false`
+//! (or `#fail`) as a rule head is the ⊥ of Example 3.1 and is desugared by
+//! `gdlog-core` into the `Fail, ¬Aux → Aux` encoding described in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{ParsedProgram, RuleAst};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_database, parse_program, parse_rule, ParseError};
+pub use pretty::{pretty_database, pretty_program, pretty_rule};

@@ -1,0 +1,492 @@
+//! Recursive-descent parser for GDatalog¬\[Δ\] programs and databases.
+
+use crate::ast::{ParsedProgram, RuleAst};
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use gdlog_core::{CoreError, DeltaTerm, Head, HeadTerm, Program, Rule};
+use gdlog_data::{Atom, Const, Database, Term};
+use gdlog_prob::Rational;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// 1-based line number (0 when the error comes from program validation).
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.line, self.column, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            column: e.column,
+        }
+    }
+}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError {
+            message: e.to_string(),
+            line: 0,
+            column: 0,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: Lexer::new(source).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            column: t.column,
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error_at(format!("expected `{kind}`, found `{}`", self.peek().kind)))
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    /// statement := literal ("," literal)* "->" head "." | head "." (fact)
+    fn statement(&mut self) -> Result<RuleAst, ParseError> {
+        // A statement is either `head.` (a fact) or `body -> head.`; we parse
+        // a comma-separated list of literals, then decide based on the next
+        // token.
+        let mut pos: Vec<Atom> = Vec::new();
+        let mut neg: Vec<Atom> = Vec::new();
+
+        if self.peek().kind == TokenKind::Arrow {
+            // Explicit bodyless rule `-> Head.` (the paper's `→ Coin(...)`).
+            self.bump();
+            let head = self.head()?;
+            self.expect(&TokenKind::Dot)?;
+            return Ok(RuleAst::Rule(Rule::new(pos, neg, head)));
+        }
+
+        loop {
+            let negated = matches!(self.peek().kind, TokenKind::Not);
+            if negated {
+                self.bump();
+            }
+            // A head position may also be `false`; but `false` can only
+            // appear after `->`, which is handled below, so here we always
+            // parse an atom.
+            let atom = self.atom()?;
+            if negated {
+                neg.push(atom);
+            } else {
+                pos.push(atom);
+            }
+            match self.peek().kind.clone() {
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::Arrow => {
+                    self.bump();
+                    if self.peek().kind == TokenKind::False {
+                        self.bump();
+                        self.expect(&TokenKind::Dot)?;
+                        return Ok(RuleAst::Constraint { pos, neg });
+                    }
+                    let head = self.head()?;
+                    self.expect(&TokenKind::Dot)?;
+                    return Ok(RuleAst::Rule(Rule::new(pos, neg, head)));
+                }
+                TokenKind::Dot => {
+                    // A fact: a single positive atom followed by '.'.
+                    self.bump();
+                    if pos.len() == 1 && neg.is_empty() {
+                        let atom = pos.pop().expect("one atom");
+                        let head = Head::make(
+                            &atom.predicate.name(),
+                            atom.args.into_iter().map(HeadTerm::Term).collect(),
+                        );
+                        return Ok(RuleAst::Rule(Rule::new(Vec::new(), Vec::new(), head)));
+                    }
+                    return Err(self.error_at("a fact must consist of a single positive atom"));
+                }
+                other => {
+                    return Err(
+                        self.error_at(format!("expected `,`, `->` or `.`, found `{other}`"))
+                    )
+                }
+            }
+        }
+    }
+
+    /// head := UpperIdent "(" head_term ("," head_term)* ")" | UpperIdent
+    fn head(&mut self) -> Result<Head, ParseError> {
+        let name = match self.bump().kind {
+            TokenKind::UpperIdent(name) => name,
+            other => return Err(self.error_at(format!("expected a predicate name, found `{other}`"))),
+        };
+        let mut args = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    args.push(self.head_term()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Head::make(&name, args))
+    }
+
+    /// head_term := term | UpperIdent "<" term,* ">" ("[" term,* "]")?
+    fn head_term(&mut self) -> Result<HeadTerm, ParseError> {
+        if let TokenKind::UpperIdent(name) = self.peek().kind.clone() {
+            // Look ahead: `Name<` is a Δ-term, `Name` alone is a symbolic
+            // constant-like predicate misuse; we require Δ-terms to use `<`.
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LAngle) {
+                self.bump();
+                self.bump();
+                let mut params = Vec::new();
+                if self.peek().kind != TokenKind::RAngle {
+                    loop {
+                        params.push(self.term()?);
+                        if self.peek().kind == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RAngle)?;
+                let mut event = Vec::new();
+                if self.peek().kind == TokenKind::LBracket {
+                    self.bump();
+                    if self.peek().kind != TokenKind::RBracket {
+                        loop {
+                            event.push(self.term()?);
+                            if self.peek().kind == TokenKind::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                }
+                return Ok(HeadTerm::Delta(DeltaTerm::new(&name, params, event)));
+            }
+        }
+        Ok(HeadTerm::Term(self.term()?))
+    }
+
+    /// atom := UpperIdent ("(" term ("," term)* ")")?
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump().kind {
+            TokenKind::UpperIdent(name) => name,
+            other => return Err(self.error_at(format!("expected a predicate name, found `{other}`"))),
+        };
+        let mut args = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    args.push(self.term()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(Atom::make(&name, args))
+    }
+
+    /// term := LowerIdent | Int | Decimal | SymbolConst | "true" | "false"-ish
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let token = self.bump();
+        match token.kind {
+            TokenKind::LowerIdent(name) => {
+                match name.as_str() {
+                    // `true`/`false` inside arguments would be surprising; we
+                    // accept them as booleans for convenience.
+                    "true" => Ok(Term::Const(Const::Bool(true))),
+                    _ => Ok(Term::var(&name)),
+                }
+            }
+            TokenKind::Int(i) => Ok(Term::int(i)),
+            TokenKind::Decimal(text) => {
+                // Keep decimals exact when possible.
+                let value = Rational::from_decimal_str(&text)
+                    .map(|r| r.to_f64())
+                    .or_else(|| text.parse::<f64>().ok())
+                    .ok_or_else(|| ParseError {
+                        message: format!("invalid decimal literal {text}"),
+                        line: token.line,
+                        column: token.column,
+                    })?;
+                Ok(Term::Const(Const::real(value).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line: token.line,
+                    column: token.column,
+                })?))
+            }
+            TokenKind::SymbolConst(name) => Ok(Term::sym(&name)),
+            // `false` in an argument position is the boolean constant (as a
+            // rule head it is ⊥ and handled by the statement parser).
+            TokenKind::False => Ok(Term::Const(Const::Bool(false))),
+            other => Err(ParseError {
+                message: format!("expected a term, found `{other}`"),
+                line: token.line,
+                column: token.column,
+            }),
+        }
+    }
+
+    fn parse_statements(&mut self) -> Result<Vec<RuleAst>, ParseError> {
+        let mut out = Vec::new();
+        while !self.at_eof() {
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Is a parsed rule a *ground fact* (no body, no variables, no Δ-terms)?
+fn as_ground_fact(rule: &Rule) -> Option<gdlog_data::GroundAtom> {
+    if !rule.pos.is_empty() || !rule.neg.is_empty() || rule.head.has_delta() {
+        return None;
+    }
+    rule.head.as_atom().and_then(|a| a.to_ground().ok())
+}
+
+/// Parse a program text into rules and ground facts.
+pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let statements = parser.parse_statements()?;
+    let mut parsed = ParsedProgram::default();
+    for statement in statements {
+        match statement {
+            RuleAst::Rule(rule) => match as_ground_fact(&rule) {
+                Some(fact) => {
+                    parsed.facts.insert(fact);
+                }
+                None => parsed.statements.push(RuleAst::Rule(rule)),
+            },
+            constraint => parsed.statements.push(constraint),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parse a program text into a validated [`Program`] and the ground facts it
+/// contains (its input database fragment).
+pub fn parse_program(source: &str) -> Result<(Program, Database), ParseError> {
+    Ok(parse_source(source)?.into_program()?)
+}
+
+/// Parse a database: a list of ground facts `R(c1, …, cn).`
+pub fn parse_database(source: &str) -> Result<Database, ParseError> {
+    let parsed = parse_source(source)?;
+    if !parsed.statements.is_empty() {
+        return Err(ParseError {
+            message: "a database may only contain ground facts".to_owned(),
+            line: 0,
+            column: 0,
+        });
+    }
+    Ok(parsed.facts)
+}
+
+/// Parse a single rule (convenience for tests and doc examples).
+pub fn parse_rule(source: &str) -> Result<Rule, ParseError> {
+    let parsed = parse_source(source)?;
+    let mut rules: Vec<Rule> = Vec::new();
+    for statement in parsed.statements {
+        match statement {
+            RuleAst::Rule(r) => rules.push(r),
+            RuleAst::Constraint { .. } => {
+                return Err(ParseError {
+                    message: "expected a rule, found a constraint".to_owned(),
+                    line: 0,
+                    column: 0,
+                })
+            }
+        }
+    }
+    for fact in parsed.facts.canonical_atoms() {
+        rules.push(Rule::fact(Head::make(
+            &fact.predicate.name(),
+            fact.args
+                .into_iter()
+                .map(|c| HeadTerm::Term(Term::Const(c)))
+                .collect(),
+        )));
+    }
+    if rules.len() != 1 {
+        return Err(ParseError {
+            message: format!("expected exactly one rule, found {}", rules.len()),
+            line: 0,
+            column: 0,
+        });
+    }
+    Ok(rules.into_iter().next().expect("one rule"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_core::network_resilience_program;
+
+    const NETWORK: &str = r#"
+        % Example 3.1: network resilience
+        Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y]).
+        Router(x), not Infected(x, 1) -> Uninfected(x).
+        Uninfected(x), Uninfected(y), Connected(x, y) -> false.
+
+        Router(1). Router(2). Router(3).
+        Connected(1, 2). Connected(2, 1).
+        Connected(1, 3). Connected(3, 1).
+        Connected(2, 3). Connected(3, 2).
+        Infected(1, 1).
+    "#;
+
+    #[test]
+    fn parses_the_network_example_end_to_end() {
+        let (program, db) = parse_program(NETWORK).unwrap();
+        assert_eq!(program.len(), 4); // 2 rules + constraint + fail/aux
+        assert_eq!(db.len(), 10);
+        assert!(program.is_probabilistic());
+        // The parsed program is textually identical to the programmatic one.
+        assert_eq!(
+            program.to_string(),
+            network_resilience_program(0.1).to_string()
+        );
+    }
+
+    #[test]
+    fn parses_the_coin_program() {
+        let source = r#"
+            -> Coin(Flip<0.5>).
+            Coin(0) -> false.
+            Coin(1), not Aux1 -> Aux2.
+            Coin(1), not Aux2 -> Aux1.
+        "#;
+        let (program, db) = parse_program(source).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(program.len(), 5);
+        assert!(!program.has_stratified_negation());
+    }
+
+    #[test]
+    fn parses_facts_variables_and_symbols() {
+        let (program, db) =
+            parse_program("Likes(#alice, \"bob\").  Knows(x, y), Likes(x, y) -> Friend(x, y).")
+                .unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(program.len(), 1);
+    }
+
+    #[test]
+    fn parse_database_accepts_only_facts() {
+        let db = parse_database("Router(1). Router(2). Connected(1, 2).").unwrap();
+        assert_eq!(db.len(), 3);
+        assert!(parse_database("A(x) -> B(x).").is_err());
+    }
+
+    #[test]
+    fn parse_rule_variants() {
+        let rule = parse_rule("Dime(x) -> DimeTail(x, Flip<0.5>[x]).").unwrap();
+        assert!(rule.is_probabilistic());
+        assert!(parse_rule("A(x) -> B(x). C(x) -> D(x).").is_err());
+        assert!(parse_rule("A(x) -> false.").is_err());
+        let fact = parse_rule("Router(7).").unwrap();
+        assert!(fact.pos.is_empty());
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse_program("Router(1)").unwrap_err();
+        assert!(err.line >= 1);
+        assert!(err.to_string().contains("expected"));
+
+        let err = parse_program("router(x) -> Up(x).").unwrap_err();
+        assert!(err.to_string().contains("predicate"));
+
+        let err = parse_program("A(x), -> B(x).").unwrap_err();
+        assert!(err.to_string().contains("predicate name"));
+
+        // Unsafe rules are rejected through validation.
+        let err = parse_program("A(x) -> B(z).").unwrap_err();
+        assert!(err.to_string().contains("unsafe"));
+    }
+
+    #[test]
+    fn boolean_convenience_terms() {
+        let (program, _) = parse_program("Router(x) -> Flag(x, true).").unwrap();
+        assert_eq!(program.len(), 1);
+    }
+
+    #[test]
+    fn delta_terms_with_empty_event_and_multiple_params() {
+        let rule =
+            parse_rule("Player(x) -> Score(x, Categorical<0.2, 0.3, 0.5>[x]).").unwrap();
+        match &rule.head.args[1] {
+            HeadTerm::Delta(d) => {
+                assert_eq!(d.params.len(), 3);
+                assert_eq!(d.event.len(), 1);
+            }
+            _ => panic!("expected a Δ-term"),
+        }
+    }
+}

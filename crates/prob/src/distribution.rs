@@ -1,0 +1,542 @@
+//! Parameterized numerical discrete probability distributions.
+//!
+//! A parameterized probability distribution `δ : R^k → P_Ω` (Section 2 of the
+//! paper) maps a parameter tuple `p̄` to a discrete distribution `δ⟨p̄⟩` over a
+//! numerical sample space `Ω ⊆ R`. The finite set Δ of such distributions a
+//! program may mention is collected in a [`crate::DeltaRegistry`].
+//!
+//! The built-in distributions are:
+//!
+//! * [`Distribution::Flip`] — `Flip⟨p⟩(1) = p`, `Flip⟨p⟩(0) = 1 − p`
+//!   (Example 3.1 and the coin program of §3),
+//! * [`Distribution::Die`] — the biased die of Appendix B: parameters
+//!   `p1..p6`; if they sum to 1 the outcomes `1..6` get those probabilities
+//!   and `0` gets probability 0, otherwise outcome `0` gets probability 1,
+//! * [`Distribution::Categorical`] — outcomes `1..k` with the given weights
+//!   (same invalid-parameter convention as `Die`),
+//! * [`Distribution::UniformInt`] — uniform over the integer range `[lo, hi]`,
+//! * [`Distribution::Geometric`] — `P(k) = (1−p)^k · p` over `k = 0, 1, 2, …`,
+//!   a countably *infinite* support used to exercise the error event
+//!   machinery of the semantics.
+
+use crate::probability::Prob;
+use crate::rational::Rational;
+use gdlog_data::Const;
+use std::fmt;
+
+/// Errors raised when evaluating a distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The number of parameters does not match the distribution's dimension.
+    WrongParameterCount {
+        /// Distribution name.
+        distribution: String,
+        /// Expected number of parameters (`None` = any positive number).
+        expected: Option<usize>,
+        /// Number supplied.
+        actual: usize,
+    },
+    /// A parameter value is invalid (e.g. a probability outside `[0,1]`, or a
+    /// non-numeric constant).
+    InvalidParameter {
+        /// Distribution name.
+        distribution: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The requested distribution name is not registered in Δ.
+    UnknownDistribution(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::WrongParameterCount {
+                distribution,
+                expected,
+                actual,
+            } => match expected {
+                Some(e) => write!(
+                    f,
+                    "{distribution}: expected {e} parameter(s), got {actual}"
+                ),
+                None => write!(
+                    f,
+                    "{distribution}: expected a positive number of parameters, got {actual}"
+                ),
+            },
+            DistError::InvalidParameter {
+                distribution,
+                message,
+            } => write!(f, "{distribution}: invalid parameter: {message}"),
+            DistError::UnknownDistribution(name) => {
+                write!(f, "unknown distribution: {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// The support of an instantiated distribution `δ⟨p̄⟩`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Support {
+    /// A finite support: every outcome with a strictly positive probability.
+    Finite(Vec<(Const, Prob)>),
+    /// A countably infinite support; use [`Distribution::enumerate`] to list
+    /// a prefix of it.
+    CountablyInfinite,
+}
+
+impl Support {
+    /// Is the support finite?
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Support::Finite(_))
+    }
+
+    /// The outcomes if the support is finite.
+    pub fn outcomes(&self) -> Option<&[(Const, Prob)]> {
+        match self {
+            Support::Finite(v) => Some(v),
+            Support::CountablyInfinite => None,
+        }
+    }
+}
+
+/// A parameterized numerical discrete probability distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// `Flip⟨p⟩` over `{0, 1}` with `P(1) = p`.
+    Flip,
+    /// The biased die of Appendix B over `{0, …, 6}` with parameters
+    /// `p1..p6`.
+    Die,
+    /// `Categorical⟨p1..pk⟩` over `{1..k}` (and `0` for invalid parameters).
+    Categorical,
+    /// `UniformInt⟨lo, hi⟩` uniform over the integers `lo..=hi`.
+    UniformInt,
+    /// `Geometric⟨p⟩` over `{0, 1, 2, …}` with `P(k) = (1−p)^k p`.
+    Geometric,
+}
+
+impl Distribution {
+    /// The distribution's canonical name (as used in the surface syntax).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Flip => "Flip",
+            Distribution::Die => "Die",
+            Distribution::Categorical => "Categorical",
+            Distribution::UniformInt => "UniformInt",
+            Distribution::Geometric => "Geometric",
+        }
+    }
+
+    /// The parameter dimension `k`; `None` means any positive number of
+    /// parameters is accepted (Categorical).
+    pub fn param_dim(&self) -> Option<usize> {
+        match self {
+            Distribution::Flip => Some(1),
+            Distribution::Die => Some(6),
+            Distribution::Categorical => None,
+            Distribution::UniformInt => Some(2),
+            Distribution::Geometric => Some(1),
+        }
+    }
+
+    /// Does `δ⟨p̄⟩` have a finite support for every valid `p̄`?
+    pub fn has_finite_support(&self) -> bool {
+        !matches!(self, Distribution::Geometric)
+    }
+
+    fn check_param_count(&self, params: &[Const]) -> Result<(), DistError> {
+        let ok = match self.param_dim() {
+            Some(k) => params.len() == k,
+            None => !params.is_empty(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(DistError::WrongParameterCount {
+                distribution: self.name().to_owned(),
+                expected: self.param_dim(),
+                actual: params.len(),
+            })
+        }
+    }
+
+    /// The probability mass `δ⟨p̄⟩(o)` of outcome `o`.
+    pub fn pmf(&self, params: &[Const], outcome: &Const) -> Result<Prob, DistError> {
+        self.check_param_count(params)?;
+        match self {
+            Distribution::Flip => {
+                let p = prob_param(self, &params[0])?;
+                match outcome.as_int() {
+                    Some(1) => Ok(p),
+                    Some(0) => Ok(p.complement()),
+                    _ => Ok(Prob::ZERO),
+                }
+            }
+            Distribution::Die => weighted_pmf(self, params, 6, outcome),
+            Distribution::Categorical => {
+                weighted_pmf(self, params, params.len(), outcome)
+            }
+            Distribution::UniformInt => {
+                let (lo, hi) = int_range(self, params)?;
+                match outcome.as_int() {
+                    Some(v) if v >= lo && v <= hi => {
+                        Ok(Prob::ratio(1, (hi - lo + 1) as i128))
+                    }
+                    _ => Ok(Prob::ZERO),
+                }
+            }
+            Distribution::Geometric => {
+                let p = prob_param(self, &params[0])?;
+                if !p.is_positive() {
+                    return Err(DistError::InvalidParameter {
+                        distribution: self.name().to_owned(),
+                        message: "geometric parameter must be positive".to_owned(),
+                    });
+                }
+                match outcome.as_int() {
+                    Some(k) if k >= 0 => {
+                        let q = p.complement();
+                        let mut mass = p;
+                        for _ in 0..k {
+                            mass = mass.mul(&q);
+                        }
+                        Ok(mass)
+                    }
+                    _ => Ok(Prob::ZERO),
+                }
+            }
+        }
+    }
+
+    /// The support of `δ⟨p̄⟩`: all outcomes with strictly positive
+    /// probability, or [`Support::CountablyInfinite`].
+    pub fn support(&self, params: &[Const]) -> Result<Support, DistError> {
+        self.check_param_count(params)?;
+        match self {
+            Distribution::Geometric => Ok(Support::CountablyInfinite),
+            _ => {
+                let all = self.enumerate(params, usize::MAX)?;
+                Ok(Support::Finite(all))
+            }
+        }
+    }
+
+    /// Enumerate up to `max_outcomes` outcomes of `δ⟨p̄⟩` with strictly
+    /// positive probability, in a canonical order (by outcome value for
+    /// finite supports; by increasing `k` for the geometric distribution).
+    pub fn enumerate(
+        &self,
+        params: &[Const],
+        max_outcomes: usize,
+    ) -> Result<Vec<(Const, Prob)>, DistError> {
+        self.check_param_count(params)?;
+        let mut out = Vec::new();
+        match self {
+            Distribution::Flip => {
+                let p = prob_param(self, &params[0])?;
+                push_positive(&mut out, Const::Int(0), p.complement());
+                push_positive(&mut out, Const::Int(1), p);
+            }
+            Distribution::Die => {
+                enumerate_weighted(self, params, 6, &mut out)?;
+            }
+            Distribution::Categorical => {
+                enumerate_weighted(self, params, params.len(), &mut out)?;
+            }
+            Distribution::UniformInt => {
+                let (lo, hi) = int_range(self, params)?;
+                let mass = Prob::ratio(1, (hi - lo + 1) as i128);
+                for v in lo..=hi {
+                    push_positive(&mut out, Const::Int(v), mass);
+                    if out.len() >= max_outcomes {
+                        break;
+                    }
+                }
+            }
+            Distribution::Geometric => {
+                let p = prob_param(self, &params[0])?;
+                if !p.is_positive() {
+                    return Err(DistError::InvalidParameter {
+                        distribution: self.name().to_owned(),
+                        message: "geometric parameter must be positive".to_owned(),
+                    });
+                }
+                let q = p.complement();
+                let mut mass = p;
+                let mut k: i64 = 0;
+                while (k as usize) < max_outcomes && mass.is_positive() {
+                    out.push((Const::Int(k), mass));
+                    mass = mass.mul(&q);
+                    k += 1;
+                }
+            }
+        }
+        out.truncate(max_outcomes);
+        Ok(out)
+    }
+
+    /// Validate a parameter tuple without evaluating anything else.
+    pub fn validate_params(&self, params: &[Const]) -> Result<(), DistError> {
+        // Enumerating the first outcome exercises all parameter checks.
+        self.enumerate(params, 1).map(|_| ())
+    }
+}
+
+impl fmt::Display for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+fn push_positive(out: &mut Vec<(Const, Prob)>, value: Const, mass: Prob) {
+    if mass.is_positive() {
+        out.push((value, mass));
+    }
+}
+
+/// Interpret a constant as a probability parameter.
+fn prob_param(dist: &Distribution, value: &Const) -> Result<Prob, DistError> {
+    let p = match value {
+        Const::Int(i) => Prob::exact(Rational::from_int(*i as i128)),
+        Const::Real(r) => Prob::from_f64(*r),
+        Const::Bool(b) => Prob::exact(if *b { Rational::ONE } else { Rational::ZERO }),
+        Const::Sym(_) => {
+            return Err(DistError::InvalidParameter {
+                distribution: dist.name().to_owned(),
+                message: format!("symbolic constant {value} is not a probability"),
+            })
+        }
+    };
+    if p.is_valid_probability() {
+        Ok(p)
+    } else {
+        Err(DistError::InvalidParameter {
+            distribution: dist.name().to_owned(),
+            message: format!("{value} is not in [0, 1]"),
+        })
+    }
+}
+
+fn int_range(dist: &Distribution, params: &[Const]) -> Result<(i64, i64), DistError> {
+    let lo = params[0].as_int().ok_or_else(|| DistError::InvalidParameter {
+        distribution: dist.name().to_owned(),
+        message: format!("lower bound {} is not an integer", params[0]),
+    })?;
+    let hi = params[1].as_int().ok_or_else(|| DistError::InvalidParameter {
+        distribution: dist.name().to_owned(),
+        message: format!("upper bound {} is not an integer", params[1]),
+    })?;
+    if lo > hi {
+        return Err(DistError::InvalidParameter {
+            distribution: dist.name().to_owned(),
+            message: format!("empty range [{lo}, {hi}]"),
+        });
+    }
+    Ok((lo, hi))
+}
+
+/// Weighted distribution over `{1..k}` with the Appendix-B convention: if the
+/// weights do not sum to 1, all mass moves to the outcome `0`.
+fn weighted_pmf(
+    dist: &Distribution,
+    params: &[Const],
+    k: usize,
+    outcome: &Const,
+) -> Result<Prob, DistError> {
+    let weights = weights(dist, params, k)?;
+    let valid = weights_sum_to_one(&weights);
+    match outcome.as_int() {
+        Some(0) => Ok(if valid { Prob::ZERO } else { Prob::ONE }),
+        Some(i) if i >= 1 && (i as usize) <= k => Ok(if valid {
+            weights[(i - 1) as usize]
+        } else {
+            Prob::ZERO
+        }),
+        _ => Ok(Prob::ZERO),
+    }
+}
+
+fn enumerate_weighted(
+    dist: &Distribution,
+    params: &[Const],
+    k: usize,
+    out: &mut Vec<(Const, Prob)>,
+) -> Result<(), DistError> {
+    let weights = weights(dist, params, k)?;
+    if weights_sum_to_one(&weights) {
+        for (i, w) in weights.iter().enumerate() {
+            push_positive(out, Const::Int((i + 1) as i64), *w);
+        }
+    } else {
+        out.push((Const::Int(0), Prob::ONE));
+    }
+    Ok(())
+}
+
+fn weights(dist: &Distribution, params: &[Const], k: usize) -> Result<Vec<Prob>, DistError> {
+    if params.len() != k {
+        return Err(DistError::WrongParameterCount {
+            distribution: dist.name().to_owned(),
+            expected: Some(k),
+            actual: params.len(),
+        });
+    }
+    params.iter().map(|p| prob_param(dist, p)).collect()
+}
+
+fn weights_sum_to_one(weights: &[Prob]) -> bool {
+    Prob::sum(weights.iter().copied()).approx_eq(&Prob::ONE, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn real(v: f64) -> Const {
+        Const::real(v).unwrap()
+    }
+
+    #[test]
+    fn flip_pmf_matches_example_3_1() {
+        let d = Distribution::Flip;
+        let params = [real(0.1)];
+        assert_eq!(d.pmf(&params, &Const::Int(1)).unwrap(), Prob::ratio(1, 10));
+        assert_eq!(d.pmf(&params, &Const::Int(0)).unwrap(), Prob::ratio(9, 10));
+        assert_eq!(d.pmf(&params, &Const::Int(7)).unwrap(), Prob::ZERO);
+    }
+
+    #[test]
+    fn flip_support_and_enumeration() {
+        let d = Distribution::Flip;
+        let support = d.support(&[real(0.5)]).unwrap();
+        assert!(support.is_finite());
+        assert_eq!(support.outcomes().unwrap().len(), 2);
+        // Degenerate flip: only one outcome has positive probability.
+        let support = d.support(&[Const::Int(1)]).unwrap();
+        assert_eq!(support.outcomes().unwrap(), &[(Const::Int(1), Prob::ONE)]);
+        let support = d.support(&[Const::Int(0)]).unwrap();
+        assert_eq!(support.outcomes().unwrap(), &[(Const::Int(0), Prob::ONE)]);
+    }
+
+    #[test]
+    fn flip_rejects_bad_parameters() {
+        let d = Distribution::Flip;
+        assert!(d.pmf(&[real(1.5)], &Const::Int(1)).is_err());
+        assert!(d.pmf(&[Const::sym("p")], &Const::Int(1)).is_err());
+        assert!(d.pmf(&[], &Const::Int(1)).is_err());
+        assert!(d.pmf(&[real(0.5), real(0.5)], &Const::Int(1)).is_err());
+    }
+
+    #[test]
+    fn die_follows_appendix_b_convention() {
+        let d = Distribution::Die;
+        let fair: Vec<Const> = (0..6).map(|_| real(1.0 / 6.0)).collect();
+        // Valid parameters: outcome 0 has probability 0, faces share the mass.
+        assert!(d.pmf(&fair, &Const::Int(0)).unwrap().is_zero());
+        let p3 = d.pmf(&fair, &Const::Int(3)).unwrap();
+        assert!(p3.approx_eq(&Prob::from_f64(1.0 / 6.0), 1e-12));
+        // Invalid parameters (sum ≠ 1): all mass on outcome 0.
+        let invalid: Vec<Const> = (0..6).map(|_| real(0.1)).collect();
+        assert_eq!(d.pmf(&invalid, &Const::Int(0)).unwrap(), Prob::ONE);
+        assert_eq!(d.pmf(&invalid, &Const::Int(3)).unwrap(), Prob::ZERO);
+        let support = d.support(&invalid).unwrap();
+        assert_eq!(support.outcomes().unwrap(), &[(Const::Int(0), Prob::ONE)]);
+    }
+
+    #[test]
+    fn categorical_uses_its_own_arity() {
+        let d = Distribution::Categorical;
+        let params = [real(0.2), real(0.3), real(0.5)];
+        assert_eq!(d.pmf(&params, &Const::Int(3)).unwrap(), Prob::ratio(1, 2));
+        assert_eq!(d.pmf(&params, &Const::Int(4)).unwrap(), Prob::ZERO);
+        assert_eq!(d.enumerate(&params, usize::MAX).unwrap().len(), 3);
+        assert!(d.pmf(&[], &Const::Int(1)).is_err());
+    }
+
+    #[test]
+    fn uniform_int_range() {
+        let d = Distribution::UniformInt;
+        let params = [Const::Int(2), Const::Int(5)];
+        assert_eq!(d.pmf(&params, &Const::Int(2)).unwrap(), Prob::ratio(1, 4));
+        assert_eq!(d.pmf(&params, &Const::Int(6)).unwrap(), Prob::ZERO);
+        assert_eq!(d.enumerate(&params, usize::MAX).unwrap().len(), 4);
+        assert!(d.pmf(&[Const::Int(5), Const::Int(2)], &Const::Int(3)).is_err());
+        assert!(d.pmf(&[real(0.5), Const::Int(2)], &Const::Int(3)).is_err());
+    }
+
+    #[test]
+    fn geometric_has_infinite_support() {
+        let d = Distribution::Geometric;
+        let params = [real(0.5)];
+        assert_eq!(d.support(&params).unwrap(), Support::CountablyInfinite);
+        assert!(!d.has_finite_support());
+        assert_eq!(d.pmf(&params, &Const::Int(0)).unwrap(), Prob::ratio(1, 2));
+        assert_eq!(d.pmf(&params, &Const::Int(2)).unwrap(), Prob::ratio(1, 8));
+        assert_eq!(d.pmf(&params, &Const::Int(-1)).unwrap(), Prob::ZERO);
+        let prefix = d.enumerate(&params, 4).unwrap();
+        assert_eq!(prefix.len(), 4);
+        let total = Prob::sum(prefix.iter().map(|(_, p)| *p));
+        assert_eq!(total, Prob::ratio(15, 16));
+        assert!(d.pmf(&[real(0.0)], &Const::Int(0)).is_err());
+    }
+
+    #[test]
+    fn enumerated_masses_sum_to_one_for_finite_supports() {
+        for (d, params) in [
+            (Distribution::Flip, vec![real(0.3)]),
+            (Distribution::UniformInt, vec![Const::Int(1), Const::Int(6)]),
+            (
+                Distribution::Categorical,
+                vec![real(0.25), real(0.25), real(0.5)],
+            ),
+        ] {
+            let outcomes = d.enumerate(&params, usize::MAX).unwrap();
+            let total = Prob::sum(outcomes.iter().map(|(_, p)| *p));
+            assert!(
+                total.approx_eq(&Prob::ONE, 1e-9),
+                "{d}: total mass {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_dims_and_display() {
+        assert_eq!(Distribution::Flip.name(), "Flip");
+        assert_eq!(Distribution::Flip.param_dim(), Some(1));
+        assert_eq!(Distribution::Die.param_dim(), Some(6));
+        assert_eq!(Distribution::Categorical.param_dim(), None);
+        assert_eq!(Distribution::UniformInt.param_dim(), Some(2));
+        assert_eq!(Distribution::Geometric.param_dim(), Some(1));
+        assert_eq!(Distribution::Geometric.to_string(), "Geometric");
+    }
+
+    #[test]
+    fn validate_params() {
+        assert!(Distribution::Flip.validate_params(&[real(0.1)]).is_ok());
+        assert!(Distribution::Flip.validate_params(&[real(2.0)]).is_err());
+        assert!(Distribution::UniformInt
+            .validate_params(&[Const::Int(1), Const::Int(0)])
+            .is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DistError::WrongParameterCount {
+            distribution: "Flip".into(),
+            expected: Some(1),
+            actual: 2,
+        };
+        assert!(e.to_string().contains("Flip"));
+        let e = DistError::UnknownDistribution("Gauss".into());
+        assert!(e.to_string().contains("Gauss"));
+        let e = DistError::InvalidParameter {
+            distribution: "Categorical".into(),
+            message: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+    }
+}

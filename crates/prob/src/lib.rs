@@ -1,0 +1,33 @@
+//! # gdlog-prob — probability substrate
+//!
+//! Implements Section 2 ("Probability Spaces") and Appendix B of *Generative
+//! Datalog with Stable Negation*:
+//!
+//! * [`Rational`] — exact rational arithmetic over `i128` with checked
+//!   operations,
+//! * [`Prob`] — probability values that stay exact whenever possible and
+//!   degrade explicitly to `f64`,
+//! * [`Distribution`] — the parameterized numerical discrete probability
+//!   distributions `δ⟨p̄⟩` of the paper (Flip, the biased Die of Appendix B,
+//!   Categorical, UniformInt, Geometric),
+//! * [`DeltaRegistry`] — the finite set Δ of distributions a program may use,
+//! * [`DiscreteSpace`] — discrete probability spaces `(Ω, P)` and event
+//!   partitions used to build the output space of a program,
+//! * [`sampler`] — random sampling from parameterized distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod probability;
+pub mod rational;
+pub mod registry;
+pub mod sampler;
+pub mod space;
+
+pub use distribution::{DistError, Distribution, Support};
+pub use probability::Prob;
+pub use rational::Rational;
+pub use registry::DeltaRegistry;
+pub use sampler::sample_distribution;
+pub use space::{DiscreteSpace, EventPartition};

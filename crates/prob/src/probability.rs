@@ -1,0 +1,287 @@
+//! Probability values.
+//!
+//! A [`Prob`] is a probability that is kept as an exact [`Rational`] whenever
+//! possible and degrades *explicitly* to an `f64` approximation when an exact
+//! representation is unavailable (irrational parameters, `i128` overflow in a
+//! very long product). All of the paper's worked examples stay exact.
+
+use crate::rational::Rational;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A probability value in `[0, 1]` (not enforced structurally; see
+/// [`Prob::is_valid_probability`]), exact when possible.
+#[derive(Clone, Copy, Debug)]
+pub enum Prob {
+    /// An exact rational probability.
+    Exact(Rational),
+    /// An `f64` approximation (produced by overflow or irrational inputs).
+    Approx(f64),
+}
+
+impl Prob {
+    /// Exactly zero.
+    pub const ZERO: Prob = Prob::Exact(Rational::ZERO);
+    /// Exactly one.
+    pub const ONE: Prob = Prob::Exact(Rational::ONE);
+
+    /// An exact probability from a rational.
+    pub fn exact(r: Rational) -> Self {
+        Prob::Exact(r)
+    }
+
+    /// An exact probability `num/den`. Panics if `den == 0`.
+    pub fn ratio(num: i128, den: i128) -> Self {
+        Prob::Exact(Rational::new(num, den).expect("denominator must be non-zero"))
+    }
+
+    /// A probability from a float, promoted to exact if the float has a short
+    /// decimal representation (0.1, 0.25, ...), which covers the typical way
+    /// distribution parameters are written.
+    pub fn from_f64(value: f64) -> Self {
+        match Rational::approximate_f64(value) {
+            Some(r) => Prob::Exact(r),
+            None => Prob::Approx(value),
+        }
+    }
+
+    /// Is this value exact?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Prob::Exact(_))
+    }
+
+    /// Convert to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Prob::Exact(r) => r.to_f64(),
+            Prob::Approx(v) => *v,
+        }
+    }
+
+    /// The exact rational value, if this probability is exact.
+    pub fn as_exact(&self) -> Option<Rational> {
+        match self {
+            Prob::Exact(r) => Some(*r),
+            Prob::Approx(_) => None,
+        }
+    }
+
+    /// Is this probability zero (exactly, or numerically for approximations)?
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Prob::Exact(r) => r.is_zero(),
+            Prob::Approx(v) => *v == 0.0,
+        }
+    }
+
+    /// Is this probability strictly positive?
+    pub fn is_positive(&self) -> bool {
+        self.to_f64() > 0.0 || matches!(self, Prob::Exact(r) if r.is_positive())
+    }
+
+    /// Does the value lie in `[0, 1]` (within a small tolerance for
+    /// approximations)?
+    pub fn is_valid_probability(&self) -> bool {
+        let v = self.to_f64();
+        (-1e-12..=1.0 + 1e-12).contains(&v)
+    }
+
+    /// Multiplication, staying exact when both operands are exact and the
+    /// product does not overflow.
+    pub fn mul(&self, other: &Prob) -> Prob {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => match a.checked_mul(b) {
+                Some(r) => Prob::Exact(r),
+                None => Prob::Approx(a.to_f64() * b.to_f64()),
+            },
+            _ => Prob::Approx(self.to_f64() * other.to_f64()),
+        }
+    }
+
+    /// Addition, staying exact when possible.
+    pub fn add(&self, other: &Prob) -> Prob {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => match a.checked_add(b) {
+                Some(r) => Prob::Exact(r),
+                None => Prob::Approx(a.to_f64() + b.to_f64()),
+            },
+            _ => Prob::Approx(self.to_f64() + other.to_f64()),
+        }
+    }
+
+    /// Subtraction, staying exact when possible.
+    pub fn sub(&self, other: &Prob) -> Prob {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => match a.checked_sub(b) {
+                Some(r) => Prob::Exact(r),
+                None => Prob::Approx(a.to_f64() - b.to_f64()),
+            },
+            _ => Prob::Approx(self.to_f64() - other.to_f64()),
+        }
+    }
+
+    /// `1 - self`.
+    pub fn complement(&self) -> Prob {
+        Prob::ONE.sub(self)
+    }
+
+    /// Product of an iterator of probabilities (1 for the empty product).
+    pub fn product<I: IntoIterator<Item = Prob>>(iter: I) -> Prob {
+        iter.into_iter().fold(Prob::ONE, |acc, p| acc.mul(&p))
+    }
+
+    /// Sum of an iterator of probabilities (0 for the empty sum).
+    pub fn sum<I: IntoIterator<Item = Prob>>(iter: I) -> Prob {
+        iter.into_iter().fold(Prob::ZERO, |acc, p| acc.add(&p))
+    }
+
+    /// Approximate equality: exact values are compared exactly, otherwise the
+    /// absolute difference must be below `tol`.
+    pub fn approx_eq(&self, other: &Prob, tol: f64) -> bool {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => a == b,
+            _ => (self.to_f64() - other.to_f64()).abs() <= tol,
+        }
+    }
+}
+
+impl PartialEq for Prob {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => a == b,
+            _ => self.to_f64() == other.to_f64(),
+        }
+    }
+}
+
+impl PartialOrd for Prob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => Some(a.cmp(b)),
+            _ => self.to_f64().partial_cmp(&other.to_f64()),
+        }
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prob::Exact(r) => write!(f, "{r}"),
+            Prob::Approx(v) => write!(f, "≈{v}"),
+        }
+    }
+}
+
+impl From<Rational> for Prob {
+    fn from(r: Rational) -> Self {
+        Prob::Exact(r)
+    }
+}
+
+impl From<f64> for Prob {
+    fn from(v: f64) -> Self {
+        Prob::from_f64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn exact_construction_and_conversion() {
+        let p = Prob::ratio(1, 10);
+        assert!(p.is_exact());
+        assert_eq!(p.to_f64(), 0.1);
+        assert_eq!(p.as_exact(), Some(r(1, 10)));
+        assert!(Prob::ZERO.is_zero());
+        assert!(!Prob::ZERO.is_positive());
+        assert!(Prob::ONE.is_positive());
+    }
+
+    #[test]
+    fn from_f64_promotes_short_decimals() {
+        assert!(Prob::from_f64(0.1).is_exact());
+        assert!(Prob::from_f64(0.25).is_exact());
+        let irrational = Prob::from_f64(std::f64::consts::FRAC_1_SQRT_2);
+        // 1/sqrt(2) has no short decimal representation.
+        assert!(!irrational.is_exact() || irrational.as_exact().is_none());
+    }
+
+    #[test]
+    fn network_resilience_numbers_are_exact() {
+        // Example 3.10: 1 − 0.9² = 0.19.
+        let q = Prob::ratio(9, 10);
+        let pr_sigma = q.mul(&q);
+        assert_eq!(pr_sigma.as_exact(), Some(r(81, 100)));
+        let domination = pr_sigma.complement();
+        assert_eq!(domination.as_exact(), Some(r(19, 100)));
+        assert_eq!(domination.to_f64(), 0.19);
+    }
+
+    #[test]
+    fn arithmetic_and_aggregation() {
+        let half = Prob::ratio(1, 2);
+        let quarter = Prob::ratio(1, 4);
+        assert_eq!(half.add(&quarter), Prob::ratio(3, 4));
+        assert_eq!(half.sub(&quarter), Prob::ratio(1, 4));
+        assert_eq!(half.mul(&quarter), Prob::ratio(1, 8));
+        assert_eq!(
+            Prob::product(vec![half, half, half]),
+            Prob::ratio(1, 8)
+        );
+        assert_eq!(Prob::sum(vec![quarter, quarter]), half);
+        assert_eq!(Prob::product(Vec::<Prob>::new()), Prob::ONE);
+        assert_eq!(Prob::sum(Vec::<Prob>::new()), Prob::ZERO);
+    }
+
+    #[test]
+    fn mixed_arithmetic_degrades_to_approx() {
+        let exact = Prob::ratio(1, 2);
+        let approx = Prob::Approx(0.3333333333333333);
+        let prod = exact.mul(&approx);
+        assert!(!prod.is_exact());
+        assert!((prod.to_f64() - 0.16666666666666666).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_degrades_to_approx() {
+        let tiny = Prob::ratio(1, i128::MAX / 2);
+        let product = tiny.mul(&tiny);
+        assert!(!product.is_exact());
+        assert!(product.to_f64() >= 0.0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Prob::ratio(1, 3) < Prob::ratio(1, 2));
+        assert!(Prob::ratio(1, 2) <= Prob::from_f64(0.5));
+        assert_eq!(Prob::ratio(2, 4), Prob::ratio(1, 2));
+        assert!(Prob::ratio(19, 100).approx_eq(&Prob::from_f64(0.19), 1e-12));
+        assert!(Prob::Approx(0.5).approx_eq(&Prob::ratio(1, 2), 1e-9));
+        assert!(!Prob::ratio(1, 2).approx_eq(&Prob::ratio(1, 3), 1e-9));
+    }
+
+    #[test]
+    fn validity_range() {
+        assert!(Prob::ratio(1, 2).is_valid_probability());
+        assert!(Prob::ONE.is_valid_probability());
+        assert!(Prob::ZERO.is_valid_probability());
+        assert!(!Prob::ratio(3, 2).is_valid_probability());
+        assert!(!Prob::Approx(-0.5).is_valid_probability());
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Prob::ratio(1, 2).to_string(), "1/2");
+        assert!(Prob::Approx(0.25).to_string().starts_with('≈'));
+        let p: Prob = r(1, 3).into();
+        assert_eq!(p, Prob::ratio(1, 3));
+        let p: Prob = 0.75f64.into();
+        assert_eq!(p, Prob::ratio(3, 4));
+    }
+}

@@ -1,0 +1,349 @@
+//! Exact rational arithmetic.
+//!
+//! Probabilities in the paper's examples are rational (`0.1`, `0.5`, `0.9²`),
+//! and the headline numbers (e.g. `0.19` in Example 3.10) are exact rational
+//! values. [`Rational`] provides `i128`-backed rationals with checked
+//! arithmetic; the [`crate::Prob`] wrapper decides what to do on overflow.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A rational number `num / den` in lowest terms with `den > 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Create a rational from numerator and denominator.
+    ///
+    /// Returns `None` if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Option<Self> {
+        if den == 0 {
+            return None;
+        }
+        Some(Self::normalised(num, den))
+    }
+
+    /// Create a rational from an integer.
+    pub fn from_int(value: i128) -> Self {
+        Rational { num: value, den: 1 }
+    }
+
+    fn normalised(num: i128, den: i128) -> Self {
+        if num == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let (num, den) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd(num, den);
+        Rational {
+            num: sign * (num / g) as i128,
+            den: (den / g) as i128,
+        }
+    }
+
+    /// Parse a decimal literal such as `"0.1"`, `"3"`, `"-2.25"` into an
+    /// exact rational. Scientific notation is not supported.
+    pub fn from_decimal_str(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() {
+            return None;
+        }
+        let (sign, rest) = match s.strip_prefix('-') {
+            Some(r) => (-1i128, r),
+            None => (1i128, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mut parts = rest.splitn(2, '.');
+        let int_part = parts.next()?;
+        let frac_part = parts.next().unwrap_or("");
+        if int_part.is_empty() && frac_part.is_empty() {
+            return None;
+        }
+        if !int_part.chars().all(|c| c.is_ascii_digit())
+            || !frac_part.chars().all(|c| c.is_ascii_digit())
+        {
+            return None;
+        }
+        let mut num: i128 = if int_part.is_empty() {
+            0
+        } else {
+            int_part.parse().ok()?
+        };
+        let mut den: i128 = 1;
+        for c in frac_part.chars() {
+            num = num.checked_mul(10)?.checked_add((c as u8 - b'0') as i128)?;
+            den = den.checked_mul(10)?;
+        }
+        Some(Self::normalised(sign * num, den))
+    }
+
+    /// Best-effort conversion of a float to an exact rational. Succeeds for
+    /// floats with a short decimal representation (up to 12 fractional
+    /// digits); used when distribution parameters arrive as `f64` constants.
+    pub fn approximate_f64(value: f64) -> Option<Self> {
+        if !value.is_finite() {
+            return None;
+        }
+        // Render with enough precision and re-parse; check the round trip.
+        for digits in 0..=12u32 {
+            let s = format!("{value:.*}", digits as usize);
+            if let Some(r) = Self::from_decimal_str(&s) {
+                if (r.to_f64() - value).abs() <= f64::EPSILON * value.abs().max(1.0) {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+
+    /// Numerator (in lowest terms, sign carried here).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Convert to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Is this exactly zero?
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Is this strictly positive?
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Is this strictly negative?
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
+        let num = self
+            .num
+            .checked_mul(other.den)?
+            .checked_add(other.num.checked_mul(self.den)?)?;
+        let den = self.den.checked_mul(other.den)?;
+        Some(Self::normalised(num, den))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: &Rational) -> Option<Rational> {
+        self.checked_add(&other.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(&self, other: &Rational) -> Option<Rational> {
+        // Cross-reduce first to keep the intermediate values small.
+        let g1 = gcd(self.num.unsigned_abs(), other.den.unsigned_abs()).max(1);
+        let g2 = gcd(other.num.unsigned_abs(), self.den.unsigned_abs()).max(1);
+        let num = (self.num / g1 as i128).checked_mul(other.num / g2 as i128)?;
+        let den = (self.den / g2 as i128).checked_mul(other.den / g1 as i128)?;
+        Some(Self::normalised(num, den))
+    }
+
+    /// Checked division.
+    pub fn checked_div(&self, other: &Rational) -> Option<Rational> {
+        if other.is_zero() {
+            return None;
+        }
+        self.checked_mul(&Rational {
+            num: other.den * other.num.signum(),
+            den: other.num.abs(),
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// `1 - self`, if representable.
+    pub fn complement(&self) -> Option<Rational> {
+        Rational::ONE.checked_sub(self)
+    }
+
+    /// Checked integer power.
+    pub fn checked_pow(&self, exp: u32) -> Option<Rational> {
+        let mut acc = Rational::ONE;
+        for _ in 0..exp {
+            acc = acc.checked_mul(self)?;
+        }
+        Some(acc)
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    if b == 0 {
+        return a;
+    }
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d by a*d vs c*b, falling back to f64 on overflow.
+        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn construction_normalises() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::ZERO);
+        assert!(Rational::new(1, 0).is_none());
+        assert_eq!(r(1, 2).numer(), 1);
+        assert_eq!(r(1, 2).denom(), 2);
+    }
+
+    #[test]
+    fn decimal_parsing() {
+        assert_eq!(Rational::from_decimal_str("0.1"), Some(r(1, 10)));
+        assert_eq!(Rational::from_decimal_str("0.5"), Some(r(1, 2)));
+        assert_eq!(Rational::from_decimal_str("3"), Some(r(3, 1)));
+        assert_eq!(Rational::from_decimal_str("-2.25"), Some(r(-9, 4)));
+        assert_eq!(Rational::from_decimal_str("+0.75"), Some(r(3, 4)));
+        assert_eq!(Rational::from_decimal_str(".5"), Some(r(1, 2)));
+        assert_eq!(Rational::from_decimal_str("1."), Some(r(1, 1)));
+        assert_eq!(Rational::from_decimal_str(""), None);
+        assert_eq!(Rational::from_decimal_str("."), None);
+        assert_eq!(Rational::from_decimal_str("1e5"), None);
+        assert_eq!(Rational::from_decimal_str("abc"), None);
+    }
+
+    #[test]
+    fn approximate_f64_round_trips_short_decimals() {
+        assert_eq!(Rational::approximate_f64(0.1), Some(r(1, 10)));
+        assert_eq!(Rational::approximate_f64(0.5), Some(r(1, 2)));
+        assert_eq!(Rational::approximate_f64(2.0), Some(r(2, 1)));
+        assert_eq!(Rational::approximate_f64(f64::NAN), None);
+    }
+
+    #[test]
+    fn arithmetic_matches_paper_example_3_10() {
+        // Pr(Σ) = Flip⟨0.1⟩(0)² = 0.9² = 0.81; the domination probability is
+        // 1 − 0.81 = 0.19.
+        let p_zero = r(9, 10);
+        let pr = p_zero.checked_mul(&p_zero).unwrap();
+        assert_eq!(pr, r(81, 100));
+        let domination = Rational::ONE.checked_sub(&pr).unwrap();
+        assert_eq!(domination, r(19, 100));
+        assert_eq!(domination.to_f64(), 0.19);
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        assert_eq!(r(1, 3).checked_add(&r(1, 6)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 2).checked_sub(&r(1, 3)).unwrap(), r(1, 6));
+        assert_eq!(r(2, 3).checked_mul(&r(3, 4)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 2).checked_div(&r(1, 4)).unwrap(), r(2, 1));
+        assert!(r(1, 2).checked_div(&Rational::ZERO).is_none());
+        assert_eq!(r(1, 2).neg(), r(-1, 2));
+        assert_eq!(r(1, 4).complement().unwrap(), r(3, 4));
+        assert_eq!(r(1, 2).checked_pow(3).unwrap(), r(1, 8));
+        assert_eq!(r(7, 3).checked_pow(0).unwrap(), Rational::ONE);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let huge = Rational::from_int(i128::MAX / 2);
+        assert!(huge.checked_mul(&huge).is_none());
+        assert!(huge.checked_add(&huge).is_some());
+        let huge2 = Rational::from_int(i128::MAX - 1);
+        assert!(huge2.checked_add(&huge2).is_none());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < Rational::ZERO);
+        assert!(r(3, 2) > Rational::ONE);
+        let mut v = vec![r(1, 2), r(1, 3), Rational::ONE, Rational::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Rational::ZERO, r(1, 3), r(1, 2), Rational::ONE]);
+    }
+
+    #[test]
+    fn predicates_and_display() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(r(1, 2).is_positive());
+        assert!(r(-1, 2).is_negative());
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(Rational::from(4i64), r(4, 1));
+    }
+
+    #[test]
+    fn cross_reduction_avoids_spurious_overflow() {
+        // (big/1) * (1/big) = 1 must not overflow thanks to cross-reduction.
+        let big = i128::MAX / 3;
+        let a = Rational::from_int(big);
+        let b = r(1, big);
+        assert_eq!(a.checked_mul(&b).unwrap(), Rational::ONE);
+    }
+}

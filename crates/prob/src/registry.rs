@@ -1,0 +1,131 @@
+//! The finite set Δ of parameterized distributions available to a program.
+
+use crate::distribution::{DistError, Distribution};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registry mapping distribution names to [`Distribution`]s — the set Δ of
+/// the paper. Programs refer to distributions by name in their Δ-terms and
+/// the registry resolves them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaRegistry {
+    by_name: BTreeMap<String, Distribution>,
+}
+
+impl DeltaRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        DeltaRegistry {
+            by_name: BTreeMap::new(),
+        }
+    }
+
+    /// The standard registry containing every built-in distribution under its
+    /// canonical name.
+    pub fn standard() -> Self {
+        let mut reg = Self::empty();
+        for d in [
+            Distribution::Flip,
+            Distribution::Die,
+            Distribution::Categorical,
+            Distribution::UniformInt,
+            Distribution::Geometric,
+        ] {
+            reg.register(d.name(), d);
+        }
+        reg
+    }
+
+    /// Register a distribution under `name` (overwrites any previous entry).
+    pub fn register(&mut self, name: &str, distribution: Distribution) {
+        self.by_name.insert(name.to_owned(), distribution);
+    }
+
+    /// Resolve a distribution by name.
+    pub fn get(&self, name: &str) -> Result<Distribution, DistError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DistError::UnknownDistribution(name.to_owned()))
+    }
+
+    /// Does the registry contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Number of registered distributions.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Iterate over `(name, distribution)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Distribution)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Default for DeltaRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl fmt::Display for DeltaRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ = {{")?;
+        for (i, (name, _)) in self.by_name.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_contains_all_builtins() {
+        let reg = DeltaRegistry::standard();
+        assert_eq!(reg.len(), 5);
+        assert!(reg.contains("Flip"));
+        assert!(reg.contains("Die"));
+        assert!(reg.contains("Categorical"));
+        assert!(reg.contains("UniformInt"));
+        assert!(reg.contains("Geometric"));
+        assert_eq!(reg.get("Flip").unwrap(), Distribution::Flip);
+        assert!(matches!(
+            reg.get("Gaussian"),
+            Err(DistError::UnknownDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn custom_registration_and_aliasing() {
+        let mut reg = DeltaRegistry::empty();
+        assert!(reg.is_empty());
+        reg.register("Bernoulli", Distribution::Flip);
+        assert_eq!(reg.get("Bernoulli").unwrap(), Distribution::Flip);
+        assert!(!reg.contains("Flip"));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.iter().count(), 1);
+    }
+
+    #[test]
+    fn default_is_standard_and_displays() {
+        let reg = DeltaRegistry::default();
+        assert_eq!(reg, DeltaRegistry::standard());
+        let shown = reg.to_string();
+        assert!(shown.contains("Flip"));
+        assert!(shown.starts_with("Δ = {"));
+    }
+}

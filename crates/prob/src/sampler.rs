@@ -1,0 +1,178 @@
+//! Random sampling from parameterized distributions.
+//!
+//! The chase-based semantics enumerates *all* outcomes of a Δ-term; the
+//! Monte-Carlo evaluator instead samples a single outcome per trigger. This
+//! module provides that sampling, including inverse-transform sampling for
+//! distributions with countably infinite support.
+
+use crate::distribution::{DistError, Distribution, Support};
+use crate::probability::Prob;
+use gdlog_data::Const;
+use rand::Rng;
+
+/// Draw one outcome from `δ⟨p̄⟩`.
+///
+/// Finite supports use exact cumulative sampling over the enumerated
+/// outcomes; the geometric distribution uses inverse-transform sampling on
+/// its closed-form CDF.
+pub fn sample_distribution<R: Rng + ?Sized>(
+    distribution: Distribution,
+    params: &[Const],
+    rng: &mut R,
+) -> Result<Const, DistError> {
+    match distribution.support(params)? {
+        Support::Finite(outcomes) => Ok(sample_finite(&outcomes, rng)),
+        Support::CountablyInfinite => sample_geometric(distribution, params, rng),
+    }
+}
+
+fn sample_finite<R: Rng + ?Sized>(outcomes: &[(Const, Prob)], rng: &mut R) -> Const {
+    debug_assert!(!outcomes.is_empty());
+    let u: f64 = rng.gen::<f64>();
+    let mut acc = 0.0;
+    for (value, mass) in outcomes {
+        acc += mass.to_f64();
+        if u < acc {
+            return *value;
+        }
+    }
+    // Floating point slack: fall back to the last outcome.
+    outcomes[outcomes.len() - 1].0
+}
+
+fn sample_geometric<R: Rng + ?Sized>(
+    distribution: Distribution,
+    params: &[Const],
+    rng: &mut R,
+) -> Result<Const, DistError> {
+    // Validate parameters through the pmf of outcome 0.
+    let p0 = distribution.pmf(params, &Const::Int(0))?;
+    let p = p0.to_f64();
+    let u: f64 = rng.gen::<f64>();
+    // Inverse transform: k = floor(ln(1-u) / ln(1-p)).
+    let k = if p >= 1.0 {
+        0
+    } else {
+        ((1.0 - u).ln() / (1.0 - p).ln()).floor() as i64
+    };
+    Ok(Const::Int(k.max(0)))
+}
+
+/// An empirical estimate with its standard error, produced by Monte-Carlo
+/// estimation of an event probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+impl Estimate {
+    /// Build an estimate from a count of successes among `samples` trials.
+    pub fn from_bernoulli(successes: usize, samples: usize) -> Self {
+        assert!(samples > 0, "cannot estimate from zero samples");
+        let mean = successes as f64 / samples as f64;
+        let var = mean * (1.0 - mean);
+        Estimate {
+            mean,
+            std_error: (var / samples as f64).sqrt(),
+            samples,
+        }
+    }
+
+    /// Is `value` within `z` standard errors of the estimate (plus a small
+    /// absolute slack for degenerate cases)?
+    pub fn consistent_with(&self, value: f64, z: f64) -> bool {
+        (self.mean - value).abs() <= z * self.std_error + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn real(v: f64) -> Const {
+        Const::real(v).unwrap()
+    }
+
+    #[test]
+    fn flip_sampling_matches_parameter() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let params = [real(0.1)];
+        let n = 20_000;
+        let mut ones = 0;
+        for _ in 0..n {
+            let v = sample_distribution(Distribution::Flip, &params, &mut rng).unwrap();
+            if v == Const::Int(1) {
+                ones += 1;
+            }
+        }
+        let est = Estimate::from_bernoulli(ones, n);
+        assert!(est.consistent_with(0.1, 5.0), "estimate {est:?}");
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = [Const::Int(2), Const::Int(5)];
+        for _ in 0..1000 {
+            let v = sample_distribution(Distribution::UniformInt, &params, &mut rng).unwrap();
+            let i = v.as_int().unwrap();
+            assert!((2..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn geometric_sampling_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let params = [real(0.5)];
+        let n = 20_000;
+        let mut total = 0i64;
+        for _ in 0..n {
+            let v = sample_distribution(Distribution::Geometric, &params, &mut rng).unwrap();
+            let k = v.as_int().unwrap();
+            assert!(k >= 0);
+            total += k;
+        }
+        // Mean of Geometric(p = 0.5) over {0,1,2,...} is (1-p)/p = 1.
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_flip_always_returns_the_certain_outcome() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = sample_distribution(Distribution::Flip, &[Const::Int(1)], &mut rng).unwrap();
+            assert_eq!(v, Const::Int(1));
+        }
+    }
+
+    #[test]
+    fn sampling_propagates_parameter_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_distribution(Distribution::Flip, &[real(3.0)], &mut rng).is_err());
+        assert!(sample_distribution(Distribution::Geometric, &[real(0.0)], &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimate_helpers() {
+        let e = Estimate::from_bernoulli(19, 100);
+        assert!((e.mean - 0.19).abs() < 1e-12);
+        assert!(e.std_error > 0.0);
+        assert!(e.consistent_with(0.19, 1.0));
+        assert!(!e.consistent_with(0.9, 3.0));
+        assert_eq!(e.samples, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn estimate_rejects_zero_samples() {
+        let _ = Estimate::from_bernoulli(0, 0);
+    }
+}

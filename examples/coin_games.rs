@@ -1,0 +1,70 @@
+//! The coin program of Section 3 and the dimes-and-quarters example of
+//! Appendix E: non-stratified vs. stratified negation, simple vs. perfect
+//! grounder.
+//!
+//! Run with: `cargo run --example coin_games`
+
+use gdlog::core::{
+    coin_program, dime_quarter_program, GrounderChoice, Pipeline,
+};
+use gdlog::data::{Const, Database, GroundAtom};
+use gdlog::prob::Prob;
+
+fn main() {
+    // --- The coin program (non-stratified: Aux1/Aux2 form an even loop) ---
+    let program = coin_program();
+    println!("Π_coin:\n{program}");
+    let pipeline = Pipeline::new(&program, &Database::new()).unwrap();
+    let space = pipeline.solve().unwrap();
+    println!("possible outcomes : {}", space.outcome_count());
+    for (outcome, key) in space.outcomes() {
+        println!(
+            "  Pr = {}  choices = {}  stable models = {}",
+            outcome.probability,
+            outcome.choice_count(),
+            key.model_count()
+        );
+    }
+    println!(
+        "P(some stable model) = {} (the paper: 0.5)\n",
+        space.has_stable_model_probability()
+    );
+    assert_eq!(space.has_stable_model_probability(), Prob::ratio(1, 2));
+
+    // --- Dimes and quarters (stratified: use the perfect grounder) ---
+    let program = dime_quarter_program();
+    let mut db = Database::new();
+    db.insert_fact("Dime", [Const::Int(1)]);
+    db.insert_fact("Dime", [Const::Int(2)]);
+    db.insert_fact("Quarter", [Const::Int(3)]);
+    println!("Appendix E program (2 dimes, 1 quarter):\n{program}");
+
+    let perfect = Pipeline::with_grounder(&program, &db, GrounderChoice::Perfect)
+        .unwrap()
+        .solve()
+        .unwrap();
+    let simple = Pipeline::with_grounder(&program, &db, GrounderChoice::Simple)
+        .unwrap()
+        .solve()
+        .unwrap();
+    println!(
+        "perfect grounder: {} outcomes, simple grounder: {} outcomes",
+        perfect.outcome_count(),
+        simple.outcome_count()
+    );
+
+    let some_tail = GroundAtom::make("SomeDimeTail", vec![]);
+    println!(
+        "P(SomeDimeTail)      = {} (expected 3/4)",
+        perfect.cautious_probability(&some_tail)
+    );
+    let quarter_tail = GroundAtom::make("QuarterTail", vec![Const::Int(3), Const::Int(1)]);
+    println!(
+        "P(QuarterTail(3, 1)) = {} (expected 1/8)",
+        perfect.cautious_probability(&quarter_tail)
+    );
+    assert_eq!(
+        perfect.cautious_probability(&quarter_tail),
+        Prob::ratio(1, 8)
+    );
+}

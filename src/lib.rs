@@ -1,0 +1,44 @@
+//! # gdlog — Generative Datalog with Stable Negation
+//!
+//! This facade crate re-exports the public API of the `gdlog` workspace, an
+//! implementation of *Generative Datalog with Stable Negation* (Alviano,
+//! Lanzinger, Morak, Pieris; PODS 2023).
+//!
+//! The most convenient entry points are:
+//!
+//! * [`gdlog_parser::parse_program`] / [`gdlog_parser::parse_database`] — read
+//!   the surface syntax used throughout the paper's examples.
+//! * [`gdlog_core::Program`] and [`gdlog_core::ProgramBuilder`] — build
+//!   GDatalog¬\[Δ\] programs programmatically.
+//! * [`gdlog_core::Pipeline`] — translate, ground, chase and obtain the output
+//!   probability space of a program on a database.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios
+//! (network resilience, coin games, dimes and quarters).
+
+pub use gdlog_core as core;
+pub use gdlog_data as data;
+pub use gdlog_engine as engine;
+pub use gdlog_parser as parser;
+pub use gdlog_prob as prob;
+
+/// Version of the gdlog workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Convenience prelude re-exporting the most commonly used types.
+pub mod prelude {
+    pub use gdlog_core::{
+        ChaseBudget, Grounder, OutputSpace, PerfectGrounder, Pipeline, Program, ProgramBuilder,
+        SimpleGrounder,
+    };
+    pub use gdlog_data::{Const, Database, GroundAtom, Predicate, Term};
+    pub use gdlog_prob::{DeltaRegistry, Distribution, Prob, Rational};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

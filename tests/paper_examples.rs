@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the paper's worked examples evaluated
+//! end-to-end through the parser, the translation, both grounders, the chase,
+//! the stable-model engine and the probability layer.
+
+use gdlog::core::{
+    as_good_as, bckov_output, coin_program, dime_quarter_program, enumerate_outcomes,
+    isomorphic_to_bckov, network_resilience_program, ChaseBudget, GrounderChoice, OutputSpace,
+    Pipeline, Program, SigmaPi, SimpleGrounder, TriggerOrder,
+};
+use gdlog::parser::{parse_program, pretty_program};
+use gdlog::prelude::*;
+use gdlog_engine::StableModelLimits;
+use std::sync::Arc;
+
+fn clique_db(n: i64) -> Database {
+    let mut db = Database::new();
+    for i in 1..=n {
+        db.insert_fact("Router", [Const::Int(i)]);
+        for j in 1..=n {
+            if i != j {
+                db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+            }
+        }
+    }
+    db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+    db
+}
+
+#[test]
+fn example_3_10_from_surface_syntax() {
+    let source = r#"
+        Infected(x, 1), Connected(x, y) -> Infected(y, Flip<0.1>[x, y]).
+        Router(x), not Infected(x, 1) -> Uninfected(x).
+        Uninfected(x), Uninfected(y), Connected(x, y) -> false.
+        Router(1). Router(2). Router(3).
+        Connected(1, 2). Connected(2, 1). Connected(1, 3).
+        Connected(3, 1). Connected(2, 3). Connected(3, 2).
+        Infected(1, 1).
+    "#;
+    let (program, db) = parse_program(source).unwrap();
+    let space = Pipeline::new(&program, &db).unwrap().solve().unwrap();
+    assert_eq!(space.has_stable_model_probability(), Prob::ratio(19, 100));
+    assert_eq!(space.residual_mass(), Prob::ZERO);
+    assert!(!space.is_truncated());
+}
+
+#[test]
+fn parsed_and_programmatic_programs_agree() {
+    let programmatic = network_resilience_program(0.1);
+    let (parsed, _) = parse_program(&pretty_program(&programmatic)).unwrap();
+    let db = clique_db(3);
+    let a = Pipeline::new(&programmatic, &db).unwrap().solve().unwrap();
+    let b = Pipeline::new(&parsed, &db).unwrap().solve().unwrap();
+    assert_eq!(
+        a.has_stable_model_probability(),
+        b.has_stable_model_probability()
+    );
+    assert_eq!(a.outcome_count(), b.outcome_count());
+}
+
+#[test]
+fn coin_program_events_match_section_3() {
+    let space = Pipeline::new(&coin_program(), &Database::new())
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert_eq!(space.outcome_count(), 2);
+    assert_eq!(space.event_count(), 2);
+    assert_eq!(space.has_stable_model_probability(), Prob::ratio(1, 2));
+    // The tails event contains exactly the two stable models
+    // {Coin(1), Aux1, …} and {Coin(1), Aux2, …} described in the paper.
+    let tails_events: Vec<_> = space
+        .outcomes()
+        .iter()
+        .filter(|(_, k)| !k.is_empty())
+        .collect();
+    assert_eq!(tails_events.len(), 1);
+    assert_eq!(tails_events[0].1.model_count(), 2);
+}
+
+#[test]
+fn dime_quarter_appendix_e_with_both_grounders() {
+    let program = dime_quarter_program();
+    let mut db = Database::new();
+    db.insert_fact("Dime", [Const::Int(1)]);
+    db.insert_fact("Dime", [Const::Int(2)]);
+    db.insert_fact("Quarter", [Const::Int(3)]);
+
+    let perfect = Pipeline::with_grounder(&program, &db, GrounderChoice::Perfect)
+        .unwrap()
+        .solve()
+        .unwrap();
+    let simple = Pipeline::with_grounder(&program, &db, GrounderChoice::Simple)
+        .unwrap()
+        .solve()
+        .unwrap();
+
+    // The perfect grounder needs fewer possible outcomes (5 vs 8) but the
+    // induced distribution over sets of stable models is the same, and it is
+    // as good as the simple one (Theorem 5.3).
+    assert_eq!(perfect.outcome_count(), 5);
+    assert_eq!(simple.outcome_count(), 8);
+    assert!(as_good_as(&perfect, &simple));
+
+    let some_tail = GroundAtom::make("SomeDimeTail", vec![]);
+    assert_eq!(perfect.cautious_probability(&some_tail), Prob::ratio(3, 4));
+    assert_eq!(simple.cautious_probability(&some_tail), Prob::ratio(3, 4));
+}
+
+#[test]
+fn theorem_c4_holds_for_the_positive_fragment() {
+    let positive = Program::new(network_resilience_program(0.2).rules()[..1].to_vec());
+    let db = clique_db(3);
+    let sigma = Arc::new(SigmaPi::translate(&positive, &db).unwrap());
+    let grounder = SimpleGrounder::new(sigma.clone());
+    let chase =
+        enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+    let bckov = bckov_output(&sigma, &ChaseBudget::default()).unwrap();
+    assert!(
+        isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap()
+    );
+}
+
+#[test]
+fn builder_parser_and_pipeline_compose() {
+    // Build a small program with the fluent builder, print it, re-parse it,
+    // and evaluate both variants.
+    let program = gdlog::core::ProgramBuilder::new()
+        .rule(|r| {
+            r.body("Machine", vec![gdlog::data::Term::var("m")]).head_with_delta(
+                "Fails",
+                vec![gdlog::data::Term::var("m")],
+                "Flip",
+                vec![gdlog::data::Term::Const(Const::real(0.25).unwrap())],
+                vec![gdlog::data::Term::var("m")],
+            )
+        })
+        .rule(|r| {
+            r.body("Machine", vec![gdlog::data::Term::var("m")])
+                .not_body(
+                    "Fails",
+                    vec![gdlog::data::Term::var("m"), gdlog::data::Term::int(1)],
+                )
+                .head("Healthy", vec![gdlog::data::Term::var("m")])
+        })
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.insert_fact("Machine", [Const::Int(1)]);
+    db.insert_fact("Machine", [Const::Int(2)]);
+
+    let direct = Pipeline::with_grounder(&program, &db, GrounderChoice::Auto)
+        .unwrap()
+        .solve()
+        .unwrap();
+    let (reparsed, _) = parse_program(&pretty_program(&program)).unwrap();
+    let roundtripped = Pipeline::with_grounder(&reparsed, &db, GrounderChoice::Auto)
+        .unwrap()
+        .solve()
+        .unwrap();
+
+    // P(both machines healthy) = 0.75².
+    let healthy1 = GroundAtom::make("Healthy", vec![Const::Int(1)]);
+    let healthy2 = GroundAtom::make("Healthy", vec![Const::Int(2)]);
+    let both = direct.probability_where(|k| k.cautious(&healthy1) && k.cautious(&healthy2));
+    assert_eq!(both, Prob::ratio(9, 16));
+    let both_rt = roundtripped.probability_where(|k| k.cautious(&healthy1) && k.cautious(&healthy2));
+    assert_eq!(both, both_rt);
+}
+
+#[test]
+fn output_space_type_is_reusable_across_crates() {
+    // Make sure the facade exposes enough to write generic helpers.
+    fn total_mass(space: &OutputSpace) -> f64 {
+        space.explored_mass().add(&space.residual_mass()).to_f64()
+    }
+    let space = Pipeline::new(&coin_program(), &Database::new())
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!((total_mass(&space) - 1.0).abs() < 1e-9);
+}

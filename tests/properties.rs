@@ -1,0 +1,165 @@
+//! Property-based tests of the invariants claimed by the paper, across
+//! randomly generated inputs (kept small so the suite stays fast).
+
+use gdlog::core::{
+    enumerate_outcomes, network_resilience_program, ChaseBudget, Grounder, SigmaPi,
+    SimpleGrounder, TriggerOrder,
+};
+use gdlog::prelude::*;
+use gdlog_engine::{
+    is_stable_model, least_model, reduct, stable_models, well_founded, GroundProgram, GroundRule,
+    StableModelLimits,
+};
+use gdlog_prob::Rational;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rational arithmetic is commutative/associative and multiplication
+    /// distributes over addition (within the checked range).
+    #[test]
+    fn rational_field_laws(a in rational(), b in rational(), c in rational()) {
+        let ab = a.checked_add(&b).unwrap();
+        let ba = b.checked_add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+        let amulb = a.checked_mul(&b).unwrap();
+        let bmula = b.checked_mul(&a).unwrap();
+        prop_assert_eq!(amulb, bmula);
+        let left = a.checked_mul(&b.checked_add(&c).unwrap()).unwrap();
+        let right = a
+            .checked_mul(&b)
+            .unwrap()
+            .checked_add(&a.checked_mul(&c).unwrap())
+            .unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Probabilities from short decimals stay exact and round-trip to f64.
+    #[test]
+    fn prob_from_decimal_is_exact(n in 0u32..=1000u32) {
+        let v = n as f64 / 1000.0;
+        let p = Prob::from_f64(v);
+        prop_assert!(p.is_exact());
+        prop_assert!((p.to_f64() - v).abs() < 1e-12);
+    }
+}
+
+/// A strategy for small random ground normal programs over 0-ary atoms.
+fn ground_program() -> impl Strategy<Value = GroundProgram> {
+    let atom_names = prop::sample::select(vec!["A", "B", "C", "D", "E"]);
+    let rule = (
+        atom_names.clone(),
+        prop::collection::vec(atom_names.clone(), 0..2),
+        prop::collection::vec(atom_names, 0..2),
+    )
+        .prop_map(|(head, pos, neg)| {
+            GroundRule::new(
+                GroundAtom::make(head, vec![]),
+                pos.into_iter().map(|n| GroundAtom::make(n, vec![])).collect(),
+                neg.into_iter().map(|n| GroundAtom::make(n, vec![])).collect(),
+            )
+        });
+    prop::collection::vec(rule, 1..8).prop_map(GroundProgram::from_rules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every enumerated stable model really is one (least model of its
+    /// reduct) and is a classical model of the program; atoms decided by the
+    /// well-founded model are respected.
+    #[test]
+    fn stable_models_satisfy_their_definition(program in ground_program()) {
+        let models = stable_models(&program, &StableModelLimits::default()).unwrap();
+        let wf = well_founded(&program);
+        for m in &models {
+            prop_assert!(is_stable_model(&program, m));
+            prop_assert!(program.is_model(m));
+            prop_assert_eq!(&least_model(&reduct(&program, m)), m);
+            for t in wf.true_atoms.iter() {
+                prop_assert!(m.contains(t));
+            }
+            for f in wf.false_atoms.iter() {
+                prop_assert!(!m.contains(f));
+            }
+        }
+        // Distinct stable models are incomparable (anti-chain property).
+        for (i, m1) in models.iter().enumerate() {
+            for m2 in models.iter().skip(i + 1) {
+                prop_assert!(!m1.is_subset_of(m2) && !m2.is_subset_of(m1));
+            }
+        }
+    }
+}
+
+/// Random small network databases for chase-level properties.
+fn network_db_strategy() -> impl Strategy<Value = Database> {
+    (2usize..4, prop::collection::vec(any::<bool>(), 6))
+        .prop_map(|(n, edge_bits)| {
+            let mut db = Database::new();
+            let mut bit = 0usize;
+            for i in 1..=n as i64 {
+                db.insert_fact("Router", [Const::Int(i)]);
+            }
+            for i in 1..=n as i64 {
+                for j in (i + 1)..=n as i64 {
+                    if edge_bits[bit % edge_bits.len()] {
+                        db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                        db.insert_fact("Connected", [Const::Int(j), Const::Int(i)]);
+                    }
+                    bit += 1;
+                }
+            }
+            db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 3.9 + Lemma 4.4 on random small networks: the explored mass
+    /// plus the residual is exactly 1, the chase result does not depend on
+    /// the trigger order, and every outcome label is functionally consistent
+    /// (Lemma 4.3(1)) and distinct (4.3(2)).
+    #[test]
+    fn chase_invariants_on_random_networks(db in network_db_strategy(), p in 1u32..=9u32) {
+        let program = network_resilience_program(p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let grounder = SimpleGrounder::new(sigma);
+        let budget = ChaseBudget::default();
+
+        let run = |order| enumerate_outcomes(&grounder, &budget, order).unwrap();
+        let first = run(TriggerOrder::First);
+        let last = run(TriggerOrder::Last);
+
+        // Total probability mass is exactly one (all probabilities exact).
+        prop_assert_eq!(first.total_mass(), Prob::ONE);
+
+        // Order independence: same multiset of (choice set, probability).
+        let canon = |r: &gdlog::core::ChaseResult| {
+            let mut v: Vec<String> = r
+                .outcomes
+                .iter()
+                .map(|o| format!("{}@{}", o.atr, o.probability))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(canon(&first), canon(&last));
+
+        // Outcomes are pairwise distinct and terminal for the grounder.
+        for (i, o1) in first.outcomes.iter().enumerate() {
+            prop_assert!(grounder.is_terminal(&o1.atr));
+            for o2 in first.outcomes.iter().skip(i + 1) {
+                prop_assert!(o1.atr != o2.atr);
+            }
+        }
+    }
+}
