@@ -9,11 +9,12 @@ use std::time::Duration;
 
 fn bench_coin_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("chase/coin_chain");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 6] {
         let (program, db) = coin_chain(n, 0.5);
-        let grounder =
-            SimpleGrounder::new(Arc::new(SigmaPi::translate(&program, &db).unwrap()));
+        let grounder = SimpleGrounder::new(Arc::new(SigmaPi::translate(&program, &db).unwrap()));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First)
@@ -28,12 +29,13 @@ fn bench_coin_chain(c: &mut Criterion) {
 
 fn bench_ring_networks(c: &mut Criterion) {
     let mut group = c.benchmark_group("chase/ring_network");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [3usize, 4, 5] {
         let program = network_program(0.1);
         let db = network_database(n, Topology::Ring);
-        let grounder =
-            SimpleGrounder::new(Arc::new(SigmaPi::translate(&program, &db).unwrap()));
+        let grounder = SimpleGrounder::new(Arc::new(SigmaPi::translate(&program, &db).unwrap()));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First)

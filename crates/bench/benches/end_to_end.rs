@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_paper_examples(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("example_3_10_network_k3", |b| {
         let program = network_program(0.1);

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_grounders_on_dimes(c: &mut Criterion) {
     let mut group = c.benchmark_group("grounding/dime_quarter");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for dimes in [2usize, 4, 8] {
         let (program, db) = dime_quarter_workload(dimes, dimes);
         let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
@@ -27,7 +29,9 @@ fn bench_grounders_on_dimes(c: &mut Criterion) {
 
 fn bench_grounding_networks(c: &mut Criterion) {
     let mut group = c.benchmark_group("grounding/network_clique");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 12] {
         let program = network_program(0.1);
         let db = network_database(n, Topology::Clique);

@@ -22,7 +22,9 @@ fn program_text(rules: usize) -> String {
 
 fn bench_parse_program(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser/program");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for rules in [100usize, 1000] {
         let text = program_text(rules);
         group.throughput(Throughput::Bytes(text.len() as u64));
@@ -35,7 +37,9 @@ fn bench_parse_program(c: &mut Criterion) {
 
 fn bench_parse_database(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser/database");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [50usize, 200] {
         let db = network_database(n, Topology::Ring);
         let text = pretty_database(&db);

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling/network");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, db) in [
         ("clique3", network_database(3, Topology::Clique)),
         ("ring8", network_database(8, Topology::Ring)),

@@ -14,14 +14,13 @@ fn stratified_chain(n: usize) -> GroundProgram {
     //   R(1).  R(j) ← R(i), E(i, j).  U(i) ← V(i), ¬R(i).
     // Predicate-level stratified, with O(n) ground rules.
     let atom1 = |name: &str, i: i64| GroundAtom::make(name, vec![Const::Int(i)]);
-    let atom2 = |name: &str, i: i64, j: i64| {
-        GroundAtom::make(name, vec![Const::Int(i), Const::Int(j)])
-    };
+    let atom2 =
+        |name: &str, i: i64, j: i64| GroundAtom::make(name, vec![Const::Int(i), Const::Int(j)]);
     let mut p = GroundProgram::new();
     p.push(GroundRule::fact(atom1("R", 1)));
     for i in 1..=n as i64 {
         p.push(GroundRule::fact(atom1("V", i)));
-        if i + 1 <= n as i64 && i % 2 == 1 {
+        if i < n as i64 && i % 2 == 1 {
             // Only odd positions are linked, so roughly half the nodes are
             // unreachable and the negative stratum does real work.
             p.push(GroundRule::fact(atom2("E", i, i + 1)));
@@ -44,7 +43,9 @@ fn stratified_chain(n: usize) -> GroundProgram {
 
 fn bench_choice_programs(c: &mut Criterion) {
     let mut group = c.benchmark_group("stable_models/even_loops");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for k in [4usize, 6, 8] {
         let program = choice_program(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
@@ -60,7 +61,9 @@ fn bench_choice_programs(c: &mut Criterion) {
 
 fn bench_stratified_vs_generic(c: &mut Criterion) {
     let mut group = c.benchmark_group("stable_models/stratified_chain");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [50usize, 200] {
         let program = stratified_chain(n);
         group.bench_with_input(BenchmarkId::new("stratified_eval", n), &n, |b, _| {

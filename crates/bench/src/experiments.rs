@@ -10,9 +10,9 @@ use crate::workloads::{
     coin_chain, dime_quarter_workload, network_database, network_program, Topology,
 };
 use gdlog_core::{
-    as_good_as, bckov_output, coin_program, compare_outputs, dependency_graph,
-    enumerate_outcomes, isomorphic_to_bckov, stratification, ChaseBudget, Grounder,
-    GrounderChoice, PerfectGrounder, Pipeline, Program, SimpleGrounder, SigmaPi, TriggerOrder,
+    as_good_as, bckov_output, coin_program, compare_outputs, dependency_graph, enumerate_outcomes,
+    isomorphic_to_bckov, stratification, ChaseBudget, Grounder, GrounderChoice, PerfectGrounder,
+    Pipeline, Program, SigmaPi, SimpleGrounder, TriggerOrder,
 };
 use gdlog_data::{Const, Database, GroundAtom, Predicate};
 use gdlog_engine::{stable_models, StableModelLimits};
@@ -36,9 +36,8 @@ impl ExperimentOutcome {
 }
 
 /// The known experiment identifiers.
-pub const EXPERIMENT_IDS: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const EXPERIMENT_IDS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 
 /// Run a single experiment by id. Unknown ids panic (callers validate against
 /// [`EXPERIMENT_IDS`]).
@@ -304,8 +303,8 @@ fn e5_bckov_isomorphism() -> Report {
         let chase =
             enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
         let bckov = bckov_output(&sigma, &ChaseBudget::default()).unwrap();
-        let iso = isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default())
-            .unwrap();
+        let iso =
+            isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap();
         report.push(Row::new(
             &format!("{name}: isomorphic probability spaces"),
             "yes",
@@ -389,8 +388,7 @@ fn e7_grounder_properties() -> Report {
     let simple = SimpleGrounder::new(sigma);
     let limits = StableModelLimits::default();
 
-    let chase =
-        enumerate_outcomes(&perfect, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+    let chase = enumerate_outcomes(&perfect, &ChaseBudget::default(), TriggerOrder::First).unwrap();
     // Lemma E.1: every perfect-grounder possible outcome has exactly one
     // stable model, namely the heads of its rules.
     let mut lemma_e1 = true;
@@ -424,12 +422,7 @@ fn e7_grounder_properties() -> Report {
         let strip = |models: &[Database]| {
             let mut v: Vec<Vec<GroundAtom>> = models
                 .iter()
-                .map(|m| {
-                    perfect
-                        .sigma()
-                        .strip_generated(m)
-                        .canonical_atoms()
-                })
+                .map(|m| perfect.sigma().strip_generated(m).canonical_atoms())
                 .collect();
             v.sort();
             v
@@ -540,7 +533,10 @@ fn e10_monte_carlo() -> Report {
     report.push(Row::new(
         "K3, p=0.1: sampled P(dominated)",
         "0.19 ± 4σ",
-        &format!("{:.4} (σ = {:.4})", stats.estimate.mean, stats.estimate.std_error),
+        &format!(
+            "{:.4} (σ = {:.4})",
+            stats.estimate.mean, stats.estimate.std_error
+        ),
         stats.estimate.consistent_with(0.19, 4.0),
     ));
     report.push(Row::new(
@@ -581,7 +577,11 @@ mod tests {
         // tests.
         for id in ["e2", "e3", "e8"] {
             let outcome = run_experiment(id);
-            assert!(outcome.all_ok(), "experiment {id} failed:\n{}", outcome.report);
+            assert!(
+                outcome.all_ok(),
+                "experiment {id} failed:\n{}",
+                outcome.report
+            );
         }
     }
 

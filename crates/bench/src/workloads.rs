@@ -193,8 +193,20 @@ mod tests {
 
     #[test]
     fn er_generation_is_deterministic_per_seed() {
-        let a = network_database(8, Topology::ErdosRenyi { edge_probability: 0.4, seed: 9 });
-        let b = network_database(8, Topology::ErdosRenyi { edge_probability: 0.4, seed: 9 });
+        let a = network_database(
+            8,
+            Topology::ErdosRenyi {
+                edge_probability: 0.4,
+                seed: 9,
+            },
+        );
+        let b = network_database(
+            8,
+            Topology::ErdosRenyi {
+                edge_probability: 0.4,
+                seed: 9,
+            },
+        );
         assert_eq!(a, b);
     }
 

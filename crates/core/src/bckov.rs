@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn bckov_rejects_programs_with_negation() {
-        let sigma =
-            SigmaPi::translate(&network_resilience_program(0.1), &line_db(2)).unwrap();
+        let sigma = SigmaPi::translate(&network_resilience_program(0.1), &line_db(2)).unwrap();
         assert!(bckov_output(&sigma, &ChaseBudget::default()).is_err());
     }
 
@@ -265,13 +264,9 @@ mod tests {
         let chase =
             enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
         let bckov = bckov_output(&sigma, &ChaseBudget::default()).unwrap();
-        assert!(isomorphic_to_bckov(
-            &grounder,
-            &chase,
-            &bckov,
-            &StableModelLimits::default()
-        )
-        .unwrap());
+        assert!(
+            isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap()
+        );
         // Sanity: both sides explore the same number of outcomes and the same
         // total mass.
         assert_eq!(chase.outcomes.len(), bckov.outcomes.len());
@@ -285,16 +280,11 @@ mod tests {
         let chase =
             enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
         // BCKOV output of a *different* parameterisation (p = 0.5).
-        let other_program =
-            Program::new(network_resilience_program(0.5).rules()[..1].to_vec());
+        let other_program = Program::new(network_resilience_program(0.5).rules()[..1].to_vec());
         let sigma_05 = SigmaPi::translate(&other_program, &line_db(3)).unwrap();
         let bckov = bckov_output(&sigma_05, &ChaseBudget::default()).unwrap();
-        assert!(!isomorphic_to_bckov(
-            &grounder,
-            &chase,
-            &bckov,
-            &StableModelLimits::default()
-        )
-        .unwrap());
+        assert!(
+            !isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap()
+        );
     }
 }

@@ -275,14 +275,20 @@ mod tests {
 
         // Unsafe rule.
         let err = ProgramBuilder::new()
-            .rule(|r| r.body("A", vec![Term::var("x")]).head("B", vec![Term::var("z")]))
+            .rule(|r| {
+                r.body("A", vec![Term::var("x")])
+                    .head("B", vec![Term::var("z")])
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::Validation(_)));
 
         // Constraint with a head.
         let err = ProgramBuilder::new()
-            .constraint(|r| r.body("A", vec![Term::var("x")]).head("B", vec![Term::var("x")]))
+            .constraint(|r| {
+                r.body("A", vec![Term::var("x")])
+                    .head("B", vec![Term::var("x")])
+            })
             .build()
             .unwrap_err();
         assert!(matches!(err, CoreError::Validation(_)));

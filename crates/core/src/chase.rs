@@ -234,9 +234,9 @@ fn explore(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::perfect_grounder::PerfectGrounder;
     use crate::program::{coin_program, dime_quarter_program, network_resilience_program};
     use crate::simple_grounder::SimpleGrounder;
-    use crate::perfect_grounder::PerfectGrounder;
     use crate::translate::SigmaPi;
     use gdlog_data::{Const, Database};
     use gdlog_engine::StableModelLimits;
@@ -411,9 +411,7 @@ mod tests {
     fn non_probabilistic_programs_have_a_single_certain_outcome() {
         // A plain Datalog¬ program: the chase terminates immediately with the
         // empty choice set and probability 1.
-        let program = crate::Program::new(
-            network_resilience_program(0.1).rules()[1..2].to_vec(),
-        );
+        let program = crate::Program::new(network_resilience_program(0.1).rules()[1..2].to_vec());
         let mut db = Database::new();
         db.insert_fact("Router", [Const::Int(1)]);
         let grounder = simple_for(&program, &db);

@@ -86,9 +86,8 @@ mod tests {
         assert!(stratification(&program).is_err());
 
         // Dropping the constraint leaves a stratified propagation program.
-        let propagation = crate::program::Program::new(
-            network_resilience_program(0.1).rules()[..2].to_vec(),
-        );
+        let propagation =
+            crate::program::Program::new(network_resilience_program(0.1).rules()[..2].to_vec());
         let strat = stratification(&propagation).unwrap();
         let s = |name: &str, ar: usize| strat.stratum_of(&Predicate::new(name, ar)).unwrap();
         assert!(s("Infected", 2) < s("Uninfected", 1));

@@ -35,14 +35,12 @@ impl AtrRule {
     /// Build an AtR rule from an `Active` atom and an outcome, using the
     /// schema registry to produce the `Result` atom.
     pub fn new(sigma: &SigmaPi, active: GroundAtom, outcome: Const) -> Result<Self, CoreError> {
-        let schema = sigma
-            .schema_for_active(&active.predicate)
-            .ok_or_else(|| {
-                CoreError::Validation(format!(
-                    "{} is not an Active predicate of this program",
-                    active.predicate
-                ))
-            })?;
+        let schema = sigma.schema_for_active(&active.predicate).ok_or_else(|| {
+            CoreError::Validation(format!(
+                "{} is not an Active predicate of this program",
+                active.predicate
+            ))
+        })?;
         let result = schema.result_atom(&active, outcome);
         Ok(AtrRule {
             active,
@@ -63,7 +61,10 @@ impl AtrRule {
         let schema = sigma
             .schema_for_active(&self.active.predicate)
             .ok_or_else(|| {
-                CoreError::Validation(format!("unknown Active predicate {}", self.active.predicate))
+                CoreError::Validation(format!(
+                    "unknown Active predicate {}",
+                    self.active.predicate
+                ))
             })?;
         Ok(schema.outcome_probability(&self.active, &self.outcome)?)
     }
@@ -319,7 +320,9 @@ mod tests {
         let with_tails = empty.extended(tails).unwrap();
         assert!(!with_heads.is_subset_of(&with_tails));
         // Extending with a conflicting choice fails.
-        assert!(with_heads.extended(AtrRule::new(&coin_sigma(), coin_active(&sigma), Const::Int(1)).unwrap()).is_err());
+        assert!(with_heads
+            .extended(AtrRule::new(&coin_sigma(), coin_active(&sigma), Const::Int(1)).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -218,17 +218,17 @@ mod tests {
 
     #[test]
     fn outcome_accessors() {
-        let outcome = PossibleOutcome::new(
-            AtrSet::new(),
-            GroundRuleSet::new(),
-            Prob::ratio(1, 2),
-        );
+        let outcome = PossibleOutcome::new(AtrSet::new(), GroundRuleSet::new(), Prob::ratio(1, 2));
         assert_eq!(outcome.choice_count(), 0);
         assert_eq!(outcome.rule_count(), 0);
         assert_eq!(outcome.full_program().len(), 0);
-        let models = outcome.stable_models(&StableModelLimits::default()).unwrap();
+        let models = outcome
+            .stable_models(&StableModelLimits::default())
+            .unwrap();
         assert_eq!(models, vec![Database::new()]);
-        let key = outcome.model_set_key(&StableModelLimits::default()).unwrap();
+        let key = outcome
+            .model_set_key(&StableModelLimits::default())
+            .unwrap();
         assert_eq!(key.model_count(), 1);
         assert!(outcome.to_string().contains("Pr = 1/2"));
     }

@@ -168,8 +168,7 @@ mod tests {
         let quarter_active: Vec<_> = rules
             .iter()
             .filter(|r| {
-                r.head.predicate == sigma.atr_schemas[0].active
-                    && r.head.args[1] == Const::Int(3)
+                r.head.predicate == sigma.atr_schemas[0].active && r.head.args[1] == Const::Int(3)
             })
             .collect();
         assert!(quarter_active.is_empty(), "quarter must not be tossed");
@@ -271,9 +270,8 @@ mod tests {
         db.insert_fact("Connected", [Const::Int(1), Const::Int(2)]);
         db.insert_fact("Connected", [Const::Int(2), Const::Int(1)]);
         db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
-        let propagation = crate::program::Program::new(
-            network_resilience_program(0.1).rules()[..2].to_vec(),
-        );
+        let propagation =
+            crate::program::Program::new(network_resilience_program(0.1).rules()[..2].to_vec());
         let sigma = SigmaPi::translate(&propagation, &db).unwrap();
         let grounder = PerfectGrounder::new(Arc::new(sigma)).unwrap();
         assert!(grounder.stratum_count() >= 4);

@@ -247,11 +247,7 @@ pub fn dime_quarter_program() -> Program {
                 "DimeTail",
                 vec![
                     HeadTerm::var("x"),
-                    HeadTerm::Delta(DeltaTerm::new(
-                        "Flip",
-                        vec![half()],
-                        vec![Term::var("x")],
-                    )),
+                    HeadTerm::Delta(DeltaTerm::new("Flip", vec![half()], vec![Term::var("x")])),
                 ],
             ),
         ),
@@ -269,11 +265,7 @@ pub fn dime_quarter_program() -> Program {
                 "QuarterTail",
                 vec![
                     HeadTerm::var("x"),
-                    HeadTerm::Delta(DeltaTerm::new(
-                        "Flip",
-                        vec![half()],
-                        vec![Term::var("x")],
-                    )),
+                    HeadTerm::Delta(DeltaTerm::new("Flip", vec![half()], vec![Term::var("x")])),
                 ],
             ),
         ),

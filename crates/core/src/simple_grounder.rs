@@ -10,9 +10,9 @@
 
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
 use crate::translate::{SigmaPi, TgdRule};
+use gdlog_data::substitution::match_atoms;
 use gdlog_data::{Database, GroundAtom};
 use gdlog_engine::GroundRule;
-use gdlog_data::substitution::match_atoms;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -94,7 +94,10 @@ pub(crate) fn saturate(
                 let neg: Vec<GroundAtom> = rule
                     .neg
                     .iter()
-                    .map(|a| a.apply_ground(&h).expect("safety grounds negative literals"))
+                    .map(|a| {
+                        a.apply_ground(&h)
+                            .expect("safety grounds negative literals")
+                    })
                     .collect();
                 if let Some(reference) = neg_reference {
                     if neg.iter().any(|a| reference.contains(a)) {
@@ -163,9 +166,7 @@ mod tests {
 
         let infected_rules: Vec<_> = rules
             .iter()
-            .filter(|r| {
-                r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty()
-            })
+            .filter(|r| r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty())
             .collect();
         assert!(infected_rules.is_empty());
 
@@ -208,14 +209,15 @@ mod tests {
         // Infected(2, 0) and Infected(3, 0).
         let infected_rules: Vec<_> = rules
             .iter()
-            .filter(|r| {
-                r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty()
-            })
+            .filter(|r| r.head.predicate == Predicate::new("Infected", 2) && !r.pos.is_empty())
             .collect();
         assert_eq!(infected_rules.len(), 2);
 
         // Pr(Σ) = 0.9² = 0.81 (Example 3.10).
-        assert_eq!(atr.probability(sigma).unwrap(), gdlog_prob::Prob::ratio(81, 100));
+        assert_eq!(
+            atr.probability(sigma).unwrap(),
+            gdlog_prob::Prob::ratio(81, 100)
+        );
     }
 
     #[test]

@@ -500,9 +500,7 @@ mod tests {
             .filter(|r| r.pos.is_empty() && r.neg.is_empty())
             .collect();
         assert_eq!(fact_rules.len(), 10);
-        assert!(fact_rules
-            .iter()
-            .all(|r| r.origin_head == r.head.predicate));
+        assert!(fact_rules.iter().all(|r| r.origin_head == r.head.predicate));
     }
 
     #[test]

@@ -287,7 +287,10 @@ mod tests {
         let g = connected(Term::int(1), Term::int(2));
         assert!(g.is_ground());
         let ga = g.to_ground().unwrap();
-        assert_eq!(ga, GroundAtom::make("Connected", vec![Const::Int(1), Const::Int(2)]));
+        assert_eq!(
+            ga,
+            GroundAtom::make("Connected", vec![Const::Int(1), Const::Int(2)])
+        );
         assert_eq!(ga.to_atom(), g);
 
         let ng = connected(Term::var("x"), Term::int(2));
@@ -332,7 +335,10 @@ mod tests {
     #[test]
     fn ground_literal_constructors() {
         let g = GroundAtom::make("Coin", vec![Const::Int(1)]);
-        assert_eq!(GroundLiteral::positive(g.clone()).polarity, Polarity::Positive);
+        assert_eq!(
+            GroundLiteral::positive(g.clone()).polarity,
+            Polarity::Positive
+        );
         assert_eq!(GroundLiteral::negative(g).polarity, Polarity::Negative);
     }
 }

@@ -42,7 +42,10 @@ impl Database {
     /// present.
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
         if self.atoms.insert(atom.clone()) {
-            self.by_predicate.entry(atom.predicate).or_default().push(atom);
+            self.by_predicate
+                .entry(atom.predicate)
+                .or_default()
+                .push(atom);
             true
         } else {
             false

@@ -73,8 +73,12 @@ mod tests {
         assert!(msg.contains('2'));
         assert!(msg.contains('3'));
 
-        assert!(DataError::NonFiniteReal(f64::NAN).to_string().contains("non-finite"));
-        assert!(DataError::NotGround("X".into()).to_string().contains("ground"));
+        assert!(DataError::NonFiniteReal(f64::NAN)
+            .to_string()
+            .contains("non-finite"));
+        assert!(DataError::NotGround("X".into())
+            .to_string()
+            .contains("ground"));
     }
 
     #[test]

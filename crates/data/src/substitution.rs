@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn enumerate_homomorphisms_path_of_length_two() {
         // Patterns: E(x, y), E(y, z) over the triangle {E(1,2), E(2,3), E(3,1)}.
-        let facts = vec![gedge(1, 2), gedge(2, 3), gedge(3, 1)];
+        let facts = [gedge(1, 2), gedge(2, 3), gedge(3, 1)];
         let patterns = vec![
             edge(Term::var("x"), Term::var("y")),
             edge(Term::var("y"), Term::var("z")),

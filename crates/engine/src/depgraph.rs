@@ -221,10 +221,7 @@ impl DependencyGraph {
         // A negative edge inside a component means a cycle through negation.
         for (f, t, sign) in &self.edges {
             if *sign == EdgeSign::Negative && component_of[f] == component_of[t] {
-                return Err(NotStratified {
-                    from: *f,
-                    to: *t,
-                });
+                return Err(NotStratified { from: *f, to: *t });
             }
         }
         Ok(Stratification {
@@ -379,8 +376,16 @@ mod tests {
         //   Quarter(x), ¬SomeDimeTail → QuarterTail(x, Flip)
         let mut g = DependencyGraph::new();
         g.add_edge(pred("Dime", 1), pred("DimeTail", 2), EdgeSign::Positive);
-        g.add_edge(pred("DimeTail", 2), pred("SomeDimeTail", 0), EdgeSign::Positive);
-        g.add_edge(pred("Quarter", 1), pred("QuarterTail", 2), EdgeSign::Positive);
+        g.add_edge(
+            pred("DimeTail", 2),
+            pred("SomeDimeTail", 0),
+            EdgeSign::Positive,
+        );
+        g.add_edge(
+            pred("Quarter", 1),
+            pred("QuarterTail", 2),
+            EdgeSign::Positive,
+        );
         g.add_edge(
             pred("SomeDimeTail", 0),
             pred("QuarterTail", 2),
@@ -395,8 +400,7 @@ mod tests {
                 < s.stratum_of(&pred("QuarterTail", 2)).unwrap()
         );
         assert!(
-            s.stratum_of(&pred("Dime", 1)).unwrap()
-                < s.stratum_of(&pred("DimeTail", 2)).unwrap()
+            s.stratum_of(&pred("Dime", 1)).unwrap() < s.stratum_of(&pred("DimeTail", 2)).unwrap()
         );
         let dot = g.to_string();
         assert!(dot.contains("dashed"));

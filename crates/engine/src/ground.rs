@@ -298,7 +298,11 @@ mod tests {
     fn heads_atoms_predicates() {
         let p = GroundProgram::from_rules(vec![
             GroundRule::fact(atom("A", &[1])),
-            GroundRule::new(atom("B", &[1]), vec![atom("A", &[1])], vec![atom("C", &[2])]),
+            GroundRule::new(
+                atom("B", &[1]),
+                vec![atom("A", &[1])],
+                vec![atom("C", &[2])],
+            ),
         ]);
         assert_eq!(p.heads().len(), 2);
         assert_eq!(p.atoms().len(), 3);

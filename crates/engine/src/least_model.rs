@@ -136,11 +136,7 @@ mod tests {
     fn duplicate_body_atoms_do_not_stall_derivation() {
         let p = GroundProgram::from_rules(vec![
             GroundRule::fact(atom("A", &[])),
-            GroundRule::new(
-                atom("B", &[]),
-                vec![atom("A", &[]), atom("A", &[])],
-                vec![],
-            ),
+            GroundRule::new(atom("B", &[]), vec![atom("A", &[]), atom("A", &[])], vec![]),
         ]);
         let m = least_model(&p);
         assert!(m.contains(&atom("B", &[])));

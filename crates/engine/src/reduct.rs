@@ -18,7 +18,11 @@ pub fn reduct(program: &GroundProgram, interpretation: &Database) -> GroundProgr
         if rule.neg.iter().any(|a| interpretation.contains(a)) {
             continue;
         }
-        out.push(GroundRule::new(rule.head.clone(), rule.pos.clone(), Vec::new()));
+        out.push(GroundRule::new(
+            rule.head.clone(),
+            rule.pos.clone(),
+            Vec::new(),
+        ));
     }
     out
 }

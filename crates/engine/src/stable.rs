@@ -123,10 +123,7 @@ pub fn stable_models(
         limits,
     )?;
 
-    Ok(found
-        .into_iter()
-        .map(Database::from_atoms)
-        .collect())
+    Ok(found.into_iter().map(Database::from_atoms).collect())
 }
 
 /// The atoms the search must branch on: undecided atoms that occur in a
@@ -186,12 +183,8 @@ fn search(
     search(program, wf, branch, idx + 1, assumed_true, found, limits)?;
     // Backtrack: rebuild without the atom (Database has no remove; cheap for
     // the sizes involved).
-    let without: Database = Database::from_atoms(
-        assumed_true
-            .iter()
-            .filter(|a| **a != branch[idx])
-            .cloned(),
-    );
+    let without: Database =
+        Database::from_atoms(assumed_true.iter().filter(|a| **a != branch[idx]).cloned());
     *assumed_true = without;
     Ok(())
 }
@@ -245,11 +238,8 @@ mod tests {
 
     #[test]
     fn odd_loop_has_no_stable_model() {
-        let p = GroundProgram::from_rules(vec![GroundRule::new(
-            atom("a"),
-            vec![],
-            vec![atom("a")],
-        )]);
+        let p =
+            GroundProgram::from_rules(vec![GroundRule::new(atom("a"), vec![], vec![atom("a")])]);
         assert!(models(&p).is_empty());
     }
 
@@ -321,8 +311,16 @@ mod tests {
     fn three_independent_choices_give_eight_models() {
         let mut p = GroundProgram::new();
         for i in 1..=3 {
-            p.push(GroundRule::new(atom1("In", i), vec![], vec![atom1("Out", i)]));
-            p.push(GroundRule::new(atom1("Out", i), vec![], vec![atom1("In", i)]));
+            p.push(GroundRule::new(
+                atom1("In", i),
+                vec![],
+                vec![atom1("Out", i)],
+            ));
+            p.push(GroundRule::new(
+                atom1("Out", i),
+                vec![],
+                vec![atom1("In", i)],
+            ));
         }
         let ms = models(&p);
         assert_eq!(ms.len(), 8);
@@ -338,8 +336,16 @@ mod tests {
     fn limits_are_enforced() {
         let mut p = GroundProgram::new();
         for i in 0..6 {
-            p.push(GroundRule::new(atom1("In", i), vec![], vec![atom1("Out", i)]));
-            p.push(GroundRule::new(atom1("Out", i), vec![], vec![atom1("In", i)]));
+            p.push(GroundRule::new(
+                atom1("In", i),
+                vec![],
+                vec![atom1("Out", i)],
+            ));
+            p.push(GroundRule::new(
+                atom1("Out", i),
+                vec![],
+                vec![atom1("In", i)],
+            ));
         }
         let tight = StableModelLimits {
             max_branch_atoms: 4,
@@ -361,7 +367,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = StableError::TooManyBranchAtoms { found: 40, limit: 26 };
+        let e = StableError::TooManyBranchAtoms {
+            found: 40,
+            limit: 26,
+        };
         assert!(e.to_string().contains("40"));
         let e = StableError::TooManyModels { limit: 5 };
         assert!(e.to_string().contains('5'));

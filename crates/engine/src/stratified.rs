@@ -61,7 +61,11 @@ pub fn stratified_model(program: &GroundProgram) -> Result<Database, StratifiedE
             if rule.neg.iter().any(|a| model.contains(a)) {
                 continue;
             }
-            positive.push(GroundRule::new(rule.head.clone(), rule.pos.clone(), Vec::new()));
+            positive.push(GroundRule::new(
+                rule.head.clone(),
+                rule.pos.clone(),
+                Vec::new(),
+            ));
         }
         model = least_model(&positive);
     }

@@ -90,11 +90,8 @@ mod tests {
     #[test]
     fn stratified_negation_is_total() {
         // B ← ¬A.  A never derivable ⇒ B true.
-        let p = GroundProgram::from_rules(vec![GroundRule::new(
-            atom("B"),
-            vec![],
-            vec![atom("A")],
-        )]);
+        let p =
+            GroundProgram::from_rules(vec![GroundRule::new(atom("B"), vec![], vec![atom("A")])]);
         let wf = well_founded(&p);
         assert!(wf.is_total());
         assert!(wf.true_atoms.contains(&atom("B")));
@@ -118,11 +115,8 @@ mod tests {
     #[test]
     fn odd_loop_is_unknown_in_wfm() {
         // a ← ¬a. has no stable model; the WFM leaves a unknown.
-        let p = GroundProgram::from_rules(vec![GroundRule::new(
-            atom("a"),
-            vec![],
-            vec![atom("a")],
-        )]);
+        let p =
+            GroundProgram::from_rules(vec![GroundRule::new(atom("a"), vec![], vec![atom("a")])]);
         let wf = well_founded(&p);
         assert!(!wf.is_total());
         assert_eq!(wf.unknown_atoms.len(), 1);

@@ -155,9 +155,7 @@ impl Parser {
                     return Err(self.error_at("a fact must consist of a single positive atom"));
                 }
                 other => {
-                    return Err(
-                        self.error_at(format!("expected `,`, `->` or `.`, found `{other}`"))
-                    )
+                    return Err(self.error_at(format!("expected `,`, `->` or `.`, found `{other}`")))
                 }
             }
         }
@@ -167,7 +165,9 @@ impl Parser {
     fn head(&mut self) -> Result<Head, ParseError> {
         let name = match self.bump().kind {
             TokenKind::UpperIdent(name) => name,
-            other => return Err(self.error_at(format!("expected a predicate name, found `{other}`"))),
+            other => {
+                return Err(self.error_at(format!("expected a predicate name, found `{other}`")))
+            }
         };
         let mut args = Vec::new();
         if self.peek().kind == TokenKind::LParen {
@@ -232,7 +232,9 @@ impl Parser {
     fn atom(&mut self) -> Result<Atom, ParseError> {
         let name = match self.bump().kind {
             TokenKind::UpperIdent(name) => name,
-            other => return Err(self.error_at(format!("expected a predicate name, found `{other}`"))),
+            other => {
+                return Err(self.error_at(format!("expected a predicate name, found `{other}`")))
+            }
         };
         let mut args = Vec::new();
         if self.peek().kind == TokenKind::LParen {
@@ -479,8 +481,7 @@ mod tests {
 
     #[test]
     fn delta_terms_with_empty_event_and_multiple_params() {
-        let rule =
-            parse_rule("Player(x) -> Score(x, Categorical<0.2, 0.3, 0.5>[x]).").unwrap();
+        let rule = parse_rule("Player(x) -> Score(x, Categorical<0.2, 0.3, 0.5>[x]).").unwrap();
         match &rule.head.args[1] {
             HeadTerm::Delta(d) => {
                 assert_eq!(d.params.len(), 3);

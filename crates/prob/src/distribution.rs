@@ -56,10 +56,7 @@ impl fmt::Display for DistError {
                 expected,
                 actual,
             } => match expected {
-                Some(e) => write!(
-                    f,
-                    "{distribution}: expected {e} parameter(s), got {actual}"
-                ),
+                Some(e) => write!(f, "{distribution}: expected {e} parameter(s), got {actual}"),
                 None => write!(
                     f,
                     "{distribution}: expected a positive number of parameters, got {actual}"
@@ -177,15 +174,11 @@ impl Distribution {
                 }
             }
             Distribution::Die => weighted_pmf(self, params, 6, outcome),
-            Distribution::Categorical => {
-                weighted_pmf(self, params, params.len(), outcome)
-            }
+            Distribution::Categorical => weighted_pmf(self, params, params.len(), outcome),
             Distribution::UniformInt => {
                 let (lo, hi) = int_range(self, params)?;
                 match outcome.as_int() {
-                    Some(v) if v >= lo && v <= hi => {
-                        Ok(Prob::ratio(1, (hi - lo + 1) as i128))
-                    }
+                    Some(v) if v >= lo && v <= hi => Ok(Prob::ratio(1, (hi - lo + 1) as i128)),
                     _ => Ok(Prob::ZERO),
                 }
             }
@@ -322,14 +315,18 @@ fn prob_param(dist: &Distribution, value: &Const) -> Result<Prob, DistError> {
 }
 
 fn int_range(dist: &Distribution, params: &[Const]) -> Result<(i64, i64), DistError> {
-    let lo = params[0].as_int().ok_or_else(|| DistError::InvalidParameter {
-        distribution: dist.name().to_owned(),
-        message: format!("lower bound {} is not an integer", params[0]),
-    })?;
-    let hi = params[1].as_int().ok_or_else(|| DistError::InvalidParameter {
-        distribution: dist.name().to_owned(),
-        message: format!("upper bound {} is not an integer", params[1]),
-    })?;
+    let lo = params[0]
+        .as_int()
+        .ok_or_else(|| DistError::InvalidParameter {
+            distribution: dist.name().to_owned(),
+            message: format!("lower bound {} is not an integer", params[0]),
+        })?;
+    let hi = params[1]
+        .as_int()
+        .ok_or_else(|| DistError::InvalidParameter {
+            distribution: dist.name().to_owned(),
+            message: format!("upper bound {} is not an integer", params[1]),
+        })?;
     if lo > hi {
         return Err(DistError::InvalidParameter {
             distribution: dist.name().to_owned(),
@@ -464,7 +461,9 @@ mod tests {
         assert_eq!(d.pmf(&params, &Const::Int(2)).unwrap(), Prob::ratio(1, 4));
         assert_eq!(d.pmf(&params, &Const::Int(6)).unwrap(), Prob::ZERO);
         assert_eq!(d.enumerate(&params, usize::MAX).unwrap().len(), 4);
-        assert!(d.pmf(&[Const::Int(5), Const::Int(2)], &Const::Int(3)).is_err());
+        assert!(d
+            .pmf(&[Const::Int(5), Const::Int(2)], &Const::Int(3))
+            .is_err());
         assert!(d.pmf(&[real(0.5), Const::Int(2)], &Const::Int(3)).is_err());
     }
 
@@ -496,10 +495,7 @@ mod tests {
         ] {
             let outcomes = d.enumerate(&params, usize::MAX).unwrap();
             let total = Prob::sum(outcomes.iter().map(|(_, p)| *p));
-            assert!(
-                total.approx_eq(&Prob::ONE, 1e-9),
-                "{d}: total mass {total}"
-            );
+            assert!(total.approx_eq(&Prob::ONE, 1e-9), "{d}: total mass {total}");
         }
     }
 

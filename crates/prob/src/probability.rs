@@ -230,10 +230,7 @@ mod tests {
         assert_eq!(half.add(&quarter), Prob::ratio(3, 4));
         assert_eq!(half.sub(&quarter), Prob::ratio(1, 4));
         assert_eq!(half.mul(&quarter), Prob::ratio(1, 8));
-        assert_eq!(
-            Prob::product(vec![half, half, half]),
-            Prob::ratio(1, 8)
-        );
+        assert_eq!(Prob::product(vec![half, half, half]), Prob::ratio(1, 8));
         assert_eq!(Prob::sum(vec![quarter, quarter]), half);
         assert_eq!(Prob::product(Vec::<Prob>::new()), Prob::ONE);
         assert_eq!(Prob::sum(Vec::<Prob>::new()), Prob::ZERO);

@@ -216,7 +216,10 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // Compare a/b vs c/d by a*d vs c*b, falling back to f64 on overflow.
-        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
             (Some(l), Some(r)) => l.cmp(&r),
             _ => self
                 .to_f64()

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example coin_games`
 
-use gdlog::core::{
-    coin_program, dime_quarter_program, GrounderChoice, Pipeline,
-};
+use gdlog::core::{coin_program, dime_quarter_program, GrounderChoice, Pipeline};
 use gdlog::data::{Const, Database, GroundAtom};
 use gdlog::prob::Prob;
 

@@ -43,7 +43,10 @@ fn main() {
     }
 
     println!("\nMonte-Carlo sampling on a larger ring (n = 12)");
-    println!("{:>6} {:>10} {:>12} {:>10}", "p", "samples", "P(dom) est.", "std err");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "p", "samples", "P(dom) est.", "std err"
+    );
     for p in [0.1, 0.3, 0.5] {
         let pipeline = Pipeline::new(&network_resilience_program(p), &ring(12)).unwrap();
         let mut mc = pipeline.monte_carlo(512, 2023);

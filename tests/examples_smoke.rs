@@ -1,0 +1,51 @@
+//! Smoke tests: every example under `examples/` must run to completion.
+//!
+//! These invoke `cargo run --release --example <name>` as a subprocess (the
+//! same artifacts tier-1 CI builds just before testing, so the nested cargo
+//! call is a cheap cache hit). A failing example — panic, nonzero exit,
+//! missing example target — fails the test with its captured output.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 4] = [
+    "quickstart",
+    "coin_games",
+    "network_resilience",
+    "grounder_comparison",
+];
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_example_runs() {
+    run_example(EXAMPLES[0]);
+}
+
+#[test]
+fn coin_games_example_runs() {
+    run_example(EXAMPLES[1]);
+}
+
+#[test]
+fn network_resilience_example_runs() {
+    run_example(EXAMPLES[2]);
+}
+
+#[test]
+fn grounder_comparison_example_runs() {
+    run_example(EXAMPLES[3]);
+}

@@ -116,9 +116,7 @@ fn theorem_c4_holds_for_the_positive_fragment() {
     let chase =
         enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
     let bckov = bckov_output(&sigma, &ChaseBudget::default()).unwrap();
-    assert!(
-        isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap()
-    );
+    assert!(isomorphic_to_bckov(&grounder, &chase, &bckov, &StableModelLimits::default()).unwrap());
 }
 
 #[test]
@@ -127,13 +125,14 @@ fn builder_parser_and_pipeline_compose() {
     // and evaluate both variants.
     let program = gdlog::core::ProgramBuilder::new()
         .rule(|r| {
-            r.body("Machine", vec![gdlog::data::Term::var("m")]).head_with_delta(
-                "Fails",
-                vec![gdlog::data::Term::var("m")],
-                "Flip",
-                vec![gdlog::data::Term::Const(Const::real(0.25).unwrap())],
-                vec![gdlog::data::Term::var("m")],
-            )
+            r.body("Machine", vec![gdlog::data::Term::var("m")])
+                .head_with_delta(
+                    "Fails",
+                    vec![gdlog::data::Term::var("m")],
+                    "Flip",
+                    vec![gdlog::data::Term::Const(Const::real(0.25).unwrap())],
+                    vec![gdlog::data::Term::var("m")],
+                )
         })
         .rule(|r| {
             r.body("Machine", vec![gdlog::data::Term::var("m")])
@@ -164,7 +163,8 @@ fn builder_parser_and_pipeline_compose() {
     let healthy2 = GroundAtom::make("Healthy", vec![Const::Int(2)]);
     let both = direct.probability_where(|k| k.cautious(&healthy1) && k.cautious(&healthy2));
     assert_eq!(both, Prob::ratio(9, 16));
-    let both_rt = roundtripped.probability_where(|k| k.cautious(&healthy1) && k.cautious(&healthy2));
+    let both_rt =
+        roundtripped.probability_where(|k| k.cautious(&healthy1) && k.cautious(&healthy2));
     assert_eq!(both, both_rt);
 }
 

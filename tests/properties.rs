@@ -1,9 +1,15 @@
 //! Property-based tests of the invariants claimed by the paper, across
 //! randomly generated inputs (kept small so the suite stays fast).
+//!
+//! The suite is deterministic in CI: the proptest runner uses a fixed RNG
+//! seed, so a red run reproduces locally with no extra flags. CI clamps the
+//! per-test case counts below via `PROPTEST_CASES` (which takes precedence
+//! over `with_cases`); set `PROPTEST_RNG_SEED` to explore a fresh stream.
+//! See `tests/README.md`.
 
 use gdlog::core::{
-    enumerate_outcomes, network_resilience_program, ChaseBudget, Grounder, SigmaPi,
-    SimpleGrounder, TriggerOrder,
+    enumerate_outcomes, network_resilience_program, ChaseBudget, Grounder, SigmaPi, SimpleGrounder,
+    TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
@@ -61,8 +67,12 @@ fn ground_program() -> impl Strategy<Value = GroundProgram> {
         .prop_map(|(head, pos, neg)| {
             GroundRule::new(
                 GroundAtom::make(head, vec![]),
-                pos.into_iter().map(|n| GroundAtom::make(n, vec![])).collect(),
-                neg.into_iter().map(|n| GroundAtom::make(n, vec![])).collect(),
+                pos.into_iter()
+                    .map(|n| GroundAtom::make(n, vec![]))
+                    .collect(),
+                neg.into_iter()
+                    .map(|n| GroundAtom::make(n, vec![]))
+                    .collect(),
             )
         });
     prop::collection::vec(rule, 1..8).prop_map(GroundProgram::from_rules)
@@ -100,25 +110,24 @@ proptest! {
 
 /// Random small network databases for chase-level properties.
 fn network_db_strategy() -> impl Strategy<Value = Database> {
-    (2usize..4, prop::collection::vec(any::<bool>(), 6))
-        .prop_map(|(n, edge_bits)| {
-            let mut db = Database::new();
-            let mut bit = 0usize;
-            for i in 1..=n as i64 {
-                db.insert_fact("Router", [Const::Int(i)]);
-            }
-            for i in 1..=n as i64 {
-                for j in (i + 1)..=n as i64 {
-                    if edge_bits[bit % edge_bits.len()] {
-                        db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
-                        db.insert_fact("Connected", [Const::Int(j), Const::Int(i)]);
-                    }
-                    bit += 1;
+    (2usize..4, prop::collection::vec(any::<bool>(), 6)).prop_map(|(n, edge_bits)| {
+        let mut db = Database::new();
+        let mut bit = 0usize;
+        for i in 1..=n as i64 {
+            db.insert_fact("Router", [Const::Int(i)]);
+        }
+        for i in 1..=n as i64 {
+            for j in (i + 1)..=n as i64 {
+                if edge_bits[bit % edge_bits.len()] {
+                    db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+                    db.insert_fact("Connected", [Const::Int(j), Const::Int(i)]);
                 }
+                bit += 1;
             }
-            db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
-            db
-        })
+        }
+        db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+        db
+    })
 }
 
 proptest! {

@@ -1,0 +1,328 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches actually use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — per benchmark it warms up, then
+//! takes `sample_size` wall-clock samples within `measurement_time` and
+//! prints the min/mean per-iteration times. No statistical analysis, HTML
+//! reports or comparison against saved baselines; the numbers are honest
+//! but the harness exists first and foremost so `cargo bench --no-run`
+//! compile-gates the bench code in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Force the compiler to treat `value` as used (defeats constant folding).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function_name, &self.parameter) {
+            (Some(n), Some(p)) => write!(f, "{n}/{p}"),
+            (Some(n), None) => write!(f, "{n}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(name.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Throughput metadata attached to a group (reported alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to it by benchmark functions.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+            measurement_time,
+        }
+    }
+
+    /// Time `routine`, called repeatedly; its return value is black-boxed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and iteration-count calibration: target samples that are
+        // long enough to time reliably but fit the measurement budget.
+        let calibration = Instant::now();
+        black_box(routine());
+        let one = calibration.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / (self.sample_size as u32).max(1);
+        self.iters_per_sample = (per_sample.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement_time * 2 {
+                break; // calibration undershot; keep the harness bounded
+            }
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration)> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        let per_iter: Vec<Duration> = self
+            .samples
+            .iter()
+            .map(|s| *s / self.iters_per_sample.min(u32::MAX as u64) as u32)
+            .collect();
+        let min = per_iter.iter().min().copied()?;
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        Some((min, mean))
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+const DEFAULT_MEASUREMENT_TIME: Duration = Duration::from_millis(500);
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Attach throughput metadata to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        self.criterion
+            .print_result(&self.name, &id, self.throughput, &bencher);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        self.criterion
+            .print_result(&self.name, &id, self.throughput, &bencher);
+        self
+    }
+
+    /// Finish the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            measurement_time: DEFAULT_MEASUREMENT_TIME,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(DEFAULT_SAMPLE_SIZE, DEFAULT_MEASUREMENT_TIME);
+        f(&mut bencher);
+        let id = BenchmarkId::from(name);
+        self.print_result("", &id, None, &bencher);
+        self
+    }
+
+    fn print_result(
+        &self,
+        group: &str,
+        id: &BenchmarkId,
+        throughput: Option<Throughput>,
+        bencher: &Bencher,
+    ) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match bencher.report() {
+            Some((min, mean)) => {
+                let extra = match throughput {
+                    Some(Throughput::Bytes(b)) => {
+                        let secs = mean.as_secs_f64();
+                        if secs > 0.0 {
+                            format!("  {:.1} MiB/s", b as f64 / secs / (1024.0 * 1024.0))
+                        } else {
+                            String::new()
+                        }
+                    }
+                    Some(Throughput::Elements(e)) => {
+                        let secs = mean.as_secs_f64();
+                        if secs > 0.0 {
+                            format!("  {:.0} elem/s", e as f64 / secs)
+                        } else {
+                            String::new()
+                        }
+                    }
+                    None => String::new(),
+                };
+                println!("{label:<50} min {min:>12.2?}  mean {mean:>12.2?}{extra}");
+            }
+            None => println!("{label:<50} (no samples)"),
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::from("name").to_string(), "name");
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of proptest's API its property tests actually use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! * integer-range and tuple strategies, [`any`](arbitrary::any),
+//!   [`collection::vec`] and [`sample::select`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros,
+//! * [`ProptestConfig`](test_runner::ProptestConfig) with
+//!   `PROPTEST_CASES` / `PROPTEST_RNG_SEED` environment overrides.
+//!
+//! Differences from upstream, chosen deliberately for CI determinism:
+//!
+//! * **No shrinking** — a failing case reports its case number, test name
+//!   and seed instead of a minimized input.
+//! * **Deterministic by default** — the RNG seed is fixed (see
+//!   [`test_runner::ProptestConfig`]); every run explores the same cases.
+//!   Set `PROPTEST_RNG_SEED` to explore a different stream and
+//!   `PROPTEST_CASES` to change the per-test case count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn commutes(a in 0u32..10, b in 0u32..10) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each generated `#[test]` runs `config.cases` deterministic cases; a
+/// `prop_assert!` failure panics with the test name, case number and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr);
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                // Build the strategies once; the tuple of strategies is
+                // itself a strategy yielding a tuple of values per case.
+                let strategies = ($($strategy,)+);
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for_case(case);
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::new_value(&strategies, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "proptest `{}` failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            case + 1,
+                            runner.cases(),
+                            runner.seed(),
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,7 @@
+//! The proptest prelude: `use proptest::prelude::*;`.
+
+pub use crate as prop;
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

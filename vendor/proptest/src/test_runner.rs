@@ -1,0 +1,159 @@
+//! Configuration, deterministic RNG and failure plumbing for `proptest!`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Default RNG seed: fixed so that CI runs are reproducible. Override with
+/// the `PROPTEST_RNG_SEED` environment variable.
+pub const DEFAULT_RNG_SEED: u64 = 0x6d_1ab5_2023;
+
+/// Default number of cases per property. Override per test with
+/// [`ProptestConfig::with_cases`] or globally with `PROPTEST_CASES` (the
+/// environment variable wins, so CI can clamp the suite).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Seed for the deterministic RNG stream.
+    pub rng_seed: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (still subject to the `PROPTEST_CASES`
+    /// environment override, which takes precedence so CI stays in control).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+            rng_seed: DEFAULT_RNG_SEED,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// An error failing a single test case (from `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A case failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Next uniform `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.inner.next_u64() as u128) << 64) | self.inner.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)` (modulo reduction; the bias is
+    /// irrelevant for test-case generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below(0)");
+        self.next_u128() % bound
+    }
+
+    /// A fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    cases: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Build a runner for the test named `name`, applying environment
+    /// overrides to `config`.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|c| c.min(u32::MAX as u64) as u32)
+            .unwrap_or(config.cases)
+            .max(1);
+        let base = env_u64("PROPTEST_RNG_SEED").unwrap_or(config.rng_seed);
+        // Mix the test name in so sibling tests explore independent streams.
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            cases,
+            seed: base ^ h,
+        }
+    }
+
+    /// Number of cases this runner executes.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The mixed seed (reported on failure for reproduction).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG for one case: a fresh deterministic stream per case index, so
+    /// any case can be re-run in isolation.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(
+            self.seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+        )
+    }
+}

@@ -1,0 +1,147 @@
+//! The [`Standard`] distribution backing `Rng::gen`, and uniform ranges
+//! backing `Rng::gen_range`.
+
+use crate::{Rng, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform `[0, 1)` for floats,
+/// uniform over the full range for integers, a fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, as in upstream rand.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $next:ident),* $(,)?) => {
+        $(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$next() as $ty
+                }
+            }
+        )*
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i128 {
+        let v: u128 = Standard.sample(rng);
+        v as i128
+    }
+}
+
+/// Uniform sampling over ranges (the `gen_range` machinery).
+pub mod uniform {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Ranges that can produce a uniformly distributed `T`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiply-shift reduction of a `u64` onto `[0, span)` (Lemire); the
+    /// bias is at most `span / 2^64`, negligible for this workspace's use.
+    fn reduce(x: u64, span: u64) -> u64 {
+        ((x as u128 * span as u128) >> 64) as u64
+    }
+
+    // Spans of signed ranges are computed in the unsigned type of the same
+    // width so that e.g. `-100i8..100` does not overflow.
+    macro_rules! sample_range_int {
+        ($($ty:ty => $uty:ty),* $(,)?) => {
+            $(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "empty gen_range");
+                        let span = (self.end as $uty).wrapping_sub(self.start as $uty);
+                        let offset = reduce(rng.next_u64(), span as u64) as $uty;
+                        (self.start as $uty).wrapping_add(offset) as $ty
+                    }
+                }
+
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = self.into_inner();
+                        assert!(lo <= hi, "empty gen_range");
+                        let span = (hi as $uty).wrapping_sub(lo as $uty) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $ty;
+                        }
+                        let offset = reduce(rng.next_u64(), span + 1) as $uty;
+                        (lo as $uty).wrapping_add(offset) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    sample_range_int!(
+        u8 => u8,
+        u16 => u16,
+        u32 => u32,
+        u64 => u64,
+        usize => usize,
+        i8 => u8,
+        i16 => u16,
+        i32 => u32,
+        i64 => u64,
+        isize => usize,
+    );
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty gen_range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            // `start + unit * span` can round up to exactly `end` when the
+            // bounds are close; keep the half-open contract.
+            (self.start + unit * (self.end - self.start)).min(self.end.next_down())
+        }
+    }
+}
