@@ -395,7 +395,7 @@ fn e7_grounder_properties() -> Report {
     for outcome in &chase.outcomes {
         let models = outcome.stable_models(&limits).unwrap();
         let full = outcome.full_program();
-        if models.len() != 1 || models[0] != full.heads() {
+        if models.len() != 1 || &models[0] != full.heads() {
             lemma_e1 = false;
         }
     }

@@ -5,7 +5,10 @@
 //! original size and parameterised scalings of them (network topologies, coin
 //! chains, dime/quarter batches).
 
-use gdlog_core::{dime_quarter_program, network_resilience_program, Program, ProgramBuilder};
+use gdlog_core::{
+    dime_quarter_program, network_resilience_program, AtrRule, AtrSet, Grounder, Program,
+    ProgramBuilder,
+};
 use gdlog_data::{Const, Database, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -131,6 +134,57 @@ pub fn coin_chain(n: usize, p: f64) -> (Program, Database) {
     (program, db)
 }
 
+/// A choice set that drives the infection cascade as far as it goes: every
+/// round, all open triggers are resolved with `outcome`, until the
+/// configuration is terminal or `max_rounds` is hit. With `outcome = 1`
+/// (infect) on a connected topology this produces the worst-case grounding —
+/// `Active` atoms for every edge out of every infected router — which is the
+/// scaling workload for the naive vs. semi-naive comparison.
+pub fn cascade_choice_set(grounder: &dyn Grounder, outcome: i64, max_rounds: usize) -> AtrSet {
+    let mut atr = AtrSet::new();
+    let mut rules = grounder.ground(&atr);
+    for _ in 0..max_rounds {
+        let triggers = grounder.triggers(&atr, &rules);
+        if triggers.is_empty() {
+            break;
+        }
+        let parent_atr = atr.clone();
+        for trigger in triggers {
+            let rule = AtrRule::new(grounder.sigma(), trigger, Const::Int(outcome))
+                .expect("triggers use Active predicates");
+            atr.insert(rule).expect("fresh triggers cannot conflict");
+        }
+        rules = grounder.ground_from(&atr, &parent_atr, &rules);
+    }
+    atr
+}
+
+/// The network families the grounding benchmarks scale over: name plus
+/// database, at a CI-smoke (`small = true`) or full measurement size.
+pub fn grounding_network_suite(small: bool) -> Vec<(String, Database)> {
+    let (clique_n, ring_n, er_n) = if small { (5, 12, 8) } else { (9, 48, 16) };
+    vec![
+        (
+            format!("clique_n{clique_n}"),
+            network_database(clique_n, Topology::Clique),
+        ),
+        (
+            format!("ring_n{ring_n}"),
+            network_database(ring_n, Topology::Ring),
+        ),
+        (
+            format!("erdos_renyi_n{er_n}_p40"),
+            network_database(
+                er_n,
+                Topology::ErdosRenyi {
+                    edge_probability: 0.4,
+                    seed: 7,
+                },
+            ),
+        ),
+    ]
+}
+
 /// A plain (non-probabilistic) ground program family for the stable-model
 /// engine benchmarks: `k` independent even loops plus a shared positive
 /// chain, yielding `2^k` stable models.
@@ -219,6 +273,37 @@ mod tests {
         assert!(program.validate().is_ok());
         assert_eq!(db.len(), 4);
         assert!(program.has_stratified_negation());
+    }
+
+    #[test]
+    fn cascade_choice_set_reaches_a_terminal_configuration() {
+        use gdlog_core::{SigmaPi, SimpleGrounder};
+        use std::sync::Arc;
+        let db = network_database(4, Topology::Clique);
+        let sigma = Arc::new(SigmaPi::translate(&network_program(0.1), &db).unwrap());
+        let grounder = SimpleGrounder::new(sigma);
+        let atr = cascade_choice_set(&grounder, 1, 64);
+        assert!(grounder.is_terminal(&atr));
+        // Every router infects all three neighbours: 4 × 3 Active atoms.
+        assert_eq!(atr.len(), 12);
+    }
+
+    #[test]
+    fn grounding_suite_has_three_topologies_at_both_scales() {
+        for small in [true, false] {
+            let suite = grounding_network_suite(small);
+            assert_eq!(suite.len(), 3);
+            assert!(suite.iter().all(|(_, db)| !db.is_empty()));
+        }
+        let small: usize = grounding_network_suite(true)
+            .iter()
+            .map(|(_, db)| db.len())
+            .sum();
+        let full: usize = grounding_network_suite(false)
+            .iter()
+            .map(|(_, db)| db.len())
+            .sum();
+        assert!(small < full);
     }
 
     #[test]

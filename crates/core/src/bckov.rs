@@ -15,7 +15,7 @@ use crate::chase::{ChaseBudget, ChaseResult};
 use crate::error::CoreError;
 use crate::grounding::Grounder;
 use crate::translate::SigmaPi;
-use gdlog_data::substitution::match_atoms;
+use gdlog_data::match_atoms_indexed;
 use gdlog_data::{Database, GroundAtom};
 use gdlog_engine::StableModelLimits;
 use gdlog_prob::Prob;
@@ -76,7 +76,7 @@ fn saturate_instance(sigma: &SigmaPi, start: &Database) -> Database {
     loop {
         let mut added = false;
         for rule in &sigma.rules {
-            let homs = match_atoms(&rule.pos, |pattern| instance.candidates(pattern));
+            let homs = match_atoms_indexed(&rule.pos, &instance);
             for h in homs {
                 let head = rule
                     .head

@@ -144,6 +144,7 @@ pub fn enumerate_outcomes(
         budget,
         order,
         AtrSet::new(),
+        None,
         Prob::ONE,
         0,
         &mut result,
@@ -151,11 +152,13 @@ pub fn enumerate_outcomes(
     Ok(result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn explore(
     grounder: &dyn Grounder,
     budget: &ChaseBudget,
     order: TriggerOrder,
     atr: AtrSet,
+    parent: Option<(&AtrSet, &crate::grounding::GroundRuleSet)>,
     path_prob: Prob,
     depth: usize,
     result: &mut ChaseResult,
@@ -168,7 +171,12 @@ fn explore(
         return Ok(());
     }
 
-    let rules = grounder.ground(&atr);
+    // Each node extends its parent's configuration by one choice, so the
+    // parent's grounding seeds an incremental saturation where supported.
+    let rules = match parent {
+        Some((parent_atr, parent_rules)) => grounder.ground_from(&atr, parent_atr, parent_rules),
+        None => grounder.ground(&atr),
+    };
     let triggers = grounder.triggers(&atr, &rules);
 
     if triggers.is_empty() {
@@ -223,6 +231,7 @@ fn explore(
             budget,
             order,
             child,
+            Some((&atr, &rules)),
             path_prob.mul(&mass),
             depth + 1,
             result,

@@ -201,6 +201,20 @@ pub trait Grounder {
     /// choice set `Σ`.
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet;
 
+    /// Compute `G(Σ)` given `parent_rules = G(parent_atr)` for some
+    /// `parent_atr ⊆ Σ` (the chase descends by extending configurations one
+    /// choice at a time, so the parent grounding is always at hand). The
+    /// default recomputes from scratch; grounders with an incremental
+    /// saturation override this.
+    fn ground_from(
+        &self,
+        atr: &AtrSet,
+        _parent_atr: &AtrSet,
+        _parent_rules: &GroundRuleSet,
+    ) -> GroundRuleSet {
+        self.ground(atr)
+    }
+
     /// Is `AtR_Σ` compatible with `rules` (`AtR_Σ ↩→ rules`): defined on every
     /// `Active` atom occurring in `heads(rules)`?
     fn is_compatible(&self, atr: &AtrSet, rules: &GroundRuleSet) -> bool {
@@ -215,12 +229,14 @@ pub trait Grounder {
         self.is_compatible(atr, &rules)
     }
 
-    /// The `Active` atoms occurring in `heads(rules)`.
+    /// The `Active` atoms occurring in `heads(rules)`. Reads the head set's
+    /// per-predicate relations directly instead of scanning every head atom.
     fn active_heads(&self, rules: &GroundRuleSet) -> Vec<GroundAtom> {
-        rules
-            .heads()
+        let heads = rules.heads();
+        self.sigma()
+            .atr_schemas
             .iter()
-            .filter(|a| self.sigma().is_active_predicate(&a.predicate))
+            .flat_map(|schema| heads.atoms_of(&schema.active))
             .cloned()
             .collect()
     }

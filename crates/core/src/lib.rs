@@ -42,6 +42,7 @@ pub mod depgraph;
 pub mod error;
 pub mod grounding;
 pub mod mc;
+pub mod naive;
 pub mod outcome;
 pub mod perfect_grounder;
 pub mod pipeline;
@@ -61,6 +62,7 @@ pub use depgraph::{dependency_graph, stratification, DependencyGraph, Stratifica
 pub use error::CoreError;
 pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder};
 pub use mc::{sample_outcome, MonteCarlo, SampleStats, SampledPath};
+pub use naive::{NaivePerfectGrounder, NaiveSimpleGrounder};
 pub use outcome::{ModelSetKey, PossibleOutcome};
 pub use perfect_grounder::PerfectGrounder;
 pub use pipeline::{GrounderChoice, Pipeline};

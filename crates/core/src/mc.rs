@@ -55,8 +55,16 @@ pub fn sample_outcome<R: Rng + ?Sized>(
 ) -> Result<SampledPath, CoreError> {
     let mut atr = AtrSet::new();
     let mut probability = Prob::ONE;
+    // Each trigger application extends the configuration by one choice, so
+    // the previous grounding seeds an incremental saturation.
+    let mut previous: Option<(AtrSet, crate::grounding::GroundRuleSet)> = None;
     for depth in 0..=max_triggers {
-        let rules = grounder.ground(&atr);
+        let rules = match &previous {
+            Some((parent_atr, parent_rules)) => {
+                grounder.ground_from(&atr, parent_atr, parent_rules)
+            }
+            None => grounder.ground(&atr),
+        };
         let triggers = grounder.triggers(&atr, &rules);
         if triggers.is_empty() {
             return Ok(SampledPath::Finite(PossibleOutcome::new(
@@ -80,6 +88,8 @@ pub fn sample_outcome<R: Rng + ?Sized>(
         let value = sample_distribution(schema.distribution, params, rng)?;
         let mass = schema.outcome_probability(&trigger, &value)?;
         probability = probability.mul(&mass);
+        // Snapshot the pre-extension configuration alongside its grounding.
+        previous = Some((atr.clone(), rules));
         atr.insert(AtrRule::new(grounder.sigma(), trigger, value)?)?;
     }
     Ok(SampledPath::Abandoned {

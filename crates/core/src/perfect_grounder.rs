@@ -17,10 +17,14 @@ use crate::error::CoreError;
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
 use crate::simple_grounder::saturate;
 use crate::translate::{SigmaPi, TgdRule};
-use gdlog_data::Predicate;
+use gdlog_data::{Database, Predicate};
 use gdlog_engine::depgraph::{DependencyGraph, EdgeSign};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Signature shared by the semi-naive saturation and the retained naive
+/// reference, so the stratum loop is written once.
+type SaturateFn = fn(&[&TgdRule], &AtrSet, GroundRuleSet, Option<&Database>) -> GroundRuleSet;
 
 /// The perfect grounder. Construction fails if the program does not have
 /// stratified negation.
@@ -76,18 +80,14 @@ impl PerfectGrounder {
     pub fn stratum_count(&self) -> usize {
         self.rules_by_stratum.len()
     }
-}
 
-impl Grounder for PerfectGrounder {
-    fn sigma(&self) -> &SigmaPi {
-        &self.sigma
+    /// Ground with the retained naive saturation — the reference oracle kept
+    /// for property tests and benchmarks; see [`crate::naive`].
+    pub fn ground_naive(&self, atr: &AtrSet) -> GroundRuleSet {
+        self.ground_with(atr, crate::naive::saturate_naive)
     }
 
-    fn name(&self) -> &'static str {
-        "perfect"
-    }
-
-    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+    fn ground_with(&self, atr: &AtrSet, saturate_fn: SaturateFn) -> GroundRuleSet {
         let mut derived = GroundRuleSet::new();
         for stratum_rules in &self.rules_by_stratum {
             // Σ↑Cᵢ is only computed if AtR_Σ is compatible with Σ↑Cᵢ₋₁
@@ -105,10 +105,24 @@ impl Grounder for PerfectGrounder {
                 .collect();
             // Negative literals refer to strictly lower strata, whose
             // extension (the heads derived so far) is final.
-            let neg_reference = derived.heads();
-            derived = saturate(&rules, atr, derived, Some(&neg_reference));
+            let neg_reference = derived.heads().clone();
+            derived = saturate_fn(&rules, atr, derived, Some(&neg_reference));
         }
         derived
+    }
+}
+
+impl Grounder for PerfectGrounder {
+    fn sigma(&self) -> &SigmaPi {
+        &self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+
+    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+        self.ground_with(atr, saturate)
     }
 }
 

@@ -4,6 +4,12 @@
 //! (Definitions 3.4 / 5.1), the chase (Section 4) and the output space
 //! (Definition 3.8) behind a small builder-style API. It is the entry point
 //! used by the examples and the experiment harness.
+//!
+//! Evaluation is semi-naive throughout: the grounders saturate delta-by-delta
+//! over the indexed relations of `gdlog-data`, and the chase descent reuses
+//! each node's grounding as the seed of its children's
+//! ([`Grounder::ground_from`]). See `ARCHITECTURE.md` at the repository root
+//! for the invariants.
 
 use crate::chase::{enumerate_outcomes, ChaseBudget, ChaseResult, TriggerOrder};
 use crate::error::CoreError;

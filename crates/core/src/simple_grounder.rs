@@ -10,8 +10,7 @@
 
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
 use crate::translate::{SigmaPi, TgdRule};
-use gdlog_data::substitution::match_atoms;
-use gdlog_data::{Database, GroundAtom};
+use gdlog_data::{match_atoms_delta, match_atoms_indexed, Database, GroundAtom, Substitution};
 use gdlog_engine::GroundRule;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -26,6 +25,40 @@ impl SimpleGrounder {
     /// Build a simple grounder for a translated program.
     pub fn new(sigma: Arc<SigmaPi>) -> Self {
         SimpleGrounder { sigma }
+    }
+
+    /// Ground with the retained naive (non-semi-naive) saturation — the
+    /// reference oracle kept for property tests and benchmarks; see
+    /// [`crate::naive`].
+    pub fn ground_naive(&self, atr: &AtrSet) -> GroundRuleSet {
+        let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
+        crate::naive::saturate_naive(&rules, atr, GroundRuleSet::new(), None)
+    }
+
+    /// Incremental grounding for chase descent: `parent_rules` must be
+    /// `self.ground(parent_atr)` with `parent_atr ⊆ atr`. By monotonicity of
+    /// the simple grounder the result equals `self.ground(atr)`, but
+    /// saturation starts from the parent's rules with only the `Result`
+    /// atoms the parent had *not* already activated as the initial delta, so
+    /// the work is proportional to what the new choices unlock.
+    pub fn ground_extending(
+        &self,
+        atr: &AtrSet,
+        parent_atr: &AtrSet,
+        parent_rules: &GroundRuleSet,
+    ) -> GroundRuleSet {
+        // The parent's saturation activated exactly the parent choices whose
+        // Active atom it derived; their Result atoms seeded the parent's
+        // matching already and must not re-seed the child's delta.
+        let parent_heads = parent_rules.heads();
+        let old_results = Database::from_atoms(
+            parent_atr
+                .iter()
+                .filter(|r| parent_heads.contains(&r.active))
+                .map(|r| r.result.clone()),
+        );
+        let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
+        saturate_extending(&rules, atr, parent_rules.clone(), None, &old_results)
     }
 }
 
@@ -42,9 +75,54 @@ impl Grounder for SimpleGrounder {
         let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
         saturate(&rules, atr, GroundRuleSet::new(), None)
     }
+
+    fn ground_from(
+        &self,
+        atr: &AtrSet,
+        parent_atr: &AtrSet,
+        parent_rules: &GroundRuleSet,
+    ) -> GroundRuleSet {
+        self.ground_extending(atr, parent_atr, parent_rules)
+    }
 }
 
-/// The shared saturation loop used by both grounders.
+/// Instantiate `rule` under the homomorphism `h` and add it to `new_rules`
+/// unless a negative body atom is contradicted by `neg_reference`.
+fn instantiate(
+    rule: &TgdRule,
+    h: &Substitution,
+    neg_reference: Option<&Database>,
+    new_rules: &mut Vec<GroundRule>,
+) {
+    let head = rule
+        .head
+        .apply_ground(h)
+        .expect("safety guarantees the head grounds");
+    let pos: Vec<GroundAtom> = rule
+        .pos
+        .iter()
+        .map(|a| a.apply_ground(h).expect("matched atoms are ground"))
+        .collect();
+    let neg: Vec<GroundAtom> = rule
+        .neg
+        .iter()
+        .map(|a| a.apply_ground(h).expect("safety grounds negative literals"))
+        .collect();
+    if let Some(reference) = neg_reference {
+        if neg.iter().any(|a| reference.contains(a)) {
+            return;
+        }
+    }
+    new_rules.push(GroundRule::new(head, pos, neg));
+}
+
+/// The shared saturation loop used by both grounders, evaluated
+/// **semi-naively**: after an initial full round, a rule is only re-matched
+/// through body positions that can consume an atom derived in the previous
+/// round (the *delta*), with the remaining positions answered by the indexed
+/// head set. Instantiations whose body atoms are all old are never
+/// re-derived, so the total matching work is proportional to the newly
+/// derived facts rather than `rounds × rules × |heads|^arity`.
 ///
 /// Starting from `initial` (already-derived ground rules), repeatedly add
 /// every ground instance `h(σ)` of a rule in `rules` whose positive body is
@@ -52,72 +130,117 @@ impl Grounder for SimpleGrounder {
 /// rule instance is only added if none of its (ground) negative body atoms
 /// occurs in `db` (the `Perfect` operator), otherwise negative literals are
 /// ignored (the `Simple` operator). Ground AtR rules of `atr` contribute
-/// their `Result` head as soon as their `Active` body has been derived.
+/// their `Result` head as soon as their `Active` body has been derived; the
+/// activation check is itself delta-driven.
+///
+/// The retained naive formulation lives in [`crate::naive`]; property tests
+/// assert both produce identical [`GroundRuleSet`]s.
 pub(crate) fn saturate(
     rules: &[&TgdRule],
     atr: &AtrSet,
     initial: GroundRuleSet,
     neg_reference: Option<&Database>,
 ) -> GroundRuleSet {
+    saturate_impl(rules, atr, initial, neg_reference, None)
+}
+
+/// [`saturate`] for an `initial` set that is already saturated under a
+/// sub-configuration of `atr` whose activated `Result` atoms are
+/// `old_results`: the full round 0 is skipped and only the newly activated
+/// `Result` atoms form the first delta. Only sound when every rule
+/// instantiation over `initial`'s heads plus `old_results` is already
+/// present in `initial`.
+pub(crate) fn saturate_extending(
+    rules: &[&TgdRule],
+    atr: &AtrSet,
+    initial: GroundRuleSet,
+    neg_reference: Option<&Database>,
+    old_results: &Database,
+) -> GroundRuleSet {
+    saturate_impl(rules, atr, initial, neg_reference, Some(old_results))
+}
+
+fn saturate_impl(
+    rules: &[&TgdRule],
+    atr: &AtrSet,
+    initial: GroundRuleSet,
+    neg_reference: Option<&Database>,
+    saturated_with_results: Option<&Database>,
+) -> GroundRuleSet {
     let mut derived = initial;
-    let mut heads = derived.heads();
+    let mut heads: Database = derived.heads().clone();
     let mut included_atr: HashSet<GroundAtom> = HashSet::new();
 
-    // Seed: AtR rules whose Active atom is already derivable.
-    loop {
-        let mut changed = false;
-
-        // Activate AtR rules whose body is available.
-        for atr_rule in atr.iter() {
-            if !included_atr.contains(&atr_rule.active) && heads.contains(&atr_rule.active) {
-                included_atr.insert(atr_rule.active.clone());
-                if heads.insert(atr_rule.result.clone()) {
-                    changed = true;
+    // Seed: activate AtR rules whose Active atom is already derivable from
+    // `initial` (relevant for the perfect grounder's later strata). Round 0
+    // then matches every rule fully against the seeded head set, and round
+    // `k > 0` only matches through the delta of round `k - 1`.
+    //
+    // In extending mode the full round 0 is skipped: the initial rules are
+    // known saturated (including the parent's activated results), so
+    // everything derivable from their heads alone is already present and the
+    // genuinely new seed results are the whole round-0 delta.
+    let mut delta: Option<Database> = saturated_with_results.map(|_| Database::new());
+    for atr_rule in atr.iter() {
+        if heads.contains(&atr_rule.active)
+            && included_atr.insert(atr_rule.active.clone())
+            && heads.insert(atr_rule.result.clone())
+        {
+            if let (Some(seed), Some(old)) = (&mut delta, saturated_with_results) {
+                // Results the parent had already activated seeded the
+                // parent's matching and stay out of the delta.
+                if !old.contains(&atr_rule.result) {
+                    seed.insert(atr_rule.result.clone());
                 }
             }
         }
-
-        // One pass over the non-ground rules.
+    }
+    loop {
         let mut new_rules: Vec<GroundRule> = Vec::new();
-        for rule in rules {
-            let homs = match_atoms(&rule.pos, |pattern| heads.candidates(pattern));
-            for h in homs {
-                let head = rule
-                    .head
-                    .apply_ground(&h)
-                    .expect("safety guarantees the head grounds");
-                let pos: Vec<GroundAtom> = rule
-                    .pos
-                    .iter()
-                    .map(|a| a.apply_ground(&h).expect("matched atoms are ground"))
-                    .collect();
-                let neg: Vec<GroundAtom> = rule
-                    .neg
-                    .iter()
-                    .map(|a| {
-                        a.apply_ground(&h)
-                            .expect("safety grounds negative literals")
-                    })
-                    .collect();
-                if let Some(reference) = neg_reference {
-                    if neg.iter().any(|a| reference.contains(a)) {
-                        continue;
+        match &delta {
+            None => {
+                for rule in rules {
+                    for h in match_atoms_indexed(&rule.pos, &heads) {
+                        instantiate(rule, &h, neg_reference, &mut new_rules);
                     }
                 }
-                new_rules.push(GroundRule::new(head, pos, neg));
             }
-        }
-        for rule in new_rules {
-            let head = rule.head.clone();
-            if derived.push(rule) {
-                heads.insert(head);
-                changed = true;
+            Some(delta) => {
+                for rule in rules {
+                    // A new instantiation must consume at least one delta
+                    // atom in some positive body position; enumerate each
+                    // position as the delta-constrained one.
+                    for delta_idx in 0..rule.pos.len() {
+                        for h in match_atoms_delta(&rule.pos, delta_idx, &heads, delta) {
+                            instantiate(rule, &h, neg_reference, &mut new_rules);
+                        }
+                    }
+                }
             }
         }
 
-        if !changed {
+        // Integrate the round: new head atoms form the next delta, and any
+        // AtR rule whose Active atom just appeared contributes its Result.
+        let mut next_delta = Database::new();
+        for rule in new_rules {
+            let head = rule.head.clone();
+            if derived.push(rule) && heads.insert(head.clone()) {
+                next_delta.insert(head);
+            }
+        }
+        for atr_rule in atr.iter() {
+            if next_delta.contains(&atr_rule.active)
+                && included_atr.insert(atr_rule.active.clone())
+                && heads.insert(atr_rule.result.clone())
+            {
+                next_delta.insert(atr_rule.result.clone());
+            }
+        }
+
+        if next_delta.is_empty() {
             break;
         }
+        delta = Some(next_delta);
     }
     derived
 }

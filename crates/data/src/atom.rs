@@ -31,7 +31,7 @@ impl Atom {
     pub fn new(predicate: Predicate, args: Vec<Term>) -> Result<Self, DataError> {
         if args.len() != predicate.arity() {
             return Err(DataError::ArityMismatch {
-                predicate: predicate.name(),
+                predicate: predicate.name().to_owned(),
                 expected: predicate.arity(),
                 actual: args.len(),
             });
@@ -49,15 +49,18 @@ impl Atom {
     /// The set of variables occurring in the atom (in order of first
     /// occurrence, without duplicates).
     pub fn variables(&self) -> Vec<Var> {
-        let mut seen = Vec::new();
+        // Order-preserving set walk: membership is O(1) instead of the
+        // O(n²) `Vec::contains` scan per argument.
+        let mut seen = std::collections::HashSet::with_capacity(self.args.len());
+        let mut out = Vec::new();
         for t in &self.args {
             if let Term::Var(v) = t {
-                if !seen.contains(v) {
-                    seen.push(*v);
+                if seen.insert(*v) {
+                    out.push(*v);
                 }
             }
         }
-        seen
+        out
     }
 
     /// Is the atom ground (free of variables)?
@@ -122,7 +125,7 @@ impl GroundAtom {
     pub fn new(predicate: Predicate, args: Vec<Const>) -> Result<Self, DataError> {
         if args.len() != predicate.arity() {
             return Err(DataError::ArityMismatch {
-                predicate: predicate.name(),
+                predicate: predicate.name().to_owned(),
                 expected: predicate.arity(),
                 actual: args.len(),
             });

@@ -4,19 +4,28 @@
 //! (§2 of the paper); an *instance* may be infinite in the paper but is, of
 //! course, always finite in memory — [`Instance`] is simply a growable
 //! database used for fixpoint computations.
+//!
+//! Storage is one [`Relation`] per predicate: each atom is kept exactly once
+//! (the old layout cloned every atom into both a `HashSet` and a
+//! per-predicate `Vec`, doubling resident memory), and every argument
+//! position carries a hash index from constants to rows. The index powers
+//! [`Database::candidates_bound`], the lookup the grounders use to join rule
+//! bodies without scanning whole relations.
 
 use crate::atom::{Atom, GroundAtom};
 use crate::predicate::Predicate;
+use crate::relation::{Candidates, Relation};
 use crate::schema::Schema;
+use crate::substitution::Substitution;
 use crate::value::Const;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{hash_map, BTreeSet, HashMap};
 use std::fmt;
 
-/// A finite set of ground atoms with a per-predicate index.
+/// A finite set of ground atoms stored as per-predicate indexed relations.
 #[derive(Clone, Default, Debug)]
 pub struct Database {
-    atoms: HashSet<GroundAtom>,
-    by_predicate: HashMap<Predicate, Vec<GroundAtom>>,
+    relations: HashMap<Predicate, Relation>,
+    len: usize,
 }
 
 /// An instance is a database that is conventionally used as the *output* of a
@@ -41,11 +50,12 @@ impl Database {
     /// Insert a ground atom. Returns `true` if the atom was not already
     /// present.
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
-        if self.atoms.insert(atom.clone()) {
-            self.by_predicate
-                .entry(atom.predicate)
-                .or_default()
-                .push(atom);
+        let relation = self
+            .relations
+            .entry(atom.predicate)
+            .or_insert_with(|| Relation::new(atom.predicate.arity()));
+        if relation.insert(atom) {
+            self.len += 1;
             true
         } else {
             false
@@ -64,53 +74,73 @@ impl Database {
 
     /// Does the database contain `atom`?
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.atoms.contains(atom)
+        self.relations
+            .get(&atom.predicate)
+            .is_some_and(|r| r.contains(atom))
     }
 
     /// Number of atoms.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.len
     }
 
     /// Is the database empty?
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.len == 0
     }
 
     /// Iterate over all atoms (in unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = &GroundAtom> {
-        self.atoms.iter()
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            relations: self.relations.values(),
+            current: [].iter(),
+        }
+    }
+
+    /// The relation of a predicate, if any atoms of it are present.
+    pub fn relation(&self, predicate: &Predicate) -> Option<&Relation> {
+        self.relations.get(predicate)
     }
 
     /// Iterate over the atoms of a given predicate.
     pub fn atoms_of(&self, predicate: &Predicate) -> impl Iterator<Item = &GroundAtom> {
-        self.by_predicate.get(predicate).into_iter().flatten()
+        self.relations.get(predicate).into_iter().flatten()
     }
 
     /// The candidate atoms an [`Atom`] pattern can match: the atoms of the
     /// pattern's predicate. Designed to plug into
-    /// [`crate::substitution::match_atoms`].
+    /// [`crate::substitution::match_atoms`]. Prefer
+    /// [`Database::candidates_bound`] when a partial substitution is at hand.
     pub fn candidates(&self, pattern: &Atom) -> impl Iterator<Item = &GroundAtom> {
         self.atoms_of(&pattern.predicate)
     }
 
+    /// The candidate atoms `pattern` can match given the bindings already
+    /// made by `subst`: the per-position hash index is consulted for every
+    /// argument that is a constant or a bound variable, and the smallest
+    /// applicable posting list is returned (the whole relation when nothing
+    /// is determined).
+    pub fn candidates_bound<'a>(&'a self, pattern: &Atom, subst: &Substitution) -> Candidates<'a> {
+        match self.relations.get(&pattern.predicate) {
+            Some(relation) => relation.select(pattern, subst),
+            None => Candidates::Empty,
+        }
+    }
+
     /// The predicates occurring in the database.
     pub fn predicates(&self) -> impl Iterator<Item = &Predicate> {
-        self.by_predicate.keys()
+        self.relations.keys()
     }
 
     /// The schema induced by the database (all predicates occurring in it).
     pub fn schema(&self) -> Schema {
-        Schema::from_predicates(self.by_predicate.keys().copied())
+        Schema::from_predicates(self.relations.keys().copied())
     }
 
     /// The active domain: all constants occurring in the database
     /// (`dom(I)` in the paper).
     pub fn domain(&self) -> BTreeSet<Const> {
-        self.atoms
-            .iter()
-            .flat_map(|a| a.args.iter().copied())
-            .collect()
+        self.iter().flat_map(|a| a.args.iter().copied()).collect()
     }
 
     /// Union with another database (set union of atoms).
@@ -135,15 +165,34 @@ impl Database {
     /// A canonical, deterministic listing of the atoms (sorted), useful for
     /// hashing/keying sets of stable models.
     pub fn canonical_atoms(&self) -> Vec<GroundAtom> {
-        let mut v: Vec<GroundAtom> = self.atoms.iter().cloned().collect();
+        let mut v: Vec<GroundAtom> = self.iter().cloned().collect();
         v.sort();
         v
     }
 }
 
+/// Iterator over all atoms of a [`Database`].
+pub struct Iter<'a> {
+    relations: hash_map::Values<'a, Predicate, Relation>,
+    current: std::slice::Iter<'a, GroundAtom>,
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a GroundAtom;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(atom) = self.current.next() {
+                return Some(atom);
+            }
+            self.current = self.relations.next()?.iter();
+        }
+    }
+}
+
 impl PartialEq for Database {
     fn eq(&self, other: &Self) -> bool {
-        self.atoms == other.atoms
+        self.len == other.len && self.iter().all(|a| other.contains(a))
     }
 }
 
@@ -170,10 +219,10 @@ impl FromIterator<GroundAtom> for Database {
 
 impl<'a> IntoIterator for &'a Database {
     type Item = &'a GroundAtom;
-    type IntoIter = std::collections::hash_set::Iter<'a, GroundAtom>;
+    type IntoIter = Iter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.atoms.iter()
+        self.iter()
     }
 }
 
@@ -220,6 +269,28 @@ mod tests {
     }
 
     #[test]
+    fn len_and_iteration_agree_with_duplicates_dropped() {
+        // Regression for the old double-storage layout: each atom is stored
+        // once, so `len()`, full iteration and the per-predicate sums must
+        // all agree — also after duplicate insertions.
+        let mut db = example_db();
+        for a in example_db().canonical_atoms() {
+            assert!(!db.insert(a), "re-inserting must report a duplicate");
+        }
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.iter().count(), db.len());
+        let per_predicate: usize = db
+            .predicates()
+            .copied()
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|p| db.atoms_of(p).count())
+            .sum();
+        assert_eq!(per_predicate, db.len());
+        assert_eq!(db.canonical_atoms().len(), db.len());
+    }
+
+    #[test]
     fn example_3_6_database_has_expected_size() {
         let db = example_db();
         // 3 routers + 6 connections + 1 infected fact.
@@ -261,10 +332,42 @@ mod tests {
     }
 
     #[test]
+    fn candidates_bound_consults_the_positional_index() {
+        let db = example_db();
+        let pattern = Atom::make("Connected", vec![Term::int(1), Term::var("y")]);
+        let hits: Vec<_> = db
+            .candidates_bound(&pattern, &Substitution::new())
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|a| a.args[0] == Const::Int(1)));
+
+        // A bound variable narrows the same way.
+        let pattern = Atom::make("Connected", vec![Term::var("x"), Term::var("y")]);
+        let mut subst = Substitution::new();
+        subst.bind(crate::term::Var::new("y"), Const::Int(3));
+        assert_eq!(db.candidates_bound(&pattern, &subst).count(), 2);
+
+        // Unknown predicate or absent constant: empty without scanning.
+        let pattern = Atom::make("Missing", vec![Term::var("x")]);
+        assert_eq!(
+            db.candidates_bound(&pattern, &Substitution::new()).count(),
+            0
+        );
+        let pattern = Atom::make("Connected", vec![Term::int(99), Term::var("y")]);
+        assert_eq!(
+            db.candidates_bound(&pattern, &Substitution::new()).count(),
+            0
+        );
+    }
+
+    #[test]
     fn equality_ignores_insertion_order() {
         let a = Database::from_atoms(vec![router(1), router(2)]);
         let b = Database::from_atoms(vec![router(2), router(1)]);
         assert_eq!(a, b);
+        // Differing contents with equal sizes are unequal.
+        let c = Database::from_atoms(vec![router(1), router(3)]);
+        assert_ne!(a, c);
     }
 
     #[test]

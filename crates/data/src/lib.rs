@@ -29,6 +29,7 @@ pub mod atom;
 pub mod database;
 pub mod error;
 pub mod predicate;
+pub mod relation;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;
@@ -39,8 +40,9 @@ pub use atom::{Atom, GroundAtom, GroundLiteral, Literal, Polarity};
 pub use database::{Database, Instance};
 pub use error::DataError;
 pub use predicate::Predicate;
+pub use relation::{Candidates, Relation};
 pub use schema::Schema;
-pub use substitution::Substitution;
+pub use substitution::{match_atoms, match_atoms_delta, match_atoms_indexed, Substitution};
 pub use symbol::{Interner, Symbol};
 pub use term::{Term, Var};
 pub use value::Const;

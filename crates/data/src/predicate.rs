@@ -33,8 +33,8 @@ impl Predicate {
         self.name
     }
 
-    /// The predicate's name as a string.
-    pub fn name(&self) -> String {
+    /// The predicate's name as a string (borrowed from the interner).
+    pub fn name(&self) -> &'static str {
         self.name.as_str()
     }
 

@@ -1,0 +1,269 @@
+//! Per-predicate indexed atom stores.
+//!
+//! A [`Relation`] holds the ground atoms of one predicate exactly once, in a
+//! dense insertion-ordered table, together with
+//!
+//! * a duplicate-detection map from the hash of an argument tuple to the rows
+//!   carrying that hash (so membership tests never need a second copy of the
+//!   atom, unlike the old `HashSet<GroundAtom>` + `Vec<GroundAtom>` layout
+//!   which stored every atom twice), and
+//! * one hash index per argument position, mapping a constant to the rows
+//!   holding it at that position.
+//!
+//! [`Relation::select`] is the index-aware lookup used by the grounders: for
+//! a pattern atom and a partial substitution it inspects every argument
+//! position that is already determined (a constant in the pattern, or a
+//! variable the substitution binds) and returns the smallest matching posting
+//! list — the caller's matcher re-verifies all positions, so `select` only
+//! has to be sound, never complete per position.
+
+use crate::atom::{Atom, GroundAtom};
+use crate::substitution::Substitution;
+use crate::term::Term;
+use crate::value::Const;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The atoms of a single predicate, stored once and indexed by argument
+/// position.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    atoms: Vec<GroundAtom>,
+    /// Argument-tuple hash → rows with that hash (collision chain).
+    buckets: HashMap<u64, Vec<u32>>,
+    /// `index[i]`: constant at position `i` → rows holding it there.
+    index: Vec<HashMap<Const, Vec<u32>>>,
+}
+
+fn hash_args(args: &[Const]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    args.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl Relation {
+    /// An empty relation for a predicate of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            atoms: Vec::new(),
+            buckets: HashMap::new(),
+            index: vec![HashMap::new(); arity],
+        }
+    }
+
+    /// Insert an atom; returns `true` if it was not already present.
+    pub fn insert(&mut self, atom: GroundAtom) -> bool {
+        debug_assert_eq!(atom.args.len(), self.index.len());
+        let h = hash_args(&atom.args);
+        let rows = self.buckets.entry(h).or_default();
+        // Compare whole atoms: a standalone Relation may legitimately be fed
+        // several same-arity predicates (the Database wrapper never does).
+        if rows.iter().any(|&r| self.atoms[r as usize] == atom) {
+            return false;
+        }
+        let row = self.atoms.len() as u32;
+        rows.push(row);
+        for (position, constant) in atom.args.iter().enumerate() {
+            self.index[position].entry(*constant).or_default().push(row);
+        }
+        self.atoms.push(atom);
+        true
+    }
+
+    /// Membership test (hash lookup plus a collision-chain scan).
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.buckets
+            .get(&hash_args(&atom.args))
+            .is_some_and(|rows| rows.iter().any(|&r| &self.atoms[r as usize] == atom))
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterate over the atoms in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, GroundAtom> {
+        self.atoms.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a GroundAtom;
+    type IntoIter = std::slice::Iter<'a, GroundAtom>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl Relation {
+    /// The candidate atoms `pattern` can match given the bindings of `subst`:
+    /// the shortest posting list among the argument positions that are
+    /// already determined, or the whole relation when none is. Returns an
+    /// empty iterator as soon as some determined position has a constant that
+    /// occurs nowhere in the relation at that position.
+    pub fn select<'a>(&'a self, pattern: &Atom, subst: &Substitution) -> Candidates<'a> {
+        debug_assert_eq!(pattern.args.len(), self.index.len());
+        let mut best: Option<&'a [u32]> = None;
+        for (position, term) in pattern.args.iter().enumerate() {
+            let constant = match term {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => subst.get(v).copied(),
+            };
+            if let Some(c) = constant {
+                match self.index[position].get(&c) {
+                    None => return Candidates::Empty,
+                    Some(rows) => {
+                        if best.is_none_or(|b| rows.len() < b.len()) {
+                            best = Some(rows);
+                        }
+                    }
+                }
+            }
+        }
+        match best {
+            Some(rows) => Candidates::Rows {
+                atoms: &self.atoms,
+                rows: rows.iter(),
+            },
+            None => Candidates::All(self.atoms.iter()),
+        }
+    }
+}
+
+/// Iterator returned by [`Relation::select`] /
+/// [`crate::Database::candidates_bound`].
+#[derive(Debug)]
+pub enum Candidates<'a> {
+    /// No atom can match (a determined position is absent from the index).
+    Empty,
+    /// Every atom of the relation (no position was determined).
+    All(std::slice::Iter<'a, GroundAtom>),
+    /// The rows of the shortest applicable posting list.
+    Rows {
+        /// The relation's dense atom table.
+        atoms: &'a [GroundAtom],
+        /// Row ids to yield.
+        rows: std::slice::Iter<'a, u32>,
+    },
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a GroundAtom;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Candidates::Empty => None,
+            Candidates::All(iter) => iter.next(),
+            Candidates::Rows { atoms, rows } => rows.next().map(|&r| &atoms[r as usize]),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Candidates::Empty => (0, Some(0)),
+            Candidates::All(iter) => iter.size_hint(),
+            Candidates::Rows { rows, .. } => (0, Some(rows.len())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    fn edge(a: i64, b: i64) -> GroundAtom {
+        GroundAtom::make("E", vec![Const::Int(a), Const::Int(b)])
+    }
+
+    fn triangle() -> Relation {
+        let mut r = Relation::new(2);
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            assert!(r.insert(edge(a, b)));
+        }
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates_without_second_copy() {
+        let mut r = triangle();
+        assert!(!r.insert(edge(1, 2)));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&edge(2, 3)));
+        assert!(!r.contains(&edge(3, 2)));
+        assert_eq!(r.iter().count(), r.len());
+    }
+
+    #[test]
+    fn select_uses_positional_index() {
+        let r = triangle();
+        let pattern = Atom::make("E", vec![Term::int(2), Term::var("y")]);
+        let hits: Vec<_> = r.select(&pattern, &Substitution::new()).collect();
+        assert_eq!(hits, vec![&edge(2, 3)]);
+
+        // A bound variable behaves like a constant.
+        let pattern = Atom::make("E", vec![Term::var("x"), Term::var("y")]);
+        let mut subst = Substitution::new();
+        subst.bind(Var::new("y"), Const::Int(1));
+        let hits: Vec<_> = r.select(&pattern, &subst).collect();
+        assert_eq!(hits, vec![&edge(3, 1)]);
+
+        // Nothing bound: the whole relation.
+        assert_eq!(r.select(&pattern, &Substitution::new()).count(), 3);
+
+        // A constant outside the index short-circuits to empty.
+        let pattern = Atom::make("E", vec![Term::int(9), Term::var("y")]);
+        assert_eq!(r.select(&pattern, &Substitution::new()).count(), 0);
+    }
+
+    #[test]
+    fn select_prefers_the_shortest_posting_list() {
+        let mut r = Relation::new(2);
+        for b in 1..=10 {
+            r.insert(edge(1, b));
+        }
+        r.insert(edge(2, 1));
+        // Position 0 bound to 1 has 10 rows; position 1 bound to 5 has one.
+        let pattern = Atom::make("E", vec![Term::int(1), Term::int(5)]);
+        let candidates = r.select(&pattern, &Substitution::new());
+        assert!(matches!(&candidates, Candidates::Rows { rows, .. } if rows.len() == 1));
+        assert_eq!(candidates.count(), 1);
+    }
+
+    #[test]
+    fn same_args_different_predicates_are_distinct() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(edge(1, 2)));
+        let other = GroundAtom::make("F", vec![Const::Int(1), Const::Int(2)]);
+        assert!(r.insert(other.clone()));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&other));
+    }
+
+    #[test]
+    fn zero_arity_relations_work() {
+        let mut r = Relation::new(0);
+        let fact = GroundAtom::prop("Fail");
+        assert!(r.insert(fact.clone()));
+        assert!(!r.insert(fact.clone()));
+        assert!(r.contains(&fact));
+        let pattern = Atom::make("Fail", vec![]);
+        assert_eq!(r.select(&pattern, &Substitution::new()).count(), 1);
+    }
+
+    #[test]
+    fn size_hints_are_sane() {
+        let r = triangle();
+        let pattern = Atom::make("E", vec![Term::var("x"), Term::var("y")]);
+        let all = r.select(&pattern, &Substitution::new());
+        assert_eq!(all.size_hint(), (3, Some(3)));
+        assert_eq!(Candidates::Empty.size_hint(), (0, Some(0)));
+    }
+}

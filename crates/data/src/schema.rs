@@ -38,7 +38,7 @@ impl Schema {
         match self.by_name.get(&predicate.symbol()) {
             Some(existing) if existing.arity() != predicate.arity() => {
                 Err(DataError::InconsistentArity {
-                    predicate: predicate.name(),
+                    predicate: predicate.name().to_owned(),
                     previous: existing.arity(),
                     requested: predicate.arity(),
                 })
@@ -147,7 +147,7 @@ mod tests {
         let s: Schema = vec![Predicate::new("B", 1), Predicate::new("A", 2)]
             .into_iter()
             .collect();
-        let names: Vec<String> = s.iter().map(|p| p.name()).collect();
+        let names: Vec<&str> = s.iter().map(|p| p.name()).collect();
         // Ordering is by interning order of the symbol, which is stable per
         // process; just check the listing is complete and deterministic.
         assert_eq!(names.len(), 2);

@@ -3,6 +3,12 @@
 //! Predicate names, constant symbols and variable names are interned into a
 //! global, thread-safe [`Interner`] so that the rest of the workspace can
 //! compare and hash them as `u32` handles ([`Symbol`]).
+//!
+//! Interned strings live for the lifetime of the process (they are leaked on
+//! first interning), which lets [`Symbol::as_str`] hand out `&'static str`
+//! without taking the interner lock or allocating — `Display` of atoms,
+//! rules and databases sits on this path and used to allocate a fresh
+//! `String` under a global lock per call.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -27,15 +33,15 @@ impl Symbol {
         self.0
     }
 
-    /// Resolve the symbol back to its string.
-    pub fn as_str(self) -> String {
+    /// Resolve the symbol back to its string without allocating.
+    pub fn as_str(self) -> &'static str {
         global().resolve(self)
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_str())
+        f.write_str(self.as_str())
     }
 }
 
@@ -61,7 +67,9 @@ impl From<String> for Symbol {
 ///
 /// Most users never construct one directly: [`Symbol::new`] uses a global
 /// instance. A standalone interner is still exposed for tests and tools that
-/// need isolated symbol tables.
+/// need isolated symbol tables. Interned strings are leaked (they live until
+/// process exit even if the interner is dropped); the set of distinct
+/// predicate, variable and constant names is small and bounded in practice.
 #[derive(Default)]
 pub struct Interner {
     inner: RwLock<InternerInner>,
@@ -69,8 +77,8 @@ pub struct Interner {
 
 #[derive(Default)]
 struct InternerInner {
-    map: HashMap<String, u32>,
-    strings: Vec<String>,
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
 }
 
 impl Interner {
@@ -91,9 +99,10 @@ impl Interner {
         if let Some(&idx) = guard.map.get(name) {
             return Symbol(idx);
         }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
         let idx = guard.strings.len() as u32;
-        guard.strings.push(name.to_owned());
-        guard.map.insert(name.to_owned(), idx);
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, idx);
         Symbol(idx)
     }
 
@@ -103,9 +112,9 @@ impl Interner {
     ///
     /// Panics if the symbol was interned by a different interner and is out of
     /// range for this one.
-    pub fn resolve(&self, sym: Symbol) -> String {
+    pub fn resolve(&self, sym: Symbol) -> &'static str {
         let guard = self.inner.read();
-        guard.strings[sym.0 as usize].clone()
+        guard.strings[sym.0 as usize]
     }
 
     /// Number of distinct strings interned so far.
@@ -143,6 +152,15 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a.as_str(), "Infected");
         assert_eq!(b.as_str(), "Uninfected");
+    }
+
+    #[test]
+    fn as_str_is_stable_and_static() {
+        let a = Symbol::new("StablePointer");
+        let s1: &'static str = a.as_str();
+        let s2: &'static str = a.as_str();
+        // Same leaked allocation both times: no per-call String.
+        assert!(std::ptr::eq(s1, s2));
     }
 
     #[test]

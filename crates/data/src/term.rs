@@ -18,7 +18,7 @@ impl Var {
     }
 
     /// The variable's name.
-    pub fn name(&self) -> String {
+    pub fn name(&self) -> &'static str {
         self.0.as_str()
     }
 }

@@ -103,10 +103,26 @@ impl fmt::Display for GroundRule {
 /// The rule list preserves insertion order but equality and the
 /// [`GroundProgram::canonical_rules`] listing are order-insensitive, matching
 /// the paper's treatment of programs as *sets* of rules.
+///
+/// The head set `heads(Σ)` is maintained incrementally in an indexed
+/// [`Database`] as rules are pushed, so the grounders' inner loops can borrow
+/// it instead of rebuilding a fresh set per saturation round. Each rule is
+/// stored once: duplicate detection goes through a map from rule hashes to
+/// rows of the dense rule table (the same technique as
+/// `gdlog_data::Relation`), not a second full copy of every rule.
 #[derive(Clone, Default, Debug)]
 pub struct GroundProgram {
     rules: Vec<GroundRule>,
-    dedup: std::collections::HashSet<GroundRule>,
+    /// Rule hash → rows with that hash (collision chain).
+    buckets: std::collections::HashMap<u64, Vec<u32>>,
+    heads: Database,
+}
+
+fn hash_rule(rule: &GroundRule) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    rule.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl GroundProgram {
@@ -133,12 +149,14 @@ impl GroundProgram {
     /// Add a rule (set semantics: duplicates are ignored). Returns whether the
     /// rule was new.
     pub fn push(&mut self, rule: GroundRule) -> bool {
-        if self.dedup.insert(rule.clone()) {
-            self.rules.push(rule);
-            true
-        } else {
-            false
+        let rows = self.buckets.entry(hash_rule(&rule)).or_default();
+        if rows.iter().any(|&r| self.rules[r as usize] == rule) {
+            return false;
         }
+        rows.push(self.rules.len() as u32);
+        self.heads.insert(rule.head.clone());
+        self.rules.push(rule);
+        true
     }
 
     /// Add many rules.
@@ -157,7 +175,9 @@ impl GroundProgram {
 
     /// Does the program contain this exact rule?
     pub fn contains(&self, rule: &GroundRule) -> bool {
-        self.dedup.contains(rule)
+        self.buckets
+            .get(&hash_rule(rule))
+            .is_some_and(|rows| rows.iter().any(|&r| &self.rules[r as usize] == rule))
     }
 
     /// Number of rules.
@@ -180,9 +200,10 @@ impl GroundProgram {
         self.rules.iter().all(GroundRule::is_positive)
     }
 
-    /// The set of head atoms, `heads(Σ)` in the paper.
-    pub fn heads(&self) -> Database {
-        Database::from_atoms(self.rules.iter().map(|r| r.head.clone()))
+    /// The set of head atoms, `heads(Σ)` in the paper (maintained
+    /// incrementally; this is a borrow, not a rebuild).
+    pub fn heads(&self) -> &Database {
+        &self.heads
     }
 
     /// All atoms mentioned anywhere in the program (its Herbrand base
@@ -215,7 +236,7 @@ impl GroundProgram {
 
 impl PartialEq for GroundProgram {
     fn eq(&self, other: &Self) -> bool {
-        self.dedup == other.dedup
+        self.rules.len() == other.rules.len() && self.rules.iter().all(|r| other.contains(r))
     }
 }
 
@@ -305,6 +326,9 @@ mod tests {
             ),
         ]);
         assert_eq!(p.heads().len(), 2);
+        // The incremental head set matches a from-scratch rebuild.
+        let rebuilt = Database::from_atoms(p.iter().map(|r| r.head.clone()));
+        assert_eq!(p.heads(), &rebuilt);
         assert_eq!(p.atoms().len(), 3);
         assert_eq!(p.predicates().len(), 3);
         assert!(!p.is_positive());
@@ -318,7 +342,7 @@ mod tests {
         let p = GroundProgram::from_database(&db);
         assert_eq!(p.len(), 2);
         assert!(p.iter().all(GroundRule::is_fact));
-        assert_eq!(p.heads(), db);
+        assert_eq!(p.heads(), &db);
     }
 
     #[test]

@@ -37,17 +37,20 @@ where
     let mut queue: Vec<usize> = Vec::new();
 
     for (i, rule) in rules.iter().enumerate() {
-        // Deduplicate body atoms so the counter matches the watcher structure.
-        let mut distinct: Vec<&GroundAtom> = rule.pos.iter().collect();
-        distinct.sort();
-        distinct.dedup();
-        counts.push(distinct.len());
-        if distinct.is_empty() {
-            queue.push(i);
-        } else {
-            for atom in distinct {
-                watchers.entry(atom).or_default().push(i);
+        // Deduplicate body atoms so the counter matches the watcher
+        // structure; bodies are tiny, so a first-occurrence walk over the
+        // preceding atoms beats allocating a sorted copy per rule.
+        let mut distinct = 0usize;
+        for (j, atom) in rule.pos.iter().enumerate() {
+            if rule.pos[..j].contains(atom) {
+                continue;
             }
+            distinct += 1;
+            watchers.entry(atom).or_default().push(i);
+        }
+        counts.push(distinct);
+        if distinct == 0 {
+            queue.push(i);
         }
     }
 

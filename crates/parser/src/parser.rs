@@ -147,7 +147,7 @@ impl Parser {
                     if pos.len() == 1 && neg.is_empty() {
                         let atom = pos.pop().expect("one atom");
                         let head = Head::make(
-                            &atom.predicate.name(),
+                            atom.predicate.name(),
                             atom.args.into_iter().map(HeadTerm::Term).collect(),
                         );
                         return Ok(RuleAst::Rule(Rule::new(Vec::new(), Vec::new(), head)));
@@ -368,7 +368,7 @@ pub fn parse_rule(source: &str) -> Result<Rule, ParseError> {
     }
     for fact in parsed.facts.canonical_atoms() {
         rules.push(Rule::fact(Head::make(
-            &fact.predicate.name(),
+            fact.predicate.name(),
             fact.args
                 .into_iter()
                 .map(|c| HeadTerm::Term(Term::Const(c)))

@@ -30,7 +30,7 @@ pub fn pretty_program(program: &Program) -> String {
 pub fn pretty_database(db: &Database) -> String {
     let mut out = String::new();
     for atom in db.canonical_atoms() {
-        out.push_str(&atom.predicate.name());
+        out.push_str(atom.predicate.name());
         out.push('(');
         for (i, c) in atom.args.iter().enumerate() {
             if i > 0 {
@@ -39,7 +39,7 @@ pub fn pretty_database(db: &Database) -> String {
             match c {
                 gdlog_data::Const::Sym(s) => {
                     out.push('#');
-                    out.push_str(&s.as_str());
+                    out.push_str(s.as_str());
                 }
                 other => out.push_str(&other.to_string()),
             }

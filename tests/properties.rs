@@ -8,8 +8,9 @@
 //! See `tests/README.md`.
 
 use gdlog::core::{
-    enumerate_outcomes, network_resilience_program, ChaseBudget, Grounder, SigmaPi, SimpleGrounder,
-    TriggerOrder,
+    coin_program, dime_quarter_program, enumerate_outcomes, network_resilience_program, AtrRule,
+    AtrSet, ChaseBudget, Grounder, NaivePerfectGrounder, NaiveSimpleGrounder, PerfectGrounder,
+    SigmaPi, SimpleGrounder, TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
@@ -128,6 +129,158 @@ fn network_db_strategy() -> impl Strategy<Value = Database> {
         db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
         db
     })
+}
+
+/// Drive a pseudo-random chase path on `grounder`: at each step one open
+/// trigger (chosen by the next byte of `picks`) is resolved with outcome 0 or
+/// 1 (the byte's high bit). Stops when terminal or when `picks` runs out, so
+/// both partial and terminal configurations are produced.
+fn random_atr(grounder: &dyn Grounder, picks: &[u8]) -> AtrSet {
+    let mut atr = AtrSet::new();
+    let mut rules = grounder.ground(&atr);
+    for &pick in picks {
+        let triggers = grounder.triggers(&atr, &rules);
+        if triggers.is_empty() {
+            break;
+        }
+        let trigger = triggers[pick as usize % triggers.len()].clone();
+        let outcome = Const::Int(i64::from(pick >> 7));
+        let rule = AtrRule::new(grounder.sigma(), trigger, outcome).unwrap();
+        let parent_atr = atr.clone();
+        atr.insert(rule).unwrap();
+        rules = grounder.ground_from(&atr, &parent_atr, &rules);
+        // The incremental grounding must agree with grounding from scratch
+        // at every step of the descent.
+        assert_eq!(
+            rules.canonical_rules(),
+            grounder.ground(&atr).canonical_rules(),
+            "incremental ground_from diverged from ground"
+        );
+    }
+    atr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The semi-naive simple grounder is extensionally identical to the
+    /// retained naive oracle (`gdlog::core::naive`) on random network
+    /// databases, random infection probabilities and random (partial or
+    /// terminal) AtR sets — and the incremental `ground_from` used by the
+    /// chase agrees with grounding from scratch.
+    #[test]
+    fn seminaive_simple_grounder_matches_the_naive_oracle(
+        db in network_db_strategy(),
+        p in 1u32..=9u32,
+        picks in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let program = network_resilience_program(p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let grounder = SimpleGrounder::new(sigma);
+        let atr = random_atr(&grounder, &picks);
+        let seminaive = grounder.ground(&atr);
+        let naive = grounder.ground_naive(&atr);
+        prop_assert_eq!(seminaive.canonical_rules(), naive.canonical_rules());
+    }
+
+    /// The same equivalence for the perfect grounder on the stratified
+    /// dime/quarter family with random batch sizes.
+    #[test]
+    fn seminaive_perfect_grounder_matches_the_naive_oracle(
+        dimes in 1i64..=3,
+        quarters in 1i64..=2,
+        picks in prop::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut db = Database::new();
+        for d in 1..=dimes {
+            db.insert_fact("Dime", [Const::Int(d)]);
+        }
+        for q in 1..=quarters {
+            db.insert_fact("Quarter", [Const::Int(dimes + q)]);
+        }
+        let sigma = Arc::new(SigmaPi::translate(&dime_quarter_program(), &db).unwrap());
+        let grounder = PerfectGrounder::new(sigma).unwrap();
+        let atr = random_atr(&grounder, &picks);
+        let seminaive = grounder.ground(&atr);
+        let naive = grounder.ground_naive(&atr);
+        prop_assert_eq!(seminaive.canonical_rules(), naive.canonical_rules());
+    }
+}
+
+/// A canonical fingerprint of a chase result: for every outcome its choice
+/// set, probability and the canonical listings of all its stable models.
+fn outcome_fingerprints(
+    grounder: &dyn Grounder,
+    limits: &StableModelLimits,
+) -> Vec<(String, String, Vec<Vec<GroundAtom>>)> {
+    let result = enumerate_outcomes(grounder, &ChaseBudget::default(), TriggerOrder::First)
+        .expect("enumeration succeeds");
+    let mut keys: Vec<(String, String, Vec<Vec<GroundAtom>>)> = result
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut models: Vec<Vec<GroundAtom>> = o
+                .stable_models(limits)
+                .expect("stable model search succeeds")
+                .iter()
+                .map(|m| m.canonical_atoms())
+                .collect();
+            models.sort();
+            (o.atr.to_string(), o.probability.to_string(), models)
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Satellite check for the refactor: on the paper's worked examples the full
+/// pipeline — outcomes, probabilities *and stable-model sets* — is unchanged
+/// when grounding semi-naively instead of naively.
+#[test]
+fn paper_examples_stable_models_unchanged_by_seminaive_grounding() {
+    let limits = StableModelLimits::default();
+
+    // Example 3.1/3.6/3.10: network resilience on the 3-clique (simple).
+    let mut db = Database::new();
+    for i in 1..=3i64 {
+        db.insert_fact("Router", [Const::Int(i)]);
+        for j in 1..=3i64 {
+            if i != j {
+                db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+            }
+        }
+    }
+    db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+    let sigma = Arc::new(SigmaPi::translate(&network_resilience_program(0.1), &db).unwrap());
+    let seminaive = SimpleGrounder::new(sigma);
+    let naive = NaiveSimpleGrounder(seminaive.clone());
+    assert_eq!(
+        outcome_fingerprints(&seminaive, &limits),
+        outcome_fingerprints(&naive, &limits)
+    );
+
+    // Section 3's coin program (simple grounder; one outcome has no stable
+    // model, the other two).
+    let sigma = Arc::new(SigmaPi::translate(&coin_program(), &Database::new()).unwrap());
+    let seminaive = SimpleGrounder::new(sigma);
+    let naive = NaiveSimpleGrounder(seminaive.clone());
+    assert_eq!(
+        outcome_fingerprints(&seminaive, &limits),
+        outcome_fingerprints(&naive, &limits)
+    );
+
+    // Appendix E: dimes and quarters (perfect grounder).
+    let mut db = Database::new();
+    db.insert_fact("Dime", [Const::Int(1)]);
+    db.insert_fact("Dime", [Const::Int(2)]);
+    db.insert_fact("Quarter", [Const::Int(3)]);
+    let sigma = Arc::new(SigmaPi::translate(&dime_quarter_program(), &db).unwrap());
+    let seminaive = PerfectGrounder::new(sigma).unwrap();
+    let naive = NaivePerfectGrounder(seminaive.clone());
+    assert_eq!(
+        outcome_fingerprints(&seminaive, &limits),
+        outcome_fingerprints(&naive, &limits)
+    );
 }
 
 proptest! {
