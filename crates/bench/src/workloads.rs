@@ -6,8 +6,8 @@
 //! chains, dime/quarter batches).
 
 use gdlog_core::{
-    dime_quarter_program, network_resilience_program, AtrRule, AtrSet, Grounder, Program,
-    ProgramBuilder,
+    dime_quarter_program, network_resilience_program, AtrRule, AtrSet, GroundRuleSet, Grounder,
+    Program, ProgramBuilder, SigmaPi,
 };
 use gdlog_data::{Const, Database, Term};
 use rand::rngs::StdRng;
@@ -142,9 +142,9 @@ pub fn coin_chain(n: usize, p: f64) -> (Program, Database) {
 /// scaling workload for the naive vs. semi-naive comparison.
 pub fn cascade_choice_set(grounder: &dyn Grounder, outcome: i64, max_rounds: usize) -> AtrSet {
     let mut atr = AtrSet::new();
-    let mut rules = grounder.ground(&atr);
+    let mut grounding = grounder.ground_node(&atr);
     for _ in 0..max_rounds {
-        let triggers = grounder.triggers(&atr, &rules);
+        let triggers = grounder.triggers(&atr, grounding.rules());
         if triggers.is_empty() {
             break;
         }
@@ -154,9 +154,30 @@ pub fn cascade_choice_set(grounder: &dyn Grounder, outcome: i64, max_rounds: usi
                 .expect("triggers use Active predicates");
             atr.insert(rule).expect("fresh triggers cannot conflict");
         }
-        rules = grounder.ground_from(&atr, &parent_atr, &rules);
+        grounding = grounder.ground_from(&atr, &parent_atr, &mut grounding);
     }
     atr
+}
+
+/// A grounder with the incremental chase hooks stripped: `ground_node` and
+/// `ground_from` fall back to the trait defaults, i.e. a full reground at
+/// every chase node. The baseline for the incremental-chase benchmarks and
+/// the chase-equivalence tests — both must use the *same* definition of
+/// "non-incremental" or they could silently diverge.
+pub struct Reground<'a>(pub &'a dyn Grounder);
+
+impl Grounder for Reground<'_> {
+    fn sigma(&self) -> &SigmaPi {
+        self.0.sigma()
+    }
+
+    fn name(&self) -> &'static str {
+        "reground"
+    }
+
+    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+        self.0.ground(atr)
+    }
 }
 
 /// The network families the grounding benchmarks scale over: name plus

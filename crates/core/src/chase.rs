@@ -17,7 +17,7 @@
 //! residual equals one.
 
 use crate::error::CoreError;
-use crate::grounding::{AtrRule, AtrSet, Grounder};
+use crate::grounding::{AtrRule, AtrSet, Grounder, Grounding};
 use gdlog_data::GroundAtom;
 use gdlog_prob::Prob;
 
@@ -45,8 +45,16 @@ impl TriggerOrder {
             TriggerOrder::First => 0,
             TriggerOrder::Last => triggers.len() - 1,
             TriggerOrder::Scrambled => {
-                // A small deterministic hash of the depth and trigger count.
-                (depth.wrapping_mul(2654435761) ^ triggers.len()) % triggers.len()
+                // A deterministic hash of the depth and the trigger atoms
+                // themselves, so equal-depth siblings with equally many (but
+                // different) triggers genuinely pick different positions.
+                use std::hash::{Hash, Hasher};
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                depth.hash(&mut hasher);
+                for trigger in triggers {
+                    trigger.hash(&mut hasher);
+                }
+                (hasher.finish() as usize) % triggers.len()
             }
         }
     }
@@ -158,12 +166,21 @@ fn explore(
     budget: &ChaseBudget,
     order: TriggerOrder,
     atr: AtrSet,
-    parent: Option<(&AtrSet, &crate::grounding::GroundRuleSet)>,
+    parent: Option<(&AtrSet, &mut Grounding)>,
     path_prob: Prob,
     depth: usize,
     result: &mut ChaseResult,
 ) -> Result<(), CoreError> {
     result.nodes_visited += 1;
+
+    // Once the outcome budget is full, no further node can contribute an
+    // outcome: stop before doing any grounding work, so `max_outcomes`
+    // bounds the number of nodes visited, not just the outcomes reported.
+    if result.outcomes.len() >= budget.max_outcomes {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        return Ok(());
+    }
 
     if path_prob.to_f64() < budget.min_path_probability {
         result.residual_mass = result.residual_mass.add(&path_prob);
@@ -172,23 +189,21 @@ fn explore(
     }
 
     // Each node extends its parent's configuration by one choice, so the
-    // parent's grounding seeds an incremental saturation where supported.
-    let rules = match parent {
-        Some((parent_atr, parent_rules)) => grounder.ground_from(&atr, parent_atr, parent_rules),
-        None => grounder.ground(&atr),
+    // parent's grounding seeds an incremental saturation over a structurally
+    // shared snapshot (all siblings share the parent's rule-log prefix).
+    let mut grounding = match parent {
+        Some((parent_atr, parent_grounding)) => {
+            grounder.ground_from(&atr, parent_atr, parent_grounding)
+        }
+        None => grounder.ground_node(&atr),
     };
-    let triggers = grounder.triggers(&atr, &rules);
+    let triggers = grounder.triggers(&atr, grounding.rules());
 
     if triggers.is_empty() {
         // Leaf node: Σ is terminal; `Σ ∪ G(Σ)` is a finite possible outcome.
-        if result.outcomes.len() >= budget.max_outcomes {
-            result.residual_mass = result.residual_mass.add(&path_prob);
-            result.truncated = true;
-            return Ok(());
-        }
         result
             .outcomes
-            .push(PossibleOutcome::new(atr, rules, path_prob));
+            .push(PossibleOutcome::new(atr, grounding.into_rules(), path_prob));
         return Ok(());
     }
 
@@ -202,7 +217,8 @@ fn explore(
     }
 
     // Apply one trigger (Definition 4.1): branch over every outcome with
-    // positive probability.
+    // positive probability. Enumerating one outcome past the branching
+    // budget detects exactly whether the support was cut.
     let trigger = triggers[order.pick(&triggers, depth)].clone();
     let schema = grounder
         .sigma()
@@ -212,15 +228,22 @@ fn explore(
                 "trigger {trigger} does not use a generated Active predicate"
             ))
         })?;
-    let branches = schema.outcomes(&trigger, budget.max_branching)?;
+    let mut branches = schema.outcomes(&trigger, budget.max_branching.saturating_add(1))?;
+    let support_cut = branches.len() > budget.max_branching;
+    branches.truncate(budget.max_branching);
 
-    // Any tail of an infinite support that we do not enumerate contributes to
-    // the residual mass.
+    // Whenever `max_branching` cut the support, the unenumerated tail is
+    // accounted exactly in `Prob` — no matter how small its float value —
+    // so `total_mass()` stays 1 and `truncated` reflects the cut.
     let branch_mass = Prob::sum(branches.iter().map(|(_, p)| *p));
     let tail = path_prob.mul(&Prob::ONE.sub(&branch_mass));
-    if tail.to_f64() > 1e-15 {
+    if support_cut {
         result.residual_mass = result.residual_mass.add(&tail);
         result.truncated = true;
+    } else if tail.is_positive() {
+        // Float dust from inexact parameters: keep the masses summing to ~1
+        // without claiming a budget truncation.
+        result.residual_mass = result.residual_mass.add(&tail);
     }
 
     for (outcome_value, mass) in branches {
@@ -231,7 +254,7 @@ fn explore(
             budget,
             order,
             child,
-            Some((&atr, &rules)),
+            Some((&atr, &mut grounding)),
             path_prob.mul(&mass),
             depth + 1,
             result,
@@ -401,6 +424,123 @@ mod tests {
         assert!(result.truncated);
         assert!(result.residual_mass.is_positive());
         assert!(result.total_mass().approx_eq(&Prob::ONE, 1e-9));
+    }
+
+    fn geometric_program() -> crate::Program {
+        // → Steps(Geometric⟨1/2⟩): one trigger with countably infinite
+        // support, so `max_branching` always cuts the support.
+        crate::ProgramBuilder::new()
+            .rule(|r| {
+                r.head_with_delta(
+                    "Steps",
+                    vec![],
+                    "Geometric",
+                    vec![gdlog_data::Term::Const(Const::real(0.5).unwrap())],
+                    vec![],
+                )
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn branching_cut_tails_are_accounted_exactly_in_prob() {
+        let grounder = simple_for(&geometric_program(), &Database::new());
+        // A coarse cut: 4 of the countably many outcomes.
+        let coarse = ChaseBudget {
+            max_branching: 4,
+            ..ChaseBudget::default()
+        };
+        let result = enumerate_outcomes(&grounder, &coarse, TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 4);
+        assert!(result.truncated);
+        assert_eq!(result.residual_mass, Prob::ratio(1, 16));
+        assert_eq!(result.total_mass(), Prob::ONE);
+
+        // Regression: with the default 64-way cut the tail mass 2⁻⁶⁴ is far
+        // below any float threshold, but it is still support truncation —
+        // `truncated` must say so and the tail must be accounted exactly, so
+        // the total mass stays exactly one in `Prob`.
+        let result =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 64);
+        assert!(result.truncated);
+        assert!(result.residual_mass.is_positive());
+        assert_eq!(result.total_mass(), Prob::ONE);
+    }
+
+    fn coin_chain_program(n: i64, db: &mut Database) -> crate::Program {
+        use gdlog_data::Term;
+        for i in 1..=n {
+            db.insert_fact("Coin", [Const::Int(i)]);
+        }
+        crate::ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![Term::Const(Const::real(0.5).unwrap())],
+                    vec![Term::var("x")],
+                )
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn outcome_budget_stops_exploration_early() {
+        // Six independent coins: the full chase tree has 2⁷ − 1 = 127 nodes
+        // and 64 outcomes.
+        let mut db = Database::new();
+        let program = coin_chain_program(6, &mut db);
+        let grounder = simple_for(&program, &db);
+        let full =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        assert_eq!(full.outcomes.len(), 64);
+        assert_eq!(full.nodes_visited, 127);
+
+        // With max_outcomes = 1 the walk must stop after the first leaf:
+        // only the leftmost path and its immediately abandoned siblings are
+        // visited — O(depth), not the whole tree.
+        let capped = ChaseBudget {
+            max_outcomes: 1,
+            ..ChaseBudget::default()
+        };
+        let result = enumerate_outcomes(&grounder, &capped, TriggerOrder::First).unwrap();
+        assert_eq!(result.outcomes.len(), 1);
+        assert!(result.truncated);
+        assert_eq!(result.total_mass(), Prob::ONE);
+        // Root-to-leaf path (7 nodes) plus one pruned sibling per level (6).
+        assert_eq!(result.nodes_visited, 13);
+    }
+
+    #[test]
+    fn scrambled_order_depends_on_the_trigger_atoms() {
+        // Equal depth, equally many triggers, different atoms: the pick must
+        // be derived from the atoms themselves, not just the counts.
+        let sets: Vec<Vec<GroundAtom>> = (0..16)
+            .map(|i| {
+                vec![
+                    GroundAtom::make("Active_Flip_1_1", vec![Const::Int(i), Const::Int(0)]),
+                    GroundAtom::make("Active_Flip_1_1", vec![Const::Int(i), Const::Int(1)]),
+                    GroundAtom::make("Active_Flip_1_1", vec![Const::Int(i), Const::Int(2)]),
+                ]
+            })
+            .collect();
+        let picks: std::collections::BTreeSet<usize> = sets
+            .iter()
+            .map(|triggers| TriggerOrder::Scrambled.pick(triggers, 3))
+            .collect();
+        assert!(
+            picks.len() > 1,
+            "equal-depth sibling nodes all picked position {picks:?}"
+        );
+        // Still deterministic per node.
+        assert_eq!(
+            TriggerOrder::Scrambled.pick(&sets[0], 3),
+            TriggerOrder::Scrambled.pick(&sets[0], 3)
+        );
     }
 
     #[test]

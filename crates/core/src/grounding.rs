@@ -20,6 +20,66 @@ use std::fmt;
 /// The ground rules produced by a grounder: a subset of `ground(Σ∄_Π)`.
 pub type GroundRuleSet = GroundProgram;
 
+/// The grounding of one chase node: the rule set `G(Σ)` together with the
+/// grounder-specific resumption state that makes descending to a child node
+/// incremental.
+///
+/// For the perfect grounder the cursor is the number of strata whose
+/// saturation completed; a child resumes at the stratum the parent was stuck
+/// in (triggers are always derived in the last processed stratum, so a new
+/// choice can only activate rules from that stratum upward — completed lower
+/// strata are final by stratification). The simple grounder has a single
+/// saturation and ignores the cursor.
+#[derive(Clone, Debug)]
+pub struct Grounding {
+    rules: GroundRuleSet,
+    cursor: usize,
+}
+
+impl Grounding {
+    /// Wrap a rule set with no resumption state.
+    pub fn new(rules: GroundRuleSet) -> Self {
+        Grounding { rules, cursor: 0 }
+    }
+
+    /// Wrap a rule set with an explicit resumption cursor.
+    pub fn with_cursor(rules: GroundRuleSet, cursor: usize) -> Self {
+        Grounding { rules, cursor }
+    }
+
+    /// The ground rules `G(Σ)`.
+    pub fn rules(&self) -> &GroundRuleSet {
+        &self.rules
+    }
+
+    /// Mutable access to the rule set (used by grounders to freeze snapshot
+    /// frames; the rule *contents* never change once produced).
+    pub fn rules_mut(&mut self) -> &mut GroundRuleSet {
+        &mut self.rules
+    }
+
+    /// The grounder-specific resumption cursor.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Unwrap into the plain rule set.
+    pub fn into_rules(self) -> GroundRuleSet {
+        self.rules
+    }
+
+    /// An O(1) structurally shared copy: the rule log and head set are
+    /// frozen into `Arc`-shared frames (see [`GroundProgram::snapshot`]) and
+    /// the cursor is carried over. Every chase sibling extends such a
+    /// snapshot instead of a deep clone of the parent's grounding.
+    pub fn snapshot(&mut self) -> Grounding {
+        Grounding {
+            rules: self.rules.snapshot(),
+            cursor: self.cursor,
+        }
+    }
+}
+
 /// A ground active-to-result TGD `Active(p̄, q̄) → Result(p̄, q̄, o)`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct AtrRule {
@@ -201,18 +261,23 @@ pub trait Grounder {
     /// choice set `Σ`.
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet;
 
-    /// Compute `G(Σ)` given `parent_rules = G(parent_atr)` for some
+    /// Compute `G(Σ)` as a chase node: the rules plus whatever resumption
+    /// state the grounder needs to descend incrementally. The default wraps
+    /// [`Grounder::ground`] with no state.
+    fn ground_node(&self, atr: &AtrSet) -> Grounding {
+        Grounding::new(self.ground(atr))
+    }
+
+    /// Compute `G(Σ)` given the grounding of a sub-configuration
     /// `parent_atr ⊆ Σ` (the chase descends by extending configurations one
     /// choice at a time, so the parent grounding is always at hand). The
-    /// default recomputes from scratch; grounders with an incremental
-    /// saturation override this.
-    fn ground_from(
-        &self,
-        atr: &AtrSet,
-        _parent_atr: &AtrSet,
-        _parent_rules: &GroundRuleSet,
-    ) -> GroundRuleSet {
-        self.ground(atr)
+    /// parent is borrowed mutably so implementations can take an O(1)
+    /// structural snapshot ([`Grounding::snapshot`]) to extend — the
+    /// parent's *contents* are never changed. The default recomputes from
+    /// scratch; grounders with an incremental saturation override this.
+    fn ground_from(&self, atr: &AtrSet, parent_atr: &AtrSet, parent: &mut Grounding) -> Grounding {
+        let _ = (parent_atr, parent);
+        self.ground_node(atr)
     }
 
     /// Is `AtR_Σ` compatible with `rules` (`AtR_Σ ↩→ rules`): defined on every

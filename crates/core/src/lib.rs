@@ -60,7 +60,7 @@ pub use compare::{as_good_as, compare_outputs, SemanticsComparison};
 pub use delta::DeltaTerm;
 pub use depgraph::{dependency_graph, stratification, DependencyGraph, Stratification};
 pub use error::CoreError;
-pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder};
+pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder, Grounding};
 pub use mc::{sample_outcome, MonteCarlo, SampleStats, SampledPath};
 pub use naive::{NaivePerfectGrounder, NaiveSimpleGrounder};
 pub use outcome::{ModelSetKey, PossibleOutcome};

@@ -18,8 +18,10 @@ use rand::{Rng, SeedableRng};
 /// The result of sampling one chase path.
 #[derive(Clone, Debug)]
 pub enum SampledPath {
-    /// The path reached a terminal configuration: a finite possible outcome.
-    Finite(PossibleOutcome),
+    /// The path reached a terminal configuration: a finite possible outcome
+    /// (boxed: an outcome carries its whole grounding, an abandoned path
+    /// only its choice set).
+    Finite(Box<PossibleOutcome>),
     /// The path was abandoned after the trigger budget was exhausted — it
     /// belongs (statistically) to the error event or to a deeper finite
     /// outcome.
@@ -56,22 +58,23 @@ pub fn sample_outcome<R: Rng + ?Sized>(
     let mut atr = AtrSet::new();
     let mut probability = Prob::ONE;
     // Each trigger application extends the configuration by one choice, so
-    // the previous grounding seeds an incremental saturation.
-    let mut previous: Option<(AtrSet, crate::grounding::GroundRuleSet)> = None;
+    // the previous grounding seeds an incremental saturation over an O(1)
+    // structural snapshot (no per-step deep clone of the rule set).
+    let mut previous: Option<(AtrSet, crate::grounding::Grounding)> = None;
     for depth in 0..=max_triggers {
-        let rules = match &previous {
-            Some((parent_atr, parent_rules)) => {
-                grounder.ground_from(&atr, parent_atr, parent_rules)
+        let grounding = match &mut previous {
+            Some((parent_atr, parent_grounding)) => {
+                grounder.ground_from(&atr, parent_atr, parent_grounding)
             }
-            None => grounder.ground(&atr),
+            None => grounder.ground_node(&atr),
         };
-        let triggers = grounder.triggers(&atr, &rules);
+        let triggers = grounder.triggers(&atr, grounding.rules());
         if triggers.is_empty() {
-            return Ok(SampledPath::Finite(PossibleOutcome::new(
+            return Ok(SampledPath::Finite(Box::new(PossibleOutcome::new(
                 atr,
-                rules,
+                grounding.into_rules(),
                 probability,
-            )));
+            ))));
         }
         if depth == max_triggers {
             break;
@@ -88,8 +91,8 @@ pub fn sample_outcome<R: Rng + ?Sized>(
         let value = sample_distribution(schema.distribution, params, rng)?;
         let mass = schema.outcome_probability(&trigger, &value)?;
         probability = probability.mul(&mass);
-        // Snapshot the pre-extension configuration alongside its grounding.
-        previous = Some((atr.clone(), rules));
+        // Keep the pre-extension configuration alongside its grounding.
+        previous = Some((atr.clone(), grounding));
         atr.insert(AtrRule::new(grounder.sigma(), trigger, value)?)?;
     }
     Ok(SampledPath::Abandoned {
@@ -238,6 +241,45 @@ mod tests {
             }
         }
         assert!(tails > 50 && heads > 50, "tails {tails}, heads {heads}");
+    }
+
+    #[test]
+    fn deep_paths_survive_snapshot_flattening() {
+        // 24 independent coins: one sampled path takes 24 trigger steps, so
+        // the grounding snapshot chain exceeds the flattening threshold and
+        // the collapsed frames must still carry the full rule log.
+        use gdlog_data::Term;
+        let n = 24i64;
+        let mut db = Database::new();
+        for i in 1..=n {
+            db.insert_fact("Coin", [Const::Int(i)]);
+        }
+        let program = crate::ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![Term::Const(Const::real(0.5).unwrap())],
+                    vec![Term::var("x")],
+                )
+            })
+            .build()
+            .unwrap();
+        let sigma = SigmaPi::translate(&program, &db).unwrap();
+        let grounder = SimpleGrounder::new(Arc::new(sigma));
+        let mut mc = MonteCarlo::new(&grounder, 64, 9);
+        let path = mc.sample().unwrap();
+        let outcome = path.outcome().expect("path terminates");
+        assert_eq!(outcome.choice_count(), n as usize);
+        assert_eq!(outcome.probability, Prob::ratio(1, 1 << n));
+        // The accumulated grounding saw every coin: n Coin facts, n Active
+        // rules, n Result→Toss rules.
+        assert_eq!(outcome.rule_count(), 3 * n as usize);
+        assert_eq!(
+            outcome.rules.canonical_rules(),
+            grounder.ground(&outcome.atr).canonical_rules()
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! any other grounder's on stratified programs (Theorem 5.3).
 
 use crate::error::CoreError;
-use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
-use crate::simple_grounder::saturate;
+use crate::grounding::{AtrSet, GroundRuleSet, Grounder, Grounding};
+use crate::simple_grounder::{saturate, saturate_extending};
 use crate::translate::{SigmaPi, TgdRule};
 use gdlog_data::{Database, Predicate};
 use gdlog_engine::depgraph::{DependencyGraph, EdgeSign};
@@ -88,27 +88,42 @@ impl PerfectGrounder {
     }
 
     fn ground_with(&self, atr: &AtrSet, saturate_fn: SaturateFn) -> GroundRuleSet {
+        self.ground_with_cursor(atr, saturate_fn).into_rules()
+    }
+
+    /// The stratum-by-stratum grounding loop, returning the rules together
+    /// with the *stratum cursor*: the number of strata whose saturation
+    /// completed before `AtR_Σ` stopped being compatible (equal to the
+    /// stratum count when the whole program was grounded).
+    fn ground_with_cursor(&self, atr: &AtrSet, saturate_fn: SaturateFn) -> Grounding {
         let mut derived = GroundRuleSet::new();
-        for stratum_rules in &self.rules_by_stratum {
+        let mut cursor = 0usize;
+        for (i, stratum_rules) in self.rules_by_stratum.iter().enumerate() {
             // Σ↑Cᵢ is only computed if AtR_Σ is compatible with Σ↑Cᵢ₋₁
             // (defined on every Active atom derived so far); otherwise the
             // grounding is stuck at the previous stratum.
             if !self.is_compatible(atr, &derived) {
                 break;
             }
+            cursor = i + 1;
             if stratum_rules.is_empty() {
                 continue;
             }
-            let rules: Vec<&TgdRule> = stratum_rules
-                .iter()
-                .map(|&i| &self.sigma.rules[i])
-                .collect();
+            let rules = self.stratum_rules(i);
             // Negative literals refer to strictly lower strata, whose
-            // extension (the heads derived so far) is final.
-            let neg_reference = derived.heads().clone();
+            // extension (the heads derived so far) is final. The snapshot is
+            // an O(1) freeze, not a copy.
+            let neg_reference = derived.heads_snapshot();
             derived = saturate_fn(&rules, atr, derived, Some(&neg_reference));
         }
-        derived
+        Grounding::with_cursor(derived, cursor)
+    }
+
+    fn stratum_rules(&self, stratum: usize) -> Vec<&TgdRule> {
+        self.rules_by_stratum[stratum]
+            .iter()
+            .map(|&i| &self.sigma.rules[i])
+            .collect()
     }
 }
 
@@ -123,6 +138,74 @@ impl Grounder for PerfectGrounder {
 
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
         self.ground_with(atr, saturate)
+    }
+
+    fn ground_node(&self, atr: &AtrSet) -> Grounding {
+        self.ground_with_cursor(atr, saturate)
+    }
+
+    /// Incremental chase descent via the stratum cursor.
+    ///
+    /// `parent` must be `self.ground_node(parent_atr)` (or a snapshot of it)
+    /// with `parent_atr ⊆ atr`, every choice in `atr \ parent_atr` being
+    /// either a trigger of the parent or irrelevant (its `Active` atom not
+    /// derivable) — exactly what the chase produces. Soundness of resuming at
+    /// the last processed stratum `cursor - 1`:
+    ///
+    /// * every trigger of the parent was derived during its last processed
+    ///   stratum (had it been derived earlier, the compatibility check would
+    ///   have stopped the parent earlier), so the new choices can only
+    ///   activate rules from that stratum upward;
+    /// * strata below it are final: atoms of a predicate are only derived
+    ///   while its own stratum is processed, so later activations cannot add
+    ///   to them;
+    /// * the parent's full head set is a valid negative reference for the
+    ///   resumed stratum: its rules only negate predicates of strictly lower
+    ///   strata, whose extension the head set carries completely and
+    ///   finally.
+    fn ground_from(&self, atr: &AtrSet, parent_atr: &AtrSet, parent: &mut Grounding) -> Grounding {
+        let parent_cursor = parent.cursor();
+        if parent_cursor == 0 {
+            // The parent grounded nothing (no strata): nothing to resume.
+            return self.ground_node(atr);
+        }
+        let snapshot = parent.snapshot();
+        let mut derived = snapshot.into_rules();
+
+        // Re-saturate the stratum the parent was stuck in, semi-naively:
+        // only the freshly activated Result atoms form the delta, and the
+        // parent's head set (frozen, shared) is the fixed negative
+        // reference.
+        let resume = parent_cursor - 1;
+        let neg_reference = derived.heads_snapshot();
+        let old_results = Database::from_atoms(
+            parent_atr
+                .iter()
+                .filter(|r| neg_reference.contains(&r.active))
+                .map(|r| r.result.clone()),
+        );
+        derived = saturate_extending(
+            &self.stratum_rules(resume),
+            atr,
+            derived,
+            Some(&neg_reference),
+            &old_results,
+        );
+
+        // Continue the normal stratum loop from where the parent stopped.
+        let mut cursor = parent_cursor;
+        for i in parent_cursor..self.rules_by_stratum.len() {
+            if !self.is_compatible(atr, &derived) {
+                break;
+            }
+            cursor = i + 1;
+            if self.rules_by_stratum[i].is_empty() {
+                continue;
+            }
+            let neg_reference = derived.heads_snapshot();
+            derived = saturate(&self.stratum_rules(i), atr, derived, Some(&neg_reference));
+        }
+        Grounding::with_cursor(derived, cursor)
     }
 }
 

@@ -35,17 +35,18 @@ impl SimpleGrounder {
         crate::naive::saturate_naive(&rules, atr, GroundRuleSet::new(), None)
     }
 
-    /// Incremental grounding for chase descent: `parent_rules` must be
-    /// `self.ground(parent_atr)` with `parent_atr ⊆ atr`. By monotonicity of
-    /// the simple grounder the result equals `self.ground(atr)`, but
-    /// saturation starts from the parent's rules with only the `Result`
-    /// atoms the parent had *not* already activated as the initial delta, so
-    /// the work is proportional to what the new choices unlock.
+    /// Incremental grounding for chase descent: `parent_rules` must be a
+    /// snapshot of `self.ground(parent_atr)` with `parent_atr ⊆ atr`. By
+    /// monotonicity of the simple grounder the result equals
+    /// `self.ground(atr)`, but saturation starts from the parent's rules
+    /// (shared structurally, not copied) with only the `Result` atoms the
+    /// parent had *not* already activated as the initial delta, so the work
+    /// is proportional to what the new choices unlock.
     pub fn ground_extending(
         &self,
         atr: &AtrSet,
         parent_atr: &AtrSet,
-        parent_rules: &GroundRuleSet,
+        parent_rules: GroundRuleSet,
     ) -> GroundRuleSet {
         // The parent's saturation activated exactly the parent choices whose
         // Active atom it derived; their Result atoms seeded the parent's
@@ -58,7 +59,7 @@ impl SimpleGrounder {
                 .map(|r| r.result.clone()),
         );
         let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
-        saturate_extending(&rules, atr, parent_rules.clone(), None, &old_results)
+        saturate_extending(&rules, atr, parent_rules, None, &old_results)
     }
 }
 
@@ -80,9 +81,14 @@ impl Grounder for SimpleGrounder {
         &self,
         atr: &AtrSet,
         parent_atr: &AtrSet,
-        parent_rules: &GroundRuleSet,
-    ) -> GroundRuleSet {
-        self.ground_extending(atr, parent_atr, parent_rules)
+        parent: &mut crate::grounding::Grounding,
+    ) -> crate::grounding::Grounding {
+        let snapshot = parent.snapshot();
+        crate::grounding::Grounding::new(self.ground_extending(
+            atr,
+            parent_atr,
+            snapshot.into_rules(),
+        ))
     }
 }
 

@@ -11,6 +11,17 @@
 //! position carries a hash index from constants to rows. The index powers
 //! [`Database::candidates_bound`], the lookup the grounders use to join rule
 //! bodies without scanning whole relations.
+//!
+//! # Snapshots
+//!
+//! [`Database::snapshot`] freezes the current contents into an `Arc`-shared
+//! immutable *base layer* and returns a new database that shares it; both the
+//! original and the snapshot can keep growing independently, each in its own
+//! mutable tail layer. This is what lets chase siblings share their parent's
+//! head set structurally instead of deep-cloning it (see `ARCHITECTURE.md`).
+//! All lookups (`contains`, `candidates_bound`, iteration) see the union of
+//! every layer; an atom is stored in exactly one layer. Long chains are
+//! flattened transparently so lookup cost stays bounded.
 
 use crate::atom::{Atom, GroundAtom};
 use crate::predicate::Predicate;
@@ -18,13 +29,26 @@ use crate::relation::{Candidates, Relation};
 use crate::schema::Schema;
 use crate::substitution::Substitution;
 use crate::value::Const;
-use std::collections::{hash_map, BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
-/// A finite set of ground atoms stored as per-predicate indexed relations.
+/// Snapshot chains longer than this are flattened into a single layer on the
+/// next [`Database::snapshot`] call, bounding per-lookup layer walks while
+/// keeping the amortized snapshot cost O(tail).
+const MAX_SNAPSHOT_DEPTH: usize = 16;
+
+/// A finite set of ground atoms stored as per-predicate indexed relations,
+/// with O(1) structural-sharing snapshots.
 #[derive(Clone, Default, Debug)]
 pub struct Database {
+    /// Frozen shared prefix (itself possibly layered), never mutated again.
+    base: Option<Arc<Database>>,
+    /// Number of frozen layers below this one.
+    depth: usize,
+    /// The mutable tail layer: atoms inserted since the last snapshot.
     relations: HashMap<Predicate, Relation>,
+    /// Total number of atoms across all layers.
     len: usize,
 }
 
@@ -48,8 +72,13 @@ impl Database {
     }
 
     /// Insert a ground atom. Returns `true` if the atom was not already
-    /// present.
+    /// present (in any snapshot layer).
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
+        if let Some(base) = &self.base {
+            if base.contains(&atom) {
+                return false;
+            }
+        }
         let relation = self
             .relations
             .entry(atom.predicate)
@@ -62,6 +91,48 @@ impl Database {
         }
     }
 
+    /// Freeze the current contents into an immutable shared base layer and
+    /// return a new database sharing it. O(1) apart from amortized
+    /// flattening: no atom is copied; both `self` and the returned snapshot
+    /// keep growing independently in fresh tail layers.
+    pub fn snapshot(&mut self) -> Database {
+        // Flatten *before* freezing: the collapsed layer is then frozen and
+        // shared like any other, so the returned snapshot always has the
+        // full contents behind its base pointer.
+        if self.depth >= MAX_SNAPSHOT_DEPTH {
+            self.flatten();
+        }
+        if !self.relations.is_empty() {
+            let frozen = Database {
+                base: self.base.take(),
+                depth: self.depth,
+                relations: std::mem::take(&mut self.relations),
+                len: self.len,
+            };
+            self.depth += 1;
+            self.base = Some(Arc::new(frozen));
+        }
+        Database {
+            base: self.base.clone(),
+            depth: self.depth,
+            relations: HashMap::new(),
+            len: self.len,
+        }
+    }
+
+    /// Collapse all snapshot layers into a single owned layer (invalidates no
+    /// snapshot: they keep their own view of the shared prefix).
+    fn flatten(&mut self) {
+        let atoms: Vec<GroundAtom> = self.iter().cloned().collect();
+        *self = Database::from_atoms(atoms);
+    }
+
+    /// Number of snapshot layers below the mutable tail (0 for a database
+    /// that was never snapshot).
+    pub fn snapshot_depth(&self) -> usize {
+        self.depth
+    }
+
     /// Insert the fact `name(args...)`.
     pub fn insert_fact<I, C>(&mut self, name: &str, args: I) -> bool
     where
@@ -72,11 +143,19 @@ impl Database {
         self.insert(atom)
     }
 
-    /// Does the database contain `atom`?
+    /// All snapshot layers, newest first (the mutable tail layer included).
+    fn layers(&self) -> impl Iterator<Item = &Database> {
+        std::iter::successors(Some(self), |layer| layer.base.as_deref())
+    }
+
+    /// Does the database contain `atom` (in any snapshot layer)?
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.relations
-            .get(&atom.predicate)
-            .is_some_and(|r| r.contains(atom))
+        self.layers().any(|layer| {
+            layer
+                .relations
+                .get(&atom.predicate)
+                .is_some_and(|r| r.contains(atom))
+        })
     }
 
     /// Number of atoms.
@@ -89,22 +168,27 @@ impl Database {
         self.len == 0
     }
 
-    /// Iterate over all atoms (in unspecified order).
+    /// Iterate over all atoms (in unspecified order), across all snapshot
+    /// layers.
     pub fn iter(&self) -> Iter<'_> {
+        // Newest base layer first in the vec; `Iter` pops from the back, so
+        // older layers drain before newer ones (after the mutable tail).
         Iter {
+            layers: self.layers().skip(1).collect(),
             relations: self.relations.values(),
             current: [].iter(),
         }
     }
 
-    /// The relation of a predicate, if any atoms of it are present.
-    pub fn relation(&self, predicate: &Predicate) -> Option<&Relation> {
-        self.relations.get(predicate)
-    }
-
-    /// Iterate over the atoms of a given predicate.
+    /// Iterate over the atoms of a given predicate, across all snapshot
+    /// layers.
     pub fn atoms_of(&self, predicate: &Predicate) -> impl Iterator<Item = &GroundAtom> {
-        self.relations.get(predicate).into_iter().flatten()
+        let layers: Vec<&Database> = self.layers().collect();
+        let predicate = *predicate;
+        layers
+            .into_iter()
+            .rev()
+            .flat_map(move |l| l.relations.get(&predicate).into_iter().flatten())
     }
 
     /// The candidate atoms an [`Atom`] pattern can match: the atoms of the
@@ -116,25 +200,52 @@ impl Database {
     }
 
     /// The candidate atoms `pattern` can match given the bindings already
-    /// made by `subst`: the per-position hash index is consulted for every
-    /// argument that is a constant or a bound variable, and the smallest
-    /// applicable posting list is returned (the whole relation when nothing
-    /// is determined).
+    /// made by `subst`: in every snapshot layer, the per-position hash index
+    /// is consulted for every argument that is a constant or a bound
+    /// variable, and the smallest applicable posting list of that layer is
+    /// returned (the layer's whole relation when nothing is determined).
     pub fn candidates_bound<'a>(&'a self, pattern: &Atom, subst: &Substitution) -> Candidates<'a> {
-        match self.relations.get(&pattern.predicate) {
+        let own = match self.relations.get(&pattern.predicate) {
             Some(relation) => relation.select(pattern, subst),
             None => Candidates::Empty,
+        };
+        if self.base.is_none() {
+            return own;
+        }
+        // Newest layer first in the vec: `Chain` consumes its parts back to
+        // front, so the oldest layer's candidates are yielded first.
+        let mut parts = Vec::new();
+        if !matches!(own, Candidates::Empty) {
+            parts.push(own);
+        }
+        for layer in self.layers().skip(1) {
+            if let Some(relation) = layer.relations.get(&pattern.predicate) {
+                let selected = relation.select(pattern, subst);
+                if !matches!(selected, Candidates::Empty) {
+                    parts.push(selected);
+                }
+            }
+        }
+        match parts.len() {
+            0 => Candidates::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Candidates::Chain(parts),
         }
     }
 
-    /// The predicates occurring in the database.
+    /// The predicates occurring in the database (across all snapshot layers,
+    /// in sorted order).
     pub fn predicates(&self) -> impl Iterator<Item = &Predicate> {
-        self.relations.keys()
+        let mut seen: BTreeSet<&Predicate> = BTreeSet::new();
+        for layer in self.layers() {
+            seen.extend(layer.relations.keys());
+        }
+        seen.into_iter()
     }
 
     /// The schema induced by the database (all predicates occurring in it).
     pub fn schema(&self) -> Schema {
-        Schema::from_predicates(self.relations.keys().copied())
+        Schema::from_predicates(self.predicates().copied())
     }
 
     /// The active domain: all constants occurring in the database
@@ -171,9 +282,12 @@ impl Database {
     }
 }
 
-/// Iterator over all atoms of a [`Database`].
+/// Iterator over all atoms of a [`Database`], across all snapshot layers.
 pub struct Iter<'a> {
-    relations: hash_map::Values<'a, Predicate, Relation>,
+    /// Base layers still to visit, newest first (popped from the back, so
+    /// older layers drain before newer ones).
+    layers: Vec<&'a Database>,
+    relations: std::collections::hash_map::Values<'a, Predicate, Relation>,
     current: std::slice::Iter<'a, GroundAtom>,
 }
 
@@ -185,7 +299,13 @@ impl<'a> Iterator for Iter<'a> {
             if let Some(atom) = self.current.next() {
                 return Some(atom);
             }
-            self.current = self.relations.next()?.iter();
+            match self.relations.next() {
+                Some(relation) => self.current = relation.iter(),
+                None => {
+                    let layer = self.layers.pop()?;
+                    self.relations = layer.relations.values();
+                }
+            }
         }
     }
 }
@@ -403,5 +523,81 @@ mod tests {
         let db: Database = vec![router(1), router(2)].into_iter().collect();
         assert_eq!(db.len(), 2);
         assert_eq!((&db).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn snapshots_share_the_prefix_and_diverge_independently() {
+        let mut db = example_db();
+        let before = db.canonical_atoms();
+        let mut snap = db.snapshot();
+        assert_eq!(snap, db);
+        assert_eq!(snap.canonical_atoms(), before);
+
+        // Divergent growth: neither side sees the other's insertions.
+        assert!(db.insert(router(10)));
+        assert!(snap.insert(router(20)));
+        assert!(db.contains(&router(10)) && !db.contains(&router(20)));
+        assert!(snap.contains(&router(20)) && !snap.contains(&router(10)));
+        assert_eq!(db.len(), before.len() + 1);
+        assert_eq!(snap.len(), before.len() + 1);
+        assert_eq!(db.iter().count(), db.len());
+
+        // Duplicate insertion across the layer boundary is detected.
+        assert!(!db.insert(router(1)));
+        assert!(!snap.insert(router(1)));
+    }
+
+    #[test]
+    fn layered_lookups_agree_with_a_flat_database() {
+        let mut db = example_db();
+        let mut snap = db.snapshot();
+        snap.insert(connected(1, 1));
+        snap.insert(router(4));
+        let mut deeper = snap.snapshot();
+        deeper.insert(connected(4, 1));
+        let flat = Database::from_atoms(deeper.iter().cloned());
+        assert_eq!(deeper, flat);
+        assert_eq!(deeper.snapshot_depth(), 2);
+
+        // candidates_bound chains posting lists across layers.
+        let pattern = Atom::make("Connected", vec![Term::int(1), Term::var("y")]);
+        let mut layered: Vec<_> = deeper
+            .candidates_bound(&pattern, &Substitution::new())
+            .cloned()
+            .collect();
+        let mut flat_hits: Vec<_> = flat
+            .candidates_bound(&pattern, &Substitution::new())
+            .cloned()
+            .collect();
+        layered.sort();
+        flat_hits.sort();
+        assert_eq!(layered, flat_hits);
+        assert_eq!(layered.len(), 3);
+
+        // atoms_of / predicates / schema see every layer.
+        assert_eq!(
+            deeper.atoms_of(&Predicate::new("Connected", 2)).count(),
+            flat.atoms_of(&Predicate::new("Connected", 2)).count()
+        );
+        assert_eq!(deeper.predicates().count(), flat.predicates().count());
+        assert_eq!(deeper.schema(), flat.schema());
+    }
+
+    #[test]
+    fn deep_snapshot_chains_are_flattened() {
+        let mut db = Database::new();
+        let mut last = Database::new();
+        for i in 0..100i64 {
+            db.insert(router(i));
+            last = db.snapshot();
+        }
+        assert!(db.snapshot_depth() <= super::MAX_SNAPSHOT_DEPTH + 1);
+        assert_eq!(db.len(), 100);
+        assert_eq!(db.iter().count(), 100);
+        // The *returned* snapshots survive flattening rounds too: the
+        // collapsed layer is frozen and shared, never dropped.
+        assert_eq!(last, db);
+        assert_eq!(last.iter().count(), 100);
+        assert!(last.contains(&router(0)));
     }
 }

@@ -152,6 +152,10 @@ pub enum Candidates<'a> {
         /// Row ids to yield.
         rows: std::slice::Iter<'a, u32>,
     },
+    /// Candidates drawn from several snapshot layers of a
+    /// [`crate::Database`], yielded in order (oldest layer first). The parts
+    /// are exhausted back to front.
+    Chain(Vec<Candidates<'a>>),
 }
 
 impl<'a> Iterator for Candidates<'a> {
@@ -162,6 +166,15 @@ impl<'a> Iterator for Candidates<'a> {
             Candidates::Empty => None,
             Candidates::All(iter) => iter.next(),
             Candidates::Rows { atoms, rows } => rows.next().map(|&r| &atoms[r as usize]),
+            Candidates::Chain(parts) => loop {
+                let part = parts.last_mut()?;
+                match part.next() {
+                    Some(atom) => return Some(atom),
+                    None => {
+                        parts.pop();
+                    }
+                }
+            },
         }
     }
 
@@ -170,6 +183,10 @@ impl<'a> Iterator for Candidates<'a> {
             Candidates::Empty => (0, Some(0)),
             Candidates::All(iter) => iter.size_hint(),
             Candidates::Rows { rows, .. } => (0, Some(rows.len())),
+            Candidates::Chain(parts) => parts.iter().fold((0, Some(0)), |(lo, hi), p| {
+                let (plo, phi) = p.size_hint();
+                (lo + plo, hi.zip(phi).map(|(a, b)| a + b))
+            }),
         }
     }
 }

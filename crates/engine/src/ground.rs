@@ -8,6 +8,7 @@
 use gdlog_data::{Database, GroundAtom, Predicate};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// A ground TGD¬ without existential quantification: `pos, ¬neg → head`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -110,13 +111,52 @@ impl fmt::Display for GroundRule {
 /// stored once: duplicate detection goes through a map from rule hashes to
 /// rows of the dense rule table (the same technique as
 /// `gdlog_data::Relation`), not a second full copy of every rule.
+///
+/// # Snapshots
+///
+/// [`GroundProgram::snapshot`] freezes the rules appended so far into an
+/// `Arc`-shared, append-only log of immutable [`Frame`]s and returns a new
+/// program sharing that log; both sides keep growing independently in their
+/// own mutable tails. The chase uses this so every sibling of a chase node
+/// shares the parent's grounding prefix structurally instead of deep-cloning
+/// the rule table, the dedup buckets and the head set (the head set rides
+/// along via [`Database::snapshot`]).
 #[derive(Clone, Default, Debug)]
 pub struct GroundProgram {
+    /// Frozen shared prefix of the rule log (newest frame first).
+    base: Option<Arc<Frame>>,
+    /// Number of rules in the frozen prefix.
+    base_len: usize,
+    /// Number of frames in the frozen prefix.
+    depth: usize,
+    /// Rules appended since the last snapshot.
     rules: Vec<GroundRule>,
-    /// Rule hash → rows with that hash (collision chain).
+    /// Rule hash → rows of `rules` with that hash (collision chain; covers
+    /// the mutable tail only — frozen frames carry their own buckets).
     buckets: std::collections::HashMap<u64, Vec<u32>>,
     heads: Database,
 }
+
+/// One immutable segment of a [`GroundProgram`]'s shared rule log.
+#[derive(Debug)]
+struct Frame {
+    prev: Option<Arc<Frame>>,
+    rules: Vec<GroundRule>,
+    buckets: std::collections::HashMap<u64, Vec<u32>>,
+}
+
+impl Frame {
+    fn contains(&self, hash: u64, rule: &GroundRule) -> bool {
+        self.buckets
+            .get(&hash)
+            .is_some_and(|rows| rows.iter().any(|&r| &self.rules[r as usize] == rule))
+    }
+}
+
+/// Snapshot chains longer than this are flattened on the next
+/// [`GroundProgram::snapshot`] call, bounding the per-`contains` frame walk
+/// while keeping the amortized snapshot cost O(tail).
+const MAX_FRAME_DEPTH: usize = 16;
 
 fn hash_rule(rule: &GroundRule) -> u64 {
     use std::hash::{Hash, Hasher};
@@ -129,6 +169,67 @@ impl GroundProgram {
     /// The empty program.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Freeze the rules appended so far into the shared, append-only log and
+    /// return a new program sharing the frozen prefix (rules, dedup buckets
+    /// and head set are shared structurally, not copied). Both `self` and
+    /// the returned snapshot keep growing independently.
+    pub fn snapshot(&mut self) -> GroundProgram {
+        // Flatten *before* freezing: the collapsed frame is then frozen and
+        // shared like any other, so the returned snapshot always has the
+        // full rule log behind its base pointer.
+        if self.depth >= MAX_FRAME_DEPTH {
+            self.flatten();
+        }
+        if !self.rules.is_empty() {
+            self.base_len += self.rules.len();
+            self.depth += 1;
+            self.base = Some(Arc::new(Frame {
+                prev: self.base.take(),
+                rules: std::mem::take(&mut self.rules),
+                buckets: std::mem::take(&mut self.buckets),
+            }));
+        }
+        GroundProgram {
+            base: self.base.clone(),
+            base_len: self.base_len,
+            depth: self.depth,
+            rules: Vec::new(),
+            buckets: std::collections::HashMap::new(),
+            heads: self.heads.snapshot(),
+        }
+    }
+
+    /// Collapse the frame chain into a single owned frame (no snapshot is
+    /// invalidated: each keeps its own view of the shared log).
+    fn flatten(&mut self) {
+        let rules: Vec<GroundRule> = self.iter().cloned().collect();
+        let heads = std::mem::take(&mut self.heads);
+        let mut flat = GroundProgram::new();
+        for rule in rules {
+            let hash = hash_rule(&rule);
+            flat.buckets
+                .entry(hash)
+                .or_default()
+                .push(flat.rules.len() as u32);
+            flat.rules.push(rule);
+        }
+        // The head set is already correct; reattach it instead of re-deriving.
+        flat.heads = heads;
+        *self = flat;
+    }
+
+    /// A snapshot of the head set alone (freezes the head set's tail; the
+    /// program itself is left fully usable). Used by grounders that need an
+    /// owned, cheap copy of `heads(Σ)` as a fixed reference.
+    pub fn heads_snapshot(&mut self) -> Database {
+        self.heads.snapshot()
+    }
+
+    /// All frozen frames of the rule log, newest first.
+    fn frames(&self) -> impl Iterator<Item = &Frame> {
+        std::iter::successors(self.base.as_deref(), |frame| frame.prev.as_deref())
     }
 
     /// Build a program from rules.
@@ -146,10 +247,14 @@ impl GroundProgram {
         Self::from_rules(db.iter().cloned().map(GroundRule::fact))
     }
 
-    /// Add a rule (set semantics: duplicates are ignored). Returns whether the
-    /// rule was new.
+    /// Add a rule (set semantics: duplicates are ignored, across all
+    /// snapshot frames). Returns whether the rule was new.
     pub fn push(&mut self, rule: GroundRule) -> bool {
-        let rows = self.buckets.entry(hash_rule(&rule)).or_default();
+        let hash = hash_rule(&rule);
+        if self.frames().any(|f| f.contains(hash, &rule)) {
+            return false;
+        }
+        let rows = self.buckets.entry(hash).or_default();
         if rows.iter().any(|&r| self.rules[r as usize] == rule) {
             return false;
         }
@@ -173,31 +278,39 @@ impl GroundProgram {
         out
     }
 
-    /// Does the program contain this exact rule?
+    /// Does the program contain this exact rule (in any snapshot frame)?
     pub fn contains(&self, rule: &GroundRule) -> bool {
+        let hash = hash_rule(rule);
         self.buckets
-            .get(&hash_rule(rule))
+            .get(&hash)
             .is_some_and(|rows| rows.iter().any(|&r| &self.rules[r as usize] == rule))
+            || self.frames().any(|f| f.contains(hash, rule))
     }
 
     /// Number of rules.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.base_len + self.rules.len()
     }
 
     /// Is the program empty?
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.len() == 0
     }
 
-    /// Iterate over the rules in insertion order.
+    /// Iterate over the rules in insertion order (oldest snapshot frame
+    /// first, then the mutable tail).
     pub fn iter(&self) -> impl Iterator<Item = &GroundRule> {
-        self.rules.iter()
+        let frames: Vec<&Frame> = self.frames().collect();
+        frames
+            .into_iter()
+            .rev()
+            .flat_map(|f| f.rules.iter())
+            .chain(self.rules.iter())
     }
 
     /// Are all rules positive?
     pub fn is_positive(&self) -> bool {
-        self.rules.iter().all(GroundRule::is_positive)
+        self.iter().all(GroundRule::is_positive)
     }
 
     /// The set of head atoms, `heads(Σ)` in the paper (maintained
@@ -209,26 +322,25 @@ impl GroundProgram {
     /// All atoms mentioned anywhere in the program (its Herbrand base
     /// restricted to mentioned atoms).
     pub fn atoms(&self) -> Database {
-        Database::from_atoms(self.rules.iter().flat_map(|r| r.atoms().cloned()))
+        Database::from_atoms(self.iter().flat_map(|r| r.atoms().cloned()))
     }
 
     /// The predicates mentioned by the program.
     pub fn predicates(&self) -> BTreeSet<Predicate> {
-        self.rules
-            .iter()
+        self.iter()
             .flat_map(|r| r.atoms().map(|a| a.predicate))
             .collect()
     }
 
     /// Is `interpretation` a classical model of the program?
     pub fn is_model(&self, interpretation: &Database) -> bool {
-        self.rules.iter().all(|r| r.satisfied(interpretation))
+        self.iter().all(|r| r.satisfied(interpretation))
     }
 
     /// A canonical, sorted listing of the rules (deterministic across
     /// insertion orders).
     pub fn canonical_rules(&self) -> Vec<GroundRule> {
-        let mut v = self.rules.clone();
+        let mut v: Vec<GroundRule> = self.iter().cloned().collect();
         v.sort();
         v
     }
@@ -236,7 +348,7 @@ impl GroundProgram {
 
 impl PartialEq for GroundProgram {
     fn eq(&self, other: &Self) -> bool {
-        self.rules.len() == other.rules.len() && self.rules.iter().all(|r| other.contains(r))
+        self.len() == other.len() && self.iter().all(|r| other.contains(r))
     }
 }
 
@@ -381,5 +493,60 @@ mod tests {
         assert_eq!(GroundRule::fact(atom("A", &[1])).to_string(), "-> A(1).");
         let p = GroundProgram::from_rules(vec![r]);
         assert!(p.to_string().contains("-> B(1)."));
+    }
+
+    #[test]
+    fn snapshots_share_the_rule_log_and_diverge_independently() {
+        let mut p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("A", &[1])),
+            GroundRule::new(atom("B", &[1]), vec![atom("A", &[1])], vec![]),
+        ]);
+        let mut snap = p.snapshot();
+        assert_eq!(snap, p);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.heads(), p.heads());
+
+        // Divergent growth.
+        assert!(p.push(GroundRule::fact(atom("C", &[1]))));
+        assert!(snap.push(GroundRule::fact(atom("D", &[1]))));
+        assert!(p.contains(&GroundRule::fact(atom("C", &[1]))));
+        assert!(!p.contains(&GroundRule::fact(atom("D", &[1]))));
+        assert!(snap.contains(&GroundRule::fact(atom("D", &[1]))));
+        assert_eq!(p.len(), 3);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(p.iter().count(), 3);
+
+        // Duplicates across the frame boundary are rejected, and the head
+        // sets track each side independently.
+        assert!(!snap.push(GroundRule::fact(atom("A", &[1]))));
+        assert!(p.heads().contains(&atom("C", &[1])));
+        assert!(!p.heads().contains(&atom("D", &[1])));
+        assert!(snap.heads().contains(&atom("D", &[1])));
+
+        // Equality and canonical listings behave like flat programs.
+        let flat = GroundProgram::from_rules(snap.iter().cloned());
+        assert_eq!(snap, flat);
+        assert_eq!(snap.canonical_rules(), flat.canonical_rules());
+    }
+
+    #[test]
+    fn deep_snapshot_chains_are_flattened() {
+        let mut p = GroundProgram::new();
+        let mut last = GroundProgram::new();
+        for i in 0..100 {
+            p.push(GroundRule::fact(atom("A", &[i])));
+            last = p.snapshot();
+        }
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.iter().count(), 100);
+        assert_eq!(p.heads().len(), 100);
+        let rebuilt = Database::from_atoms(p.iter().map(|r| r.head.clone()));
+        assert_eq!(p.heads(), &rebuilt);
+        // The *returned* snapshots survive flattening rounds too: the
+        // collapsed frame is frozen and shared, never dropped.
+        assert_eq!(last, p);
+        assert_eq!(last.iter().count(), 100);
+        assert_eq!(last.heads().len(), 100);
+        assert!(last.contains(&GroundRule::fact(atom("A", &[0]))));
     }
 }

@@ -133,13 +133,19 @@ impl Rational {
         self.num < 0
     }
 
-    /// Checked addition.
+    /// Checked addition. The denominators are reduced by their gcd before
+    /// multiplying, so sums of many same-family fractions (e.g. the dyadic
+    /// masses of a geometric support prefix) stay exact instead of
+    /// overflowing `i128` at `den₁ · den₂`.
     pub fn checked_add(&self, other: &Rational) -> Option<Rational> {
+        let g = gcd(self.den.unsigned_abs(), other.den.unsigned_abs()).max(1) as i128;
+        let self_scale = other.den / g;
+        let other_scale = self.den / g;
         let num = self
             .num
-            .checked_mul(other.den)?
-            .checked_add(other.num.checked_mul(self.den)?)?;
-        let den = self.den.checked_mul(other.den)?;
+            .checked_mul(self_scale)?
+            .checked_add(other.num.checked_mul(other_scale)?)?;
+        let den = self.den.checked_mul(self_scale)?;
         Some(Self::normalised(num, den))
     }
 

@@ -45,16 +45,27 @@ fn sample_geometric<R: Rng + ?Sized>(
     params: &[Const],
     rng: &mut R,
 ) -> Result<Const, DistError> {
-    // Validate parameters through the pmf of outcome 0.
+    // Validate parameters through the pmf of outcome 0. This rejects the
+    // `p = 0` endpoint (the walk never terminates: the error event has mass
+    // 1), but guard the endpoints here as well so the inverse transform
+    // below can never divide by `ln(1 - 0) = 0` and produce `inf as i64`.
     let p0 = distribution.pmf(params, &Const::Int(0))?;
     let p = p0.to_f64();
+    if p <= 0.0 {
+        return Err(DistError::InvalidParameter {
+            distribution: distribution.name().to_owned(),
+            message: "geometric parameter must be positive".to_owned(),
+        });
+    }
+    if p >= 1.0 {
+        // The other endpoint: all mass on the first outcome.
+        return Ok(Const::Int(0));
+    }
     let u: f64 = rng.gen::<f64>();
-    // Inverse transform: k = floor(ln(1-u) / ln(1-p)).
-    let k = if p >= 1.0 {
-        0
-    } else {
-        ((1.0 - u).ln() / (1.0 - p).ln()).floor() as i64
-    };
+    // Inverse transform: k = floor(ln(1-u) / ln(1-p)). `ln_1p` keeps the
+    // denominator non-zero (≈ -p) even when p is so small that `1.0 - p`
+    // rounds to 1.0.
+    let k = ((1.0 - u).ln() / (-p).ln_1p()).floor() as i64;
     Ok(Const::Int(k.max(0)))
 }
 
@@ -158,6 +169,53 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(sample_distribution(Distribution::Flip, &[real(3.0)], &mut rng).is_err());
         assert!(sample_distribution(Distribution::Geometric, &[real(0.0)], &mut rng).is_err());
+    }
+
+    #[test]
+    fn geometric_endpoints_are_rejected_or_degenerate() {
+        // p = 0: the walk never terminates (error-event mass 1) — rejected
+        // both at validation and at sampling, never `inf as i64`.
+        assert!(Distribution::Geometric
+            .validate_params(&[real(0.0)])
+            .is_err());
+        assert!(Distribution::Geometric
+            .validate_params(&[Const::Int(0)])
+            .is_err());
+        let mut rng = StdRng::seed_from_u64(5);
+        for p in [real(0.0), Const::Int(0), Const::Bool(false)] {
+            assert!(
+                sample_distribution(Distribution::Geometric, &[p], &mut rng).is_err(),
+                "Geometric⟨{p}⟩ must be rejected"
+            );
+        }
+
+        // p = 1: all mass on outcome 0 — valid and degenerate.
+        assert!(Distribution::Geometric
+            .validate_params(&[real(1.0)])
+            .is_ok());
+        for _ in 0..50 {
+            let v =
+                sample_distribution(Distribution::Geometric, &[Const::Int(1)], &mut rng).unwrap();
+            assert_eq!(v, Const::Int(0));
+        }
+    }
+
+    #[test]
+    fn geometric_sampling_survives_tiny_parameters() {
+        // A p below f64 epsilon collapses to the exact-zero endpoint during
+        // parameter normalization and is rejected like p = 0 — it can never
+        // reach the inverse transform's division.
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(sample_distribution(Distribution::Geometric, &[real(1e-18)], &mut rng).is_err());
+
+        // A tiny but representable p samples finite, non-negative draws
+        // (ln_1p keeps the denominator accurate where ln(1 - p) would lose
+        // most of its precision).
+        for _ in 0..100 {
+            let v = sample_distribution(Distribution::Geometric, &[real(1e-9)], &mut rng).unwrap();
+            let k = v.as_int().unwrap();
+            assert!((0..i64::MAX).contains(&k));
+        }
     }
 
     #[test]

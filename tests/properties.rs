@@ -137,9 +137,9 @@ fn network_db_strategy() -> impl Strategy<Value = Database> {
 /// both partial and terminal configurations are produced.
 fn random_atr(grounder: &dyn Grounder, picks: &[u8]) -> AtrSet {
     let mut atr = AtrSet::new();
-    let mut rules = grounder.ground(&atr);
+    let mut grounding = grounder.ground_node(&atr);
     for &pick in picks {
-        let triggers = grounder.triggers(&atr, &rules);
+        let triggers = grounder.triggers(&atr, grounding.rules());
         if triggers.is_empty() {
             break;
         }
@@ -148,13 +148,21 @@ fn random_atr(grounder: &dyn Grounder, picks: &[u8]) -> AtrSet {
         let rule = AtrRule::new(grounder.sigma(), trigger, outcome).unwrap();
         let parent_atr = atr.clone();
         atr.insert(rule).unwrap();
-        rules = grounder.ground_from(&atr, &parent_atr, &rules);
+        grounding = grounder.ground_from(&atr, &parent_atr, &mut grounding);
         // The incremental grounding must agree with grounding from scratch
-        // at every step of the descent.
+        // at every step of the descent — for the perfect grounder this
+        // exercises the stratum cursor, and the resumption state itself must
+        // agree with the from-scratch one.
+        let scratch = grounder.ground_node(&atr);
         assert_eq!(
-            rules.canonical_rules(),
-            grounder.ground(&atr).canonical_rules(),
+            grounding.rules().canonical_rules(),
+            scratch.rules().canonical_rules(),
             "incremental ground_from diverged from ground"
+        );
+        assert_eq!(
+            grounding.cursor(),
+            scratch.cursor(),
+            "incremental stratum cursor diverged from ground"
         );
     }
     atr
@@ -184,7 +192,9 @@ proptest! {
     }
 
     /// The same equivalence for the perfect grounder on the stratified
-    /// dime/quarter family with random batch sizes.
+    /// dime/quarter family with random batch sizes. `random_atr` also
+    /// asserts per descent step that the stratum-cursor `ground_from` agrees
+    /// with grounding from scratch.
     #[test]
     fn seminaive_perfect_grounder_matches_the_naive_oracle(
         dimes in 1i64..=3,
@@ -199,6 +209,25 @@ proptest! {
             db.insert_fact("Quarter", [Const::Int(dimes + q)]);
         }
         let sigma = Arc::new(SigmaPi::translate(&dime_quarter_program(), &db).unwrap());
+        let grounder = PerfectGrounder::new(sigma).unwrap();
+        let atr = random_atr(&grounder, &picks);
+        let seminaive = grounder.ground(&atr);
+        let naive = grounder.ground_naive(&atr);
+        prop_assert_eq!(seminaive.canonical_rules(), naive.canonical_rules());
+    }
+
+    /// Stratum-cursor resumption on a second stratified family: random coin
+    /// chains (probabilistic tosses below a negation stratum). Every descent
+    /// step of `random_atr` checks `ground_from` ≡ `ground` and equal
+    /// cursors; the terminal grounding must also match the naive oracle.
+    #[test]
+    fn perfect_ground_from_matches_ground_on_random_coin_chains(
+        coins in 1usize..=4,
+        p in 1u32..=9u32,
+        picks in prop::collection::vec(any::<u8>(), 0..10),
+    ) {
+        let (program, db) = gdlog_bench::workloads::coin_chain(coins, p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
         let grounder = PerfectGrounder::new(sigma).unwrap();
         let atr = random_atr(&grounder, &picks);
         let seminaive = grounder.ground(&atr);
@@ -281,6 +310,82 @@ fn paper_examples_stable_models_unchanged_by_seminaive_grounding() {
         outcome_fingerprints(&seminaive, &limits),
         outcome_fingerprints(&naive, &limits)
     );
+}
+
+/// Satellite check for the incremental chase: snapshot-shared enumeration
+/// (each child extends a structural snapshot of its parent's grounding; the
+/// perfect grounder resumes at its stratum cursor) yields identical
+/// outcomes, probabilities *and residual mass* to regrounding every node
+/// from scratch, on the paper examples — under the default budget and under
+/// a truncating one.
+#[test]
+fn chase_enumeration_is_unchanged_by_incremental_snapshot_sharing() {
+    // The same stripped-hooks baseline the chase benchmarks measure against.
+    use gdlog_bench::workloads::Reground;
+    let compare = |grounder: &dyn Grounder| {
+        let scratch = Reground(grounder);
+        for budget in [
+            ChaseBudget::default(),
+            ChaseBudget {
+                max_outcomes: 3,
+                max_depth: 4,
+                max_branching: 2,
+                min_path_probability: 0.0,
+            },
+        ] {
+            let a = enumerate_outcomes(grounder, &budget, TriggerOrder::First).unwrap();
+            let b = enumerate_outcomes(&scratch, &budget, TriggerOrder::First).unwrap();
+            let canon = |r: &gdlog::core::ChaseResult| {
+                let mut v: Vec<String> = r
+                    .outcomes
+                    .iter()
+                    .map(|o| format!("{}@{}", o.atr, o.probability))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(
+                canon(&a),
+                canon(&b),
+                "outcomes differ ({})",
+                grounder.name()
+            );
+            assert_eq!(
+                a.residual_mass.to_string(),
+                b.residual_mass.to_string(),
+                "residual mass differs ({})",
+                grounder.name()
+            );
+            assert_eq!(a.truncated, b.truncated);
+            assert_eq!(a.nodes_visited, b.nodes_visited);
+        }
+    };
+
+    // Example 3.1/3.6/3.10: network resilience on the 3-clique (simple).
+    let mut db = Database::new();
+    for i in 1..=3i64 {
+        db.insert_fact("Router", [Const::Int(i)]);
+        for j in 1..=3i64 {
+            if i != j {
+                db.insert_fact("Connected", [Const::Int(i), Const::Int(j)]);
+            }
+        }
+    }
+    db.insert_fact("Infected", [Const::Int(1), Const::Int(1)]);
+    let sigma = Arc::new(SigmaPi::translate(&network_resilience_program(0.1), &db).unwrap());
+    compare(&SimpleGrounder::new(sigma));
+
+    // Section 3's coin program (simple).
+    let sigma = Arc::new(SigmaPi::translate(&coin_program(), &Database::new()).unwrap());
+    compare(&SimpleGrounder::new(sigma));
+
+    // Appendix E: dimes and quarters (perfect, stratum cursor).
+    let mut db = Database::new();
+    db.insert_fact("Dime", [Const::Int(1)]);
+    db.insert_fact("Dime", [Const::Int(2)]);
+    db.insert_fact("Quarter", [Const::Int(3)]);
+    let sigma = Arc::new(SigmaPi::translate(&dime_quarter_program(), &db).unwrap());
+    compare(&PerfectGrounder::new(sigma).unwrap());
 }
 
 proptest! {
