@@ -2,8 +2,13 @@
 //! choices grows (coin chains and ring networks).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdlog_bench::workloads::{coin_chain, network_database, network_program, Topology};
-use gdlog_core::{enumerate_outcomes, ChaseBudget, SigmaPi, SimpleGrounder, TriggerOrder};
+use gdlog_bench::workloads::{
+    chase_workload_suite, coin_chain, network_database, network_program, Topology,
+};
+use gdlog_core::{
+    enumerate_outcomes, enumerate_outcomes_with, ChaseBudget, Executor, SigmaPi, SimpleGrounder,
+    TriggerOrder,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,5 +53,42 @@ fn bench_ring_networks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coin_chain, bench_ring_networks);
+fn bench_parallel_suite(c: &mut Criterion) {
+    // The shared scale table (smoke size) across thread counts; results are
+    // bit-identical per workload, so this measures scheduling cost alone.
+    let mut group = c.benchmark_group("chase/parallel_suite");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for threads in [1usize, 2, 4] {
+        let executor = Executor::new(threads);
+        for workload in chase_workload_suite(false) {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name.clone(), threads),
+                &threads,
+                |b, _| {
+                    b.iter(|| {
+                        enumerate_outcomes_with(
+                            workload.grounder.as_ref(),
+                            &ChaseBudget::default(),
+                            TriggerOrder::First,
+                            &executor,
+                        )
+                        .unwrap()
+                        .outcomes
+                        .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coin_chain,
+    bench_ring_networks,
+    bench_parallel_suite
+);
 criterion_main!(benches);

@@ -7,11 +7,12 @@
 
 use gdlog_core::{
     dime_quarter_program, network_resilience_program, AtrRule, AtrSet, GroundRuleSet, Grounder,
-    Program, ProgramBuilder, SigmaPi,
+    PerfectGrounder, Program, ProgramBuilder, SigmaPi, SimpleGrounder,
 };
 use gdlog_data::{Const, Database, Term};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Network topologies for the resilience workload (Example 3.1).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -180,6 +181,57 @@ impl Grounder for Reground<'_> {
     }
 }
 
+/// One ready-to-chase benchmark workload: a named grounder over a translated
+/// program/database pair.
+pub struct ChaseWorkload {
+    /// Workload name (scale-qualified, e.g. `dime_quarter_d9_q2`).
+    pub name: String,
+    /// Does the program have stratified negation (perfect grounder)?
+    pub stratified: bool,
+    /// The grounder, ready for `enumerate_outcomes` / `MonteCarlo`.
+    pub grounder: Box<dyn Grounder>,
+}
+
+/// The chase benchmark suite — **the** scale table for `bench_chase` and the
+/// chase criterion benches, at CI-smoke (`full = false`) or full measurement
+/// size. Scales live only here so the smoke and full runs cannot drift.
+pub fn chase_workload_suite(full: bool) -> Vec<ChaseWorkload> {
+    let (dimes, quarters) = if full { (9, 2) } else { (5, 1) };
+    let coins = if full { 10 } else { 6 };
+    let ring = if full { 5 } else { 4 };
+
+    let mut suite = Vec::new();
+
+    // Stratified workloads — exercise the perfect grounder's stratum cursor.
+    let (program, db) = dime_quarter_workload(dimes, quarters);
+    let sigma = Arc::new(SigmaPi::translate(&program, &db).expect("translates"));
+    suite.push(ChaseWorkload {
+        name: format!("dime_quarter_d{dimes}_q{quarters}"),
+        stratified: true,
+        grounder: Box::new(PerfectGrounder::new(sigma).expect("dime/quarter is stratified")),
+    });
+
+    let (program, db) = coin_chain(coins, 0.5);
+    let sigma = Arc::new(SigmaPi::translate(&program, &db).expect("translates"));
+    suite.push(ChaseWorkload {
+        name: format!("coin_chain_n{coins}"),
+        stratified: true,
+        grounder: Box::new(PerfectGrounder::new(sigma).expect("coin chain is stratified")),
+    });
+
+    // Non-stratified workload — the simple grounder's snapshot sharing.
+    let db = network_database(ring, Topology::Ring);
+    let sigma =
+        Arc::new(SigmaPi::translate(&network_resilience_program(0.1), &db).expect("translates"));
+    suite.push(ChaseWorkload {
+        name: format!("network_ring_n{ring}"),
+        stratified: false,
+        grounder: Box::new(SimpleGrounder::new(sigma)),
+    });
+
+    suite
+}
+
 /// The network families the grounding benchmarks scale over: name plus
 /// database, at a CI-smoke (`small = true`) or full measurement size.
 pub fn grounding_network_suite(small: bool) -> Vec<(String, Database)> {
@@ -307,6 +359,33 @@ mod tests {
         assert!(grounder.is_terminal(&atr));
         // Every router infects all three neighbours: 4 × 3 Active atoms.
         assert_eq!(atr.len(), 12);
+    }
+
+    #[test]
+    fn chase_suite_scales_are_consistent_across_smoke_and_full() {
+        for full in [false, true] {
+            let suite = chase_workload_suite(full);
+            assert_eq!(suite.len(), 3);
+            assert_eq!(
+                suite.iter().filter(|w| w.stratified).count(),
+                2,
+                "two stratified workloads for the perfect grounder"
+            );
+            for w in &suite {
+                let expected = if w.stratified { "perfect" } else { "simple" };
+                assert_eq!(w.grounder.name(), expected, "{}", w.name);
+            }
+        }
+        // The full scale strictly dominates the smoke scale per workload.
+        let smoke: Vec<String> = chase_workload_suite(false)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        let full: Vec<String> = chase_workload_suite(true)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        assert_ne!(smoke, full);
     }
 
     #[test]

@@ -17,9 +17,12 @@
 //! residual equals one.
 
 use crate::error::CoreError;
+use crate::exec::Executor;
 use crate::grounding::{AtrRule, AtrSet, Grounder, Grounding};
 use gdlog_data::GroundAtom;
 use gdlog_prob::Prob;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::outcome::PossibleOutcome;
 
@@ -127,14 +130,81 @@ impl ChaseResult {
     pub fn total_mass(&self) -> Prob {
         self.explored_mass().add(&self.residual_mass)
     }
+
+    /// The first difference from `other` under **strict** equality — outcome
+    /// list in order (choice sets and exact probabilities), residual mass,
+    /// truncation flag and visited-node count — or `None` when the results
+    /// are bit-identical. This is *the* definition of "bit-identical" that
+    /// the parallel executor guarantees; the property tests, the chase
+    /// benchmarks and CI's thread matrix all compare through it so the
+    /// checked fields cannot drift apart.
+    pub fn diff(&self, other: &ChaseResult) -> Option<String> {
+        if self.outcomes.len() != other.outcomes.len() {
+            return Some(format!(
+                "outcome count: {} vs {}",
+                self.outcomes.len(),
+                other.outcomes.len()
+            ));
+        }
+        for (i, (a, b)) in self.outcomes.iter().zip(&other.outcomes).enumerate() {
+            if a.atr != b.atr {
+                return Some(format!("outcome {i} choice set: {} vs {}", a.atr, b.atr));
+            }
+            if a.probability != b.probability {
+                return Some(format!(
+                    "outcome {i} probability: {} vs {}",
+                    a.probability, b.probability
+                ));
+            }
+        }
+        if self.residual_mass.to_string() != other.residual_mass.to_string() {
+            return Some(format!(
+                "residual mass: {} vs {}",
+                self.residual_mass, other.residual_mass
+            ));
+        }
+        if self.truncated != other.truncated {
+            return Some(format!(
+                "truncated: {} vs {}",
+                self.truncated, other.truncated
+            ));
+        }
+        if self.nodes_visited != other.nodes_visited {
+            return Some(format!(
+                "nodes visited: {} vs {}",
+                self.nodes_visited, other.nodes_visited
+            ));
+        }
+        None
+    }
 }
 
 /// Exhaustively enumerate the finite possible outcomes of the translated
-/// program relative to `grounder`, following the chase procedure.
+/// program relative to `grounder`, following the chase procedure
+/// sequentially on the calling thread.
 pub fn enumerate_outcomes(
     grounder: &dyn Grounder,
     budget: &ChaseBudget,
     order: TriggerOrder,
+) -> Result<ChaseResult, CoreError> {
+    enumerate_outcomes_with(grounder, budget, order, &Executor::sequential())
+}
+
+/// [`enumerate_outcomes`] under an explicit execution policy.
+///
+/// With a parallel [`Executor`] the chase tree is explored by the pool —
+/// each sibling subtree extends an `Arc`-shared snapshot of its parent's
+/// grounding, so subtrees share no mutable state — and the per-subtree
+/// results are then merged **in trigger order** by a sequential replay, so
+/// the outcome list, every probability, the residual mass, `truncated` and
+/// `nodes_visited` are bit-identical to the sequential enumeration
+/// regardless of the thread count or scheduling (see `ARCHITECTURE.md`,
+/// "Parallel chase exploration").
+pub fn enumerate_outcomes_with(
+    grounder: &dyn Grounder,
+    budget: &ChaseBudget,
+    order: TriggerOrder,
+    executor: &Executor,
 ) -> Result<ChaseResult, CoreError> {
     if budget.max_outcomes == 0 {
         return Err(CoreError::Budget(
@@ -147,17 +217,341 @@ pub fn enumerate_outcomes(
         truncated: false,
         nodes_visited: 0,
     };
-    explore(
-        grounder,
-        budget,
-        order,
-        AtrSet::new(),
-        None,
-        Prob::ONE,
-        0,
-        &mut result,
-    )?;
+    match executor.pool() {
+        None => explore(
+            grounder,
+            budget,
+            order,
+            AtrSet::new(),
+            None,
+            Prob::ONE,
+            0,
+            &mut result,
+        )?,
+        Some(pool) => {
+            let ctx = Ctx {
+                grounder,
+                budget,
+                order,
+                found: AtomicUsize::new(0),
+            };
+            let root = Arc::new(Cell::new());
+            pool.scope(|scope| {
+                let ctx = &ctx;
+                let root = Arc::clone(&root);
+                scope.spawn(move |scope| {
+                    speculate(ctx, scope, AtrSet::new(), None, Prob::ONE, 0, root)
+                });
+            });
+            replay(grounder, budget, order, take_node(root), &mut result)?;
+        }
+    }
     Ok(result)
+}
+
+/// Children are dispatched to the pool only above this depth; below it a
+/// subtree is explored inline by the task that owns it. With binary
+/// branching this yields up to 2¹² parallel subtrees — far more than any
+/// realistic worker count — while keeping per-task overhead negligible for
+/// deep trees.
+const SPLIT_DEPTH: usize = 12;
+
+/// What the parallel phase found out about one chase node. The variants
+/// mirror the branch structure of [`explore`] exactly; the per-node
+/// *decisions* that depend on global traversal state (the outcome budget)
+/// are deferred to the sequential replay.
+enum Node {
+    /// Skipped speculatively because the outcome budget looked exhausted.
+    /// The replay re-explores it sequentially if (and only if) the budget
+    /// turns out not to be full when the walk reaches it in trigger order.
+    Deferred {
+        atr: AtrSet,
+        path_prob: Prob,
+        depth: usize,
+    },
+    /// `path_prob` is below the path-probability cut-off (a purely local
+    /// decision, safe to take in parallel).
+    MinPathCut { path_prob: Prob },
+    /// A terminal configuration: a finite possible outcome.
+    Leaf(Box<PossibleOutcome>),
+    /// A non-terminal node at the depth budget.
+    DepthCut { path_prob: Prob },
+    /// A trigger application: children in branch (outcome) order.
+    Branch {
+        path_prob: Prob,
+        support_cut: bool,
+        tail: Prob,
+        children: Vec<Arc<Cell>>,
+    },
+    /// A schema/branch-enumeration failure at this node. Sequentially the
+    /// error is raised *after* the node's entry checks, so the replay still
+    /// applies outcome-budget and path-probability pruning first (a pruned
+    /// node never surfaces its error) — hence the `path_prob`.
+    Failed { path_prob: Prob, error: CoreError },
+    /// A failure constructing this child in its parent's branch loop.
+    /// Sequentially the error is raised *before* the child node is entered,
+    /// so the replay surfaces it unconditionally, without counting a visit.
+    FailedChild(CoreError),
+}
+
+/// A write-once slot filled by exactly one exploration task.
+type Cell = OnceLock<Node>;
+
+struct Ctx<'a> {
+    grounder: &'a dyn Grounder,
+    budget: &'a ChaseBudget,
+    order: TriggerOrder,
+    /// Outcomes discovered so far across all tasks — a heuristic used only
+    /// to stop speculative work once the budget *could* be full; the replay
+    /// re-establishes the exact sequential semantics.
+    found: AtomicUsize,
+}
+
+fn set_node(cell: &Cell, node: Node) {
+    if cell.set(node).is_err() {
+        unreachable!("chase node cell filled twice");
+    }
+}
+
+fn take_node(cell: Arc<Cell>) -> Node {
+    Arc::try_unwrap(cell)
+        .unwrap_or_else(|_| unreachable!("chase node cell still shared after the scope"))
+        .into_inner()
+        .expect("every exploration task fills its cell")
+}
+
+/// The parallel exploration phase: compute this node's grounding and local
+/// structure, then fan its children out to the pool. Performs exactly the
+/// per-node work of [`explore`] *except* for the decisions that depend on
+/// global traversal order (outcome-budget pruning and result accumulation),
+/// which [`replay`] takes afterwards.
+fn speculate<'s>(
+    ctx: &'s Ctx<'s>,
+    scope: &rayon::Scope<'s>,
+    atr: AtrSet,
+    parent: Option<(AtrSet, Grounding)>,
+    path_prob: Prob,
+    depth: usize,
+    cell: Arc<Cell>,
+) {
+    if ctx.found.load(Ordering::Relaxed) >= ctx.budget.max_outcomes {
+        set_node(
+            &cell,
+            Node::Deferred {
+                atr,
+                path_prob,
+                depth,
+            },
+        );
+        return;
+    }
+    if path_prob.to_f64() < ctx.budget.min_path_probability {
+        set_node(&cell, Node::MinPathCut { path_prob });
+        return;
+    }
+
+    let mut grounding = match parent {
+        Some((parent_atr, mut parent_grounding)) => {
+            ctx.grounder
+                .ground_from(&atr, &parent_atr, &mut parent_grounding)
+        }
+        None => ctx.grounder.ground_node(&atr),
+    };
+    let triggers = ctx.grounder.triggers(&atr, grounding.rules());
+
+    if triggers.is_empty() {
+        ctx.found.fetch_add(1, Ordering::Relaxed);
+        set_node(
+            &cell,
+            Node::Leaf(Box::new(PossibleOutcome::new(
+                atr,
+                grounding.into_rules(),
+                path_prob,
+            ))),
+        );
+        return;
+    }
+
+    if depth >= ctx.budget.max_depth {
+        set_node(&cell, Node::DepthCut { path_prob });
+        return;
+    }
+
+    let trigger = triggers[ctx.order.pick(&triggers, depth)].clone();
+    let schema = match ctx.grounder.sigma().schema_for_active(&trigger.predicate) {
+        Some(schema) => schema,
+        None => {
+            set_node(
+                &cell,
+                Node::Failed {
+                    path_prob,
+                    error: CoreError::Validation(format!(
+                        "trigger {trigger} does not use a generated Active predicate"
+                    )),
+                },
+            );
+            return;
+        }
+    };
+    let mut branches = match schema.outcomes(&trigger, ctx.budget.max_branching.saturating_add(1)) {
+        Ok(branches) => branches,
+        Err(e) => {
+            set_node(
+                &cell,
+                Node::Failed {
+                    path_prob,
+                    error: e.into(),
+                },
+            );
+            return;
+        }
+    };
+    let support_cut = branches.len() > ctx.budget.max_branching;
+    branches.truncate(ctx.budget.max_branching);
+    let branch_mass = Prob::sum(branches.iter().map(|(_, p)| *p));
+    let tail = path_prob.mul(&Prob::ONE.sub(&branch_mass));
+
+    let mut children = Vec::with_capacity(branches.len());
+    for (outcome_value, mass) in branches {
+        let child_cell = Arc::new(Cell::new());
+        children.push(Arc::clone(&child_cell));
+        // A construction failure becomes the child's node: the replay walks
+        // the earlier children normally and surfaces the error exactly where
+        // the sequential recursion would have.
+        let rule = match AtrRule::new(ctx.grounder.sigma(), trigger.clone(), outcome_value) {
+            Ok(rule) => rule,
+            Err(e) => {
+                set_node(&child_cell, Node::FailedChild(e));
+                break;
+            }
+        };
+        let child_atr = match atr.extended(rule) {
+            Ok(child_atr) => child_atr,
+            Err(e) => {
+                set_node(&child_cell, Node::FailedChild(e));
+                break;
+            }
+        };
+        // O(1) structural snapshot: the child owns its view of the parent's
+        // grounding, so sibling tasks share no mutable state. Taking the
+        // snapshots serially here preserves the exact representation
+        // evolution (freeze/flatten points) of the sequential descent.
+        let child_parent = Some((atr.clone(), grounding.snapshot()));
+        let child_prob = path_prob.mul(&mass);
+        if depth < SPLIT_DEPTH {
+            scope.spawn(move |scope| {
+                speculate(
+                    ctx,
+                    scope,
+                    child_atr,
+                    child_parent,
+                    child_prob,
+                    depth + 1,
+                    child_cell,
+                )
+            });
+        } else {
+            speculate(
+                ctx,
+                scope,
+                child_atr,
+                child_parent,
+                child_prob,
+                depth + 1,
+                child_cell,
+            );
+        }
+    }
+    set_node(
+        &cell,
+        Node::Branch {
+            path_prob,
+            support_cut,
+            tail,
+            children,
+        },
+    );
+}
+
+/// The deterministic merge: walk the speculatively explored tree in trigger
+/// order — the exact visit order of the sequential [`explore`] — applying
+/// the order-dependent budget decisions and accumulating outcomes and
+/// residual mass. Because every accumulation happens in the sequential
+/// order, the result is bit-identical to the sequential enumeration (resid-
+/// ual float adds included); subtrees the speculation skipped are explored
+/// sequentially on demand, so the heuristic can never change the result.
+fn replay(
+    grounder: &dyn Grounder,
+    budget: &ChaseBudget,
+    order: TriggerOrder,
+    node: Node,
+    result: &mut ChaseResult,
+) -> Result<(), CoreError> {
+    match node {
+        // `explore` performs the node count and both budget checks itself.
+        Node::Deferred {
+            atr,
+            path_prob,
+            depth,
+        } => {
+            return explore(grounder, budget, order, atr, None, path_prob, depth, result);
+        }
+        // Raised in the parent's branch loop, before this node is entered.
+        Node::FailedChild(e) => return Err(e),
+        _ => {}
+    }
+
+    result.nodes_visited += 1;
+    let path_prob = match &node {
+        Node::MinPathCut { path_prob }
+        | Node::DepthCut { path_prob }
+        | Node::Branch { path_prob, .. }
+        | Node::Failed { path_prob, .. } => *path_prob,
+        Node::Leaf(outcome) => outcome.probability,
+        Node::Deferred { .. } | Node::FailedChild(_) => unreachable!("handled above"),
+    };
+
+    if result.outcomes.len() >= budget.max_outcomes {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        return Ok(());
+    }
+    if path_prob.to_f64() < budget.min_path_probability {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        return Ok(());
+    }
+
+    match node {
+        Node::Leaf(outcome) => {
+            result.outcomes.push(*outcome);
+        }
+        Node::DepthCut { path_prob } => {
+            result.residual_mass = result.residual_mass.add(&path_prob);
+            result.truncated = true;
+        }
+        Node::Branch {
+            support_cut,
+            tail,
+            children,
+            ..
+        } => {
+            if support_cut {
+                result.residual_mass = result.residual_mass.add(&tail);
+                result.truncated = true;
+            } else if tail.is_positive() {
+                result.residual_mass = result.residual_mass.add(&tail);
+            }
+            for child in children {
+                replay(grounder, budget, order, take_node(child), result)?;
+            }
+        }
+        Node::Failed { error, .. } => return Err(error),
+        // A `MinPathCut` always fails the cut-off re-check above, and the
+        // remaining variants were dispatched before the checks.
+        Node::MinPathCut { .. } | Node::Deferred { .. } | Node::FailedChild(_) => unreachable!(),
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -541,6 +935,94 @@ mod tests {
             TriggerOrder::Scrambled.pick(&sets[0], 3),
             TriggerOrder::Scrambled.pick(&sets[0], 3)
         );
+    }
+
+    /// Strict equality of chase results through the shared
+    /// [`ChaseResult::diff`] definition.
+    fn assert_bit_identical(a: &ChaseResult, b: &ChaseResult, label: &str) {
+        if let Some(diff) = a.diff(b) {
+            panic!("{label}: results differ: {diff}");
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        let mut db = Database::new();
+        let program = coin_chain_program(6, &mut db);
+        let chain = simple_for(&program, &db);
+        let ring = simple_for(&network_resilience_program(0.1), &network_db(3));
+        let grounders: [&dyn crate::grounding::Grounder; 2] = [&chain, &ring];
+        for grounder in grounders {
+            for order in [
+                TriggerOrder::First,
+                TriggerOrder::Last,
+                TriggerOrder::Scrambled,
+            ] {
+                let sequential =
+                    enumerate_outcomes(grounder, &ChaseBudget::default(), order).unwrap();
+                for threads in [2, 3, 8] {
+                    let exec = crate::exec::Executor::new(threads);
+                    let parallel =
+                        enumerate_outcomes_with(grounder, &ChaseBudget::default(), order, &exec)
+                            .unwrap();
+                    assert_bit_identical(&sequential, &parallel, &format!("{order:?} x{threads}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_replays_outcome_budget_truncation_exactly() {
+        // max_outcomes = 1 prunes almost the whole tree sequentially; the
+        // parallel walk may speculate past the budget but the replay must
+        // reproduce the sequential pruning — outcomes, residual *and* the
+        // visited-node count.
+        let mut db = Database::new();
+        let program = coin_chain_program(6, &mut db);
+        let grounder = simple_for(&program, &db);
+        for budget in [
+            ChaseBudget {
+                max_outcomes: 1,
+                ..ChaseBudget::default()
+            },
+            ChaseBudget {
+                max_outcomes: 5,
+                max_depth: 3,
+                max_branching: 2,
+                min_path_probability: 0.0,
+            },
+            ChaseBudget {
+                min_path_probability: 0.2,
+                ..ChaseBudget::default()
+            },
+        ] {
+            let sequential = enumerate_outcomes(&grounder, &budget, TriggerOrder::First).unwrap();
+            for threads in [2, 8] {
+                let exec = crate::exec::Executor::new(threads);
+                let parallel =
+                    enumerate_outcomes_with(&grounder, &budget, TriggerOrder::First, &exec)
+                        .unwrap();
+                assert_bit_identical(&sequential, &parallel, &format!("{budget:?} x{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_accounts_branching_cuts_exactly() {
+        // Countably infinite support: the branch tail must be accounted in
+        // `Prob` identically under parallel exploration.
+        let grounder = simple_for(&geometric_program(), &Database::new());
+        let coarse = ChaseBudget {
+            max_branching: 4,
+            ..ChaseBudget::default()
+        };
+        let sequential = enumerate_outcomes(&grounder, &coarse, TriggerOrder::First).unwrap();
+        let exec = crate::exec::Executor::new(4);
+        let parallel =
+            enumerate_outcomes_with(&grounder, &coarse, TriggerOrder::First, &exec).unwrap();
+        assert_bit_identical(&sequential, &parallel, "geometric cut");
+        assert_eq!(parallel.residual_mass, Prob::ratio(1, 16));
+        assert_eq!(parallel.total_mass(), Prob::ONE);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Execution policy for the chase and the Monte-Carlo sampler.
+//!
+//! Once a chase node's grounding snapshot is taken, sibling subtrees share no
+//! mutable state (see `ARCHITECTURE.md`), so exploring them is embarrassingly
+//! parallel. An [`Executor`] decides whether that parallelism is used: it is
+//! either sequential or it owns a work-stealing [`rayon::ThreadPool`] to
+//! which independent subtrees (and independent Monte-Carlo walks) are
+//! dispatched. Results are **bit-identical across executors** — the parallel
+//! paths merge in deterministic trigger order and derive per-walk RNG streams
+//! from the root seed, so the thread count is a pure throughput knob, never a
+//! semantics knob. CI enforces this with a `GDLOG_THREADS` matrix.
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::fmt;
+
+/// Environment variable consulted by [`Executor::from_env`] (and therefore
+/// by every [`crate::Pipeline`] built without an explicit thread count).
+pub const THREADS_ENV: &str = "GDLOG_THREADS";
+
+/// A sequential-or-parallel execution policy.
+pub struct Executor {
+    threads: usize,
+    pool: Option<ThreadPool>,
+}
+
+impl Executor {
+    /// The sequential executor: everything runs on the calling thread.
+    pub fn sequential() -> Self {
+        Executor {
+            threads: 1,
+            pool: None,
+        }
+    }
+
+    /// An executor with the given parallelism. `0` means one thread per
+    /// available CPU; `1` is [`Executor::sequential`].
+    pub fn new(threads: usize) -> Self {
+        // The builder owns the `0 → available parallelism` defaulting; read
+        // the resolved count back from the pool so the two can never drift.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool construction cannot fail");
+        let threads = pool.current_num_threads();
+        if threads <= 1 {
+            return Self::sequential();
+        }
+        Executor {
+            threads,
+            pool: Some(pool),
+        }
+    }
+
+    /// An executor configured from the `GDLOG_THREADS` environment variable
+    /// (unset, empty or unparsable means sequential; `0` means one thread
+    /// per available CPU).
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV) {
+            Ok(value) => match value.trim().parse::<usize>() {
+                Ok(n) => Self::new(n),
+                Err(_) => Self::sequential(),
+            },
+            Err(_) => Self::sequential(),
+        }
+    }
+
+    /// The configured number of threads (1 for the sequential executor).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Is this executor parallel?
+    pub fn is_parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The thread pool, when parallel.
+    pub(crate) fn pool(&self) -> Option<&ThreadPool> {
+        self.pool.as_ref()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_has_one_thread_and_no_pool() {
+        let e = Executor::sequential();
+        assert_eq!(e.threads(), 1);
+        assert!(!e.is_parallel());
+        assert!(e.pool().is_none());
+        assert_eq!(Executor::default().threads(), 1);
+    }
+
+    #[test]
+    fn one_thread_collapses_to_sequential() {
+        assert!(!Executor::new(1).is_parallel());
+        let e = Executor::new(3);
+        assert!(e.is_parallel());
+        assert_eq!(e.threads(), 3);
+        assert_eq!(e.pool().unwrap().current_num_threads(), 3);
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let e = Executor::new(0);
+        assert!(e.threads() >= 1);
+    }
+
+    #[test]
+    fn debug_shows_the_thread_count() {
+        assert_eq!(format!("{:?}", Executor::new(2)), "Executor { threads: 2 }");
+    }
+}

@@ -250,7 +250,12 @@ impl fmt::Display for AtrSet {
 }
 
 /// A grounder of a program `Π[D]` (Definition 3.3).
-pub trait Grounder {
+///
+/// `Send + Sync` is a supertrait: the parallel chase shares one grounder
+/// across worker threads (grounders are immutable views of an
+/// `Arc<SigmaPi>`; all per-node state lives in the [`Grounding`] values they
+/// return, which are owned by exactly one chase subtree each).
+pub trait Grounder: Send + Sync {
     /// The translated program this grounder was built for.
     fn sigma(&self) -> &SigmaPi;
 

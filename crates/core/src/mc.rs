@@ -6,14 +6,37 @@
 //! unbiased estimates of any event probability of the output space (the
 //! sampling distribution over finite paths is exactly the chase-based
 //! probability space of Section 4).
+//!
+//! Sampled walks are independent by construction, so [`MonteCarlo`] draws
+//! walk `i` from its own RNG stream derived from the root seed
+//! ([`walk_rng`]) rather than from one sequentially advancing generator.
+//! This makes every estimate a pure function of `(seed, walk index)` — the
+//! walks can be dispatched to an [`Executor`]'s thread pool in any order and
+//! still reproduce the sequential estimates bit for bit.
 
 use crate::error::CoreError;
+use crate::exec::Executor;
 use crate::grounding::{AtrRule, AtrSet, Grounder};
 use crate::outcome::PossibleOutcome;
 use gdlog_prob::sampler::{sample_distribution, Estimate};
 use gdlog_prob::Prob;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+
+/// The RNG for walk `index` of a run rooted at `seed`: the seed is combined
+/// with the index through a SplitMix64-style finalizer (Steele, Lea &
+/// Flood's mixer, the standard recommendation for splitting seeds), so
+/// streams of different walks are statistically independent and a walk's
+/// stream never depends on how many walks other threads have drawn.
+pub fn walk_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed
+        .rotate_left(17)
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
 
 /// The result of sampling one chase path.
 #[derive(Clone, Debug)]
@@ -113,10 +136,18 @@ pub struct SampleStats {
 }
 
 /// A Monte-Carlo estimator bound to a grounder.
+///
+/// Walk `i` of the estimator's lifetime is drawn from [`walk_rng`]`(seed,
+/// i)`, so the sampled paths depend only on the seed and the walk index —
+/// never on the executor. [`MonteCarlo::estimate`] therefore produces
+/// bit-identical statistics whether it runs sequentially or fans the walks
+/// out to a thread pool ([`MonteCarlo::with_executor`]).
 pub struct MonteCarlo<'a> {
     grounder: &'a dyn Grounder,
     max_triggers: usize,
-    rng: StdRng,
+    seed: u64,
+    next_walk: u64,
+    executor: Option<&'a Executor>,
 }
 
 impl<'a> MonteCarlo<'a> {
@@ -125,13 +156,25 @@ impl<'a> MonteCarlo<'a> {
         MonteCarlo {
             grounder,
             max_triggers,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            next_walk: 0,
+            executor: None,
         }
     }
 
-    /// Draw one path.
+    /// Fan [`MonteCarlo::estimate`]'s walks out to `executor`'s pool. The
+    /// estimates are bit-identical to the sequential ones for every thread
+    /// count; only wall-clock time changes.
+    pub fn with_executor(mut self, executor: &'a Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Draw one path (the next walk of this estimator's stream).
     pub fn sample(&mut self) -> Result<SampledPath, CoreError> {
-        sample_outcome(self.grounder, self.max_triggers, &mut self.rng)
+        let mut rng = walk_rng(self.seed, self.next_walk);
+        self.next_walk += 1;
+        sample_outcome(self.grounder, self.max_triggers, &mut rng)
     }
 
     /// Estimate the probability of an event specified as a predicate over
@@ -140,25 +183,101 @@ impl<'a> MonteCarlo<'a> {
     /// paths occur (report `abandoned` to judge their impact).
     pub fn estimate<F>(&mut self, samples: usize, event: F) -> Result<SampleStats, CoreError>
     where
-        F: Fn(&PossibleOutcome) -> bool,
+        F: Fn(&PossibleOutcome) -> bool + Sync,
     {
-        let mut hits = 0usize;
-        let mut abandoned = 0usize;
-        for _ in 0..samples {
-            match self.sample()? {
-                SampledPath::Finite(outcome) => {
-                    if event(&outcome) {
-                        hits += 1;
+        let first_walk = self.next_walk;
+        self.next_walk += samples as u64;
+        let pool = self.executor.and_then(Executor::pool);
+        let (hits, abandoned) = match pool {
+            None => {
+                let mut hits = 0usize;
+                let mut abandoned = 0usize;
+                for walk in first_walk..first_walk + samples as u64 {
+                    match self.run_walk(walk, &event)? {
+                        Some(true) => hits += 1,
+                        Some(false) => {}
+                        None => abandoned += 1,
                     }
                 }
-                SampledPath::Abandoned { .. } => abandoned += 1,
+                (hits, abandoned)
             }
-        }
+            Some(pool) => {
+                // Contiguous chunks of the walk range, several per worker so
+                // the pool balances uneven walk lengths by stealing. Chunk
+                // tallies are integers, so the merge is order-insensitive —
+                // except for errors, which are surfaced in walk order (each
+                // chunk stops at its first failing walk, and chunks are
+                // merged lowest-first), exactly as the sequential loop does.
+                let threads = pool.current_num_threads().max(1);
+                let chunk = samples.div_ceil(threads * 4).max(1);
+                let ranges: Vec<(u64, u64)> = (0..samples)
+                    .step_by(chunk)
+                    .map(|start| {
+                        (
+                            first_walk + start as u64,
+                            first_walk + (start + chunk).min(samples) as u64,
+                        )
+                    })
+                    .collect();
+                /// Hit/abandon counts of one chunk, or its first walk error.
+                type Tally = OnceLock<Result<(usize, usize), CoreError>>;
+                let tallies: Vec<Arc<Tally>> =
+                    ranges.iter().map(|_| Arc::new(OnceLock::new())).collect();
+                pool.scope(|scope| {
+                    for (&(start, end), tally) in ranges.iter().zip(&tallies) {
+                        let tally = Arc::clone(tally);
+                        let this = &*self;
+                        let event = &event;
+                        scope.spawn(move |_| {
+                            let mut hits = 0usize;
+                            let mut abandoned = 0usize;
+                            let mut outcome = Ok(());
+                            for walk in start..end {
+                                match this.run_walk(walk, event) {
+                                    Ok(Some(true)) => hits += 1,
+                                    Ok(Some(false)) => {}
+                                    Ok(None) => abandoned += 1,
+                                    Err(e) => {
+                                        outcome = Err(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            let _ = tally.set(outcome.map(|()| (hits, abandoned)));
+                        });
+                    }
+                });
+                let mut hits = 0usize;
+                let mut abandoned = 0usize;
+                for tally in tallies {
+                    let (h, a) = Arc::try_unwrap(tally)
+                        .unwrap_or_else(|_| unreachable!("tally still shared after the scope"))
+                        .into_inner()
+                        .expect("every chunk task reports")?;
+                    hits += h;
+                    abandoned += a;
+                }
+                (hits, abandoned)
+            }
+        };
         Ok(SampleStats {
             estimate: Estimate::from_bernoulli(hits, samples),
             abandoned,
             samples,
         })
+    }
+
+    /// Run one walk: `Some(event result)` for finite paths, `None` for
+    /// abandoned ones.
+    fn run_walk<F>(&self, walk: u64, event: &F) -> Result<Option<bool>, CoreError>
+    where
+        F: Fn(&PossibleOutcome) -> bool,
+    {
+        let mut rng = walk_rng(self.seed, walk);
+        match sample_outcome(self.grounder, self.max_triggers, &mut rng)? {
+            SampledPath::Finite(outcome) => Ok(Some(event(&outcome))),
+            SampledPath::Abandoned { .. } => Ok(None),
+        }
     }
 }
 
@@ -280,6 +399,65 @@ mod tests {
             outcome.rules.canonical_rules(),
             grounder.ground(&outcome.atr).canonical_rules()
         );
+    }
+
+    #[test]
+    fn walk_streams_are_independent_of_draw_order() {
+        // Walk i's path is a pure function of (seed, i): drawing walks
+        // 0..n one by one gives the same paths as any other schedule.
+        let grounder = network_grounder(3);
+        let paths: Vec<String> = (0..8u64)
+            .map(|walk| {
+                let mut rng = walk_rng(42, walk);
+                match sample_outcome(&grounder, 100, &mut rng).unwrap() {
+                    SampledPath::Finite(o) => format!("{}@{}", o.atr, o.probability),
+                    SampledPath::Abandoned { .. } => "abandoned".to_owned(),
+                }
+            })
+            .collect();
+        let mut mc = MonteCarlo::new(&grounder, 100, 42);
+        for expected in &paths {
+            let got = match mc.sample().unwrap() {
+                SampledPath::Finite(o) => format!("{}@{}", o.atr, o.probability),
+                SampledPath::Abandoned { .. } => "abandoned".to_owned(),
+            };
+            assert_eq!(&got, expected);
+        }
+        // Distinct walks explore distinct paths with overwhelming
+        // probability on this workload; a constant stream would betray a
+        // broken splitter.
+        assert!(
+            paths
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                > 1
+        );
+    }
+
+    #[test]
+    fn parallel_estimates_are_bit_identical_to_sequential() {
+        let grounder = network_grounder(3);
+        let limits = StableModelLimits::default();
+        let event = |outcome: &PossibleOutcome| !outcome.stable_models(&limits).unwrap().is_empty();
+        let mut sequential = MonteCarlo::new(&grounder, 100, 11);
+        let base = sequential.estimate(500, event).unwrap();
+        for threads in [2, 3, 8] {
+            let executor = crate::exec::Executor::new(threads);
+            let mut parallel = MonteCarlo::new(&grounder, 100, 11).with_executor(&executor);
+            let stats = parallel.estimate(500, event).unwrap();
+            assert_eq!(stats.estimate.mean, base.estimate.mean, "x{threads}");
+            assert_eq!(stats.abandoned, base.abandoned);
+            assert_eq!(stats.samples, base.samples);
+            // A second estimate continues the walk stream identically too.
+            let base2 = sequential.estimate(250, event).unwrap();
+            let stats2 = parallel.estimate(250, event).unwrap();
+            assert_eq!(stats2.estimate.mean, base2.estimate.mean, "x{threads} cont");
+            // Rewind the sequential estimator so every thread count sees the
+            // same continuation window.
+            sequential = MonteCarlo::new(&grounder, 100, 11);
+            let _ = sequential.estimate(500, event).unwrap();
+        }
     }
 
     #[test]

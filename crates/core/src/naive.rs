@@ -1,6 +1,6 @@
 //! The retained **naive** saturation — the paper-literal reference oracle.
 //!
-//! Before the semi-naive refactor, [`crate::simple_grounder::saturate`]
+//! Before the semi-naive refactor, `simple_grounder::saturate`
 //! executed Definition 3.4 verbatim: every round re-matched *all* rules
 //! against the *entire* head set. That formulation is kept here, unchanged,
 //! for two purposes:

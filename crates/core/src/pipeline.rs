@@ -11,8 +11,9 @@
 //! ([`Grounder::ground_from`]). See `ARCHITECTURE.md` at the repository root
 //! for the invariants.
 
-use crate::chase::{enumerate_outcomes, ChaseBudget, ChaseResult, TriggerOrder};
+use crate::chase::{enumerate_outcomes_with, ChaseBudget, ChaseResult, TriggerOrder};
 use crate::error::CoreError;
+use crate::exec::Executor;
 use crate::grounding::Grounder;
 use crate::mc::MonteCarlo;
 use crate::perfect_grounder::PerfectGrounder;
@@ -44,6 +45,7 @@ pub struct Pipeline {
     budget: ChaseBudget,
     order: TriggerOrder,
     limits: StableModelLimits,
+    executor: Executor,
 }
 
 impl Pipeline {
@@ -77,6 +79,11 @@ impl Pipeline {
             budget: ChaseBudget::default(),
             order: TriggerOrder::First,
             limits: StableModelLimits::default(),
+            // Sequential unless GDLOG_THREADS says otherwise; results are
+            // bit-identical either way, so the env knob (and the CI thread
+            // matrix built on it) can parallelize every pipeline consumer
+            // without touching call sites.
+            executor: Executor::from_env(),
         })
     }
 
@@ -98,6 +105,20 @@ impl Pipeline {
         self
     }
 
+    /// Explore the chase tree (and fan Monte-Carlo walks out) with this many
+    /// worker threads. `1` is sequential, `0` means one thread per available
+    /// CPU. Results are bit-identical for every value — the thread count
+    /// only changes wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
+    }
+
+    /// The execution policy in use.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
     /// The translated program.
     pub fn sigma(&self) -> &SigmaPi {
         &self.sigma
@@ -110,7 +131,12 @@ impl Pipeline {
 
     /// Run the chase enumeration only.
     pub fn chase(&self) -> Result<ChaseResult, CoreError> {
-        enumerate_outcomes(self.grounder.as_ref(), &self.budget, self.order)
+        enumerate_outcomes_with(
+            self.grounder.as_ref(),
+            &self.budget,
+            self.order,
+            &self.executor,
+        )
     }
 
     /// Run the full pipeline: chase, stable models, output space.
@@ -119,9 +145,10 @@ impl Pipeline {
         OutputSpace::from_chase(&chase, &self.limits)
     }
 
-    /// A Monte-Carlo estimator over the same grounder.
+    /// A Monte-Carlo estimator over the same grounder (sharing the
+    /// pipeline's executor).
     pub fn monte_carlo(&self, max_triggers: usize, seed: u64) -> MonteCarlo<'_> {
-        MonteCarlo::new(self.grounder.as_ref(), max_triggers, seed)
+        MonteCarlo::new(self.grounder.as_ref(), max_triggers, seed).with_executor(&self.executor)
     }
 }
 

@@ -46,3 +46,30 @@ pub use substitution::{match_atoms, match_atoms_delta, match_atoms_indexed, Subs
 pub use symbol::{Interner, Symbol};
 pub use term::{Term, Var};
 pub use value::Const;
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The parallel chase shares snapshots of these types across worker
+    //! threads; this module is the compile-time audit that they are (and
+    //! stay) `Send + Sync`. `Symbol` resolution goes through the global
+    //! `RwLock`ed interner; `Database`/`Relation` snapshots share frozen
+    //! layers behind `Arc`s and mutate only their owned tails.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn relational_substrate_is_send_and_sync() {
+        assert_send_sync::<Symbol>();
+        assert_send_sync::<Interner>();
+        assert_send_sync::<Predicate>();
+        assert_send_sync::<Const>();
+        assert_send_sync::<Term>();
+        assert_send_sync::<Atom>();
+        assert_send_sync::<GroundAtom>();
+        assert_send_sync::<Relation>();
+        assert_send_sync::<Database>();
+        assert_send_sync::<Substitution>();
+        assert_send_sync::<Candidates<'static>>();
+    }
+}

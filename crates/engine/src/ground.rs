@@ -115,7 +115,7 @@ impl fmt::Display for GroundRule {
 /// # Snapshots
 ///
 /// [`GroundProgram::snapshot`] freezes the rules appended so far into an
-/// `Arc`-shared, append-only log of immutable [`Frame`]s and returns a new
+/// `Arc`-shared, append-only log of immutable `Frame`s and returns a new
 /// program sharing that log; both sides keep growing independently in their
 /// own mutable tails. The chase uses this so every sibling of a chase node
 /// shares the parent's grounding prefix structurally instead of deep-cloning

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 /// Compute the least model of a *positive* ground program.
 ///
 /// Negative body literals are not permitted; in debug builds their presence
-/// panics (use [`crate::reduct`] first to eliminate them). In release builds
+/// panics (use [`crate::reduct()`](crate::reduct::reduct) first to eliminate them). In release builds
 /// rules with negative literals are treated as violating this contract and
 /// are ignored, which keeps the function total but is never relied upon by
 /// the rest of the workspace.

@@ -6,9 +6,9 @@
 //!
 //! * [`GroundRule`] / [`GroundProgram`] — ground TGD¬ rules
 //!   `B⁺, ¬B⁻ → H` and (possibly large) sets thereof,
-//! * [`least_model`] — the minimal model of a ground *positive* program
+//! * [`least_model()`](least_model::least_model) — the minimal model of a ground *positive* program
 //!   (semi-naive fixpoint),
-//! * [`reduct`] — the Gelfond–Lifschitz reduct of a ground program w.r.t. an
+//! * [`reduct()`](reduct::reduct) — the Gelfond–Lifschitz reduct of a ground program w.r.t. an
 //!   interpretation,
 //! * [`is_stable_model`] / [`stable_models`] — checking and enumerating the
 //!   stable models `sms(Σ)` (the classical models of `SM[Σ]`),
@@ -37,3 +37,23 @@ pub use reduct::reduct;
 pub use stable::{is_stable_model, stable_models, StableModelLimits};
 pub use stratified::{stratified_model, StratifiedError};
 pub use wellfounded::{well_founded, WellFounded};
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! Chase siblings extend `Arc`-shared `GroundProgram` snapshot frames
+    //! from different worker threads; this is the compile-time audit that
+    //! the engine layer is (and stays) `Send + Sync`.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn ground_programs_and_models_are_send_and_sync() {
+        assert_send_sync::<GroundRule>();
+        assert_send_sync::<GroundProgram>();
+        assert_send_sync::<StableModelLimits>();
+        assert_send_sync::<WellFounded>();
+        assert_send_sync::<DependencyGraph>();
+        assert_send_sync::<Stratification>();
+    }
+}

@@ -8,9 +8,10 @@
 //! See `tests/README.md`.
 
 use gdlog::core::{
-    coin_program, dime_quarter_program, enumerate_outcomes, network_resilience_program, AtrRule,
-    AtrSet, ChaseBudget, Grounder, NaivePerfectGrounder, NaiveSimpleGrounder, PerfectGrounder,
-    SigmaPi, SimpleGrounder, TriggerOrder,
+    coin_program, dime_quarter_program, enumerate_outcomes, enumerate_outcomes_with,
+    network_resilience_program, AtrRule, AtrSet, ChaseBudget, Executor, Grounder, MonteCarlo,
+    NaivePerfectGrounder, NaiveSimpleGrounder, PerfectGrounder, SigmaPi, SimpleGrounder,
+    TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
@@ -386,6 +387,117 @@ fn chase_enumeration_is_unchanged_by_incremental_snapshot_sharing() {
     db.insert_fact("Quarter", [Const::Int(3)]);
     let sigma = Arc::new(SigmaPi::translate(&dime_quarter_program(), &db).unwrap());
     compare(&PerfectGrounder::new(sigma).unwrap());
+}
+
+/// The thread counts the parallel-equivalence properties sweep: sequential,
+/// an odd count that never divides the branch fan-out evenly, and more
+/// workers than any of the small workloads can saturate.
+const THREAD_SWEEP: [usize; 3] = [1, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite check for the parallel chase: on random coin-chain and
+    /// network-ring programs, exploring the chase tree through a
+    /// work-stealing pool yields **bit-identical** results to the
+    /// sequential walk — same outcome list in the same order, same exact
+    /// `Prob` masses, same residual, same truncation flag and same visited
+    /// node count — for every thread count, under the default budget and
+    /// under truncating ones (where the speculative walk must defer to the
+    /// sequential replay).
+    #[test]
+    fn parallel_chase_equals_sequential_on_random_programs(
+        coins in 1usize..=5,
+        ring in 3usize..=4,
+        p in 1u32..=9u32,
+    ) {
+        let (program, db) = gdlog_bench::workloads::coin_chain(coins, p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let chain = PerfectGrounder::new(sigma).unwrap();
+        let db = gdlog_bench::workloads::network_database(
+            ring,
+            gdlog_bench::workloads::Topology::Ring,
+        );
+        let program = network_resilience_program(p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let net = SimpleGrounder::new(sigma);
+        let grounders: [&dyn Grounder; 2] = [&chain, &net];
+
+        let budgets = [
+            ChaseBudget::default(),
+            ChaseBudget { max_outcomes: 2, ..ChaseBudget::default() },
+            ChaseBudget { max_outcomes: 7, max_depth: 3, max_branching: 2, min_path_probability: 0.0 },
+        ];
+        for grounder in grounders {
+            for budget in &budgets {
+                let sequential =
+                    enumerate_outcomes(grounder, budget, TriggerOrder::First).unwrap();
+                for threads in THREAD_SWEEP {
+                    let executor = Executor::new(threads);
+                    let parallel =
+                        enumerate_outcomes_with(grounder, budget, TriggerOrder::First, &executor)
+                            .unwrap();
+                    // The shared strict definition of "bit-identical":
+                    // outcome order, choice sets, exact probabilities,
+                    // residual mass, truncation and node count.
+                    let diff = sequential.diff(&parallel);
+                    prop_assert!(
+                        diff.is_none(),
+                        "parallel result differs at {} threads: {:?}",
+                        threads,
+                        diff
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Monte-Carlo companion: per-walk RNG streams derive from the root
+    /// seed, so fanning the walks of `estimate` out to the pool reproduces
+    /// the sequential hit/abandon tallies exactly, for every thread count.
+    #[test]
+    fn parallel_sampling_equals_sequential_on_random_programs(
+        coins in 1usize..=5,
+        ring in 3usize..=4,
+        p in 1u32..=9u32,
+        seed in 0u64..1000,
+    ) {
+        let (program, db) = gdlog_bench::workloads::coin_chain(coins, p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let chain = SimpleGrounder::new(sigma);
+        let db = gdlog_bench::workloads::network_database(
+            ring,
+            gdlog_bench::workloads::Topology::Ring,
+        );
+        let program = network_resilience_program(p as f64 / 10.0);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let net = SimpleGrounder::new(sigma);
+        let grounders: [&dyn Grounder; 2] = [&chain, &net];
+
+        for grounder in grounders {
+            // A tight trigger budget on the ring workload produces a mix of
+            // finite and abandoned walks, so both tallies are exercised.
+            for max_triggers in [3usize, 64] {
+                let event = |outcome: &gdlog::core::PossibleOutcome| outcome.choice_count() % 2 == 0;
+                let mut mc = MonteCarlo::new(grounder, max_triggers, seed);
+                let sequential = mc.estimate(60, event).unwrap();
+                for threads in THREAD_SWEEP {
+                    let executor = Executor::new(threads);
+                    let mut mc = MonteCarlo::new(grounder, max_triggers, seed)
+                        .with_executor(&executor);
+                    let parallel = mc.estimate(60, event).unwrap();
+                    prop_assert_eq!(
+                        sequential.estimate.mean,
+                        parallel.estimate.mean,
+                        "estimate differs at {} threads",
+                        threads
+                    );
+                    prop_assert_eq!(sequential.abandoned, parallel.abandoned);
+                    prop_assert_eq!(sequential.samples, parallel.samples);
+                }
+            }
+        }
+    }
 }
 
 proptest! {

@@ -1,0 +1,458 @@
+//! Offline stand-in for the `rayon` crate (scoped thread-pool subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `rayon`'s API it actually uses: a [`ThreadPool`]
+//! built via [`ThreadPoolBuilder`], [`ThreadPool::scope`] with
+//! [`Scope::spawn`] for dynamic task trees, and [`ThreadPool::join`] as the
+//! two-way splitter. Scheduling is work-stealing in the classic sense — every
+//! worker owns a deque, pushes and pops its own tasks LIFO for locality, and
+//! steals FIFO from the other workers when idle — but built purely on
+//! `std::sync` primitives (a `Mutex<VecDeque>` per worker) instead of
+//! upstream's lock-free deques, and worker threads live for one `scope` call
+//! instead of living in a global registry. Throughput is more than sufficient
+//! for the chase workloads this workspace parallelizes, where each task
+//! performs a saturation step that dwarfs the queue overhead.
+//!
+//! Deliberate behavioral differences from upstream `rayon` (see
+//! `vendor/README.md`):
+//!
+//! * No global pool: `scope`/`join` are methods on an explicit [`ThreadPool`].
+//! * Worker threads are spawned per `scope` call (via [`std::thread::scope`])
+//!   and joined before it returns, so a pool is just a thread-count.
+//! * No `par_iter`; fan-out goes through `scope`/`spawn` or `join`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A task queued inside a [`ThreadPool::scope`] call. It receives the scope
+/// handle of the worker that executes it, so tasks can spawn further tasks.
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// Error building a [`ThreadPool`] (kept for API compatibility; the only
+/// failure the stand-in can report is a zero-sized pool after defaulting).
+pub struct ThreadPoolBuildError {
+    message: String,
+}
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadPoolBuildError({})", self.message)
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builds a [`ThreadPool`] with a configured number of threads.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (one thread per available
+    /// CPU).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads. `0` (the default) means one per
+    /// available CPU.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A pool of `N` workers. The stand-in carries only the thread count; the
+/// worker threads themselves are scoped to each [`ThreadPool::scope`] call.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Shared state of one `scope` call.
+struct State<'scope> {
+    /// One deque per worker (index 0 is the thread that called `scope`).
+    /// Owners push/pop the back (LIFO); thieves steal from the front (FIFO).
+    queues: Vec<Mutex<VecDeque<Task<'scope>>>>,
+    /// Tasks spawned and not yet finished.
+    pending: AtomicUsize,
+    /// The scope is shutting down: workers exit their loops.
+    done: AtomicBool,
+    /// A task panicked somewhere; stop waiting and unwind.
+    panicked: AtomicBool,
+    /// Sleep/wake for idle workers.
+    idle: Mutex<()>,
+    cond: Condvar,
+}
+
+impl<'scope> State<'scope> {
+    fn new(workers: usize) -> Self {
+        State {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock_queue(&self, index: usize) -> std::sync::MutexGuard<'_, VecDeque<Task<'scope>>> {
+        // Task bodies run outside every queue lock, so a panicking task can
+        // never poison a queue; recover defensively anyway.
+        match self.queues[index].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Pop own work LIFO, then steal FIFO round-robin from the others.
+    fn find_task(&self, home: usize) -> Option<Task<'scope>> {
+        if let Some(task) = self.lock_queue(home).pop_back() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (home + offset) % n;
+            if let Some(task) = self.lock_queue(victim).pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn has_queued_task(&self) -> bool {
+        self.queues.iter().enumerate().any(|(i, _)| {
+            let queue = self.lock_queue(i);
+            !queue.is_empty()
+        })
+    }
+
+    fn notify_one(&self) {
+        let _guard = self.idle.lock();
+        self.cond.notify_one();
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.idle.lock();
+        self.cond.notify_all();
+    }
+
+    /// Block until there is (probably) something to do. `waiting_for_zero`
+    /// is set by the scope owner, which must also wake when all tasks have
+    /// finished. The timeout is a belt-and-braces guard against lost
+    /// wakeups; correctness does not depend on its value.
+    fn park(&self, waiting_for_zero: bool) {
+        let guard = match self.idle.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if self.done.load(Ordering::Acquire)
+            || self.panicked.load(Ordering::Acquire)
+            || self.has_queued_task()
+            || (waiting_for_zero && self.pending.load(Ordering::Acquire) == 0)
+        {
+            return;
+        }
+        let _ = self.cond.wait_timeout(guard, Duration::from_millis(50));
+    }
+
+    /// Run one task with panic accounting: `pending` is decremented even if
+    /// the task unwinds, and a panic wakes every waiter so the scope can
+    /// shut down and propagate it.
+    fn run(&self, task: Task<'scope>, scope: &Scope<'scope>) {
+        let guard = CompletionGuard { state: self };
+        task(scope);
+        drop(guard);
+    }
+}
+
+struct CompletionGuard<'a, 'scope> {
+    state: &'a State<'scope>,
+}
+
+impl Drop for CompletionGuard<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.state.panicked.store(true, Ordering::Release);
+        }
+        if self.state.pending.fetch_sub(1, Ordering::AcqRel) == 1
+            || self.state.panicked.load(Ordering::Acquire)
+        {
+            self.state.notify_all();
+        }
+    }
+}
+
+/// Handle for spawning tasks inside a [`ThreadPool::scope`] call. Cloning is
+/// cheap; each executing task receives the handle of its worker so nested
+/// spawns land on that worker's deque.
+pub struct Scope<'scope> {
+    state: Arc<State<'scope>>,
+    home: usize,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task into the scope. The task may borrow anything that
+    /// outlives the `scope` call and may spawn further tasks through the
+    /// handle it receives; the `scope` call returns only after every spawned
+    /// task has finished.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        self.state.lock_queue(self.home).push_back(Box::new(f));
+        self.state.notify_one();
+    }
+}
+
+fn worker_loop<'scope>(state: &Arc<State<'scope>>, home: usize) {
+    let scope = Scope {
+        state: Arc::clone(state),
+        home,
+    };
+    loop {
+        if state.done.load(Ordering::Acquire) || state.panicked.load(Ordering::Acquire) {
+            break;
+        }
+        match state.find_task(home) {
+            Some(task) => state.run(task, &scope),
+            None => state.park(false),
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Number of worker threads (including the caller, which participates in
+    /// running tasks while a `scope` drains).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Create a scope for spawning a dynamic tree of tasks. `f` runs on the
+    /// calling thread and receives the scope handle; `scope` returns `f`'s
+    /// result once every task spawned (transitively) inside has completed.
+    /// The calling thread counts as one of the pool's workers — it helps
+    /// drain the queues after `f` returns — so a pool of `N` threads spawns
+    /// `N − 1` extra OS threads for the duration of the call.
+    ///
+    /// Panics from tasks are propagated to the caller after the scope shuts
+    /// down.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let workers = self.threads.max(1);
+        let state: Arc<State<'scope>> = Arc::new(State::new(workers));
+        std::thread::scope(|ts| {
+            for home in 1..workers {
+                let state = Arc::clone(&state);
+                ts.spawn(move || worker_loop(&state, home));
+            }
+            let scope = Scope {
+                state: Arc::clone(&state),
+                home: 0,
+            };
+            let result = f(&scope);
+            // Help drain until every task has finished (or one panicked —
+            // the panic then resurfaces when `std::thread::scope` joins).
+            loop {
+                if state.panicked.load(Ordering::Acquire) {
+                    break;
+                }
+                match state.find_task(0) {
+                    Some(task) => state.run(task, &scope),
+                    None => {
+                        if state.pending.load(Ordering::Acquire) == 0 {
+                            break;
+                        }
+                        state.park(true);
+                    }
+                }
+            }
+            state.done.store(true, Ordering::Release);
+            state.notify_all();
+            result
+        })
+    }
+
+    /// Run two closures, potentially in parallel, and return both results —
+    /// the binary splitter for divide-and-conquer fan-out. `a` runs on the
+    /// calling thread; `b` is offered to the pool and executed by whichever
+    /// thread gets to it first.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|scope| {
+            scope.spawn(|_| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join: spawned half completed with the scope"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_to_available_parallelism() {
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        assert!(p.current_num_threads() >= 1);
+        assert_eq!(pool(3).current_num_threads(), 3);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        for threads in [1, 2, 4, 8] {
+            let counter = AtomicUsize::new(0);
+            pool(threads).scope(|s| {
+                for _ in 0..100 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        let counter = AtomicUsize::new(0);
+        pool(4).scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..4 {
+                        s.spawn(|s| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            s.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 8 * 4 + 8 * 4);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_result_and_borrows_work() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        let label = pool(2).scope(|s| {
+            for value in &data {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(*value as usize, Ordering::Relaxed);
+                });
+            }
+            "done"
+        });
+        assert_eq!(label, "done");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let p = pool(2);
+        let (a, b) = p.join(|| 6 * 7, || "forty-two".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 9);
+        // Nested joins (divide and conquer) work too.
+        fn sum(p: &ThreadPool, xs: &[u64]) -> u64 {
+            if xs.len() <= 2 {
+                return xs.iter().sum();
+            }
+            let mid = xs.len() / 2;
+            let (lo, hi) = p.join(|| sum(p, &xs[..mid]), || sum(p, &xs[mid..]));
+            lo + hi
+        }
+        let xs: Vec<u64> = (1..=64).collect();
+        assert_eq!(sum(&p, &xs), 64 * 65 / 2);
+    }
+
+    #[test]
+    fn tasks_run_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        pool(4).scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    // Encourage interleaving so several workers get a slice.
+                    std::thread::sleep(Duration::from_micros(200));
+                });
+            }
+        });
+        // At least the participating caller ran tasks; with spare cores more
+        // threads join in, but a 1-core machine legitimately serializes.
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn panics_in_tasks_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            pool(2).scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+                for _ in 0..8 {
+                    s.spawn(|_| std::thread::sleep(Duration::from_millis(1)));
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn single_threaded_pool_still_completes_scopes() {
+        let counter = AtomicUsize::new(0);
+        pool(1).scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}
