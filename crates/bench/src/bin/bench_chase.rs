@@ -72,24 +72,20 @@ fn time_min_ms<F: FnMut() -> usize>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// FNV-1a over the canonical outcome listing, residual mass and node count —
-/// a deterministic fingerprint CI compares across `GDLOG_THREADS` legs.
+/// Fingerprint of the canonical outcome listing, residual mass and node
+/// count (shared FNV-1a scheme) — CI compares these across `GDLOG_THREADS`
+/// legs.
 fn fingerprint(result: &ChaseResult) -> String {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(PRIME);
-        }
-    };
-    for outcome in &result.outcomes {
-        eat(format!("{}@{};", outcome.atr, outcome.probability).as_bytes());
-    }
-    eat(format!("residual={};", result.residual_mass).as_bytes());
-    eat(format!("nodes={};", result.nodes_visited).as_bytes());
-    format!("{hash:016x}")
+    gdlog_bench::fnv1a_fingerprint(
+        result
+            .outcomes
+            .iter()
+            .map(|outcome| format!("{}@{};", outcome.atr, outcome.probability))
+            .chain([
+                format!("residual={};", result.residual_mass),
+                format!("nodes={};", result.nodes_visited),
+            ]),
+    )
 }
 
 /// Panic unless the two results agree under the shared strict definition

@@ -21,4 +21,4 @@ pub mod report;
 pub mod workloads;
 
 pub use experiments::{run_all, run_experiment, ExperimentOutcome};
-pub use report::{Report, Row};
+pub use report::{fnv1a_fingerprint, Report, Row};

@@ -160,6 +160,131 @@ pub fn cascade_choice_set(grounder: &dyn Grounder, outcome: i64, max_rounds: usi
     atr
 }
 
+/// A "coin game": every player tosses a coin and each tails coin opens an
+/// independent `Aux1(x)/Aux2(x)` even loop — a free binary choice in the
+/// stable semantics. An outcome with `k` tails therefore induces a ground
+/// program whose residual splits into `k` independent components with `2^k`
+/// stable models in total: the scaling family for the component-split
+/// stable-model search (one `2^k` sweep vs. `k` two-leaf searches).
+pub fn coin_game(n: usize, p: f64) -> (Program, Database) {
+    let program = ProgramBuilder::new()
+        .rule(|r| {
+            r.body("Player", vec![Term::var("x")]).head_with_delta(
+                "Toss",
+                vec![Term::var("x")],
+                "Flip",
+                vec![Term::Const(Const::real(p).expect("finite"))],
+                vec![Term::var("x")],
+            )
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .not_body("Aux2", vec![Term::var("x")])
+                .head("Aux1", vec![Term::var("x")])
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .not_body("Aux1", vec![Term::var("x")])
+                .head("Aux2", vec![Term::var("x")])
+        })
+        .build()
+        .expect("coin game program is valid");
+    let mut db = Database::new();
+    for i in 1..=n as i64 {
+        db.insert_fact("Player", [Const::Int(i)]);
+    }
+    (program, db)
+}
+
+/// The coin game with a chain constraint: adjacent players may not both pick
+/// `Aux1`. The constraint's `Fail`/`Aux` machinery welds neighbouring loops
+/// into one large component, so the component split alone cannot help — this
+/// family exercises the *propagating* search, which prunes the invalid
+/// corner of every `2^k` assignment cube instead of visiting it.
+pub fn chain_game(n: usize, p: f64) -> (Program, Database) {
+    let program = ProgramBuilder::new()
+        .rule(|r| {
+            r.body("Player", vec![Term::var("x")]).head_with_delta(
+                "Toss",
+                vec![Term::var("x")],
+                "Flip",
+                vec![Term::Const(Const::real(p).expect("finite"))],
+                vec![Term::var("x")],
+            )
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .not_body("Aux2", vec![Term::var("x")])
+                .head("Aux1", vec![Term::var("x")])
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .not_body("Aux1", vec![Term::var("x")])
+                .head("Aux2", vec![Term::var("x")])
+        })
+        .constraint(|r| {
+            r.body("Next", vec![Term::var("x"), Term::var("y")])
+                .body("Aux1", vec![Term::var("x")])
+                .body("Aux1", vec![Term::var("y")])
+        })
+        .build()
+        .expect("chain game program is valid");
+    let mut db = Database::new();
+    for i in 1..=n as i64 {
+        db.insert_fact("Player", [Const::Int(i)]);
+        if i < n as i64 {
+            db.insert_fact("Next", [Const::Int(i), Const::Int(i + 1)]);
+        }
+    }
+    (program, db)
+}
+
+/// One ready-to-chase workload for the stable-model back-end benchmarks: a
+/// named grounder whose outcome space does real stable-model work (even
+/// loops, constraints, coupled components).
+pub struct StableWorkload {
+    /// Workload name (scale-qualified, e.g. `coin_game_n7`).
+    pub name: String,
+    /// The grounder, ready for `enumerate_outcomes` →
+    /// `OutputSpace::from_chase`.
+    pub grounder: Box<dyn Grounder>,
+}
+
+/// The stable-model benchmark suite — **the** scale table for `bench_stable`,
+/// at CI-smoke (`full = false`) or full measurement size. Scales live only
+/// here so the smoke and full runs cannot drift.
+pub fn stable_workload_suite(full: bool) -> Vec<StableWorkload> {
+    let coins = if full { 7 } else { 4 };
+    let chain = if full { 6 } else { 4 };
+    let ring = if full { 5 } else { 4 };
+
+    let mut suite = Vec::new();
+
+    let (program, db) = coin_game(coins, 0.5);
+    let sigma = Arc::new(SigmaPi::translate(&program, &db).expect("translates"));
+    suite.push(StableWorkload {
+        name: format!("coin_game_n{coins}"),
+        grounder: Box::new(SimpleGrounder::new(sigma)),
+    });
+
+    let (program, db) = chain_game(chain, 0.5);
+    let sigma = Arc::new(SigmaPi::translate(&program, &db).expect("translates"));
+    suite.push(StableWorkload {
+        name: format!("chain_game_n{chain}"),
+        grounder: Box::new(SimpleGrounder::new(sigma)),
+    });
+
+    let db = network_database(ring, Topology::Ring);
+    let sigma =
+        Arc::new(SigmaPi::translate(&network_resilience_program(0.1), &db).expect("translates"));
+    suite.push(StableWorkload {
+        name: format!("network_ring_n{ring}"),
+        grounder: Box::new(SimpleGrounder::new(sigma)),
+    });
+
+    suite
+}
+
 /// A grounder with the incremental chase hooks stripped: `ground_node` and
 /// `ground_from` fall back to the trait defaults, i.e. a full reground at
 /// every chase node. The baseline for the incremental-chase benchmarks and
@@ -346,6 +471,86 @@ mod tests {
         assert!(program.validate().is_ok());
         assert_eq!(db.len(), 4);
         assert!(program.has_stratified_negation());
+    }
+
+    #[test]
+    fn coin_and_chain_game_programs_validate() {
+        let (program, db) = coin_game(3, 0.5);
+        assert!(program.validate().is_ok());
+        assert!(
+            !program.has_stratified_negation(),
+            "per-player Aux loops are even negative cycles"
+        );
+        assert_eq!(db.len(), 3);
+        let (program, db) = chain_game(3, 0.5);
+        assert!(program.validate().is_ok());
+        assert_eq!(db.len(), 3 + 2, "players plus Next edges");
+    }
+
+    #[test]
+    fn coin_game_all_tails_outcome_has_exponential_models() {
+        use gdlog_core::{SigmaPi, SimpleGrounder};
+        use std::sync::Arc;
+        let (program, db) = coin_game(3, 0.5);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let grounder = SimpleGrounder::new(sigma);
+        // Resolving every flip with outcome 1 (tails) opens all three loops.
+        let atr = cascade_choice_set(&grounder, 1, 16);
+        assert!(grounder.is_terminal(&atr));
+        let program = grounder.full_program(&atr);
+        let models =
+            gdlog_engine::stable_models(&program, &gdlog_engine::StableModelLimits::default())
+                .unwrap();
+        assert_eq!(models.len(), 8, "three independent even loops");
+        assert_eq!(
+            models,
+            gdlog_engine::naive_stable_models(
+                &program,
+                &gdlog_engine::StableModelLimits::default()
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn chain_game_constraint_prunes_adjacent_aux1_pairs() {
+        use gdlog_core::{SigmaPi, SimpleGrounder};
+        use std::sync::Arc;
+        let (program, db) = chain_game(3, 0.5);
+        let sigma = Arc::new(SigmaPi::translate(&program, &db).unwrap());
+        let grounder = SimpleGrounder::new(sigma);
+        let atr = cascade_choice_set(&grounder, 1, 16);
+        assert!(grounder.is_terminal(&atr));
+        let program = grounder.full_program(&atr);
+        let limits = gdlog_engine::StableModelLimits::default();
+        let models = gdlog_engine::stable_models(&program, &limits).unwrap();
+        // Binary strings of length 3 with no two adjacent ones: 101 is the
+        // Fibonacci count F(5) = 5.
+        assert_eq!(models.len(), 5);
+        assert_eq!(
+            models,
+            gdlog_engine::naive_stable_models(&program, &limits).unwrap()
+        );
+    }
+
+    #[test]
+    fn stable_suite_scales_are_consistent_across_smoke_and_full() {
+        for full in [false, true] {
+            let suite = stable_workload_suite(full);
+            assert_eq!(suite.len(), 3);
+            for w in &suite {
+                assert_eq!(w.grounder.name(), "simple", "{}", w.name);
+            }
+        }
+        let smoke: Vec<String> = stable_workload_suite(false)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        let full: Vec<String> = stable_workload_suite(true)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        assert_ne!(smoke, full);
     }
 
     #[test]

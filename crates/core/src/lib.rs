@@ -43,6 +43,7 @@ pub mod error;
 pub mod exec;
 pub mod grounding;
 pub mod mc;
+pub mod model_cache;
 pub mod naive;
 pub mod outcome;
 pub mod perfect_grounder;
@@ -66,6 +67,7 @@ pub use error::CoreError;
 pub use exec::{Executor, THREADS_ENV};
 pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder, Grounding};
 pub use mc::{sample_outcome, walk_rng, MonteCarlo, SampleStats, SampledPath};
+pub use model_cache::{ModelCacheStats, ModelSetCache, ProgramFingerprint};
 pub use naive::{NaivePerfectGrounder, NaiveSimpleGrounder};
 pub use outcome::{ModelSetKey, PossibleOutcome};
 pub use perfect_grounder::PerfectGrounder;

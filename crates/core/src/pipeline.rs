@@ -16,6 +16,7 @@ use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::grounding::Grounder;
 use crate::mc::MonteCarlo;
+use crate::model_cache::{ModelCacheStats, ModelSetCache};
 use crate::perfect_grounder::PerfectGrounder;
 use crate::program::Program;
 use crate::semantics::OutputSpace;
@@ -46,6 +47,11 @@ pub struct Pipeline {
     order: TriggerOrder,
     limits: StableModelLimits,
     executor: Executor,
+    /// Memo table for `sms(Σ ∪ G(Σ))` across outcomes and across repeated
+    /// [`Pipeline::solve`] calls, keyed by the outcomes' canonical program
+    /// fingerprints (hits can never change a result — equal fingerprints
+    /// mean equal programs).
+    stable_cache: ModelSetCache,
 }
 
 impl Pipeline {
@@ -84,6 +90,7 @@ impl Pipeline {
             // matrix built on it) can parallelize every pipeline consumer
             // without touching call sites.
             executor: Executor::from_env(),
+            stable_cache: ModelSetCache::new(),
         })
     }
 
@@ -140,9 +147,26 @@ impl Pipeline {
     }
 
     /// Run the full pipeline: chase, stable models, output space.
+    ///
+    /// The stable-model back-end fans one task per distinct outcome program
+    /// out to the pipeline's executor and memoizes solved programs in the
+    /// pipeline's cache (so repeated solves, and outcome families inducing
+    /// the same ground program, solve once). Results are bit-identical at
+    /// every thread count and with a warm or cold cache.
     pub fn solve(&self) -> Result<OutputSpace, CoreError> {
         let chase = self.chase()?;
-        OutputSpace::from_chase(&chase, &self.limits)
+        OutputSpace::from_chase_with(
+            chase,
+            &self.limits,
+            &self.executor,
+            Some(&self.stable_cache),
+        )
+    }
+
+    /// Hit/miss counters of the stable-model memo table, accumulated over
+    /// every [`Pipeline::solve`] call on this pipeline.
+    pub fn stable_cache_stats(&self) -> ModelCacheStats {
+        self.stable_cache.stats()
     }
 
     /// A Monte-Carlo estimator over the same grounder (sharing the
@@ -216,6 +240,31 @@ mod tests {
         let space = pipeline.solve().unwrap();
         assert_eq!(space.has_stable_model_probability(), Prob::ratio(1, 2));
         assert!(pipeline.sigma().atr_schemas.len() == 1);
+    }
+
+    #[test]
+    fn solve_memoizes_across_calls_and_thread_counts() {
+        let pipeline = Pipeline::new(&network_resilience_program(0.1), &network_db()).unwrap();
+        let first = pipeline.solve().unwrap();
+        let after_first = pipeline.stable_cache_stats();
+        assert!(after_first.misses > 0);
+        let second = pipeline.solve().unwrap();
+        let after_second = pipeline.stable_cache_stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "a repeated solve must be served entirely from the memo table"
+        );
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(first.events_by_mass(), second.events_by_mass());
+
+        // A parallel pipeline produces a bit-identical output space.
+        let par = Pipeline::new(&network_resilience_program(0.1), &network_db())
+            .unwrap()
+            .threads(4);
+        assert_eq!(
+            par.solve().unwrap().events_by_mass(),
+            first.events_by_mass()
+        );
     }
 
     #[test]

@@ -122,8 +122,7 @@ impl DependencyGraph {
 
     /// The strongly connected components in topological (bottom-up) order of
     /// the condensation: a component is listed before every component that
-    /// depends on it. Computed with an iterative Tarjan algorithm (which
-    /// yields the reverse order) followed by a reversal.
+    /// depends on it.
     pub fn sccs(&self) -> Vec<Vec<Predicate>> {
         let verts: Vec<Predicate> = self.vertices.iter().copied().collect();
         let index_of: BTreeMap<Predicate, usize> =
@@ -136,72 +135,14 @@ impl DependencyGraph {
             s.sort_unstable();
             s.dedup();
         }
-
-        // Iterative Tarjan.
-        #[derive(Clone, Copy)]
-        struct Frame {
-            v: usize,
-            edge: usize,
-        }
-        let n = verts.len();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut next_index = 0usize;
-        let mut out: Vec<Vec<Predicate>> = Vec::new();
-
-        for start in 0..n {
-            if index[start] != usize::MAX {
-                continue;
-            }
-            let mut frames = vec![Frame { v: start, edge: 0 }];
-            index[start] = next_index;
-            low[start] = next_index;
-            next_index += 1;
-            stack.push(start);
-            on_stack[start] = true;
-
-            while let Some(frame) = frames.last_mut() {
-                let v = frame.v;
-                if frame.edge < succ[v].len() {
-                    let w = succ[v][frame.edge];
-                    frame.edge += 1;
-                    if index[w] == usize::MAX {
-                        index[w] = next_index;
-                        low[w] = next_index;
-                        next_index += 1;
-                        stack.push(w);
-                        on_stack[w] = true;
-                        frames.push(Frame { v: w, edge: 0 });
-                    } else if on_stack[w] {
-                        low[v] = low[v].min(index[w]);
-                    }
-                } else {
-                    if low[v] == index[v] {
-                        let mut comp = Vec::new();
-                        while let Some(w) = stack.pop() {
-                            on_stack[w] = false;
-                            comp.push(verts[w]);
-                            if w == v {
-                                break;
-                            }
-                        }
-                        comp.sort();
-                        out.push(comp);
-                    }
-                    frames.pop();
-                    if let Some(parent) = frames.last() {
-                        let pv = parent.v;
-                        low[pv] = low[pv].min(low[v]);
-                    }
-                }
-            }
-        }
-        // Tarjan emits components in reverse topological order; flip it so
-        // dependencies come first (the `C₁, …, Cₙ` ordering of Section 5).
-        out.reverse();
-        out
+        sccs_of(verts.len(), &succ)
+            .into_iter()
+            .map(|comp| {
+                let mut comp: Vec<Predicate> = comp.into_iter().map(|i| verts[i]).collect();
+                comp.sort();
+                comp
+            })
+            .collect()
     }
 
     /// Compute a stratification: the SCCs in topological order
@@ -251,6 +192,83 @@ impl fmt::Display for DependencyGraph {
         }
         write!(f, "}}")
     }
+}
+
+/// The strongly connected components of an index-based directed graph, in
+/// topological (bottom-up) order of the condensation: a component is listed
+/// before every component that depends on it (has an edge *from* it).
+///
+/// Computed with an iterative Tarjan algorithm (which yields the reverse
+/// order) followed by a reversal. This is the graph kernel shared by the
+/// predicate-level [`DependencyGraph::sccs`] (stratification, Section 5) and
+/// the ground-atom-level residual decomposition of the stable-model search
+/// ([`crate::stable`]): callers map their vertices to `0..n` and pass
+/// deduplicated adjacency lists.
+pub fn sccs_of(n: usize, succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    debug_assert_eq!(succ.len(), n);
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        edge: usize,
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame { v: start, edge: 0 }];
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.v;
+            if frame.edge < succ[v].len() {
+                let w = succ[v][frame.edge];
+                frame.edge += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push(Frame { v: w, edge: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let pv = parent.v;
+                    low[pv] = low[pv].min(low[v]);
+                }
+            }
+        }
+    }
+    // Tarjan emits components in reverse topological order; flip it so
+    // dependencies come first (the `C₁, …, Cₙ` ordering of Section 5).
+    out.reverse();
+    out
 }
 
 /// Error returned when a program is not stratified.

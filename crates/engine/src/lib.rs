@@ -11,7 +11,10 @@
 //! * [`reduct()`](reduct::reduct) — the Gelfond–Lifschitz reduct of a ground program w.r.t. an
 //!   interpretation,
 //! * [`is_stable_model`] / [`stable_models`] — checking and enumerating the
-//!   stable models `sms(Σ)` (the classical models of `SM[Σ]`),
+//!   stable models `sms(Σ)` (the classical models of `SM[Σ]`) with a
+//!   component-split, propagating branch-and-prune search,
+//! * [`naive_stable_models`] — the original exhaustive `2^k` enumerator,
+//!   retained as the equivalence oracle for the search above,
 //! * [`well_founded`] — the well-founded (alternating fixpoint) approximation
 //!   used to prune the stable-model search,
 //! * [`stratified`] — the linear-time evaluation of stratified programs,
@@ -25,16 +28,18 @@
 pub mod depgraph;
 pub mod ground;
 pub mod least_model;
+pub mod naive_stable;
 pub mod reduct;
 pub mod stable;
 pub mod stratified;
 pub mod wellfounded;
 
-pub use depgraph::{DependencyGraph, EdgeSign, Stratification};
+pub use depgraph::{sccs_of, DependencyGraph, EdgeSign, Stratification};
 pub use ground::{GroundProgram, GroundRule};
 pub use least_model::least_model;
+pub use naive_stable::naive_stable_models;
 pub use reduct::reduct;
-pub use stable::{is_stable_model, stable_models, StableModelLimits};
+pub use stable::{is_stable_model, stable_models, StableError, StableModelLimits};
 pub use stratified::{stratified_model, StratifiedError};
 pub use wellfounded::{well_founded, WellFounded};
 

@@ -5,34 +5,60 @@
 //! case of the second-order sentence `SM[Σ]` recalled in Section 2 of the
 //! paper. `sms(Σ)` is the set of all stable models.
 //!
-//! Enumeration proceeds by:
+//! The enumerator is a component-split, propagating branch-and-prune search
+//! (the decomposition playbook of Brik & Remmel's *Characterizing and
+//! computing stable models of logic programs*, specialised to ground
+//! programs):
 //!
-//! 1. computing the well-founded model (atoms decided there have the same
-//!    value in every stable model and need not be branched on),
-//! 2. branching on the *negative signature*: the undecided atoms that occur
-//!    in some negative body literal — the reduct, and hence the candidate
-//!    stable model, is a function of exactly those atoms' truth values,
-//! 3. for every assignment, computing the least model of the corresponding
-//!    reduct and keeping it if it is a stable model consistent with the
-//!    assignment and the well-founded core.
+//! 1. **Well-founded core.** Atoms decided by the well-founded model have the
+//!    same value in every stable model. The program is simplified to its
+//!    *residual*: only rules whose head is WFM-undecided survive, with
+//!    decided literals evaluated away. `sms(Σ) = { T ∪ S }` where `T` is the
+//!    WFM-true core and `S` ranges over the stable models of the residual
+//!    (see `ARCHITECTURE.md`, "Stable-model back-end", for the argument).
+//! 2. **Component split.** The residual's ground-atom dependency graph is
+//!    decomposed into strongly connected components
+//!    ([`crate::depgraph::sccs_of`], the same Tarjan kernel as
+//!    stratification); SCCs whose condensation is connected are grouped into
+//!    independent *solve units* that share no atoms. The stable models of the
+//!    residual are exactly the cross products of the units' stable models, so
+//!    one `2^k` search becomes a product of `2^kᵢ` searches.
+//! 3. **Propagating search.** Within a unit, the search branches on the
+//!    negative signature in bottom-up SCC order and, after every decision,
+//!    runs Fitting/unit propagation to fixpoint: a rule whose body is
+//!    certainly satisfied forces its head true, an atom all of whose rules
+//!    are blocked is forced false, and contradictions prune the subtree
+//!    immediately. The reduct is maintained incrementally (per-rule blocked
+//!    counters with O(1) push/pop backtracking); only the surviving leaves
+//!    pay for a least-model computation, on dense local indexes.
 //!
-//! The search is exact; [`StableModelLimits`] only guards against pathological
-//! inputs (it returns an error instead of silently truncating).
+//! The original exhaustive enumerator is retained verbatim as the equivalence
+//! oracle in [`crate::naive_stable`].
+//!
+//! The search is exact; [`StableModelLimits`] only guards against
+//! pathological inputs (it returns an error instead of silently truncating).
+//! [`StableModelLimits::max_branch_atoms`] now bounds the branching atoms of
+//! the *largest solve unit* — programs made of many small independent
+//! components solve comfortably even when their total negative signature is
+//! large (that is the point of the split).
 
+use crate::depgraph::sccs_of;
 use crate::ground::GroundProgram;
 use crate::least_model::least_model;
 use crate::reduct::reduct;
 use crate::wellfounded::{well_founded, WellFounded};
 use gdlog_data::{Database, GroundAtom};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Guard rails for the stable-model search.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StableModelLimits {
     /// Maximum number of branching atoms (atoms occurring in negative body
-    /// literals and undecided by the well-founded model). The search space is
-    /// `2^branching`, so this effectively bounds the worst-case work.
+    /// literals and undecided by the well-founded model) in any single
+    /// independent component of the residual program. The per-component
+    /// search space is `2^branching`, so this effectively bounds the
+    /// worst-case work.
     pub max_branch_atoms: usize,
     /// Maximum number of stable models to return.
     pub max_models: usize,
@@ -50,10 +76,10 @@ impl Default for StableModelLimits {
 /// Errors raised by the stable-model enumerator.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StableError {
-    /// The program has more undecided negatively-occurring atoms than
-    /// [`StableModelLimits::max_branch_atoms`].
+    /// The program has more undecided negatively-occurring atoms (in one
+    /// independent component) than [`StableModelLimits::max_branch_atoms`].
     TooManyBranchAtoms {
-        /// Number of branching atoms found.
+        /// Number of branching atoms found (in the largest component).
         found: usize,
         /// The configured limit.
         limit: usize,
@@ -103,96 +129,600 @@ pub fn stable_models(
         return Ok(vec![wf.true_atoms.clone()]);
     }
 
-    let branch_atoms = branching_atoms(program, &wf);
-    if branch_atoms.len() > limits.max_branch_atoms {
+    let residual = Residual::build(program, &wf);
+    let components = residual.split();
+
+    // Enforce the branch limit over every component before solving any, so
+    // the error does not depend on how far the search got.
+    let worst = components.iter().map(|c| c.branch.len()).max().unwrap_or(0);
+    if worst > limits.max_branch_atoms {
         return Err(StableError::TooManyBranchAtoms {
-            found: branch_atoms.len(),
+            found: worst,
             limit: limits.max_branch_atoms,
         });
     }
 
-    let mut found: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
-    let mut assumed_true = Database::new();
-    search(
-        program,
-        &wf,
-        &branch_atoms,
-        0,
-        &mut assumed_true,
-        &mut found,
-        limits,
-    )?;
+    // Solve each component independently, capping the per-component model
+    // count at max_models + 1: the cap only has to distinguish "within
+    // budget" from "over budget", and an empty component empties the whole
+    // cross product regardless of the other components' sizes.
+    let cap = limits.max_models.saturating_add(1);
+    let mut solved: Vec<Vec<Vec<u32>>> = Vec::with_capacity(components.len());
+    let mut capped = false;
+    for comp in &components {
+        let (mut models, hit_cap) = Solver::new(comp).solve(cap);
+        if models.is_empty() {
+            // No stable model for this component ⇒ none for the program
+            // (matches the naive enumerator, which never reports
+            // TooManyModels when the true count is zero).
+            return Ok(Vec::new());
+        }
+        models.sort_unstable();
+        capped |= hit_cap;
+        solved.push(models);
+    }
+    let mut product: usize = 1;
+    for m in &solved {
+        product = product.saturating_mul(m.len());
+    }
+    if capped || product > limits.max_models {
+        return Err(StableError::TooManyModels {
+            limit: limits.max_models,
+        });
+    }
 
-    Ok(found.into_iter().map(Database::from_atoms).collect())
+    // Cross product of the per-component model sets, each completed with the
+    // well-founded core.
+    let core: Vec<GroundAtom> = wf.true_atoms.canonical_atoms();
+    let mut out: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
+    let mut pick = vec![0usize; solved.len()];
+    loop {
+        let mut model: Vec<GroundAtom> = core.clone();
+        for (ci, comp) in components.iter().enumerate() {
+            for &local in &solved[ci][pick[ci]] {
+                model.push(comp.atoms[local as usize].clone());
+            }
+        }
+        model.sort();
+        out.insert(model);
+
+        // Mixed-radix increment over the component choices.
+        let mut ci = 0;
+        loop {
+            if ci == pick.len() {
+                return Ok(out.into_iter().map(Database::from_atoms).collect());
+            }
+            pick[ci] += 1;
+            if pick[ci] < solved[ci].len() {
+                break;
+            }
+            pick[ci] = 0;
+            ci += 1;
+        }
+    }
 }
 
-/// The atoms the search must branch on: undecided atoms that occur in a
-/// negative body literal of some rule.
-fn branching_atoms(program: &GroundProgram, wf: &WellFounded) -> Vec<GroundAtom> {
-    let mut set: BTreeSet<GroundAtom> = BTreeSet::new();
-    for rule in program.iter() {
-        for a in &rule.neg {
-            if wf.unknown_atoms.contains(a) {
-                set.insert(a.clone());
+/// A residual rule over dense indexes into [`Residual::atoms`]; `pos` and
+/// `neg` are sorted and duplicate-free so per-literal counters are exact.
+struct LocalRule {
+    head: u32,
+    pos: Vec<u32>,
+    neg: Vec<u32>,
+}
+
+/// The residual program: the WFM-undecided part of the input, with decided
+/// literals evaluated away. Every atom it mentions is WFM-unknown.
+struct Residual {
+    atoms: Vec<GroundAtom>,
+    rules: Vec<LocalRule>,
+}
+
+impl Residual {
+    fn build(program: &GroundProgram, wf: &WellFounded) -> Residual {
+        let atoms: Vec<GroundAtom> = wf.unknown_atoms.canonical_atoms();
+        let index_of: HashMap<&GroundAtom, u32> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a, i as u32))
+            .collect();
+
+        let mut rules = Vec::new();
+        'rules: for rule in program.iter() {
+            // Only rules for undecided heads survive: WFM-true heads are in
+            // every stable model already, WFM-false heads can never fire.
+            let Some(&head) = index_of.get(&rule.head) else {
+                continue;
+            };
+            let mut pos = Vec::new();
+            for a in &rule.pos {
+                if let Some(&i) = index_of.get(a) {
+                    pos.push(i);
+                } else if !wf.true_atoms.contains(a) {
+                    // A WFM-false positive literal: the body is never
+                    // satisfied in any stable model.
+                    continue 'rules;
+                }
+                // WFM-true positive literals are simply satisfied.
+            }
+            let mut neg = Vec::new();
+            for a in &rule.neg {
+                if let Some(&i) = index_of.get(a) {
+                    neg.push(i);
+                } else if wf.true_atoms.contains(a) {
+                    // A WFM-true negated atom blocks the rule in every
+                    // stable model.
+                    continue 'rules;
+                }
+                // WFM-false negated atoms are simply satisfied.
+            }
+            pos.sort_unstable();
+            pos.dedup();
+            neg.sort_unstable();
+            neg.dedup();
+            // `α ∧ ¬α` in one body can never be satisfied by the candidate
+            // the rule's reduct would have to reproduce; drop it eagerly so
+            // it does not feign support for its head.
+            if pos.iter().any(|p| neg.binary_search(p).is_ok()) {
+                continue;
+            }
+            rules.push(LocalRule { head, pos, neg });
+        }
+        Residual { atoms, rules }
+    }
+
+    /// Split into independent solve units: the connected components of the
+    /// SCC condensation of the atom dependency graph (equivalently, of its
+    /// undirected view). Units share no atoms, so `sms` factors as their
+    /// cross product.
+    fn split(&self) -> Vec<Component> {
+        let n = self.atoms.len();
+        let mut uf = UnionFind::new(n);
+        for rule in &self.rules {
+            for &b in rule.pos.iter().chain(rule.neg.iter()) {
+                uf.union(rule.head as usize, b as usize);
+            }
+        }
+
+        // Group atoms by representative; iterating in ascending order keeps
+        // each group's members sorted and lets us order the groups by their
+        // smallest atom — fully deterministic.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for a in 0..n {
+            groups.entry(uf.find(a)).or_default().push(a);
+        }
+        let mut members: Vec<Vec<usize>> = groups.into_values().collect();
+        members.sort_by_key(|g| g[0]);
+
+        let mut local_of = vec![(0u32, 0u32); n]; // (component, local index)
+        for (ci, group) in members.iter().enumerate() {
+            for (li, &a) in group.iter().enumerate() {
+                local_of[a] = (ci as u32, li as u32);
+            }
+        }
+
+        let mut components: Vec<Component> = members
+            .iter()
+            .map(|group| Component {
+                atoms: group.iter().map(|&a| self.atoms[a].clone()).collect(),
+                rules: Vec::new(),
+                branch: Vec::new(),
+            })
+            .collect();
+        for rule in &self.rules {
+            let (ci, head) = local_of[rule.head as usize];
+            let remap = |lits: &[u32]| -> Vec<u32> {
+                lits.iter().map(|&a| local_of[a as usize].1).collect()
+            };
+            components[ci as usize].rules.push(LocalRule {
+                head,
+                pos: remap(&rule.pos),
+                neg: remap(&rule.neg),
+            });
+        }
+        for comp in &mut components {
+            comp.order_branch_atoms();
+        }
+        components
+    }
+}
+
+/// One independent solve unit of the residual program.
+struct Component {
+    atoms: Vec<GroundAtom>,
+    rules: Vec<LocalRule>,
+    /// Local indexes of the negatively-occurring atoms (the negative
+    /// signature of the unit), in bottom-up SCC order: branching on the
+    /// dependency-wise lowest atoms first lets propagation cascade through
+    /// everything that depends on them.
+    branch: Vec<u32>,
+}
+
+impl Component {
+    fn order_branch_atoms(&mut self) {
+        let n = self.atoms.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut negative: Vec<bool> = vec![false; n];
+        for rule in &self.rules {
+            for &b in rule.pos.iter().chain(rule.neg.iter()) {
+                succ[b as usize].push(rule.head as usize);
+            }
+            for &b in &rule.neg {
+                negative[b as usize] = true;
+            }
+        }
+        for s in &mut succ {
+            s.sort_unstable();
+            s.dedup();
+        }
+        let mut scc_pos = vec![0usize; n];
+        for (i, scc) in sccs_of(n, &succ).into_iter().enumerate() {
+            for a in scc {
+                scc_pos[a] = i;
+            }
+        }
+        let mut branch: Vec<u32> = (0..n as u32).filter(|&a| negative[a as usize]).collect();
+        branch.sort_by_key(|&a| (scc_pos[a as usize], a));
+        self.branch = branch;
+    }
+}
+
+/// Three-valued assignment state of one atom during the search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Val {
+    Unknown,
+    True,
+    False,
+}
+
+/// The propagating branch-and-prune search over one component.
+///
+/// All state is indexed by dense local atom/rule ids; decisions and their
+/// propagated consequences are recorded on a trail and undone by reversing
+/// the per-rule counter updates, so backtracking is O(consequences), with no
+/// allocation and no `Database` rebuilds.
+struct Solver<'a> {
+    comp: &'a Component,
+    value: Vec<Val>,
+    /// Has this assigned atom's counter effects been applied yet? (Assigned
+    /// atoms whose effects were still queued when a conflict surfaced must
+    /// not be reverse-applied on undo.)
+    applied: Vec<bool>,
+    trail: Vec<u32>,
+    pending: Vec<u32>,
+    conflict: bool,
+
+    // Per-rule counters.
+    /// Positive literals not yet assigned true.
+    unsat_pos: Vec<u32>,
+    /// Negative literals not yet assigned false.
+    unfalse_neg: Vec<u32>,
+    /// Literals contradicting the body: positives assigned false plus
+    /// negatives assigned true. A rule with `blocked > 0` can never fire.
+    blocked: Vec<u32>,
+    /// Negative literals assigned true — the incremental reduct: at a leaf
+    /// the Gelfond–Lifschitz reduct is exactly the rules with
+    /// `neg_true == 0`, with their negative bodies deleted.
+    neg_true: Vec<u32>,
+    /// Per-atom count of unblocked rules with that head; at zero the atom is
+    /// unfounded and forced false.
+    support: Vec<u32>,
+
+    // Occurrence lists (atom → rules).
+    pos_occ: Vec<Vec<u32>>,
+    neg_occ: Vec<Vec<u32>>,
+
+    // Scratch for the leaf least-model computation.
+    lm_counts: Vec<u32>,
+    lm_stack: Vec<u32>,
+    in_model: Vec<bool>,
+
+    models: Vec<Vec<u32>>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(comp: &'a Component) -> Self {
+        let n = comp.atoms.len();
+        let m = comp.rules.len();
+        let mut pos_occ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut neg_occ: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut support = vec![0u32; n];
+        let mut unsat_pos = vec![0u32; m];
+        let mut unfalse_neg = vec![0u32; m];
+        for (r, rule) in comp.rules.iter().enumerate() {
+            for &a in &rule.pos {
+                pos_occ[a as usize].push(r as u32);
+            }
+            for &a in &rule.neg {
+                neg_occ[a as usize].push(r as u32);
+            }
+            unsat_pos[r] = rule.pos.len() as u32;
+            unfalse_neg[r] = rule.neg.len() as u32;
+            support[rule.head as usize] += 1;
+        }
+        Solver {
+            comp,
+            value: vec![Val::Unknown; n],
+            applied: vec![false; n],
+            trail: Vec::with_capacity(n),
+            pending: Vec::new(),
+            conflict: false,
+            unsat_pos,
+            unfalse_neg,
+            blocked: vec![0; m],
+            neg_true: vec![0; m],
+            support,
+            pos_occ,
+            neg_occ,
+            lm_counts: vec![0; m],
+            lm_stack: Vec::with_capacity(n),
+            in_model: vec![false; n],
+            models: Vec::new(),
+        }
+    }
+
+    /// Enumerate the component's stable models, stopping after `cap` of them
+    /// (returns whether the cap was hit).
+    fn solve(mut self, cap: usize) -> (Vec<Vec<u32>>, bool) {
+        // Root propagation: rules with (residually) empty bodies fire, atoms
+        // with no rules are unfounded. A root conflict means no stable model.
+        self.conflict = false;
+        self.pending.clear();
+        for r in 0..self.comp.rules.len() {
+            if self.fireable(r) {
+                self.enqueue(self.comp.rules[r].head, Val::True);
+            }
+        }
+        for a in 0..self.comp.atoms.len() as u32 {
+            if self.support[a as usize] == 0 {
+                self.enqueue(a, Val::False);
+            }
+        }
+        if !self.run_queue() {
+            return (Vec::new(), false);
+        }
+        let hit_cap = !self.search(0, cap);
+        (self.models, hit_cap)
+    }
+
+    fn fireable(&self, r: usize) -> bool {
+        self.blocked[r] == 0 && self.unsat_pos[r] == 0 && self.unfalse_neg[r] == 0
+    }
+
+    /// Record an assignment without applying its effects yet. Assigning an
+    /// atom against its current value raises the conflict flag instead (the
+    /// caller finishes applying the current effect batch — plain counter
+    /// arithmetic — so undo stays exact).
+    fn enqueue(&mut self, atom: u32, val: Val) {
+        match self.value[atom as usize] {
+            Val::Unknown => {
+                self.value[atom as usize] = val;
+                self.trail.push(atom);
+                self.pending.push(atom);
+            }
+            v if v == val => {}
+            _ => self.conflict = true,
+        }
+    }
+
+    /// Apply pending assignment effects to fixpoint. Returns `false` on
+    /// conflict (the trail still records every assignment made, applied or
+    /// not, so [`Solver::undo_to`] restores the exact prior state).
+    fn run_queue(&mut self) -> bool {
+        let mut qi = 0;
+        while qi < self.pending.len() && !self.conflict {
+            let a = self.pending[qi] as usize;
+            qi += 1;
+            self.applied[a] = true;
+            match self.value[a] {
+                Val::True => {
+                    for i in 0..self.pos_occ[a].len() {
+                        let r = self.pos_occ[a][i] as usize;
+                        self.unsat_pos[r] -= 1;
+                        if self.fireable(r) {
+                            self.enqueue(self.comp.rules[r].head, Val::True);
+                        }
+                    }
+                    for i in 0..self.neg_occ[a].len() {
+                        let r = self.neg_occ[a][i] as usize;
+                        self.neg_true[r] += 1;
+                        self.block(r);
+                    }
+                }
+                Val::False => {
+                    for i in 0..self.pos_occ[a].len() {
+                        let r = self.pos_occ[a][i] as usize;
+                        self.block(r);
+                    }
+                    for i in 0..self.neg_occ[a].len() {
+                        let r = self.neg_occ[a][i] as usize;
+                        self.unfalse_neg[r] -= 1;
+                        if self.fireable(r) {
+                            self.enqueue(self.comp.rules[r].head, Val::True);
+                        }
+                    }
+                }
+                Val::Unknown => unreachable!("pending atoms are assigned"),
+            }
+        }
+        let ok = !self.conflict;
+        self.pending.clear();
+        ok
+    }
+
+    fn block(&mut self, r: usize) {
+        self.blocked[r] += 1;
+        if self.blocked[r] == 1 {
+            let head = self.comp.rules[r].head as usize;
+            self.support[head] -= 1;
+            if self.support[head] == 0 {
+                self.enqueue(head as u32, Val::False);
             }
         }
     }
-    set.into_iter().collect()
-}
 
-fn search(
-    program: &GroundProgram,
-    wf: &WellFounded,
-    branch: &[GroundAtom],
-    idx: usize,
-    assumed_true: &mut Database,
-    found: &mut BTreeSet<Vec<GroundAtom>>,
-    limits: &StableModelLimits,
-) -> Result<(), StableError> {
-    if idx == branch.len() {
-        // The reduct only depends on the truth of negatively-occurring atoms.
-        // Atoms decided true by the WFM are in every stable model; assumed
-        // atoms complete the negative signature.
-        let mut guess = wf.true_atoms.union(assumed_true);
-        // Branch atoms not assumed true are assumed false — they are simply
-        // absent from `guess`.
-        let candidate = least_model(&reduct(program, &guess));
-        // The candidate must agree with the guess on the negative signature,
-        // otherwise the reduct we used was not the candidate's own reduct.
-        for a in branch {
-            let guessed = assumed_true.contains(a);
-            if candidate.contains(a) != guessed {
-                return Ok(());
-            }
+    fn unblock(&mut self, r: usize) {
+        self.blocked[r] -= 1;
+        if self.blocked[r] == 0 {
+            self.support[self.comp.rules[r].head as usize] += 1;
         }
-        guess = candidate;
-        if is_stable_model(program, &guess) {
-            if found.len() >= limits.max_models {
-                return Err(StableError::TooManyModels {
-                    limit: limits.max_models,
-                });
-            }
-            found.insert(guess.canonical_atoms());
-        }
-        return Ok(());
     }
 
-    // Branch: atom false first (keeps models small/minimal-ish early).
-    search(program, wf, branch, idx + 1, assumed_true, found, limits)?;
-    assumed_true.insert(branch[idx].clone());
-    search(program, wf, branch, idx + 1, assumed_true, found, limits)?;
-    // Backtrack: rebuild without the atom (Database has no remove; cheap for
-    // the sizes involved).
-    let without: Database =
-        Database::from_atoms(assumed_true.iter().filter(|a| **a != branch[idx]).cloned());
-    *assumed_true = without;
-    Ok(())
+    /// Decide `atom = val` and propagate. Returns `false` on conflict.
+    fn decide(&mut self, atom: u32, val: Val) -> bool {
+        self.conflict = false;
+        self.pending.clear();
+        self.enqueue(atom, val);
+        self.run_queue()
+    }
+
+    /// Undo every assignment made after `mark`, reversing applied effects.
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let a = self.trail.pop().expect("trail is non-empty") as usize;
+            if self.applied[a] {
+                self.applied[a] = false;
+                match self.value[a] {
+                    Val::True => {
+                        for i in 0..self.pos_occ[a].len() {
+                            let r = self.pos_occ[a][i] as usize;
+                            self.unsat_pos[r] += 1;
+                        }
+                        for i in 0..self.neg_occ[a].len() {
+                            let r = self.neg_occ[a][i] as usize;
+                            self.neg_true[r] -= 1;
+                            self.unblock(r);
+                        }
+                    }
+                    Val::False => {
+                        for i in 0..self.pos_occ[a].len() {
+                            let r = self.pos_occ[a][i] as usize;
+                            self.unblock(r);
+                        }
+                        for i in 0..self.neg_occ[a].len() {
+                            let r = self.neg_occ[a][i] as usize;
+                            self.unfalse_neg[r] += 1;
+                        }
+                    }
+                    Val::Unknown => unreachable!("trail atoms are assigned"),
+                }
+            }
+            self.value[a] = Val::Unknown;
+        }
+    }
+
+    /// Branch on the remaining unassigned negative-signature atoms. Returns
+    /// `false` as soon as `cap` models have been collected.
+    fn search(&mut self, mut bi: usize, cap: usize) -> bool {
+        while bi < self.comp.branch.len()
+            && self.value[self.comp.branch[bi] as usize] != Val::Unknown
+        {
+            bi += 1;
+        }
+        if bi == self.comp.branch.len() {
+            return self.leaf(cap);
+        }
+        let atom = self.comp.branch[bi];
+        // False first, matching the naive enumerator's small-models-first
+        // exploration (the final order is canonicalised anyway).
+        for val in [Val::False, Val::True] {
+            let mark = self.trail.len();
+            let ok = self.decide(atom, val);
+            if ok && !self.search(bi + 1, cap) {
+                self.undo_to(mark);
+                return false;
+            }
+            self.undo_to(mark);
+        }
+        true
+    }
+
+    /// All negative-signature atoms are assigned: the reduct is fully
+    /// determined (`neg_true == 0` rules, negative bodies deleted). Compute
+    /// its least model over the local indexes and keep it if it reproduces
+    /// the branch assignment — then it is a stable model by construction.
+    fn leaf(&mut self, cap: usize) -> bool {
+        self.in_model.iter_mut().for_each(|b| *b = false);
+        self.lm_stack.clear();
+        for (r, rule) in self.comp.rules.iter().enumerate() {
+            if self.neg_true[r] > 0 {
+                self.lm_counts[r] = u32::MAX; // not in the reduct
+            } else {
+                self.lm_counts[r] = rule.pos.len() as u32;
+                if rule.pos.is_empty() && !self.in_model[rule.head as usize] {
+                    self.in_model[rule.head as usize] = true;
+                    self.lm_stack.push(rule.head);
+                }
+            }
+        }
+        while let Some(a) = self.lm_stack.pop() {
+            for i in 0..self.pos_occ[a as usize].len() {
+                let r = self.pos_occ[a as usize][i] as usize;
+                if self.lm_counts[r] == u32::MAX {
+                    continue;
+                }
+                self.lm_counts[r] -= 1;
+                if self.lm_counts[r] == 0 {
+                    let head = self.comp.rules[r].head;
+                    if !self.in_model[head as usize] {
+                        self.in_model[head as usize] = true;
+                        self.lm_stack.push(head);
+                    }
+                }
+            }
+        }
+        // The candidate must agree with the branch assignment on the whole
+        // negative signature, otherwise the reduct we used was not the
+        // candidate's own reduct.
+        for &b in &self.comp.branch {
+            if self.in_model[b as usize] != (self.value[b as usize] == Val::True) {
+                return true;
+            }
+        }
+        let model: Vec<u32> = (0..self.comp.atoms.len() as u32)
+            .filter(|&a| self.in_model[a as usize])
+            .collect();
+        self.models.push(model);
+        self.models.len() < cap
+    }
+}
+
+/// Plain union-find with path halving; union by attaching the larger root to
+/// the smaller keeps representatives deterministic (always the minimum).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut a: usize) -> usize {
+        while self.parent[a] != a {
+            self.parent[a] = self.parent[self.parent[a]];
+            a = self.parent[a];
+        }
+        a
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra < rb {
+            self.parent[rb] = ra;
+        } else if rb < ra {
+            self.parent[ra] = rb;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ground::GroundRule;
+    use crate::naive_stable::naive_stable_models;
     use gdlog_data::Const;
 
     fn atom(name: &str) -> GroundAtom {
@@ -204,7 +734,15 @@ mod tests {
     }
 
     fn models(p: &GroundProgram) -> Vec<Database> {
-        stable_models(p, &StableModelLimits::default()).unwrap()
+        let ms = stable_models(p, &StableModelLimits::default()).unwrap();
+        // Every path through the new enumerator is cross-checked against the
+        // retained naive oracle.
+        assert_eq!(
+            ms,
+            naive_stable_models(p, &StableModelLimits::default()).unwrap(),
+            "component search diverged from the naive oracle"
+        );
+        ms
     }
 
     #[test]
@@ -334,6 +872,27 @@ mod tests {
 
     #[test]
     fn limits_are_enforced() {
+        // One big negative cycle X(0) ← ¬X(1) ← … ← ¬X(0): a single
+        // component with six branching atoms.
+        let mut chained = GroundProgram::new();
+        for i in 0..6 {
+            chained.push(GroundRule::new(
+                atom1("X", i),
+                vec![],
+                vec![atom1("X", (i + 1) % 6)],
+            ));
+        }
+        let tight = StableModelLimits {
+            max_branch_atoms: 4,
+            max_models: 100,
+        };
+        assert!(matches!(
+            stable_models(&chained, &tight),
+            Err(StableError::TooManyBranchAtoms { found: 6, limit: 4 })
+        ));
+
+        // Six independent even loops: 64 stable models exceed a model cap of
+        // ten even though every component is tiny.
         let mut p = GroundProgram::new();
         for i in 0..6 {
             p.push(GroundRule::new(
@@ -347,22 +906,85 @@ mod tests {
                 vec![atom1("In", i)],
             ));
         }
-        let tight = StableModelLimits {
-            max_branch_atoms: 4,
-            max_models: 100,
-        };
-        assert!(matches!(
-            stable_models(&p, &tight),
-            Err(StableError::TooManyBranchAtoms { .. })
-        ));
         let tight_models = StableModelLimits {
             max_branch_atoms: 64,
             max_models: 10,
         };
         assert!(matches!(
             stable_models(&p, &tight_models),
-            Err(StableError::TooManyModels { .. })
+            Err(StableError::TooManyModels { limit: 10 })
         ));
+    }
+
+    #[test]
+    fn component_split_beats_the_naive_branch_limit() {
+        // Thirty independent even loops: 60 branching atoms in total, but
+        // two per component — far past the naive enumerator's global limit,
+        // yet trivial for the split search under a tight model cap check.
+        let mut p = GroundProgram::new();
+        for i in 0..30 {
+            p.push(GroundRule::new(
+                atom1("In", i),
+                vec![],
+                vec![atom1("Out", i)],
+            ));
+            p.push(GroundRule::new(
+                atom1("Out", i),
+                vec![],
+                vec![atom1("In", i)],
+            ));
+        }
+        let limits = StableModelLimits {
+            max_branch_atoms: 4,
+            max_models: 100,
+        };
+        // 2^30 models overflow max_models — reported as such, not as a
+        // branching failure, and without enumerating 2^30 leaves.
+        assert!(matches!(
+            stable_models(&p, &limits),
+            Err(StableError::TooManyModels { limit: 100 })
+        ));
+        assert!(matches!(
+            naive_stable_models(&p, &limits),
+            Err(StableError::TooManyBranchAtoms { .. })
+        ));
+
+        // With an odd loop welded onto one of the components the whole
+        // program collapses to zero models — detected without enumerating
+        // the other components' cross product.
+        p.push(GroundRule::new(
+            atom1("Boom", 0),
+            vec![atom1("In", 0)],
+            vec![atom1("Boom", 0)],
+        ));
+        p.push(GroundRule::new(
+            atom1("Boom", 0),
+            vec![atom1("Out", 0)],
+            vec![atom1("Boom", 0)],
+        ));
+        assert_eq!(stable_models(&p, &limits).unwrap(), Vec::<Database>::new());
+    }
+
+    #[test]
+    fn cross_component_programs_match_oracle() {
+        // Two components with asymmetric model counts (2 × 1), linked only
+        // through WFM-decided atoms which must not merge them.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::fact(atom("Seed")),
+            GroundRule::new(atom("a"), vec![atom("Seed")], vec![atom("b")]),
+            GroundRule::new(atom("b"), vec![atom("Seed")], vec![atom("a")]),
+            GroundRule::new(atom("G"), vec![atom("Seed")], vec![atom("F")]),
+            GroundRule::new(atom("F"), vec![], vec![atom("G")]),
+            GroundRule::new(atom("Fail"), vec![atom("F"), atom("Seed")], vec![]),
+            GroundRule::new(atom("Aux"), vec![atom("Fail")], vec![atom("Aux")]),
+        ]);
+        let ms = models(&p);
+        // a/b is a free even loop; the F/G loop is constrained to G.
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert!(m.contains(&atom("G")));
+            assert!(!m.contains(&atom("Fail")));
+        }
     }
 
     #[test]
@@ -385,5 +1007,21 @@ mod tests {
             &p,
             &Database::from_atoms(vec![atom("A"), atom("B")])
         ));
+    }
+
+    #[test]
+    fn duplicate_and_contradictory_body_literals() {
+        // Duplicate literals must not double-count in the propagation
+        // counters; `a ∧ ¬a` bodies can never fire.
+        let p = GroundProgram::from_rules(vec![
+            GroundRule::new(atom("a"), vec![], vec![atom("b"), atom("b")]),
+            GroundRule::new(atom("b"), vec![], vec![atom("a"), atom("a")]),
+            GroundRule::new(atom("c"), vec![atom("a"), atom("a")], vec![atom("a")]),
+        ]);
+        let ms = models(&p);
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert!(!m.contains(&atom("c")));
+        }
     }
 }

@@ -143,6 +143,32 @@ impl Prob {
             _ => (self.to_f64() - other.to_f64()).abs() <= tol,
         }
     }
+
+    /// A *total* order on probabilities, for deterministic sorting.
+    ///
+    /// The order is lexicographic on `(f64 value, exactness, rational)`:
+    /// first [`f64::total_cmp`] on the rounded values (which — unlike
+    /// `partial_cmp(..).unwrap_or(Equal)` — never invents spurious
+    /// equalities for NaN), then exact-before-approximate among equal
+    /// roundings, then rational comparison between two exact values. The
+    /// first key never disagrees with the third (rational → f64 rounding is
+    /// monotone), so restricted to exact values this *is* the rational
+    /// order — dyadic ties and values that differ only past `f64` precision
+    /// sort identically on every platform — while the lexicographic shape
+    /// keeps the order transitive even when exact and approximate values
+    /// mix (comparing the mixed pair by `f64` alone would let `a < b` by
+    /// rationals and `a = x = b` by rounding coexist, a comparator cycle
+    /// that `sort_by` may punish with a panic).
+    pub fn total_cmp(&self, other: &Prob) -> Ordering {
+        self.to_f64()
+            .total_cmp(&other.to_f64())
+            .then_with(|| match (self, other) {
+                (Prob::Exact(a), Prob::Exact(b)) => a.cmp(b),
+                (Prob::Exact(_), Prob::Approx(_)) => Ordering::Less,
+                (Prob::Approx(_), Prob::Exact(_)) => Ordering::Greater,
+                (Prob::Approx(_), Prob::Approx(_)) => Ordering::Equal,
+            })
+    }
 }
 
 impl PartialEq for Prob {
@@ -190,6 +216,39 @@ mod tests {
 
     fn r(n: i128, d: i128) -> Rational {
         Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn total_cmp_is_exact_and_total() {
+        use std::cmp::Ordering;
+        // Rational comparison even where f64 cannot tell the values apart.
+        let tiny = Prob::exact(r(1, i128::MAX / 2));
+        let tinier = Prob::exact(r(1, i128::MAX / 2 + 1));
+        assert_eq!(tiny.to_f64(), tinier.to_f64());
+        assert_eq!(tiny.total_cmp(&tinier), Ordering::Greater);
+        assert_eq!(tinier.total_cmp(&tiny), Ordering::Less);
+        assert_eq!(tiny.total_cmp(&tiny), Ordering::Equal);
+        // Mixed exact/approx compares by f64 first.
+        assert_eq!(
+            Prob::ratio(1, 2).total_cmp(&Prob::Approx(0.25)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Prob::Approx(0.25).total_cmp(&Prob::ratio(1, 2)),
+            Ordering::Less
+        );
+        // No comparator cycle when exact values that round identically mix
+        // with an approximate value at that very rounding: the order is
+        // lexicographic (f64, exactness, rational), hence transitive.
+        let x = Prob::Approx(tiny.to_f64());
+        let mut all = [x, tiny, tinier];
+        all.sort_by(Prob::total_cmp);
+        assert_eq!(all, [tinier, tiny, x]);
+        for a in &all {
+            for b in &all {
+                assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+        }
     }
 
     #[test]

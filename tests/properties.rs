@@ -9,14 +9,14 @@
 
 use gdlog::core::{
     coin_program, dime_quarter_program, enumerate_outcomes, enumerate_outcomes_with,
-    network_resilience_program, AtrRule, AtrSet, ChaseBudget, Executor, Grounder, MonteCarlo,
-    NaivePerfectGrounder, NaiveSimpleGrounder, PerfectGrounder, SigmaPi, SimpleGrounder,
-    TriggerOrder,
+    network_resilience_program, AtrRule, AtrSet, ChaseBudget, Executor, Grounder, ModelSetCache,
+    MonteCarlo, NaivePerfectGrounder, NaiveSimpleGrounder, OutputSpace, PerfectGrounder, SigmaPi,
+    SimpleGrounder, TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
-    is_stable_model, least_model, reduct, stable_models, well_founded, GroundProgram, GroundRule,
-    StableModelLimits,
+    is_stable_model, least_model, naive_stable_models, reduct, stable_models, well_founded,
+    GroundProgram, GroundRule, StableModelLimits,
 };
 use gdlog_prob::Rational;
 use proptest::prelude::*;
@@ -538,6 +538,119 @@ proptest! {
             prop_assert!(grounder.is_terminal(&o1.atr));
             for o2 in first.outcomes.iter().skip(i + 1) {
                 prop_assert!(o1.atr != o2.atr);
+            }
+        }
+    }
+}
+
+/// A strategy for ground programs seeded with even/odd negative loops and
+/// the paper's `Fail`/`Aux` constraint encoding, plus random linking rules —
+/// the shapes on which the component-split propagating stable-model search
+/// must agree with the retained naive enumerator.
+fn looped_ground_program() -> impl Strategy<Value = GroundProgram> {
+    let atom_names = prop::sample::select(vec!["A", "B", "C", "D", "E", "F"]);
+    let rule = (
+        atom_names.clone(),
+        prop::collection::vec(atom_names.clone(), 0..3),
+        prop::collection::vec(atom_names, 0..3),
+    )
+        .prop_map(|(head, pos, neg)| {
+            GroundRule::new(
+                GroundAtom::make(head, vec![]),
+                pos.into_iter()
+                    .map(|n| GroundAtom::make(n, vec![]))
+                    .collect(),
+                neg.into_iter()
+                    .map(|n| GroundAtom::make(n, vec![]))
+                    .collect(),
+            )
+        });
+    let loops = prop::collection::vec((0usize..3, any::<bool>(), any::<bool>()), 0..3);
+    (prop::collection::vec(rule, 0..8), loops).prop_map(|(rules, loops)| {
+        let mut program = GroundProgram::from_rules(rules);
+        for (i, even, constrain) in loops {
+            let a = GroundAtom::make(&format!("L{i}a"), vec![]);
+            let b = GroundAtom::make(&format!("L{i}b"), vec![]);
+            if even {
+                program.push(GroundRule::new(a.clone(), vec![], vec![b.clone()]));
+                program.push(GroundRule::new(b.clone(), vec![], vec![a.clone()]));
+            } else {
+                program.push(GroundRule::new(a.clone(), vec![], vec![a.clone()]));
+            }
+            if constrain {
+                // Constraint `L{i}a → ⊥` via the Fail/Aux odd loop.
+                let fail = GroundAtom::make("Fail", vec![]);
+                let aux = GroundAtom::make("Aux", vec![]);
+                program.push(GroundRule::new(fail.clone(), vec![a.clone()], vec![]));
+                program.push(GroundRule::new(aux.clone(), vec![fail], vec![aux.clone()]));
+            }
+        }
+        program
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tentpole equivalence: the component-split propagating search and the
+    /// naive `2^k` enumerator agree on random ground programs with even and
+    /// odd loops and constraints — identical canonical model lists under
+    /// wide limits, identical `TooManyModels` behaviour under a tight model
+    /// cap, and every reported model satisfies the fixpoint definition.
+    #[test]
+    fn scc_search_equals_naive_enumerator(program in looped_ground_program()) {
+        let wide = StableModelLimits { max_branch_atoms: 64, max_models: 100_000 };
+        let fast = stable_models(&program, &wide).unwrap();
+        let naive = naive_stable_models(&program, &wide).unwrap();
+        prop_assert_eq!(&fast, &naive);
+        for m in &fast {
+            prop_assert!(is_stable_model(&program, m));
+            prop_assert_eq!(&least_model(&reduct(&program, m)), m);
+        }
+
+        let tight = StableModelLimits { max_branch_atoms: 64, max_models: 2 };
+        prop_assert_eq!(
+            stable_models(&program, &tight),
+            naive_stable_models(&program, &tight)
+        );
+    }
+}
+
+/// Satellite check for the parallel stable-model back-end: on every workload
+/// of the stable benchmark suite, `OutputSpace::from_chase` must produce
+/// bit-identical events and masses at 1, 2 and 8 threads, with and without a
+/// (shared, progressively warming) memo cache.
+#[test]
+fn from_chase_events_bit_identical_across_thread_counts() {
+    let limits = StableModelLimits::default();
+    for workload in gdlog_bench::workloads::stable_workload_suite(false) {
+        let chase = enumerate_outcomes(
+            workload.grounder.as_ref(),
+            &ChaseBudget::default(),
+            TriggerOrder::First,
+        )
+        .unwrap();
+        let baseline = OutputSpace::from_chase(&chase, &limits).unwrap();
+        let cache = ModelSetCache::new();
+        for threads in [1usize, 2, 8] {
+            for cached in [false, true] {
+                let space = OutputSpace::from_chase_with(
+                    chase.clone(),
+                    &limits,
+                    &Executor::new(threads),
+                    cached.then_some(&cache),
+                )
+                .unwrap();
+                assert_eq!(
+                    space.events_by_mass(),
+                    baseline.events_by_mass(),
+                    "{} events diverged at {threads} threads (cached: {cached})",
+                    workload.name
+                );
+                assert_eq!(space.residual_mass(), baseline.residual_mass());
+                for (got, want) in space.outcomes().iter().zip(baseline.outcomes()) {
+                    assert_eq!(got.1, want.1, "{} per-outcome keys", workload.name);
+                }
             }
         }
     }
