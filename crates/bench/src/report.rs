@@ -3,28 +3,12 @@
 
 use std::fmt;
 
-/// FNV-1a over a sequence of byte chunks, rendered as 16 hex digits — *the*
-/// deterministic fingerprint scheme of the bench binaries (`bench_chase`
-/// over outcome listings, `bench_stable` over event listings). CI's
-/// thread-determinism job diffs these strings across `GDLOG_THREADS` legs,
-/// so both binaries must hash with the same constants; they share this one
-/// helper to make that impossible to break in only one place.
-pub fn fnv1a_fingerprint<I, B>(chunks: I) -> String
-where
-    I: IntoIterator<Item = B>,
-    B: AsRef<[u8]>,
-{
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    for chunk in chunks {
-        for &b in chunk.as_ref() {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(PRIME);
-        }
-    }
-    format!("{hash:016x}")
-}
+// The deterministic fingerprint scheme of the bench binaries (`bench_chase`
+// over outcome listings, `bench_stable` over event listings) — canonically
+// defined in `gdlog_core::fingerprint` since PR 6, where the CLI and the
+// scenario-corpus goldens share it. Re-exported here so the bench binaries
+// (and CI's thread-determinism diff) keep their historical import path.
+pub use gdlog_core::fingerprint::fnv1a_fingerprint;
 
 /// One row of a paper-vs-measured report.
 #[derive(Clone, Debug)]

@@ -1,0 +1,46 @@
+//! The deterministic FNV-1a fingerprint scheme shared by the bench binaries,
+//! the CLI and the scenario-corpus goldens.
+//!
+//! CI's thread-determinism job diffs fingerprint strings across
+//! `GDLOG_THREADS` legs, and the scenario corpus pins them in golden files,
+//! so every producer must hash with the same constants; they all share this
+//! one helper to make that impossible to break in only one place.
+
+/// FNV-1a over a sequence of byte chunks, rendered as 16 hex digits.
+pub fn fnv1a_fingerprint<I, B>(chunks: I) -> String
+where
+    I: IntoIterator<Item = B>,
+    B: AsRef<[u8]>,
+{
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for chunk in chunks {
+        for &b in chunk.as_ref() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_does_not_matter_but_content_does() {
+        assert_eq!(fnv1a_fingerprint(["ab", "c"]), fnv1a_fingerprint(["abc"]));
+        assert_ne!(fnv1a_fingerprint(["abc"]), fnv1a_fingerprint(["abd"]));
+        assert_eq!(fnv1a_fingerprint(["abc"]).len(), 16);
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(
+            fnv1a_fingerprint(std::iter::empty::<&[u8]>()),
+            "cbf29ce484222325"
+        );
+    }
+}

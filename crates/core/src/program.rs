@@ -121,27 +121,46 @@ impl Program {
     /// Validate every rule (safety, Δ-term well-formedness, known
     /// distributions, consistent arities).
     pub fn validate(&self) -> Result<(), CoreError> {
-        // Consistent arities across the whole program.
+        self.validate_rules().map_err(|(_, e)| e)
+    }
+
+    /// Like [`Program::validate`], but reports the index (into
+    /// [`Program::rules`]) of the first offending rule alongside the error —
+    /// the parser maps the index back to a source span so the CLI can render
+    /// a caret diagnostic instead of a bare message.
+    pub fn validate_rules(&self) -> Result<(), (usize, CoreError)> {
+        // Consistent arities across the whole program: the schema accumulates
+        // rule by rule, so a conflict is attributed to the *later* rule (the
+        // first one at which the program became inconsistent).
         let mut schema = Schema::new();
-        for rule in &self.rules {
-            rule.validate()?;
+        for (index, rule) in self.rules.iter().enumerate() {
+            rule.validate().map_err(|e| (index, e))?;
             for p in rule.predicates() {
-                schema.add(p)?;
+                schema.add(p).map_err(|e| (index, e.into()))?;
             }
             for (_, d) in rule.head.delta_terms() {
-                let dist = self.delta.get(&d.distribution)?;
+                let dist = self
+                    .delta
+                    .get(&d.distribution)
+                    .map_err(|e| (index, e.into()))?;
                 if let Some(k) = dist.param_dim() {
                     if d.params.len() != k {
-                        return Err(CoreError::Validation(format!(
-                            "Δ-term {d} supplies {} parameter(s) but {} expects {k}",
-                            d.params.len(),
-                            d.distribution
-                        )));
+                        return Err((
+                            index,
+                            CoreError::Validation(format!(
+                                "Δ-term {d} supplies {} parameter(s) but {} expects {k}",
+                                d.params.len(),
+                                d.distribution
+                            )),
+                        ));
                     }
                 } else if d.params.is_empty() {
-                    return Err(CoreError::Validation(format!(
-                        "Δ-term {d} must supply at least one parameter"
-                    )));
+                    return Err((
+                        index,
+                        CoreError::Validation(format!(
+                            "Δ-term {d} must supply at least one parameter"
+                        )),
+                    ));
                 }
             }
         }

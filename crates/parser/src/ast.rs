@@ -4,10 +4,44 @@
 //! from constraints (`body -> false.`); [`ParsedProgram`] assembles them into
 //! a [`gdlog_core::Program`] (desugaring constraints through
 //! [`gdlog_core::Program::push_constraint`]) and collects ground facts into a
-//! [`gdlog_data::Database`].
+//! [`gdlog_data::Database`]. Each statement carries a [`Span`] — the position
+//! of its first token — so validation errors discovered *after* parsing
+//! (unsafe variables, arity conflicts, unknown distributions, unstratifiable
+//! negation) can still be rendered against the source with a caret.
 
 use gdlog_core::{CoreError, Program, Rule};
 use gdlog_data::{Atom, Database};
+
+/// A 1-based source position (line and column of a statement's first token).
+///
+/// The zero span `0:0` means "no position" — it is the default for
+/// programmatically constructed [`ParsedProgram`]s and renders without a
+/// source excerpt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number (0 = unknown).
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Span {
+    /// Build a span.
+    pub fn new(line: usize, column: usize) -> Self {
+        Span { line, column }
+    }
+
+    /// Is this the "no position" span?
+    pub fn is_unknown(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
 
 /// One parsed statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -32,23 +66,52 @@ pub enum RuleAst {
 pub struct ParsedProgram {
     /// The program rules (facts with variables or Δ-terms stay here).
     pub statements: Vec<RuleAst>,
+    /// Source span of each statement (parallel to `statements`; may be
+    /// shorter for hand-built values, in which case missing spans are
+    /// unknown).
+    pub spans: Vec<Span>,
     /// The ground facts, as a database.
     pub facts: Database,
 }
 
 impl ParsedProgram {
+    /// Lower into an **unvalidated** [`Program`], the fact database, and one
+    /// span per program rule.
+    ///
+    /// The returned span vector is parallel to [`Program::rules`]: a plain
+    /// statement contributes one rule; a constraint contributes its `Fail`
+    /// rule plus — the first time only — the `Fail, ¬Aux → Aux` auxiliary
+    /// rule, both attributed to the constraint's span. This is what lets
+    /// [`gdlog_core::Program::validate_rules`] errors (and stratification
+    /// failures) point back into the source text.
+    pub fn into_parts(self) -> (Program, Database, Vec<Span>) {
+        let mut program = Program::new(Vec::new());
+        let mut rule_spans: Vec<Span> = Vec::new();
+        for (i, statement) in self.statements.into_iter().enumerate() {
+            let span = self.spans.get(i).copied().unwrap_or_default();
+            match statement {
+                RuleAst::Rule(rule) => {
+                    program.push(rule);
+                    rule_spans.push(span);
+                }
+                RuleAst::Constraint { pos, neg } => {
+                    let before = program.len();
+                    program.push_constraint(pos, neg);
+                    for _ in before..program.len() {
+                        rule_spans.push(span);
+                    }
+                }
+            }
+        }
+        (program, self.facts, rule_spans)
+    }
+
     /// Convert into a validated [`Program`] (the facts are returned
     /// alongside so callers can pass them as the input database).
     pub fn into_program(self) -> Result<(Program, Database), CoreError> {
-        let mut program = Program::new(Vec::new());
-        for statement in self.statements {
-            match statement {
-                RuleAst::Rule(rule) => program.push(rule),
-                RuleAst::Constraint { pos, neg } => program.push_constraint(pos, neg),
-            }
-        }
+        let (program, facts, _) = self.into_parts();
         program.validate()?;
-        Ok((program, self.facts))
+        Ok((program, facts))
     }
 
     /// Number of parsed statements (excluding facts).
@@ -82,6 +145,7 @@ mod tests {
                     neg: vec![],
                 },
             ],
+            spans: Vec::new(),
             facts: Database::new(),
         };
         let (program, facts) = parsed.into_program().unwrap();
@@ -91,10 +155,38 @@ mod tests {
     }
 
     #[test]
+    fn into_parts_attributes_constraint_rules_to_their_statement() {
+        let parsed = ParsedProgram {
+            statements: vec![
+                RuleAst::Rule(Rule::new(
+                    vec![Atom::make("A", vec![Term::var("x")])],
+                    vec![],
+                    Head::make("B", vec![HeadTerm::var("x")]),
+                )),
+                RuleAst::Constraint {
+                    pos: vec![Atom::make("B", vec![Term::var("x")])],
+                    neg: vec![],
+                },
+            ],
+            spans: vec![Span::new(1, 1), Span::new(2, 5)],
+            facts: Database::new(),
+        };
+        let (program, _, spans) = parsed.into_parts();
+        assert_eq!(program.len(), 3);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0], Span::new(1, 1));
+        // Both the Fail rule and the aux rule point at the constraint.
+        assert_eq!(spans[1], Span::new(2, 5));
+        assert_eq!(spans[2], Span::new(2, 5));
+    }
+
+    #[test]
     fn counts() {
         let mut parsed = ParsedProgram::default();
         assert_eq!(parsed.statement_count(), 0);
         parsed.facts.insert_fact("Router", [1i64]);
         assert_eq!(parsed.fact_count(), 1);
+        assert!(Span::default().is_unknown());
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
     }
 }

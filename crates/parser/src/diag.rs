@@ -1,0 +1,130 @@
+//! Caret diagnostics: render a [`ParseError`] against its source text.
+//!
+//! The format follows the familiar compiler convention — message, `-->`
+//! location line, then the offending source line with a `^` caret under the
+//! reported column:
+//!
+//! ```text
+//! error: expected `.`, found `->`
+//!   --> scenarios/bad.gdl:3:11
+//!    |
+//!  3 | Router(1) -> Up(1).
+//!    |           ^
+//! ```
+//!
+//! Errors without a position (line 0) render as `error: {message}` followed
+//! by the location line only when a path is given.
+
+use crate::parser::ParseError;
+
+/// Render a diagnostic with a source excerpt and caret.
+///
+/// `line` and `column` are 1-based; pass `line == 0` for "no position"
+/// (the excerpt is omitted). `path` is used verbatim in the `-->` line;
+/// pass something like `"<input>"` when no file is involved.
+pub fn render_diagnostic(
+    message: &str,
+    path: &str,
+    source: &str,
+    line: usize,
+    column: usize,
+) -> String {
+    let mut out = format!("error: {message}\n");
+    if line == 0 {
+        out.push_str(&format!("  --> {path}\n"));
+        return out;
+    }
+    out.push_str(&format!("  --> {path}:{line}:{column}\n"));
+    // Errors at end-of-input (e.g. a missing final `.`) report a position
+    // one past the last line; clamp the excerpt to the end of the source so
+    // the caret still lands somewhere meaningful.
+    let lines: Vec<&str> = source.lines().collect();
+    let (line, column, text) = if line <= lines.len() {
+        (line, column, lines[line - 1])
+    } else if let Some(last) = lines.last() {
+        (lines.len(), last.chars().count() + 1, *last)
+    } else {
+        return out;
+    };
+    let gutter = line.to_string();
+    let blank = " ".repeat(gutter.len());
+    out.push_str(&format!(" {blank} |\n"));
+    out.push_str(&format!(" {gutter} | {text}\n"));
+    // Build the caret pad character by character so hard tabs in the source
+    // line stay aligned with the excerpt above.
+    let pad: String = text
+        .chars()
+        .take(column.saturating_sub(1))
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    out.push_str(&format!(" {blank} | {pad}^\n"));
+    out
+}
+
+impl ParseError {
+    /// Render this error as a caret diagnostic against `source`.
+    ///
+    /// `path` is the name shown in the `-->` line (a file path, or
+    /// `"<input>"` for in-memory text).
+    pub fn render(&self, path: &str, source: &str) -> String {
+        render_diagnostic(&self.message, path, source, self.line, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn renders_a_caret_under_the_reported_column() {
+        let source = "Router(1).\nRouter(2)";
+        let err = parse_program(source).unwrap_err();
+        let text = err.render("db.gdl", source);
+        assert!(text.starts_with("error: "));
+        assert!(text.contains("--> db.gdl:2:"), "{text}");
+        assert!(text.contains(" 2 | Router(2)"), "{text}");
+        assert!(text.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn positionless_errors_render_without_an_excerpt() {
+        let err = ParseError {
+            message: "a database may only contain ground facts".into(),
+            line: 0,
+            column: 0,
+        };
+        let text = err.render("db.gdl", "A(x) -> B(x).");
+        assert_eq!(
+            text,
+            "error: a database may only contain ground facts\n  --> db.gdl\n"
+        );
+    }
+
+    #[test]
+    fn tabs_in_the_excerpt_keep_the_caret_aligned() {
+        let source = "\tRouter(1)";
+        let err = parse_program(source).unwrap_err();
+        let text = err.render("<input>", source);
+        // Caret pad must start with the same hard tab as the excerpt.
+        let caret_line = text.lines().last().unwrap();
+        assert!(caret_line.contains("| \t"), "{text:?}");
+    }
+
+    #[test]
+    fn out_of_range_lines_clamp_to_the_last_line() {
+        let err = ParseError {
+            message: "boom".into(),
+            line: 99,
+            column: 1,
+        };
+        let text = err.render("x.gdl", "one line only");
+        assert_eq!(
+            text,
+            "error: boom\n  --> x.gdl:99:1\n   |\n 1 | one line only\n   |              ^\n"
+        );
+        // Empty sources still omit the excerpt entirely.
+        let text = err.render("x.gdl", "");
+        assert_eq!(text, "error: boom\n  --> x.gdl:99:1\n");
+    }
+}

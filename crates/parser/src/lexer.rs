@@ -261,7 +261,15 @@ impl<'a> Lexer<'a> {
                     match self.bump() {
                         Some('"') => break,
                         Some(ch) => s.push(ch),
-                        None => return Err(self.error("unterminated string literal")),
+                        // Report the *opening* quote, not wherever the input
+                        // ran out — the fix is at the start of the literal.
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".to_owned(),
+                                line,
+                                column,
+                            })
+                        }
                     }
                 }
                 Ok(make(TokenKind::SymbolConst(s)))
@@ -332,9 +340,13 @@ impl<'a> Lexer<'a> {
                 column,
             });
         }
-        let value: i64 = digits
-            .parse()
-            .map_err(|_| self.error(format!("integer literal {digits} out of range")))?;
+        // An overflow diagnostic points at the first digit of the literal
+        // (`line`/`column`), not at the character after it.
+        let value: i64 = digits.parse().map_err(|_| LexError {
+            message: format!("integer literal {digits} out of range"),
+            line,
+            column,
+        })?;
         Ok(Token {
             kind: TokenKind::Int(value),
             line,

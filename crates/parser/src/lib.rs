@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
-pub use ast::{ParsedProgram, RuleAst};
+pub use ast::{ParsedProgram, RuleAst, Span};
+pub use diag::render_diagnostic;
 pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse_database, parse_program, parse_rule, ParseError};
+pub use parser::{parse_database, parse_program, parse_rule, parse_source, ParseError};
 pub use pretty::{pretty_database, pretty_program, pretty_rule};

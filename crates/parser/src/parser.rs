@@ -1,6 +1,6 @@
 //! Recursive-descent parser for GDatalog¬\[Δ\] programs and databases.
 
-use crate::ast::{ParsedProgram, RuleAst};
+use crate::ast::{ParsedProgram, RuleAst, Span};
 use crate::lexer::{LexError, Lexer, Token, TokenKind};
 use gdlog_core::{CoreError, DeltaTerm, Head, HeadTerm, Program, Rule};
 use gdlog_data::{Atom, Const, Database, Term};
@@ -12,7 +12,8 @@ use std::fmt;
 pub struct ParseError {
     /// Description of the problem.
     pub message: String,
-    /// 1-based line number (0 when the error comes from program validation).
+    /// 1-based line number (0 when the error has no source position, e.g.
+    /// shape errors from [`parse_database`] / [`parse_rule`]).
     pub line: usize,
     /// 1-based column number.
     pub column: usize,
@@ -295,10 +296,12 @@ impl Parser {
         }
     }
 
-    fn parse_statements(&mut self) -> Result<Vec<RuleAst>, ParseError> {
+    fn parse_statements(&mut self) -> Result<Vec<(RuleAst, Span)>, ParseError> {
         let mut out = Vec::new();
         while !self.at_eof() {
-            out.push(self.statement()?);
+            let start = self.peek();
+            let span = Span::new(start.line, start.column);
+            out.push((self.statement()?, span));
         }
         Ok(out)
     }
@@ -317,15 +320,21 @@ pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
     let mut parser = Parser::new(source)?;
     let statements = parser.parse_statements()?;
     let mut parsed = ParsedProgram::default();
-    for statement in statements {
+    for (statement, span) in statements {
         match statement {
             RuleAst::Rule(rule) => match as_ground_fact(&rule) {
                 Some(fact) => {
                     parsed.facts.insert(fact);
                 }
-                None => parsed.statements.push(RuleAst::Rule(rule)),
+                None => {
+                    parsed.statements.push(RuleAst::Rule(rule));
+                    parsed.spans.push(span);
+                }
             },
-            constraint => parsed.statements.push(constraint),
+            constraint => {
+                parsed.statements.push(constraint);
+                parsed.spans.push(span);
+            }
         }
     }
     Ok(parsed)
@@ -333,8 +342,21 @@ pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
 
 /// Parse a program text into a validated [`Program`] and the ground facts it
 /// contains (its input database fragment).
+///
+/// Validation failures (unsafe variables, arity conflicts, unknown
+/// distributions) are reported at the offending statement's source position
+/// rather than as bare messages.
 pub fn parse_program(source: &str) -> Result<(Program, Database), ParseError> {
-    Ok(parse_source(source)?.into_program()?)
+    let (program, facts, spans) = parse_source(source)?.into_parts();
+    if let Err((index, e)) = program.validate_rules() {
+        let span = spans.get(index).copied().unwrap_or_default();
+        return Err(ParseError {
+            message: e.to_string(),
+            line: span.line,
+            column: span.column,
+        });
+    }
+    Ok((program, facts))
 }
 
 /// Parse a database: a list of ground facts `R(c1, …, cn).`
@@ -468,9 +490,17 @@ mod tests {
         let err = parse_program("A(x), -> B(x).").unwrap_err();
         assert!(err.to_string().contains("predicate name"));
 
-        // Unsafe rules are rejected through validation.
-        let err = parse_program("A(x) -> B(z).").unwrap_err();
+        // Unsafe rules are rejected through validation, and the error points
+        // at the offending statement.
+        let err = parse_program("A(x) -> B(x).\nA(x) -> B(z).").unwrap_err();
         assert!(err.to_string().contains("unsafe"));
+        assert_eq!((err.line, err.column), (2, 1));
+
+        // Arity conflicts are attributed to the statement that introduced the
+        // conflicting use.
+        let err = parse_program("A(x) -> B(x).\n\n  A(x, y) -> C(x).").unwrap_err();
+        assert!(err.to_string().contains("arity"));
+        assert_eq!((err.line, err.column), (3, 3));
     }
 
     #[test]

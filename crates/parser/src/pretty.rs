@@ -1,16 +1,133 @@
 //! Pretty-printing of programs, rules and databases in the surface syntax.
 //!
 //! The printer produces text that the parser accepts again (round-tripping is
-//! property-tested in the workspace integration tests). `Display` on the core
-//! types already produces the same notation; the helpers here add the
-//! database serialisation and stable ordering.
+//! property-tested in the workspace integration tests). It mirrors the
+//! `Display` implementations of the core types with one deliberate
+//! difference: symbolic constants are written in surface form (`#name`, or a
+//! quoted string when the symbol is not identifier-shaped), because the plain
+//! `Display` of `Const::Sym` prints the bare name — which the parser would
+//! read back as a *variable* inside a rule, or reject inside a database.
 
-use gdlog_core::{Program, Rule};
-use gdlog_data::Database;
+use gdlog_core::{DeltaTerm, Head, HeadTerm, Program, Rule};
+use gdlog_data::{Atom, Const, Database, Term};
 
-/// Pretty-print a single rule (identical to its `Display` implementation).
+/// Print a constant in surface syntax.
+///
+/// Symbols become `#name` when the name is identifier-shaped (and not the
+/// reserved `fail`, which the lexer treats as ⊥), otherwise a quoted string.
+/// All other constants match their `Display` form, which the lexer already
+/// accepts.
+pub fn pretty_const(c: &Const) -> String {
+    match c {
+        Const::Sym(s) => {
+            let name = s.as_str();
+            let hash_ok = !name.is_empty()
+                && name != "fail"
+                && name.chars().all(|ch| ch.is_alphanumeric() || ch == '_');
+            if hash_ok {
+                format!("#{name}")
+            } else {
+                format!("\"{name}\"")
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Print a term in surface syntax (variables bare, constants via
+/// [`pretty_const`]).
+pub fn pretty_term(term: &Term) -> String {
+    match term {
+        Term::Var(v) => v.to_string(),
+        Term::Const(c) => pretty_const(c),
+    }
+}
+
+/// Print a body atom in surface syntax.
+pub fn pretty_atom(atom: &Atom) -> String {
+    let mut out = String::new();
+    out.push_str(atom.predicate.name());
+    out.push('(');
+    for (i, t) in atom.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&pretty_term(t));
+    }
+    out.push(')');
+    out
+}
+
+/// Print a Δ-term `Name<p1, …>[e1, …]` in surface syntax.
+pub fn pretty_delta(d: &DeltaTerm) -> String {
+    let mut out = format!("{}<", d.distribution);
+    for (i, p) in d.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&pretty_term(p));
+    }
+    out.push('>');
+    if !d.event.is_empty() {
+        out.push('[');
+        for (i, q) in d.event.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&pretty_term(q));
+        }
+        out.push(']');
+    }
+    out
+}
+
+/// Print a rule head (Δ-atom) in surface syntax.
+pub fn pretty_head(head: &Head) -> String {
+    let mut out = String::new();
+    out.push_str(head.predicate.name());
+    out.push('(');
+    for (i, a) in head.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match a {
+            HeadTerm::Term(t) => out.push_str(&pretty_term(t)),
+            HeadTerm::Delta(d) => out.push_str(&pretty_delta(d)),
+        }
+    }
+    out.push(')');
+    out
+}
+
+/// Pretty-print a single rule.
+///
+/// Identical to the rule's `Display` implementation except for the surface
+/// spelling of symbolic constants (see the module docs).
 pub fn pretty_rule(rule: &Rule) -> String {
-    rule.to_string()
+    let mut out = String::new();
+    let mut first = true;
+    for a in &rule.pos {
+        if !first {
+            out.push_str(", ");
+        }
+        out.push_str(&pretty_atom(a));
+        first = false;
+    }
+    for a in &rule.neg {
+        if !first {
+            out.push_str(", ");
+        }
+        out.push_str("not ");
+        out.push_str(&pretty_atom(a));
+        first = false;
+    }
+    if !first {
+        out.push(' ');
+    }
+    out.push_str("-> ");
+    out.push_str(&pretty_head(&rule.head));
+    out.push('.');
+    out
 }
 
 /// Pretty-print a program, one rule per line.
@@ -26,7 +143,7 @@ pub fn pretty_program(program: &Program) -> String {
 /// Pretty-print a database as a list of facts in canonical (sorted) order.
 ///
 /// Unlike the plain `Display` of ground atoms, symbolic constants are written
-/// with the `#` prefix so that the output re-parses to the same database.
+/// in surface form so that the output re-parses to the same database.
 pub fn pretty_database(db: &Database) -> String {
     let mut out = String::new();
     for atom in db.canonical_atoms() {
@@ -36,13 +153,7 @@ pub fn pretty_database(db: &Database) -> String {
             if i > 0 {
                 out.push_str(", ");
             }
-            match c {
-                gdlog_data::Const::Sym(s) => {
-                    out.push('#');
-                    out.push_str(s.as_str());
-                }
-                other => out.push_str(&other.to_string()),
-            }
+            out.push_str(&pretty_const(c));
         }
         out.push_str(").\n");
     }
@@ -52,9 +163,8 @@ pub fn pretty_database(db: &Database) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::{parse_database, parse_program};
+    use crate::parser::{parse_database, parse_program, parse_rule};
     use gdlog_core::{coin_program, dime_quarter_program, network_resilience_program};
-    use gdlog_data::Const;
 
     #[test]
     fn programs_round_trip_through_the_printer() {
@@ -88,5 +198,31 @@ mod tests {
         for rule in program.rules() {
             assert_eq!(pretty_rule(rule), rule.to_string());
         }
+    }
+
+    #[test]
+    fn symbols_in_rules_round_trip() {
+        // Display would print `Likes(x, bob)` — a variable on re-parse. The
+        // surface printer quotes or `#`-prefixes the symbol instead.
+        let rule = parse_rule("Likes(x, #bob) -> Fan(x).").unwrap();
+        assert_eq!(pretty_rule(&rule), "Likes(x, #bob) -> Fan(x).");
+        let reparsed = parse_rule(&pretty_rule(&rule)).unwrap();
+        assert_eq!(reparsed, rule);
+
+        // `fail` and non-identifier symbols fall back to string syntax.
+        let rule = parse_rule("Tag(\"fail\") -> Seen(\"two words\").").unwrap();
+        assert_eq!(pretty_rule(&rule), "Tag(\"fail\") -> Seen(\"two words\").");
+        assert_eq!(parse_rule(&pretty_rule(&rule)).unwrap(), rule);
+    }
+
+    #[test]
+    fn symbol_database_round_trips_both_shapes() {
+        let mut db = Database::new();
+        db.insert_fact("Label", [Const::sym("edge case")]);
+        db.insert_fact("Label", [Const::sym("fail")]);
+        let text = pretty_database(&db);
+        assert!(text.contains("\"edge case\""));
+        assert!(text.contains("\"fail\""));
+        assert_eq!(parse_database(&text).unwrap(), db);
     }
 }

@@ -1,0 +1,12 @@
+//! The `gdlog` binary: evaluate `.gdl` scenario files end to end.
+//!
+//! All logic lives in [`gdlog::cli`] so the integration tests can drive the
+//! interface in-process; this file only adapts process arguments and streams.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    let mut stderr = std::io::stderr().lock();
+    let code = gdlog::cli::main_with(&args, &mut stdout, &mut stderr);
+    std::process::exit(code);
+}

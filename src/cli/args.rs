@@ -1,0 +1,403 @@
+//! Command-line argument parsing for the `gdlog` binary.
+//!
+//! Hand-rolled (the build environment is offline, so no `clap`); the grammar
+//! is small and fully deterministic:
+//!
+//! ```text
+//! gdlog [run] <file.gdl> [flags]   evaluate a scenario
+//! gdlog check <file.gdl>           parse + validate only
+//! gdlog fmt <file.gdl>             reprint in canonical surface syntax
+//! gdlog --help | --version
+//! ```
+
+use gdlog_core::{ChaseBudget, GrounderChoice, TriggerOrder};
+use gdlog_engine::StableModelLimits;
+
+/// What the invocation asked for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Evaluate a scenario end to end (boxed: the options dwarf the other
+    /// variants).
+    Run(Box<RunOptions>),
+    /// Parse and validate, reporting rule/fact counts.
+    Check {
+        /// Path to the `.gdl` file.
+        path: String,
+    },
+    /// Reprint the program in canonical surface syntax.
+    Fmt {
+        /// Path to the `.gdl` file.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+    /// Print the version.
+    Version,
+}
+
+/// Options for `gdlog run`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOptions {
+    /// Path to the `.gdl` scenario file.
+    pub path: String,
+    /// Emit the machine-readable JSON report instead of text.
+    pub json: bool,
+    /// Grounder selection (`--grounder simple|perfect|auto`).
+    pub grounder: GrounderChoice,
+    /// Worker threads (`--threads N`); `None` defers to `GDLOG_THREADS`.
+    pub threads: Option<usize>,
+    /// Trigger exploration order (`--trigger-order first|last|scrambled`).
+    pub trigger_order: TriggerOrder,
+    /// Chase budget: maximum outcomes to enumerate.
+    pub max_outcomes: Option<usize>,
+    /// Chase budget: maximum Δ-depth per path.
+    pub max_depth: Option<usize>,
+    /// Chase budget: maximum branching per Δ-term.
+    pub max_branching: Option<usize>,
+    /// Chase budget: drop paths below this probability.
+    pub min_path_prob: Option<f64>,
+    /// Stable-model search: cap on returned models.
+    pub max_models: Option<usize>,
+    /// Stable-model search: cap on branching atoms per component.
+    pub max_branch_atoms: Option<usize>,
+    /// Ground atoms to query (brave and cautious probability each).
+    pub queries: Vec<String>,
+    /// Condition every query on this ground atom (conditional probability).
+    pub given: Option<String>,
+    /// Predicates to report full marginals for.
+    pub marginals: Vec<String>,
+    /// Report the top-K events by probability mass.
+    pub top: Option<usize>,
+    /// Monte-Carlo sample count (estimates each `--query` by sampling).
+    pub mc: Option<usize>,
+    /// Monte-Carlo seed.
+    pub seed: u64,
+    /// Monte-Carlo per-walk trigger budget.
+    pub max_triggers: usize,
+}
+
+impl RunOptions {
+    fn new(path: String) -> Self {
+        RunOptions {
+            path,
+            json: false,
+            grounder: GrounderChoice::Simple,
+            threads: None,
+            trigger_order: TriggerOrder::First,
+            max_outcomes: None,
+            max_depth: None,
+            max_branching: None,
+            min_path_prob: None,
+            max_models: None,
+            max_branch_atoms: None,
+            queries: Vec::new(),
+            given: None,
+            marginals: Vec::new(),
+            top: None,
+            mc: None,
+            seed: 0,
+            max_triggers: 64,
+        }
+    }
+
+    /// The chase budget implied by the flags (defaults from
+    /// [`ChaseBudget::default`]).
+    pub fn budget(&self) -> ChaseBudget {
+        let mut b = ChaseBudget::default();
+        if let Some(v) = self.max_outcomes {
+            b.max_outcomes = v;
+        }
+        if let Some(v) = self.max_depth {
+            b.max_depth = v;
+        }
+        if let Some(v) = self.max_branching {
+            b.max_branching = v;
+        }
+        if let Some(v) = self.min_path_prob {
+            b.min_path_probability = v;
+        }
+        b
+    }
+
+    /// The stable-model limits implied by the flags.
+    pub fn limits(&self) -> StableModelLimits {
+        let mut l = StableModelLimits::default();
+        if let Some(v) = self.max_models {
+            l.max_models = v;
+        }
+        if let Some(v) = self.max_branch_atoms {
+            l.max_branch_atoms = v;
+        }
+        l
+    }
+}
+
+/// The usage text printed by `--help` and on argument errors.
+pub const USAGE: &str = "\
+gdlog — Generative Datalog with stable negation (GDatalog¬[Δ])
+
+USAGE:
+    gdlog [run] <file.gdl> [flags]   evaluate a scenario
+    gdlog check <file.gdl>           parse + validate only
+    gdlog fmt <file.gdl>             reprint in canonical surface syntax
+    gdlog --help | --version
+
+RUN FLAGS:
+    --json                     machine-readable JSON report
+    --grounder <G>             simple | perfect | auto      (default simple)
+    --threads <N>              worker threads (0 = all cores; default:
+                               the GDLOG_THREADS environment variable, else 1)
+    --trigger-order <O>        first | last | scrambled     (default first)
+    --max-outcomes <N>         chase budget: outcomes to enumerate
+    --max-depth <N>            chase budget: Δ-depth per path
+    --max-branching <N>        chase budget: branching per Δ-term
+    --min-path-prob <P>        chase budget: drop paths below mass P
+    --max-models <N>           stable-model cap per outcome
+    --max-branch-atoms <N>     stable-model branching-atom cap
+    --query <Atom>             ground atom: report brave/cautious probability
+                               (repeatable)
+    --given <Atom>             condition every --query on this ground atom
+    --marginal <Pred>          report marginals of every atom of a predicate
+                               (repeatable)
+    --top <K>                  report the K most probable events
+    --mc <N>                   Monte-Carlo estimate each --query with N samples
+    --seed <S>                 Monte-Carlo seed                (default 0)
+    --max-triggers <N>         Monte-Carlo per-walk trigger cap (default 64)
+";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let raw = value.ok_or_else(|| format!("flag `{flag}` expects a value"))?;
+    raw.parse::<T>()
+        .map_err(|_| format!("invalid value `{raw}` for flag `{flag}`"))
+}
+
+/// Parse command-line arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(Command::Help);
+    }
+    if args.iter().any(|a| a == "--version" || a == "-V") {
+        return Ok(Command::Version);
+    }
+
+    // Subcommand detection: `run` is optional; `check`/`fmt` take no flags.
+    let (verb, rest) = match args[0].as_str() {
+        v @ ("run" | "check" | "fmt") => (v, &args[1..]),
+        _ => ("run", args),
+    };
+
+    let mut path: Option<String> = None;
+    let mut o = RunOptions::new(String::new());
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if !a.starts_with("--") {
+            if path.is_some() {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+            path = Some(a.clone());
+            i += 1;
+            continue;
+        }
+        if verb != "run" {
+            return Err(format!("`gdlog {verb}` takes no flags (got `{a}`)"));
+        }
+        let value = rest.get(i + 1);
+        match a.as_str() {
+            "--json" => {
+                o.json = true;
+                i += 1;
+            }
+            "--grounder" => {
+                o.grounder = match value.map(String::as_str) {
+                    Some("simple") => GrounderChoice::Simple,
+                    Some("perfect") => GrounderChoice::Perfect,
+                    Some("auto") => GrounderChoice::Auto,
+                    Some(other) => {
+                        return Err(format!(
+                            "invalid grounder `{other}` (expected simple, perfect or auto)"
+                        ))
+                    }
+                    None => return Err("flag `--grounder` expects a value".to_owned()),
+                };
+                i += 2;
+            }
+            "--trigger-order" => {
+                o.trigger_order = match value.map(String::as_str) {
+                    Some("first") => TriggerOrder::First,
+                    Some("last") => TriggerOrder::Last,
+                    Some("scrambled") => TriggerOrder::Scrambled,
+                    Some(other) => {
+                        return Err(format!(
+                            "invalid trigger order `{other}` (expected first, last or scrambled)"
+                        ))
+                    }
+                    None => return Err("flag `--trigger-order` expects a value".to_owned()),
+                };
+                i += 2;
+            }
+            "--threads" => {
+                o.threads = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-outcomes" => {
+                o.max_outcomes = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-depth" => {
+                o.max_depth = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-branching" => {
+                o.max_branching = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--min-path-prob" => {
+                o.min_path_prob = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-models" => {
+                o.max_models = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-branch-atoms" => {
+                o.max_branch_atoms = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--query" => {
+                o.queries
+                    .push(value.ok_or("flag `--query` expects a ground atom")?.clone());
+                i += 2;
+            }
+            "--given" => {
+                o.given = Some(value.ok_or("flag `--given` expects a ground atom")?.clone());
+                i += 2;
+            }
+            "--marginal" => {
+                o.marginals.push(
+                    value
+                        .ok_or("flag `--marginal` expects a predicate name")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--top" => {
+                o.top = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--mc" => {
+                o.mc = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = parse_value(a, value)?;
+                i += 2;
+            }
+            "--max-triggers" => {
+                o.max_triggers = parse_value(a, value)?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let path = path.ok_or_else(|| "missing <file.gdl> argument".to_owned())?;
+    match verb {
+        "check" => Ok(Command::Check { path }),
+        "fmt" => Ok(Command::Fmt { path }),
+        _ => {
+            o.path = path;
+            Ok(Command::Run(Box::new(o)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "scenarios/coin.gdl",
+            "--json",
+            "--grounder",
+            "auto",
+            "--query",
+            "Coin(1)",
+            "--top",
+            "4",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let Command::Run(o) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(o.path, "scenarios/coin.gdl");
+        assert!(o.json);
+        assert_eq!(o.grounder, GrounderChoice::Auto);
+        assert_eq!(o.queries, vec!["Coin(1)".to_owned()]);
+        assert_eq!(o.top, Some(4));
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn run_verb_is_optional() {
+        let Command::Run(o) = parse_args(&args(&["x.gdl", "--mc", "100"])).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(o.path, "x.gdl");
+        assert_eq!(o.mc, Some(100));
+    }
+
+    #[test]
+    fn check_and_fmt_take_no_flags() {
+        assert_eq!(
+            parse_args(&args(&["check", "x.gdl"])).unwrap(),
+            Command::Check {
+                path: "x.gdl".into()
+            }
+        );
+        assert!(parse_args(&args(&["fmt", "x.gdl", "--json"])).is_err());
+    }
+
+    #[test]
+    fn help_version_and_errors() {
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["-V"])).unwrap(), Command::Version);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(parse_args(&args(&["a.gdl", "b.gdl"])).is_err());
+        assert!(parse_args(&args(&["a.gdl", "--grounder", "quantum"])).is_err());
+        assert!(parse_args(&args(&["a.gdl", "--top"])).is_err());
+        assert!(parse_args(&args(&["a.gdl", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn budget_and_limits_overrides() {
+        let Command::Run(o) = parse_args(&args(&[
+            "x.gdl",
+            "--max-outcomes",
+            "10",
+            "--max-branching",
+            "8",
+            "--min-path-prob",
+            "0.001",
+            "--max-models",
+            "50",
+        ]))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        let b = o.budget();
+        assert_eq!(b.max_outcomes, 10);
+        assert_eq!(b.max_branching, 8);
+        assert!((b.min_path_probability - 0.001).abs() < 1e-12);
+        assert_eq!(b.max_depth, ChaseBudget::default().max_depth);
+        assert_eq!(o.limits().max_models, 50);
+    }
+}

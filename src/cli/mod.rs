@@ -1,0 +1,458 @@
+//! The `gdlog` command-line interface.
+//!
+//! `gdlog run scenario.gdl` parses the surface syntax, runs the full pipeline
+//! (translate → ground → chase → stable models → output space) and prints a
+//! [`report::ScenarioReport`] as text or, with `--json`, in the deterministic
+//! golden-file format of the scenario corpus. Parse, validation and
+//! stratification errors are rendered as caret diagnostics pointing into the
+//! source file.
+//!
+//! The entire interface is exposed as a library (`main_with`) so the
+//! integration tests drive it in-process with captured output.
+
+pub mod args;
+pub mod json;
+pub mod report;
+
+use args::{Command, RunOptions, USAGE};
+use gdlog_core::{CoreError, GrounderChoice, OutputSpace, Pipeline, Program};
+use gdlog_data::GroundAtom;
+use gdlog_parser::ast::Span;
+use gdlog_parser::pretty::{pretty_atom, pretty_database, pretty_rule};
+use gdlog_parser::{parse_database, parse_source, ParseError, RuleAst};
+use gdlog_prob::{Prob, Rational};
+use report::{EventReport, McReport, QueryReport, ScenarioReport};
+use std::collections::BTreeSet;
+use std::io::Write;
+
+/// Run the CLI against an argument list (excluding the program name),
+/// writing to the given streams. Returns the process exit code: 0 on
+/// success, 1 on evaluation errors, 2 on usage errors.
+pub fn main_with(argv: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write) -> i32 {
+    let command = match args::parse_args(argv) {
+        Ok(c) => c,
+        Err(message) => {
+            let _ = write!(stderr, "error: {message}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    match command {
+        Command::Help => {
+            let _ = write!(stdout, "{USAGE}");
+            0
+        }
+        Command::Version => {
+            let _ = writeln!(stdout, "gdlog {}", crate::VERSION);
+            0
+        }
+        Command::Check { path } => match check_file(&path) {
+            Ok(summary) => {
+                let _ = writeln!(stdout, "{summary}");
+                0
+            }
+            Err(rendered) => {
+                let _ = write!(stderr, "{rendered}");
+                1
+            }
+        },
+        Command::Fmt { path } => match format_file(&path) {
+            Ok(text) => {
+                let _ = write!(stdout, "{text}");
+                0
+            }
+            Err(rendered) => {
+                let _ = write!(stderr, "{rendered}");
+                1
+            }
+        },
+        Command::Run(options) => match execute_run(&options) {
+            Ok(report) => {
+                if options.json {
+                    let _ = write!(stdout, "{}", report.render_json());
+                } else {
+                    let _ = write!(stdout, "{}", report.render_text());
+                }
+                0
+            }
+            Err(rendered) => {
+                let _ = write!(stderr, "{rendered}");
+                1
+            }
+        },
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("error: cannot read {path}: {e}\n"))
+}
+
+/// Parse and validate a scenario file, rendering every error as a caret
+/// diagnostic. Returns the validated program, its facts, and the per-rule
+/// spans (for later stratification diagnostics).
+fn load_program(
+    path: &str,
+    source: &str,
+) -> Result<(Program, gdlog_data::Database, Vec<Span>), String> {
+    let parsed = parse_source(source).map_err(|e| e.render(path, source))?;
+    let (program, facts, spans) = parsed.into_parts();
+    if let Err((index, e)) = program.validate_rules() {
+        let span = spans.get(index).copied().unwrap_or_default();
+        let error = ParseError {
+            message: e.to_string(),
+            line: span.line,
+            column: span.column,
+        };
+        return Err(error.render(path, source));
+    }
+    Ok((program, facts, spans))
+}
+
+/// Render a pipeline-construction error; stratification failures point at
+/// the offending rule (head `to`, `from` in the negative body).
+fn render_core_error(
+    e: &CoreError,
+    path: &str,
+    source: &str,
+    program: &Program,
+    spans: &[Span],
+) -> String {
+    if let CoreError::NotStratified(ns) = e {
+        let offending = program.rules().iter().position(|r| {
+            r.head.predicate == ns.to && r.neg.iter().any(|a| a.predicate == ns.from)
+        });
+        if let Some(index) = offending {
+            let span = spans.get(index).copied().unwrap_or_default();
+            let error = ParseError {
+                message: e.to_string(),
+                line: span.line,
+                column: span.column,
+            };
+            return error.render(path, source);
+        }
+    }
+    format!("error: {e}\n")
+}
+
+fn check_file(path: &str) -> Result<String, String> {
+    let source = read_file(path)?;
+    let (program, facts, _) = load_program(path, &source)?;
+    Ok(format!(
+        "ok: {path}: {} rules, {} facts, stratified: {}",
+        program.len(),
+        facts.len(),
+        if program.has_stratified_negation() {
+            "yes"
+        } else {
+            "no"
+        }
+    ))
+}
+
+fn format_file(path: &str) -> Result<String, String> {
+    let source = read_file(path)?;
+    let parsed = parse_source(&source).map_err(|e| e.render(path, &source))?;
+    let mut out = String::new();
+    for statement in &parsed.statements {
+        match statement {
+            RuleAst::Rule(rule) => {
+                out.push_str(&pretty_rule(rule));
+                out.push('\n');
+            }
+            RuleAst::Constraint { pos, neg } => {
+                let mut parts: Vec<String> = pos.iter().map(pretty_atom).collect();
+                parts.extend(neg.iter().map(|a| format!("not {}", pretty_atom(a))));
+                out.push_str(&parts.join(", "));
+                out.push_str(" -> false.\n");
+            }
+        }
+    }
+    if !parsed.facts.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&pretty_database(&parsed.facts));
+    }
+    Ok(out)
+}
+
+/// Parse a ground atom written in surface syntax (e.g. `Coin(1)`,
+/// `SomeDimeTail`, `Likes(#alice, 2)`).
+fn parse_ground_atom(text: &str) -> Result<GroundAtom, String> {
+    let db = parse_database(&format!("{text}."))
+        .map_err(|e| format!("error: invalid ground atom `{text}`: {}\n", e.message))?;
+    let mut atoms = db.canonical_atoms();
+    if atoms.len() != 1 {
+        return Err(format!("error: invalid ground atom `{text}`\n"));
+    }
+    Ok(atoms.pop().expect("one atom"))
+}
+
+/// Exact division of probabilities when both sides are rational (falling
+/// back to floats on overflow); `None` when the denominator is zero.
+fn div_prob(num: &Prob, den: &Prob) -> Option<Prob> {
+    let d = den.to_f64();
+    if d == 0.0 {
+        return None;
+    }
+    if let (Some(a), Some(b)) = (num.as_exact(), den.as_exact()) {
+        if let (Some(n), Some(m)) = (
+            a.numer().checked_mul(b.denom()),
+            a.denom().checked_mul(b.numer()),
+        ) {
+            if let Some(r) = Rational::new(n, m) {
+                return Some(Prob::exact(r));
+            }
+        }
+    }
+    Some(Prob::Approx(num.to_f64() / d))
+}
+
+fn grounder_name(choice: GrounderChoice) -> &'static str {
+    match choice {
+        GrounderChoice::Simple => "simple",
+        GrounderChoice::Perfect => "perfect",
+        GrounderChoice::Auto => "auto",
+    }
+}
+
+/// Evaluate a scenario end to end. Errors come back fully rendered
+/// (diagnostics included) and ready to print.
+pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
+    let source = read_file(&o.path)?;
+    let (program, facts, spans) = load_program(&o.path, &source)?;
+
+    let mut pipeline = Pipeline::with_grounder(&program, &facts, o.grounder)
+        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?
+        .budget(o.budget())
+        .trigger_order(o.trigger_order)
+        .stable_limits(o.limits());
+    if let Some(threads) = o.threads {
+        pipeline = pipeline.threads(threads);
+    }
+
+    let chase = pipeline
+        .chase()
+        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
+    let nodes_visited = chase.nodes_visited;
+    let limits = o.limits();
+    let space = OutputSpace::from_chase_with(chase, &limits, pipeline.executor(), None)
+        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
+
+    let given_atom = o.given.as_deref().map(parse_ground_atom).transpose()?;
+
+    let mut queries = Vec::new();
+    let mut query_atoms = Vec::new();
+    for q in &o.queries {
+        let atom = parse_ground_atom(q)?;
+        let brave = space.brave_probability(&atom);
+        let cautious = space.cautious_probability(&atom);
+        let (brave_given, cautious_given) = match &given_atom {
+            Some(g) => {
+                let joint_brave = space.probability_where(|k| k.brave(&atom) && k.brave(g));
+                let p_brave_g = space.probability_where(|k| k.brave(g));
+                let joint_cautious =
+                    space.probability_where(|k| k.cautious(&atom) && k.cautious(g));
+                let p_cautious_g = space.probability_where(|k| k.cautious(g));
+                (
+                    div_prob(&joint_brave, &p_brave_g),
+                    div_prob(&joint_cautious, &p_cautious_g),
+                )
+            }
+            None => (None, None),
+        };
+        queries.push(QueryReport {
+            atom: atom.to_string(),
+            brave,
+            cautious,
+            brave_given,
+            cautious_given,
+        });
+        query_atoms.push(atom);
+    }
+
+    let mut marginals = Vec::new();
+    for pred in &o.marginals {
+        let mut atoms: BTreeSet<GroundAtom> = BTreeSet::new();
+        for (key, _) in space.events_by_mass() {
+            for model in key.models() {
+                for atom in model {
+                    if atom.predicate.name() == pred {
+                        atoms.insert(atom.clone());
+                    }
+                }
+            }
+        }
+        for atom in atoms {
+            marginals.push(QueryReport {
+                atom: atom.to_string(),
+                brave: space.brave_probability(&atom),
+                cautious: space.cautious_probability(&atom),
+                brave_given: None,
+                cautious_given: None,
+            });
+        }
+    }
+
+    let top_events = match o.top {
+        Some(k) => space
+            .events_by_mass()
+            .into_iter()
+            .take(k)
+            .map(|(key, mass)| EventReport {
+                models: key.model_count(),
+                key: key.to_string(),
+                mass,
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+
+    let mut mc_reports = Vec::new();
+    if let Some(samples) = o.mc {
+        if query_atoms.is_empty() {
+            return Err("error: `--mc` requires at least one `--query` atom\n".to_owned());
+        }
+        for atom in &query_atoms {
+            let mut estimator = pipeline.monte_carlo(o.max_triggers, o.seed);
+            let stats = estimator
+                .estimate(samples, |outcome| {
+                    outcome.full_program().heads().contains(atom)
+                })
+                .map_err(|e| format!("error: {e}\n"))?;
+            mc_reports.push(McReport {
+                atom: atom.to_string(),
+                mean: stats.estimate.mean,
+                std_error: stats.estimate.std_error,
+                samples: stats.samples,
+                abandoned: stats.abandoned,
+            });
+        }
+    }
+
+    Ok(ScenarioReport {
+        source: o.path.clone(),
+        rules: program.len(),
+        facts: facts.len(),
+        grounder: grounder_name(o.grounder),
+        threads: pipeline.executor().threads(),
+        outcomes: space.outcome_count(),
+        nodes_visited,
+        events: space.event_count(),
+        explored_mass: space.explored_mass(),
+        residual_mass: space.residual_mass(),
+        truncated: space.is_truncated(),
+        p_stable: space.has_stable_model_probability(),
+        fingerprint: space.fingerprint(),
+        queries,
+        given: given_atom.as_ref().map(|a| a.to_string()),
+        marginals,
+        top_events,
+        mc: mc_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(argv: &[&str]) -> (i32, String, String) {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = main_with(&args, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).expect("utf8 stdout"),
+            String::from_utf8(err).expect("utf8 stderr"),
+        )
+    }
+
+    fn temp_scenario(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("gdlog-cli-unit");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, text).expect("write scenario");
+        path
+    }
+
+    #[test]
+    fn help_version_and_usage_errors() {
+        let (code, out, _) = run_cli(&["--help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        let (code, out, _) = run_cli(&["--version"]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("gdlog "));
+        let (code, _, err) = run_cli(&["--frobnicate"]);
+        assert_eq!(code, 2);
+        assert!(err.contains("unknown flag"));
+    }
+
+    #[test]
+    fn run_reports_the_coin_program() {
+        let path = temp_scenario(
+            "coin_unit.gdl",
+            "-> Coin(Flip<0.5>).\nCoin(0) -> false.\nCoin(1), not Aux1 -> Aux2.\nCoin(1), not Aux2 -> Aux1.\n",
+        );
+        let (code, out, err) =
+            run_cli(&[path.to_str().unwrap(), "--query", "Coin(1)", "--top", "4"]);
+        assert_eq!(code, 0, "stderr: {err}");
+        assert!(out.contains("P(stable model exists) = 1/2"), "{out}");
+        assert!(
+            out.contains("query Coin(1): brave 1/2, cautious 1/2"),
+            "{out}"
+        );
+
+        let (code, json_out, _) = run_cli(&[path.to_str().unwrap(), "--json"]);
+        assert_eq!(code, 0);
+        assert!(json_out.contains("\"p_stable\""));
+        assert!(json_out.contains("\"text\": \"1/2\""));
+    }
+
+    #[test]
+    fn missing_file_and_bad_atom_are_reported() {
+        let (code, _, err) = run_cli(&["/nonexistent/nope.gdl"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("cannot read"));
+
+        let path = temp_scenario("atom_unit.gdl", "-> Coin(Flip<0.5>).\n");
+        let (code, _, err) = run_cli(&[path.to_str().unwrap(), "--query", "lower(1)"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("invalid ground atom"), "{err}");
+    }
+
+    #[test]
+    fn check_and_fmt_work() {
+        let path = temp_scenario(
+            "fmt_unit.gdl",
+            "% comment\nA(x),not B(x)->C(x).  Edge(1,2).\nA(x),B(x)->false.\n",
+        );
+        let (code, out, _) = run_cli(&["check", path.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("rules"), "{out}");
+
+        let (code, out, _) = run_cli(&["fmt", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("A(x), not B(x) -> C(x).\n"), "{out}");
+        assert!(out.contains("A(x), B(x) -> false.\n"), "{out}");
+        assert!(out.contains("Edge(1, 2).\n"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_render_carets() {
+        let path = temp_scenario("diag_unit.gdl", "A(x) -> B(x)\n");
+        let (code, _, err) = run_cli(&[path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(err.starts_with("error: "), "{err}");
+        assert!(err.contains("-->"), "{err}");
+        assert!(err.contains('^'), "{err}");
+    }
+
+    #[test]
+    fn div_prob_is_exact_and_guards_zero() {
+        let half = Prob::ratio(1, 2);
+        let quarter = Prob::ratio(1, 4);
+        assert_eq!(div_prob(&quarter, &half), Some(Prob::ratio(1, 2)));
+        assert_eq!(div_prob(&half, &Prob::ZERO), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! The scenario report: everything `gdlog run` learned about a program,
+//! renderable as human text or deterministic JSON.
+//!
+//! The JSON form is the golden-file format of the scenario corpus and is
+//! diffed byte-for-byte across CI's `GDLOG_THREADS` matrix legs, so it must
+//! not contain anything environment-dependent — in particular the worker
+//! thread count appears only in the *text* rendering.
+
+use super::json::Json;
+use gdlog_prob::Prob;
+use std::fmt::Write as _;
+
+/// Brave/cautious probabilities of one queried ground atom.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The queried atom, in display form.
+    pub atom: String,
+    /// Probability the atom holds in some stable model.
+    pub brave: Prob,
+    /// Probability the atom holds in every stable model (of a nonempty set).
+    pub cautious: Prob,
+    /// Conditional brave probability given the `--given` atom (brave-brave).
+    pub brave_given: Option<Prob>,
+    /// Conditional cautious probability given the `--given` atom.
+    pub cautious_given: Option<Prob>,
+}
+
+/// One event (set of stable models) and its probability mass.
+#[derive(Clone, Debug)]
+pub struct EventReport {
+    /// The event key, in display form.
+    pub key: String,
+    /// The event's probability mass.
+    pub mass: Prob,
+    /// Number of stable models in the set.
+    pub models: usize,
+}
+
+/// Monte-Carlo estimate for one queried atom.
+#[derive(Clone, Debug)]
+pub struct McReport {
+    /// The queried atom, in display form.
+    pub atom: String,
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Number of abandoned walks (trigger budget exhausted).
+    pub abandoned: usize,
+}
+
+/// The full report of one `gdlog run`.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario path as given on the command line.
+    pub source: String,
+    /// Program rules after constraint desugaring.
+    pub rules: usize,
+    /// Ground facts (the input database).
+    pub facts: usize,
+    /// Grounder actually requested (`simple` / `perfect` / `auto`).
+    pub grounder: &'static str,
+    /// Worker threads used (text rendering only; see module docs).
+    pub threads: usize,
+    /// Finite outcomes enumerated by the chase.
+    pub outcomes: usize,
+    /// Chase-tree nodes visited.
+    pub nodes_visited: usize,
+    /// Distinct events (sets of stable models).
+    pub events: usize,
+    /// Total mass of the explored events.
+    pub explored_mass: Prob,
+    /// Mass not explored (error event + beyond-budget paths).
+    pub residual_mass: Prob,
+    /// Did the chase hit its budget?
+    pub truncated: bool,
+    /// Probability that at least one stable model exists.
+    pub p_stable: Prob,
+    /// FNV-1a fingerprint of the event listing (the bench scheme).
+    pub fingerprint: String,
+    /// Per-query probabilities.
+    pub queries: Vec<QueryReport>,
+    /// The conditioning atom, if `--given` was passed.
+    pub given: Option<String>,
+    /// Marginals (per-atom brave/cautious) of `--marginal` predicates.
+    pub marginals: Vec<QueryReport>,
+    /// The `--top` K events by mass.
+    pub top_events: Vec<EventReport>,
+    /// Monte-Carlo estimates (`--mc`).
+    pub mc: Vec<McReport>,
+}
+
+/// JSON encoding of a probability: always carries the display text and the
+/// float value; exact rationals additionally carry numerator and denominator.
+fn prob_json(p: &Prob) -> Json {
+    match p.as_exact() {
+        Some(r) => Json::obj([
+            ("text", Json::str(p.to_string())),
+            ("num", Json::Int(r.numer())),
+            ("den", Json::Int(r.denom())),
+            ("value", Json::Float(p.to_f64())),
+        ]),
+        None => Json::obj([
+            ("text", Json::str(p.to_string())),
+            ("value", Json::Float(p.to_f64())),
+        ]),
+    }
+}
+
+fn opt_prob_json(p: &Option<Prob>) -> Json {
+    match p {
+        Some(p) => prob_json(p),
+        None => Json::Null,
+    }
+}
+
+fn query_json(q: &QueryReport) -> Json {
+    let mut pairs = vec![
+        ("atom", Json::str(&q.atom)),
+        ("brave", prob_json(&q.brave)),
+        ("cautious", prob_json(&q.cautious)),
+    ];
+    if q.brave_given.is_some() || q.cautious_given.is_some() {
+        pairs.push(("brave_given", opt_prob_json(&q.brave_given)));
+        pairs.push(("cautious_given", opt_prob_json(&q.cautious_given)));
+    }
+    Json::obj(pairs)
+}
+
+impl ScenarioReport {
+    /// Render the machine-readable JSON report (golden-file format).
+    pub fn render_json(&self) -> String {
+        let mut pairs = vec![
+            ("source", Json::str(&self.source)),
+            ("rules", Json::Int(self.rules as i128)),
+            ("facts", Json::Int(self.facts as i128)),
+            ("grounder", Json::str(self.grounder)),
+            ("outcomes", Json::Int(self.outcomes as i128)),
+            ("events", Json::Int(self.events as i128)),
+            ("explored_mass", prob_json(&self.explored_mass)),
+            ("residual_mass", prob_json(&self.residual_mass)),
+            ("truncated", Json::Bool(self.truncated)),
+            ("p_stable", prob_json(&self.p_stable)),
+            ("fingerprint", Json::str(&self.fingerprint)),
+        ];
+        if let Some(g) = &self.given {
+            pairs.push(("given", Json::str(g)));
+        }
+        pairs.push((
+            "queries",
+            Json::Arr(self.queries.iter().map(query_json).collect()),
+        ));
+        pairs.push((
+            "marginals",
+            Json::Arr(self.marginals.iter().map(query_json).collect()),
+        ));
+        pairs.push((
+            "top_events",
+            Json::Arr(
+                self.top_events
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("key", Json::str(&e.key)),
+                            ("mass", prob_json(&e.mass)),
+                            ("models", Json::Int(e.models as i128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push((
+            "mc",
+            Json::Arr(
+                self.mc
+                    .iter()
+                    .map(|m| {
+                        Json::obj([
+                            ("atom", Json::str(&m.atom)),
+                            ("mean", Json::Float(m.mean)),
+                            ("std_error", Json::Float(m.std_error)),
+                            ("samples", Json::Int(m.samples as i128)),
+                            ("abandoned", Json::Int(m.abandoned as i128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()).render()
+    }
+
+    /// Render the human-readable text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "source: {} ({} rules, {} facts)",
+            self.source, self.rules, self.facts
+        );
+        let _ = writeln!(
+            out,
+            "grounder: {}, threads: {}",
+            self.grounder, self.threads
+        );
+        let _ = writeln!(
+            out,
+            "outcomes: {} (nodes visited: {}), events: {}",
+            self.outcomes, self.nodes_visited, self.events
+        );
+        let _ = writeln!(
+            out,
+            "explored mass: {}, residual mass: {}, truncated: {}",
+            self.explored_mass,
+            self.residual_mass,
+            if self.truncated { "yes" } else { "no" }
+        );
+        let _ = writeln!(out, "P(stable model exists) = {}", self.p_stable);
+        let _ = writeln!(out, "fingerprint: {}", self.fingerprint);
+        for q in &self.queries {
+            let _ = write!(
+                out,
+                "query {}: brave {}, cautious {}",
+                q.atom, q.brave, q.cautious
+            );
+            if let (Some(g), Some(bg), Some(cg)) = (&self.given, &q.brave_given, &q.cautious_given)
+            {
+                let _ = write!(out, "; given {g}: brave {bg}, cautious {cg}");
+            }
+            out.push('\n');
+        }
+        for m in &self.marginals {
+            let _ = writeln!(
+                out,
+                "marginal {}: brave {}, cautious {}",
+                m.atom, m.brave, m.cautious
+            );
+        }
+        if !self.top_events.is_empty() {
+            let _ = writeln!(out, "top events by mass:");
+            for e in &self.top_events {
+                let _ = writeln!(out, "  {}  {} ({} models)", e.mass, e.key, e.models);
+            }
+        }
+        for m in &self.mc {
+            let _ = writeln!(
+                out,
+                "mc {}: mean {} ± {} ({} samples, {} abandoned)",
+                m.atom, m.mean, m.std_error, m.samples, m.abandoned
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioReport {
+        ScenarioReport {
+            source: "scenarios/coin.gdl".into(),
+            rules: 5,
+            facts: 0,
+            grounder: "simple",
+            threads: 1,
+            outcomes: 2,
+            nodes_visited: 5,
+            events: 2,
+            explored_mass: Prob::ONE,
+            residual_mass: Prob::ZERO,
+            truncated: false,
+            p_stable: Prob::ratio(1, 2),
+            fingerprint: "cbf29ce484222325".into(),
+            queries: vec![QueryReport {
+                atom: "Coin(1)".into(),
+                brave: Prob::ratio(1, 2),
+                cautious: Prob::ratio(1, 2),
+                brave_given: None,
+                cautious_given: None,
+            }],
+            given: None,
+            marginals: vec![],
+            top_events: vec![EventReport {
+                key: "{}".into(),
+                mass: Prob::ratio(1, 2),
+                models: 0,
+            }],
+            mc: vec![McReport {
+                atom: "Coin(1)".into(),
+                mean: 0.5,
+                std_error: 0.025,
+                samples: 400,
+                abandoned: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_report_mentions_the_essentials() {
+        let text = sample().render_text();
+        assert!(text.contains("P(stable model exists) = 1/2"));
+        assert!(text.contains("query Coin(1): brave 1/2, cautious 1/2"));
+        assert!(text.contains("fingerprint: cbf29ce484222325"));
+        assert!(text.contains("mc Coin(1): mean 0.5"));
+    }
+
+    #[test]
+    fn json_report_is_exact_and_thread_free() {
+        let json = sample().render_json();
+        assert!(json.contains("\"num\": 1"));
+        assert!(json.contains("\"den\": 2"));
+        assert!(json.contains("\"text\": \"1/2\""));
+        assert!(json.contains("\"fingerprint\": \"cbf29ce484222325\""));
+        // Thread counts must never reach the golden format.
+        assert!(!json.contains("thread"));
+    }
+}

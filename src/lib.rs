@@ -16,6 +16,8 @@
 //! See the `examples/` directory for runnable end-to-end scenarios
 //! (network resilience, coin games, dimes and quarters).
 
+pub mod cli;
+
 pub use gdlog_core as core;
 pub use gdlog_data as data;
 pub use gdlog_engine as engine;

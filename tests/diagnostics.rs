@@ -1,0 +1,149 @@
+//! Golden tests for CLI diagnostics: malformed `.gdl` input must produce
+//! the exact rendered error — message, `line:column` locus, source excerpt
+//! and caret — with exit code 1.
+
+use std::path::PathBuf;
+
+/// Write a scenario under the test-scoped temp dir and return its path.
+fn temp_scenario(name: &str, contents: &str) -> String {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("gdlog-diagnostics");
+    std::fs::create_dir_all(&dir).expect("mkdir tmp");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write scenario");
+    path.to_str().expect("utf-8 path").to_owned()
+}
+
+/// Run the CLI in-process, returning (exit code, stdout, stderr).
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = gdlog::cli::main_with(&argv, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8(out).expect("stdout utf-8"),
+        String::from_utf8(err).expect("stderr utf-8"),
+    )
+}
+
+#[test]
+fn unterminated_string_points_at_the_opening_quote() {
+    let path = temp_scenario("unterminated.gdl", "A(1).\nB(x) -> C(\"oops).\n");
+    let (code, out, err) = run_cli(&["run", &path]);
+    assert_eq!(code, 1);
+    assert_eq!(out, "");
+    assert_eq!(
+        err,
+        format!(
+            "error: unterminated string literal\n\
+             \x20 --> {path}:2:11\n\
+             \x20  |\n\
+             \x202 | B(x) -> C(\"oops).\n\
+             \x20  |           ^\n"
+        )
+    );
+}
+
+#[test]
+fn arity_conflict_points_at_the_later_rule() {
+    let path = temp_scenario(
+        "arity.gdl",
+        "Edge(1, 2).\nEdge(x, y) -> Path(x, y).\nPath(x) -> Reach(x).\n",
+    );
+    let (code, _, err) = run_cli(&["run", &path]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        err,
+        format!(
+            "error: data error: predicate Path used with arity 1 but previously \
+             declared with arity 2\n\
+             \x20 --> {path}:3:1\n\
+             \x20  |\n\
+             \x203 | Path(x) -> Reach(x).\n\
+             \x20  | ^\n"
+        )
+    );
+}
+
+#[test]
+fn unsafe_head_variable_points_at_its_rule() {
+    let path = temp_scenario("unsafe.gdl", "A(1).\nA(x) -> B(y).\n");
+    let (code, _, err) = run_cli(&["run", &path]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        err,
+        format!(
+            "error: invalid program: unsafe variable y in head B(y) of rule \
+             `A(x) -> B(y).`\n\
+             \x20 --> {path}:2:1\n\
+             \x20  |\n\
+             \x202 | A(x) -> B(y).\n\
+             \x20  | ^\n"
+        )
+    );
+}
+
+#[test]
+fn unstratifiable_negation_under_perfect_grounder_points_at_the_cycle_rule() {
+    let path = temp_scenario(
+        "unstrat.gdl",
+        "A(1).\nA(x), not Q(x) -> P(x).\nA(x), not P(x) -> Q(x).\n",
+    );
+    let (code, _, err) = run_cli(&["run", &path, "--grounder", "perfect"]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        err,
+        format!(
+            "error: not stratified: negative edge Q/1 -> P/1 lies on a cycle\n\
+             \x20 --> {path}:2:1\n\
+             \x20  |\n\
+             \x202 | A(x), not Q(x) -> P(x).\n\
+             \x20  | ^\n"
+        )
+    );
+}
+
+#[test]
+fn error_at_end_of_input_clamps_the_caret_to_the_last_line() {
+    // The parser reports a missing `.` at the end-of-input position (line 2
+    // of a 1-line file); the renderer must still show an excerpt.
+    let path = temp_scenario("eof.gdl", "A(x) -> B(x)\n");
+    let (code, _, err) = run_cli(&["run", &path]);
+    assert_eq!(code, 1);
+    assert!(
+        err.contains(&format!("--> {path}:2:1")),
+        "locus missing in:\n{err}"
+    );
+    assert!(
+        err.contains("1 | A(x) -> B(x)"),
+        "clamped excerpt missing in:\n{err}"
+    );
+    assert!(err.trim_end().ends_with('^'), "caret missing in:\n{err}");
+}
+
+#[test]
+fn check_subcommand_renders_the_same_diagnostics() {
+    let path = temp_scenario("check_unsafe.gdl", "A(1).\nA(x) -> B(y).\n");
+    let (code, out, err) = run_cli(&["check", &path]);
+    assert_eq!(code, 1);
+    assert_eq!(out, "");
+    assert!(err.starts_with("error: invalid program: unsafe variable y"));
+    assert!(err.contains(&format!("--> {path}:2:1")));
+}
+
+#[test]
+fn usage_errors_exit_2_with_the_usage_text() {
+    let (code, out, err) = run_cli(&["run", "a.gdl", "--grounder", "quantum"]);
+    assert_eq!(code, 2);
+    assert_eq!(out, "");
+    assert!(err.starts_with("error: "));
+    assert!(err.contains("USAGE:"), "usage text missing in:\n{err}");
+}
+
+#[test]
+fn missing_file_is_a_plain_error_without_a_caret() {
+    let (code, _, err) = run_cli(&["run", "/nonexistent/nowhere.gdl"]);
+    assert_eq!(code, 1);
+    assert!(err.starts_with("error: cannot read /nonexistent/nowhere.gdl"));
+    assert!(!err.contains('^'));
+}

@@ -1,9 +1,10 @@
-//! Smoke tests: every example under `examples/` must run to completion.
+//! Smoke tests: every example under `examples/` must run to completion, and
+//! the `gdlog` binary must evaluate every scenario in `scenarios/`.
 //!
-//! These invoke `cargo run --release --example <name>` as a subprocess (the
-//! same artifacts tier-1 CI builds just before testing, so the nested cargo
-//! call is a cheap cache hit). A failing example — panic, nonzero exit,
-//! missing example target — fails the test with its captured output.
+//! These invoke `cargo run --release` as a subprocess (the same artifacts
+//! tier-1 CI builds just before testing, so the nested cargo call is a cheap
+//! cache hit). A failing example or scenario — panic, nonzero exit, missing
+//! target — fails the test with its captured output.
 
 use std::process::Command;
 
@@ -48,4 +49,101 @@ fn network_resilience_example_runs() {
 #[test]
 fn grounder_comparison_example_runs() {
     run_example(EXAMPLES[3]);
+}
+
+/// Run the `gdlog` binary with the given arguments, returning stdout.
+fn run_gdlog(args: &[&str]) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--bin", "gdlog", "--"])
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for gdlog {args:?}: {e}"));
+    assert!(
+        output.status.success(),
+        "gdlog {args:?} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8(output.stdout).expect("gdlog stdout is UTF-8")
+}
+
+/// Every scenario in the corpus runs to exit 0 through the real binary with
+/// a smoke budget (the corpus test exercises the full directive flags; this
+/// covers the binary entry point itself).
+#[test]
+fn gdlog_binary_runs_every_scenario() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("gdl") {
+            continue;
+        }
+        let path = path.to_str().expect("utf-8 path");
+        let text = run_gdlog(&[
+            "run",
+            path,
+            "--grounder",
+            "auto",
+            "--max-outcomes",
+            "64",
+            "--max-branching",
+            "8",
+            "--top",
+            "3",
+        ]);
+        assert!(text.contains("outcomes"), "no summary in output:\n{text}");
+        count += 1;
+    }
+    assert!(count >= 8, "expected >= 8 scenarios, ran {count}");
+}
+
+/// `--json` output from the binary is well-formed enough to trust in CI
+/// pipelines: balanced braces, the promised top-level keys, no thread count.
+#[test]
+fn gdlog_binary_emits_json() {
+    let text = run_gdlog(&[
+        "run",
+        "scenarios/coin.gdl",
+        "--json",
+        "--query",
+        "Coin(1)",
+        "--top",
+        "2",
+    ]);
+    assert!(text.starts_with("{\n"), "not a JSON object:\n{text}");
+    assert!(text.ends_with("}\n"), "unterminated JSON:\n{text}");
+    let depth: i64 = text
+        .chars()
+        .map(|c| match c {
+            '{' | '[' => 1,
+            '}' | ']' => -1,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(depth, 0, "unbalanced brackets:\n{text}");
+    for key in [
+        "\"source\"",
+        "\"fingerprint\"",
+        "\"p_stable\"",
+        "\"queries\"",
+        "\"top_events\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
+    assert!(!text.contains("\"threads\""), "threads leaked into JSON");
+}
+
+/// The `check` and `fmt` subcommands succeed on a scenario; `fmt` output
+/// re-parses (full round-tripping is property-tested in `properties.rs`).
+#[test]
+fn gdlog_binary_checks_and_formats() {
+    let checked = run_gdlog(&["check", "scenarios/dime_quarter.gdl"]);
+    assert!(checked.contains("stratified: yes"), "{checked}");
+    let formatted = run_gdlog(&["fmt", "scenarios/game_chain.gdl"]);
+    gdlog_parser::parse_source(&formatted)
+        .unwrap_or_else(|e| panic!("fmt output does not re-parse: {e}\n{formatted}"));
 }

@@ -616,6 +616,183 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Surface-syntax round-trip: pretty-printing a random program and database
+// and re-parsing the text reproduces the originals exactly. This is the
+// contract the `gdlog fmt` subcommand and the scenario corpus rely on.
+// ---------------------------------------------------------------------------
+
+/// Variable pool for random rules.
+const RT_VARS: [&str; 3] = ["x", "y", "z"];
+
+/// Symbol pool: identifier-shaped names (printed `#name`), the reserved word
+/// `fail` and a non-identifier name (both printed as quoted strings).
+const RT_SYMS: [&str; 5] = ["alice", "bob", "n_1", "fail", "two words"];
+
+/// Constants covering every surface shape: integers (incl. negative), reals
+/// (incl. integral ones, printed `1.0`), booleans, and symbols.
+fn surface_const() -> impl Strategy<Value = Const> {
+    (
+        0u8..4,
+        -50i64..50,
+        0u32..150,
+        any::<bool>(),
+        0usize..RT_SYMS.len(),
+    )
+        .prop_map(|(kind, i, r, b, s)| match kind {
+            0 => Const::Int(i),
+            1 => Const::Real(f64::from(r) / 100.0),
+            2 => Const::Bool(b),
+            _ => Const::sym(RT_SYMS[s]),
+        })
+}
+
+/// A term ingredient: a selector byte (variable vs constant, and which
+/// variable) plus a constant fallback.
+type TermSpec = (u8, Const);
+
+/// Materialize a positive-body term, recording any variable it introduces.
+fn pos_term(spec: &TermSpec, used: &mut Vec<gdlog_data::Var>) -> gdlog_data::Term {
+    let (sel, c) = spec;
+    if *sel < 160 {
+        let v = gdlog_data::Var::new(RT_VARS[*sel as usize % RT_VARS.len()]);
+        if !used.contains(&v) {
+            used.push(v);
+        }
+        gdlog_data::Term::Var(v)
+    } else {
+        gdlog_data::Term::Const(*c)
+    }
+}
+
+/// Materialize a head or negative-body term; variables are drawn only from
+/// those the positive body introduced, so every generated rule is safe.
+fn safe_term(spec: &TermSpec, used: &[gdlog_data::Var]) -> gdlog_data::Term {
+    let (sel, c) = spec;
+    if !used.is_empty() && *sel < 160 {
+        gdlog_data::Term::Var(used[*sel as usize % used.len()])
+    } else {
+        gdlog_data::Term::Const(*c)
+    }
+}
+
+/// One head-argument recipe: a plain term or a Δ-term with a real-valued
+/// parameter and a random event signature.
+#[derive(Clone, Debug)]
+enum HeadSpec {
+    Term(TermSpec),
+    Delta(&'static str, u32, Vec<TermSpec>),
+}
+
+fn term_ingredient() -> impl Strategy<Value = TermSpec> {
+    (any::<u8>(), surface_const())
+}
+
+fn atom_ingredient() -> impl Strategy<Value = (&'static str, Vec<TermSpec>)> {
+    (
+        prop::sample::select(vec!["P", "Q", "R", "S"]),
+        prop::collection::vec(term_ingredient(), 0..3),
+    )
+}
+
+fn head_ingredient() -> impl Strategy<Value = HeadSpec> {
+    (
+        any::<u8>(),
+        term_ingredient(),
+        prop::sample::select(vec!["Flip", "Geometric"]),
+        1u32..100,
+        prop::collection::vec(term_ingredient(), 0..2),
+    )
+        .prop_map(|(sel, t, d, p, ev)| {
+            // Plain terms three times out of four, Δ-terms otherwise.
+            if sel % 4 < 3 {
+                HeadSpec::Term(t)
+            } else {
+                HeadSpec::Delta(d, p, ev)
+            }
+        })
+}
+
+fn surface_rule() -> impl Strategy<Value = gdlog::core::Rule> {
+    (
+        prop::collection::vec(atom_ingredient(), 1..3),
+        prop::collection::vec(atom_ingredient(), 0..2),
+        prop::sample::select(vec!["H", "K"]),
+        prop::collection::vec(head_ingredient(), 0..3),
+    )
+        .prop_map(|(pos_spec, neg_spec, head_pred, head_spec)| {
+            let mut used = Vec::new();
+            let pos: Vec<gdlog_data::Atom> = pos_spec
+                .into_iter()
+                .map(|(p, ts)| {
+                    gdlog_data::Atom::make(p, ts.iter().map(|t| pos_term(t, &mut used)).collect())
+                })
+                .collect();
+            let neg: Vec<gdlog_data::Atom> = neg_spec
+                .into_iter()
+                .map(|(p, ts)| {
+                    gdlog_data::Atom::make(p, ts.iter().map(|t| safe_term(t, &used)).collect())
+                })
+                .collect();
+            let head_args: Vec<gdlog::core::HeadTerm> = head_spec
+                .into_iter()
+                .map(|h| match h {
+                    HeadSpec::Term(t) => gdlog::core::HeadTerm::Term(safe_term(&t, &used)),
+                    HeadSpec::Delta(name, p, ev) => {
+                        gdlog::core::HeadTerm::Delta(gdlog::core::DeltaTerm::new(
+                            name,
+                            vec![gdlog_data::Term::Const(Const::Real(f64::from(p) / 100.0))],
+                            ev.iter().map(|t| safe_term(t, &used)).collect(),
+                        ))
+                    }
+                })
+                .collect();
+            gdlog::core::Rule::new(pos, neg, gdlog::core::Head::make(head_pred, head_args))
+        })
+}
+
+fn surface_db() -> impl Strategy<Value = Database> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!["F", "G", "Data"]),
+            prop::collection::vec(surface_const(), 0..3),
+        ),
+        0..6,
+    )
+    .prop_map(|facts| {
+        let mut db = Database::new();
+        for (name, args) in facts {
+            db.insert_fact(name, args);
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse_source(pretty_program(p) + pretty_database(db))` reproduces the
+    /// original program and database exactly, over random safe rules (with
+    /// Δ-terms, negation, every constant shape) and random fact databases.
+    #[test]
+    fn surface_syntax_round_trips(
+        rules in prop::collection::vec(surface_rule(), 0..6),
+        db in surface_db(),
+    ) {
+        let program = gdlog::core::Program::new(rules);
+        let text = format!(
+            "{}{}",
+            gdlog_parser::pretty_program(&program),
+            gdlog_parser::pretty_database(&db)
+        );
+        let parsed = gdlog_parser::parse_source(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{text}")))?;
+        let (program2, db2, _) = parsed.into_parts();
+        prop_assert_eq!(program2, program, "program drifted through print+parse:\n{}", text);
+        prop_assert_eq!(db2, db, "database drifted through print+parse:\n{}", text);
+    }
+}
+
 /// Satellite check for the parallel stable-model back-end: on every workload
 /// of the stable benchmark suite, `OutputSpace::from_chase` must produce
 /// bit-identical events and masses at 1, 2 and 8 threads, with and without a
