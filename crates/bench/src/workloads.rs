@@ -135,6 +135,160 @@ pub fn coin_chain(n: usize, p: f64) -> (Program, Database) {
     (program, db)
 }
 
+/// A "coin farm": `n` independent coins, each tossed once, with tails
+/// recorded per coin — and *no* shared head welding the coins together
+/// (contrast [`coin_chain`], whose zero-arity `SomeHeads` head couples every
+/// coin into one chase component). The chase-independence analysis splits
+/// the farm into one component per coin, so the factored output space is a
+/// product of `n` two-outcome factors while the flat chase needs `2^n`
+/// outcomes — the scaling family for `bench_factor`.
+pub fn coin_farm(n: usize, p: f64) -> (Program, Database) {
+    let program = ProgramBuilder::new()
+        .rule(|r| {
+            r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                "Toss",
+                vec![Term::var("x")],
+                "Flip",
+                vec![Term::Const(Const::real(p).expect("finite"))],
+                vec![Term::var("x")],
+            )
+        })
+        .rule(|r| {
+            r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                .head("Tails", vec![Term::var("x")])
+        })
+        .build()
+        .expect("coin farm program is valid");
+    let mut db = Database::new();
+    for i in 1..=n as i64 {
+        db.insert_fact("Coin", [Const::Int(i)]);
+    }
+    (program, db)
+}
+
+/// `k` disjoint copies of the `scenarios/cascade.gdl` diamond (the nodes of
+/// copy `c` live in the range `10c+1 ..= 10c+4`), generated as surface
+/// syntax and parsed back so the bench measures exactly the program the
+/// corpus scenario runs. Each copy chases to 9 outcomes, so the flat space
+/// is `9^k` while the factored space stores `9k`.
+pub fn cascade_copies(k: usize) -> (Program, Database) {
+    let mut text = String::from(
+        "Source(x) -> Reach(x, 1).\nReach(x, 1), Edge(x, y) -> Reach(y, Flip<0.9>[x, y]).\n\n",
+    );
+    for c in 0..k as i64 {
+        let b = 10 * c;
+        text.push_str(&format!("Source({}).\n", b + 1));
+        for (x, y) in [(1, 2), (1, 3), (2, 4), (3, 4)] {
+            text.push_str(&format!("Edge({}, {}).\n", b + x, b + y));
+        }
+    }
+    gdlog_parser::parse_program(&text).expect("generated cascade program parses")
+}
+
+/// `k` disjoint copies of the `scenarios/epidemic.gdl` contact chain (the
+/// persons of copy `c` live in the range `10c+1 ..= 10c+3`). Each copy
+/// chases to 3 outcomes, so the flat space is `3^k` while the factored
+/// space stores `3k`.
+pub fn epidemic_copies(k: usize) -> (Program, Database) {
+    let mut text = String::from(
+        "Sick(x, 1), Contact(x, y) -> Sick(y, Flip<0.5>[x, y]).\nPerson(x), not Sick(x, 1) -> Healthy(x).\n\n",
+    );
+    for c in 0..k as i64 {
+        let b = 10 * c;
+        for i in 1..=3 {
+            text.push_str(&format!("Person({}).\n", b + i));
+        }
+        text.push_str(&format!("Contact({}, {}).\n", b + 1, b + 2));
+        text.push_str(&format!("Contact({}, {}).\n", b + 2, b + 3));
+        text.push_str(&format!("Sick({}, 1).\n", b + 1));
+    }
+    gdlog_parser::parse_program(&text).expect("generated epidemic program parses")
+}
+
+/// One flat-vs-factored benchmark workload: a program/database pair whose
+/// chase splits into independent components.
+pub struct FactorWorkload {
+    /// Workload name (scale-qualified, e.g. `coin_farm_n16`).
+    pub name: String,
+    /// The GDatalog¬\[Δ\] program.
+    pub program: Program,
+    /// The input database.
+    pub database: Database,
+    /// Number of chase components the independence analysis should find.
+    pub expected_factors: usize,
+    /// Can the flat path enumerate this exactly within the default chase
+    /// budget? `false` marks the past-the-wall workloads (flat outcome count
+    /// above `ChaseBudget::default().max_outcomes`) that only the factored
+    /// path solves exactly.
+    pub flat_feasible: bool,
+}
+
+/// The factorization benchmark suite — **the** scale table for
+/// `bench_factor`, at CI-smoke (`full = false`) or full measurement size.
+/// Scales live only here so the smoke and full runs cannot drift.
+pub fn factor_workload_suite(full: bool) -> Vec<FactorWorkload> {
+    let farm = if full { 16 } else { 8 };
+    let game = if full { 10 } else { 5 };
+    let cascade = if full { 5 } else { 3 };
+    let epidemic = if full { 8 } else { 4 };
+    // Past the wall: flat enumeration blows the default 100k-outcome budget
+    // (2^100 and 9^10 outcomes at full scale) but the factored path solves
+    // both exactly.
+    let wall_farm = if full { 100 } else { 24 };
+    let wall_cascade = if full { 10 } else { 7 };
+
+    let mut suite = Vec::new();
+    let (program, database) = coin_farm(farm, 0.5);
+    suite.push(FactorWorkload {
+        name: format!("coin_farm_n{farm}"),
+        program,
+        database,
+        expected_factors: farm,
+        flat_feasible: true,
+    });
+    let (program, database) = coin_game(game, 0.5);
+    suite.push(FactorWorkload {
+        name: format!("coin_game_n{game}"),
+        program,
+        database,
+        expected_factors: game,
+        flat_feasible: true,
+    });
+    let (program, database) = cascade_copies(cascade);
+    suite.push(FactorWorkload {
+        name: format!("cascade_x{cascade}"),
+        program,
+        database,
+        expected_factors: cascade,
+        flat_feasible: true,
+    });
+    let (program, database) = epidemic_copies(epidemic);
+    suite.push(FactorWorkload {
+        name: format!("epidemic_x{epidemic}"),
+        program,
+        database,
+        expected_factors: epidemic,
+        flat_feasible: true,
+    });
+    let (program, database) = coin_farm(wall_farm, 0.5);
+    suite.push(FactorWorkload {
+        name: format!("coin_farm_n{wall_farm}"),
+        program,
+        database,
+        expected_factors: wall_farm,
+        flat_feasible: false,
+    });
+    let (program, database) = cascade_copies(wall_cascade);
+    suite.push(FactorWorkload {
+        name: format!("cascade_x{wall_cascade}"),
+        program,
+        database,
+        expected_factors: wall_cascade,
+        flat_feasible: false,
+    });
+    suite
+}
+
 /// A choice set that drives the infection cascade as far as it goes: every
 /// round, all open triggers are resolved with `outcome`, until the
 /// configuration is terminal or `max_rounds` is hit. With `outcome = 1`
@@ -485,6 +639,63 @@ mod tests {
         let (program, db) = chain_game(3, 0.5);
         assert!(program.validate().is_ok());
         assert_eq!(db.len(), 3 + 2, "players plus Next edges");
+    }
+
+    #[test]
+    fn coin_farm_and_copy_generators_validate() {
+        let (program, db) = coin_farm(4, 0.5);
+        assert!(program.validate().is_ok());
+        assert!(
+            program.has_stratified_negation(),
+            "the farm has no negation at all"
+        );
+        assert_eq!(db.len(), 4);
+        let (program, db) = cascade_copies(3);
+        assert!(program.validate().is_ok());
+        assert_eq!(db.len(), 3 * 5, "one Source and four Edges per copy");
+        let (program, db) = epidemic_copies(2);
+        assert!(program.validate().is_ok());
+        assert_eq!(db.len(), 2 * 6, "three Persons, two Contacts, one Sick");
+    }
+
+    #[test]
+    fn factor_suite_scales_are_consistent_across_smoke_and_full() {
+        for full in [false, true] {
+            let suite = factor_workload_suite(full);
+            assert_eq!(suite.len(), 6);
+            assert_eq!(
+                suite.iter().filter(|w| !w.flat_feasible).count(),
+                2,
+                "two past-the-wall workloads"
+            );
+            for w in &suite {
+                assert!(w.program.validate().is_ok(), "{}", w.name);
+            }
+        }
+        let smoke: Vec<String> = factor_workload_suite(false)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        let full: Vec<String> = factor_workload_suite(true)
+            .iter()
+            .map(|w| w.name.clone())
+            .collect();
+        assert_ne!(smoke, full);
+    }
+
+    #[test]
+    fn factor_suite_components_match_the_advertised_counts() {
+        // Smoke scale only: the independence analysis saturates a universe
+        // per workload, which is cheap here but not free.
+        for w in factor_workload_suite(false) {
+            let pipeline = gdlog_core::Pipeline::new(&w.program, &w.database).expect("pipeline");
+            assert_eq!(
+                pipeline.factor_count().expect("analysis succeeds"),
+                w.expected_factors,
+                "{}",
+                w.name
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1018 @@
+//! Chase-independence analysis and factored output spaces.
+//!
+//! The flat pipeline enumerates every joint configuration of probabilistic
+//! choices — `2^n` outcomes for `n` independent coins. But when the ground
+//! program splits into sub-programs with disjoint atom dependencies, the
+//! chase itself factorizes: choices in one component can never influence
+//! rule firings, constraints or stable models in another, so the output
+//! space is exactly the *product* of the per-component output spaces
+//! (the chase analogue of the SCC split the stable-model search already
+//! performs per outcome).
+//!
+//! The analysis proceeds in three steps:
+//!
+//! 1. **Universe saturation** (`saturate_universe`): a least fixpoint over
+//!    `Σ∄_Π[D]` that over-approximates every ground atom derivable in *any*
+//!    chase branch. Negative literals are ignored (deriving more atoms only
+//!    merges components — always sound) and every reachable `Active` atom is
+//!    expanded to all of its budget-capped outcomes, exactly the branches
+//!    the real chase would explore.
+//! 2. **Component partition** ([`analyze`]): every ground rule instance
+//!    contributes star edges `head — body atom` (negative atoms only when
+//!    they are derivable, i.e. in the universe; underivable negative
+//!    literals are vacuously true everywhere and carry no dependency), and
+//!    every AtR pair contributes `active — result` edges. Connected
+//!    components of this graph are chase-independent sub-programs.
+//! 3. **Per-component chase** ([`ComponentGrounder`]): each component is
+//!    chased independently — the grounder's triggers are filtered to the
+//!    component's `Active` atoms, so the chase branches only over this
+//!    component's choices — and the resulting outcomes are restricted to
+//!    rules whose heads live in the component.
+//!
+//! Soundness of the product measure: every ground rule instance has its full
+//! footprint (head, positive body, derivable negative body) inside one
+//! component, so each flat outcome's program is the disjoint union of the
+//! per-component programs, its probability is the product of the component
+//! probabilities (choices are independent), and by the splitting theorem
+//! its stable models are exactly the unions of per-component stable models.
+//! Budget interaction: each component is explored under the full
+//! [`ChaseBudget`], so the joint explored mass is the *product* of the
+//! per-component explored masses and the joint residual is
+//! `1 − ∏ exploredᵢ` — a factored run can be exact (residual zero) where
+//! the flat enumeration would blow `max_outcomes` long before finishing.
+//! `min_path_probability` cuts are *joint*-mass cuts and do not factorize;
+//! the analysis falls back to the flat path when one is set.
+
+use crate::chase::ChaseBudget;
+use crate::error::CoreError;
+use crate::grounding::{AtrSet, GroundRuleSet, Grounder, Grounding};
+use crate::outcome::ModelSetKey;
+use crate::semantics::OutputSpace;
+use crate::translate::SigmaPi;
+use gdlog_data::{match_atoms, Database, GroundAtom};
+use gdlog_engine::{connected_components, GroundProgram, GroundRule};
+use gdlog_prob::{DiscreteSpace, FactoredSpace, Prob};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Safety valve for the universe fixpoint: programs whose over-approximated
+/// atom universe exceeds this bound fall back to the flat path rather than
+/// spend unbounded analysis time.
+const UNIVERSE_ATOM_CAP: usize = 200_000;
+
+/// Extra joint events fetched beyond `k` by [`FactoredOutputSpace::events_by_mass_top`]
+/// so equal-mass ties at the cut can be re-sorted into the flat
+/// (mass-descending, key-ascending) order.
+const TOP_K_TIE_SLACK: usize = 64;
+
+/// One chase-independent component: the ground atoms that can only be
+/// derived inside it, and the `Active` atoms (triggers) among them.
+#[derive(Clone, Debug)]
+pub struct ChaseComponent {
+    /// Every universe atom of the component.
+    pub atoms: BTreeSet<GroundAtom>,
+    /// The component's `Active` atoms — the only triggers its chase applies.
+    pub triggers: BTreeSet<GroundAtom>,
+}
+
+/// The over-approximated derivable universe: all atoms, all deduplicated
+/// ground rule instances, and all `active → results` expansions.
+struct Universe {
+    heads: Database,
+    instances: Vec<GroundRule>,
+    atr_pairs: Vec<(GroundAtom, Vec<GroundAtom>)>,
+}
+
+/// Least fixpoint over `sigma.rules` (facts are bodyless rules, so they are
+/// covered), ignoring negative bodies and expanding every reachable `Active`
+/// atom to its first `budget.max_branching` outcomes — the same truncation
+/// the chase applies, so the universe covers every explored branch.
+///
+/// Returns `Ok(None)` (flat fallback) when a distribution errors (the flat
+/// path will surface it) or the universe exceeds [`UNIVERSE_ATOM_CAP`].
+fn saturate_universe(sigma: &SigmaPi, budget: &ChaseBudget) -> Result<Option<Universe>, CoreError> {
+    let mut derived = GroundProgram::new();
+    let mut heads = Database::new();
+    let mut expanded: BTreeSet<GroundAtom> = BTreeSet::new();
+    let mut atr_pairs: Vec<(GroundAtom, Vec<GroundAtom>)> = Vec::new();
+
+    loop {
+        let mut changed = false;
+
+        // Expand every newly derived Active atom to all its outcomes.
+        for schema in &sigma.atr_schemas {
+            let actives: Vec<GroundAtom> = heads
+                .atoms_of(&schema.active)
+                .filter(|a| !expanded.contains(*a))
+                .cloned()
+                .collect();
+            for active in actives {
+                let outcomes = match schema.outcomes(&active, budget.max_branching) {
+                    Ok(o) => o,
+                    Err(_) => return Ok(None),
+                };
+                let mut results = Vec::with_capacity(outcomes.len());
+                for (outcome, _) in outcomes {
+                    let result = schema.result_atom(&active, outcome);
+                    heads.insert(result.clone());
+                    results.push(result);
+                }
+                expanded.insert(active.clone());
+                atr_pairs.push((active, results));
+                changed = true;
+            }
+        }
+
+        // One naive pass of every rule against all heads; negative literals
+        // are ignored (over-approximation).
+        let mut new_rules: Vec<GroundRule> = Vec::new();
+        for rule in &sigma.rules {
+            for h in match_atoms(&rule.pos, |pattern| heads.candidates(pattern)) {
+                let head = rule
+                    .head
+                    .apply_ground(&h)
+                    .expect("safety guarantees the head grounds");
+                let pos: Vec<GroundAtom> = rule
+                    .pos
+                    .iter()
+                    .map(|a| a.apply_ground(&h).expect("matched atoms are ground"))
+                    .collect();
+                let neg: Vec<GroundAtom> = rule
+                    .neg
+                    .iter()
+                    .map(|a| {
+                        a.apply_ground(&h)
+                            .expect("safety grounds negative literals")
+                    })
+                    .collect();
+                new_rules.push(GroundRule::new(head, pos, neg));
+            }
+        }
+        for rule in new_rules {
+            let head = rule.head.clone();
+            if derived.push(rule) {
+                heads.insert(head);
+                changed = true;
+            }
+        }
+
+        if heads.len() > UNIVERSE_ATOM_CAP {
+            return Ok(None);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(Some(Universe {
+        instances: derived.iter().cloned().collect(),
+        heads,
+        atr_pairs,
+    }))
+}
+
+/// Partition the universe into connected components of the dependency
+/// graph: star edges `head — footprint atom` per rule instance plus
+/// `active — result` edges per AtR expansion.
+fn partition(sigma: &SigmaPi, universe: &Universe) -> Vec<ChaseComponent> {
+    let atoms: Vec<GroundAtom> = universe.heads.canonical_atoms();
+    let index: BTreeMap<&GroundAtom, usize> =
+        atoms.iter().enumerate().map(|(i, a)| (a, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); atoms.len()];
+    for rule in &universe.instances {
+        let hub = index[&rule.head];
+        for atom in rule.pos.iter().chain(rule.neg.iter()) {
+            // Negative atoms outside the universe can never be derived: the
+            // literal is vacuously true in every component, no dependency.
+            if let Some(&i) = index.get(atom) {
+                adj[hub].push(i);
+            }
+        }
+    }
+    for (active, results) in &universe.atr_pairs {
+        let hub = index[active];
+        for result in results {
+            adj[hub].push(index[result]);
+        }
+    }
+    connected_components(atoms.len(), &adj)
+        .into_iter()
+        .map(|vs| {
+            let set: BTreeSet<GroundAtom> = vs.iter().map(|&v| atoms[v].clone()).collect();
+            let triggers = set
+                .iter()
+                .filter(|a| sigma.is_active_predicate(&a.predicate))
+                .cloned()
+                .collect();
+            ChaseComponent {
+                atoms: set,
+                triggers,
+            }
+        })
+        .collect()
+}
+
+/// The chase-independence analysis: the components an independent
+/// per-component chase would run, or `None` when the program should take
+/// the flat path — fewer than two trigger-bearing components, a positive
+/// `min_path_probability` (joint-mass cuts do not factorize), a
+/// distribution error, or a universe beyond the analysis cap.
+///
+/// Trigger-free components (the deterministic skeleton: facts and atoms
+/// derivable without any choice) are merged into one final factor so that
+/// every rule of every outcome lands in exactly one factor.
+pub fn analyze(
+    sigma: &SigmaPi,
+    budget: &ChaseBudget,
+) -> Result<Option<Vec<ChaseComponent>>, CoreError> {
+    if budget.min_path_probability > 0.0 {
+        return Ok(None);
+    }
+    let Some(universe) = saturate_universe(sigma, budget)? else {
+        return Ok(None);
+    };
+    let (with_triggers, without): (Vec<_>, Vec<_>) = partition(sigma, &universe)
+        .into_iter()
+        .partition(|c| !c.triggers.is_empty());
+    if with_triggers.len() <= 1 {
+        return Ok(None);
+    }
+    let mut components = with_triggers;
+    if !without.is_empty() {
+        let mut base = ChaseComponent {
+            atoms: BTreeSet::new(),
+            triggers: BTreeSet::new(),
+        };
+        for c in without {
+            base.atoms.extend(c.atoms);
+        }
+        components.push(base);
+    }
+    Ok(Some(components))
+}
+
+/// A grounder restricted to one chase component: grounding delegates to the
+/// inner grounder unchanged, but only the component's own `Active` atoms
+/// count as triggers — the chase branches over this component's choices and
+/// terminates with every other component's `Active` atoms left undefined.
+pub struct ComponentGrounder<'a> {
+    inner: &'a dyn Grounder,
+    triggers: &'a BTreeSet<GroundAtom>,
+}
+
+impl<'a> ComponentGrounder<'a> {
+    /// Restrict `inner` to the given trigger set.
+    ///
+    /// `inner` must saturate past undefined triggers (the simple grounder
+    /// does; the perfect grounder intentionally stalls at the stratum of an
+    /// undefined trigger and would never derive later strata of this
+    /// component).
+    pub fn new(inner: &'a dyn Grounder, triggers: &'a BTreeSet<GroundAtom>) -> Self {
+        ComponentGrounder { inner, triggers }
+    }
+}
+
+impl Grounder for ComponentGrounder<'_> {
+    fn sigma(&self) -> &SigmaPi {
+        self.inner.sigma()
+    }
+
+    fn name(&self) -> &'static str {
+        "component"
+    }
+
+    fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
+        self.inner.ground(atr)
+    }
+
+    fn ground_node(&self, atr: &AtrSet) -> Grounding {
+        self.inner.ground_node(atr)
+    }
+
+    fn ground_from(&self, atr: &AtrSet, parent_atr: &AtrSet, parent: &mut Grounding) -> Grounding {
+        self.inner.ground_from(atr, parent_atr, parent)
+    }
+
+    fn triggers(&self, atr: &AtrSet, rules: &GroundRuleSet) -> Vec<GroundAtom> {
+        self.inner
+            .triggers(atr, rules)
+            .into_iter()
+            .filter(|a| self.triggers.contains(a))
+            .collect()
+    }
+}
+
+/// Restrict every outcome of a per-component chase to the rules whose heads
+/// live in the component. Rule footprints never cross components, so this
+/// keeps exactly the component's share of each flat outcome's program.
+pub(crate) fn restrict_outcomes(
+    mut chase: crate::chase::ChaseResult,
+    atoms: &BTreeSet<GroundAtom>,
+) -> crate::chase::ChaseResult {
+    for outcome in &mut chase.outcomes {
+        outcome.rules = GroundRuleSet::from_rules(
+            outcome
+                .rules
+                .iter()
+                .filter(|r| atoms.contains(&r.head))
+                .cloned(),
+        );
+    }
+    chase
+}
+
+/// One solved factor: the component's atoms and its output space.
+pub struct Factor {
+    /// The component's universe atoms (for routing query atoms to factors).
+    pub atoms: BTreeSet<GroundAtom>,
+    /// The component's own output probability space.
+    pub space: OutputSpace,
+}
+
+/// The product of per-component output spaces — never materialized into a
+/// flat cross product. All queries answer by per-factor lookup and exact
+/// [`Prob`] factor multiplication.
+pub struct FactoredOutputSpace {
+    factors: Vec<Factor>,
+    /// Per factor: `P(sms ≠ ∅)` within the explored mass.
+    nonempty: Vec<Prob>,
+    /// Per factor: explored mass.
+    explored: Vec<Prob>,
+}
+
+impl FactoredOutputSpace {
+    /// Assemble the product space, caching the per-factor nonempty and
+    /// explored masses every query multiplies with.
+    pub fn new(factors: Vec<Factor>) -> Self {
+        let nonempty = factors
+            .iter()
+            .map(|f| f.space.has_stable_model_probability())
+            .collect();
+        let explored = factors.iter().map(|f| f.space.explored_mass()).collect();
+        FactoredOutputSpace {
+            factors,
+            nonempty,
+            explored,
+        }
+    }
+
+    /// Number of factors.
+    pub fn factor_count(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factors.
+    pub fn factors(&self) -> &[Factor] {
+        &self.factors
+    }
+
+    /// Joint outcomes the flat chase would have enumerated: the product of
+    /// the per-factor outcome counts, saturating at `u128::MAX`.
+    pub fn combined_outcomes(&self) -> u128 {
+        self.factors.iter().fold(1u128, |acc, f| {
+            acc.saturating_mul(f.space.outcome_count() as u128)
+        })
+    }
+
+    /// Outcomes actually stored: the *sum* of the per-factor counts.
+    pub fn stored_outcomes(&self) -> usize {
+        self.factors.iter().map(|f| f.space.outcome_count()).sum()
+    }
+
+    /// Distinct joint events. Nonempty joint keys are in bijection with
+    /// tuples of nonempty per-factor keys (projecting onto the disjoint atom
+    /// sets recovers the tuple); every tuple with at least one empty key
+    /// collapses into the single "no stable model" event.
+    pub fn combined_events(&self) -> u128 {
+        let mut nonempty_product = 1u128;
+        let mut any_empty = false;
+        for f in &self.factors {
+            let events = f.space.event_count();
+            let has_empty = f.space.events_by_mass().iter().any(|(k, _)| k.is_empty());
+            any_empty |= has_empty;
+            nonempty_product =
+                nonempty_product.saturating_mul((events - usize::from(has_empty)) as u128);
+        }
+        nonempty_product.saturating_add(u128::from(any_empty))
+    }
+
+    /// Explored joint mass: the product of the per-factor explored masses.
+    pub fn explored_mass(&self) -> Prob {
+        Prob::product(self.explored.iter().copied())
+    }
+
+    /// Joint residual: `1 − ∏ exploredᵢ`, clamped at zero against float dust.
+    pub fn residual_mass(&self) -> Prob {
+        let r = Prob::ONE.sub(&self.explored_mass());
+        if r.to_f64() < 0.0 {
+            Prob::ZERO
+        } else {
+            r
+        }
+    }
+
+    /// Did any factor's chase hit its budget?
+    pub fn is_truncated(&self) -> bool {
+        self.factors.iter().any(|f| f.space.is_truncated())
+    }
+
+    /// `P(sms ≠ ∅)` of the joint program: a union of disjoint programs has a
+    /// stable model iff every part does, so the per-factor probabilities
+    /// multiply.
+    pub fn has_stable_model_probability(&self) -> Prob {
+        Prob::product(self.nonempty.iter().copied())
+    }
+
+    /// The factor whose atom set contains `atom`, if any.
+    fn factor_of(&self, atom: &GroundAtom) -> Option<usize> {
+        self.factors.iter().position(|f| f.atoms.contains(atom))
+    }
+
+    /// `P(every listed atom is brave in the joint key)`: a joint model is a
+    /// union of per-factor models, so atom `a` of factor `j` is in some
+    /// joint model iff it is in some factor-`j` model *and* every other
+    /// factor is nonempty. Atoms sharing a factor must be witnessed jointly
+    /// within it; an atom in no factor is underivable and the probability is
+    /// zero.
+    pub fn probability_brave_all(&self, atoms: &[GroundAtom]) -> Prob {
+        self.probability_grouped(atoms, |key, group| group.iter().all(|a| key.brave(a)))
+    }
+
+    /// `P(every listed atom is cautious in the joint key)` — the same
+    /// factor-wise decomposition with the cautious test per factor.
+    pub fn probability_cautious_all(&self, atoms: &[GroundAtom]) -> Prob {
+        self.probability_grouped(atoms, |key, group| group.iter().all(|a| key.cautious(a)))
+    }
+
+    fn probability_grouped<F>(&self, atoms: &[GroundAtom], test: F) -> Prob
+    where
+        F: Fn(&ModelSetKey, &[&GroundAtom]) -> bool,
+    {
+        let mut by_factor: BTreeMap<usize, Vec<&GroundAtom>> = BTreeMap::new();
+        for atom in atoms {
+            match self.factor_of(atom) {
+                Some(j) => by_factor.entry(j).or_default().push(atom),
+                None => return Prob::ZERO,
+            }
+        }
+        let mut p = Prob::ONE;
+        for (i, f) in self.factors.iter().enumerate() {
+            let factor_mass = match by_factor.get(&i) {
+                Some(group) => f.space.probability_where(|k| test(k, group)),
+                None => self.nonempty[i],
+            };
+            p = p.mul(&factor_mass);
+        }
+        p
+    }
+
+    /// `P(atom ∈ some joint stable model)`.
+    pub fn brave_probability(&self, atom: &GroundAtom) -> Prob {
+        self.probability_brave_all(std::slice::from_ref(atom))
+    }
+
+    /// `P(atom ∈ every joint stable model, and one exists)`.
+    pub fn cautious_probability(&self, atom: &GroundAtom) -> Prob {
+        self.probability_cautious_all(std::slice::from_ref(atom))
+    }
+
+    /// Probability mass of one joint event. The empty key is the union of
+    /// every tuple with at least one empty factor: `∏ exploredᵢ − ∏ nonemptyᵢ`.
+    /// A nonempty key is a product event iff the product of its per-factor
+    /// projections reconstructs it, with mass the product of the projection
+    /// masses; any other key has mass zero.
+    pub fn event_probability(&self, key: &ModelSetKey) -> Prob {
+        if key.is_empty() {
+            let r = self
+                .explored_mass()
+                .sub(&self.has_stable_model_probability());
+            return if r.to_f64() < 0.0 { Prob::ZERO } else { r };
+        }
+        let mut mass = Prob::ONE;
+        let mut projections: Vec<ModelSetKey> = Vec::with_capacity(self.factors.len());
+        for f in &self.factors {
+            let projection = key.filter_atoms(|a| f.atoms.contains(a));
+            mass = mass.mul(&f.space.event_probability(&projection));
+            projections.push(projection);
+        }
+        let refs: Vec<&ModelSetKey> = projections.iter().collect();
+        if ModelSetKey::product(&refs) != *key {
+            return Prob::ZERO;
+        }
+        mass
+    }
+
+    /// The `k` heaviest joint events in the flat (mass-descending,
+    /// key-ascending) order, computed by the lazy k-way product merge of
+    /// [`FactoredSpace`] over the per-factor *nonempty* events — plus the
+    /// single collapsed "no stable model" event with its closed-form mass.
+    ///
+    /// Equal-mass ties are normalized by fetching `TOP_K_TIE_SLACK` extra
+    /// candidates and re-sorting; the listing matches the flat
+    /// `events_by_mass` prefix exactly whenever the tie class crossing the
+    /// cut fits in the slack (always true when `k` covers all events).
+    pub fn events_by_mass_top(&self, k: usize) -> Vec<(ModelSetKey, Prob)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let spaces: Vec<DiscreteSpace<ModelSetKey>> = self
+            .factors
+            .iter()
+            .map(|f| {
+                let mut s = DiscreteSpace::new();
+                for (key, mass) in f.space.events_by_mass() {
+                    if !key.is_empty() {
+                        s.push(key, mass);
+                    }
+                }
+                s
+            })
+            .collect();
+        let product = FactoredSpace::from_factors(spaces);
+        let mut out: Vec<(ModelSetKey, Prob)> = product
+            .top_k(k.saturating_add(TOP_K_TIE_SLACK))
+            .into_iter()
+            .map(|(parts, mass)| (ModelSetKey::product(&parts), mass))
+            .collect();
+        let empty_mass = self.event_probability(&ModelSetKey::empty());
+        if empty_mass.is_positive() {
+            out.push((ModelSetKey::empty(), empty_mass));
+        }
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// Every atom with the given predicate name occurring in any factor's
+    /// stable models (for marginal reports).
+    pub fn atoms_with_predicate(&self, name: &str) -> BTreeSet<GroundAtom> {
+        let mut atoms = BTreeSet::new();
+        for f in &self.factors {
+            for (key, _) in f.space.events_by_mass() {
+                for model in key.models() {
+                    for atom in model {
+                        if atom.predicate.name() == name {
+                            atoms.insert(atom.clone());
+                        }
+                    }
+                }
+            }
+        }
+        atoms
+    }
+
+    /// A deterministic fingerprint of the product space: FNV-1a over the
+    /// per-factor [`OutputSpace::fingerprint`]s plus the factor count.
+    pub fn fingerprint(&self) -> String {
+        crate::fingerprint::fnv1a_fingerprint(
+            self.factors
+                .iter()
+                .map(|f| format!("factor={};", f.space.fingerprint()))
+                .chain(std::iter::once(format!("factors={};", self.factors.len()))),
+        )
+    }
+}
+
+/// The result of [`crate::Pipeline::solve_factored`]: the flat space when
+/// the program has at most one trigger-bearing component (byte-for-byte
+/// today's path), the factored product otherwise. Queries delegate so
+/// callers need not branch.
+pub enum FactoredSolve {
+    /// The program did not factor; this is exactly [`crate::Pipeline::solve`]'s
+    /// output.
+    Flat(OutputSpace),
+    /// The product of per-component output spaces.
+    Product(FactoredOutputSpace),
+}
+
+impl FactoredSolve {
+    /// Number of factors (one on the flat path).
+    pub fn factor_count(&self) -> usize {
+        match self {
+            FactoredSolve::Flat(_) => 1,
+            FactoredSolve::Product(p) => p.factor_count(),
+        }
+    }
+
+    /// Did the factored path run?
+    pub fn is_factored(&self) -> bool {
+        matches!(self, FactoredSolve::Product(_))
+    }
+
+    /// The flat space, when the program did not factor.
+    pub fn as_flat(&self) -> Option<&OutputSpace> {
+        match self {
+            FactoredSolve::Flat(s) => Some(s),
+            FactoredSolve::Product(_) => None,
+        }
+    }
+
+    /// The product space, when the program factored.
+    pub fn as_product(&self) -> Option<&FactoredOutputSpace> {
+        match self {
+            FactoredSolve::Flat(_) => None,
+            FactoredSolve::Product(p) => Some(p),
+        }
+    }
+
+    /// Joint outcomes described (flat: enumerated; factored: the product of
+    /// per-factor counts, saturating at `u128::MAX`).
+    pub fn combined_outcomes(&self) -> u128 {
+        match self {
+            FactoredSolve::Flat(s) => s.outcome_count() as u128,
+            FactoredSolve::Product(p) => p.combined_outcomes(),
+        }
+    }
+
+    /// Distinct joint events described.
+    pub fn combined_events(&self) -> u128 {
+        match self {
+            FactoredSolve::Flat(s) => s.event_count() as u128,
+            FactoredSolve::Product(p) => p.combined_events(),
+        }
+    }
+
+    /// `P(sms ≠ ∅)` of the joint program.
+    pub fn has_stable_model_probability(&self) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.has_stable_model_probability(),
+            FactoredSolve::Product(p) => p.has_stable_model_probability(),
+        }
+    }
+
+    /// Explored joint mass.
+    pub fn explored_mass(&self) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.explored_mass(),
+            FactoredSolve::Product(p) => p.explored_mass(),
+        }
+    }
+
+    /// Unexplored joint mass.
+    pub fn residual_mass(&self) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.residual_mass(),
+            FactoredSolve::Product(p) => p.residual_mass(),
+        }
+    }
+
+    /// Did any chase hit its budget?
+    pub fn is_truncated(&self) -> bool {
+        match self {
+            FactoredSolve::Flat(s) => s.is_truncated(),
+            FactoredSolve::Product(p) => p.is_truncated(),
+        }
+    }
+
+    /// `P(atom ∈ some joint stable model)`.
+    pub fn brave_probability(&self, atom: &GroundAtom) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.brave_probability(atom),
+            FactoredSolve::Product(p) => p.brave_probability(atom),
+        }
+    }
+
+    /// `P(atom ∈ every joint stable model, and one exists)`.
+    pub fn cautious_probability(&self, atom: &GroundAtom) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.cautious_probability(atom),
+            FactoredSolve::Product(p) => p.cautious_probability(atom),
+        }
+    }
+
+    /// `P(every listed atom is brave)`.
+    pub fn probability_brave_all(&self, atoms: &[GroundAtom]) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.probability_where(|k| atoms.iter().all(|a| k.brave(a))),
+            FactoredSolve::Product(p) => p.probability_brave_all(atoms),
+        }
+    }
+
+    /// `P(every listed atom is cautious)`.
+    pub fn probability_cautious_all(&self, atoms: &[GroundAtom]) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.probability_where(|k| atoms.iter().all(|a| k.cautious(a))),
+            FactoredSolve::Product(p) => p.probability_cautious_all(atoms),
+        }
+    }
+
+    /// Probability mass of one joint event.
+    pub fn event_probability(&self, key: &ModelSetKey) -> Prob {
+        match self {
+            FactoredSolve::Flat(s) => s.event_probability(key),
+            FactoredSolve::Product(p) => p.event_probability(key),
+        }
+    }
+
+    /// The `k` heaviest joint events in (mass-descending, key-ascending)
+    /// order.
+    pub fn events_by_mass_top(&self, k: usize) -> Vec<(ModelSetKey, Prob)> {
+        match self {
+            FactoredSolve::Flat(s) => s.events_by_mass().into_iter().take(k).collect(),
+            FactoredSolve::Product(p) => p.events_by_mass_top(k),
+        }
+    }
+
+    /// Every atom with the given predicate name occurring in any stable
+    /// model.
+    pub fn atoms_with_predicate(&self, name: &str) -> BTreeSet<GroundAtom> {
+        match self {
+            FactoredSolve::Flat(s) => {
+                let mut atoms = BTreeSet::new();
+                for (key, _) in s.events_by_mass() {
+                    for model in key.models() {
+                        for atom in model {
+                            if atom.predicate.name() == name {
+                                atoms.insert(atom.clone());
+                            }
+                        }
+                    }
+                }
+                atoms
+            }
+            FactoredSolve::Product(p) => p.atoms_with_predicate(name),
+        }
+    }
+
+    /// A deterministic fingerprint (flat: the flat scheme, unchanged).
+    pub fn fingerprint(&self) -> String {
+        match self {
+            FactoredSolve::Flat(s) => s.fingerprint(),
+            FactoredSolve::Product(p) => p.fingerprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::chase::ChaseBudget;
+    use crate::pipeline::Pipeline;
+    use crate::program::{coin_program, Program};
+    use gdlog_data::{Const, Database, Term};
+    use gdlog_prob::Prob;
+
+    /// `n` independent coins: `Coin(i)` facts, `Coin(x) → Toss(x, Flip⟨p⟩[x])`,
+    /// `Toss(x, 1) → Tails(x)`. With `gadget`, an even-loop on tails gives
+    /// each tails factor two stable models — use only at small `n`: a joint
+    /// outcome with `k` tails genuinely has `2^k` stable models, so *flat*
+    /// solving (and materializing joint keys) is exponential in `k`.
+    fn coin_farm(n: i64, gadget: bool) -> (Program, Database) {
+        let half = Term::Const(Const::real(0.5).expect("finite"));
+        let mut builder = ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![half],
+                    vec![Term::var("x")],
+                )
+            })
+            .rule(|r| {
+                r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                    .head("Tails", vec![Term::var("x")])
+            });
+        if gadget {
+            builder = builder
+                .rule(|r| {
+                    r.body("Tails", vec![Term::var("x")])
+                        .not_body("Odd", vec![Term::var("x")])
+                        .head("Even", vec![Term::var("x")])
+                })
+                .rule(|r| {
+                    r.body("Tails", vec![Term::var("x")])
+                        .not_body("Even", vec![Term::var("x")])
+                        .head("Odd", vec![Term::var("x")])
+                });
+        }
+        let program = builder.build().expect("valid program");
+        let mut db = Database::new();
+        for i in 1..=n {
+            db.insert_fact("Coin", [Const::Int(i)]);
+        }
+        (program, db)
+    }
+
+    fn atom(name: &str, args: &[i64]) -> GroundAtom {
+        GroundAtom::make(name, args.iter().map(|&i| Const::Int(i)).collect())
+    }
+
+    #[test]
+    fn independent_coins_split_into_one_component_each() {
+        let (program, db) = coin_farm(4, true);
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        let components = analyze(pipeline.sigma(), &ChaseBudget::default())
+            .unwrap()
+            .expect("four independent coins must factor");
+        assert_eq!(components.len(), 4);
+        for c in &components {
+            assert_eq!(c.triggers.len(), 1, "one Flip choice per coin");
+            assert!(c.atoms.len() >= 5, "Coin, Active, Results, Tosses, Tails");
+        }
+        // Component atoms partition the universe.
+        let mut seen: BTreeSet<GroundAtom> = BTreeSet::new();
+        for c in &components {
+            for a in &c.atoms {
+                assert!(seen.insert(a.clone()), "components must be disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_programs_fall_back_to_flat() {
+        // The coin program has a single choice: nothing to factor.
+        let pipeline = Pipeline::new(&coin_program(), &Database::new()).unwrap();
+        assert!(analyze(pipeline.sigma(), &ChaseBudget::default())
+            .unwrap()
+            .is_none());
+
+        // A zero-arity coupler welds all coins into one component.
+        let half = Term::Const(Const::real(0.5).expect("finite"));
+        let program = ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![half],
+                    vec![Term::var("x")],
+                )
+            })
+            .rule(|r| {
+                r.body("Toss", vec![Term::var("x"), Term::int(1)])
+                    .head("SomeTails", vec![])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new();
+        for i in 1..=3 {
+            db.insert_fact("Coin", [Const::Int(i)]);
+        }
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        assert!(analyze(pipeline.sigma(), &ChaseBudget::default())
+            .unwrap()
+            .is_none());
+
+        // Joint-mass cuts do not factorize.
+        let (program, db) = coin_farm(3, true);
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        let budget = ChaseBudget {
+            min_path_probability: 0.01,
+            ..ChaseBudget::default()
+        };
+        assert!(analyze(pipeline.sigma(), &budget).unwrap().is_none());
+    }
+
+    #[test]
+    fn factored_solve_matches_flat_exactly() {
+        let (program, db) = coin_farm(4, true);
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        let flat = pipeline.solve().unwrap();
+        let factored = pipeline.solve_factored().unwrap();
+        assert!(factored.is_factored());
+        assert_eq!(factored.factor_count(), 4);
+        assert_eq!(factored.combined_outcomes(), 16);
+        assert_eq!(
+            factored.has_stable_model_probability(),
+            flat.has_stable_model_probability()
+        );
+        assert_eq!(factored.explored_mass(), flat.explored_mass());
+        assert_eq!(factored.residual_mass(), flat.residual_mass());
+        assert_eq!(factored.is_truncated(), flat.is_truncated());
+        assert_eq!(factored.combined_events() as usize, flat.event_count());
+
+        for i in 1..=4 {
+            for name in ["Coin", "Tails", "Even", "Odd"] {
+                let a = atom(name, &[i]);
+                assert_eq!(
+                    factored.brave_probability(&a),
+                    flat.brave_probability(&a),
+                    "brave({name}({i}))"
+                );
+                assert_eq!(
+                    factored.cautious_probability(&a),
+                    flat.cautious_probability(&a),
+                    "cautious({name}({i}))"
+                );
+            }
+        }
+
+        // Joint (conditional-style) queries decompose across factors.
+        let t1 = atom("Tails", &[1]);
+        let t2 = atom("Tails", &[2]);
+        assert_eq!(
+            factored.probability_brave_all(&[t1.clone(), t2.clone()]),
+            flat.probability_where(|k| k.brave(&t1) && k.brave(&t2))
+        );
+
+        // Full event listings agree (k covers all events, so the tie
+        // normalization is total).
+        let flat_events = flat.events_by_mass();
+        let factored_events = factored.events_by_mass_top(flat_events.len() + 8);
+        assert_eq!(factored_events, flat_events);
+        // Per-event masses agree through the product projection.
+        for (key, mass) in &flat_events {
+            assert_eq!(factored.event_probability(key), *mass, "mass of {key}");
+        }
+        // An unrelated key has zero joint mass.
+        let bogus = ModelSetKey::from_models(&[Database::from_atoms([atom("Nope", &[1])])]);
+        assert_eq!(factored.event_probability(&bogus), Prob::ZERO);
+        // An underivable atom is never brave.
+        assert_eq!(factored.brave_probability(&atom("Nope", &[9])), Prob::ZERO);
+    }
+
+    #[test]
+    fn single_component_is_byte_for_byte_flat() {
+        let pipeline = Pipeline::new(&coin_program(), &Database::new()).unwrap();
+        let flat = pipeline.solve().unwrap();
+        let solved = pipeline.solve_factored().unwrap();
+        assert!(!solved.is_factored());
+        assert_eq!(solved.factor_count(), 1);
+        let space = solved.as_flat().expect("flat fallback");
+        assert_eq!(space.events_by_mass(), flat.events_by_mass());
+        assert_eq!(space.fingerprint(), flat.fingerprint());
+        assert_eq!(solved.fingerprint(), flat.fingerprint());
+    }
+
+    #[test]
+    fn factored_beats_the_flat_budget_wall() {
+        // 20 coins: 2^20 joint outcomes — far beyond a 10k-outcome budget
+        // flat, exactly solved factored (40 stored outcomes).
+        let (program, db) = coin_farm(20, false);
+        let budget = ChaseBudget {
+            max_outcomes: 10_000,
+            ..ChaseBudget::default()
+        };
+        let pipeline = Pipeline::new(&program, &db).unwrap().budget(budget);
+        let flat = pipeline.solve().unwrap();
+        assert!(flat.is_truncated(), "flat must hit the budget");
+        assert!(flat.residual_mass().is_positive());
+
+        let factored = pipeline.solve_factored().unwrap();
+        assert!(factored.is_factored());
+        assert_eq!(factored.factor_count(), 20);
+        assert_eq!(factored.combined_outcomes(), 1u128 << 20);
+        assert!(!factored.is_truncated(), "factored is exact");
+        assert_eq!(factored.explored_mass(), Prob::ONE);
+        assert_eq!(factored.residual_mass(), Prob::ZERO);
+        assert_eq!(factored.has_stable_model_probability(), Prob::ONE);
+        let p = factored.as_product().expect("factored");
+        assert_eq!(p.stored_outcomes(), 40);
+        // Exact per-coin marginals at full depth.
+        assert_eq!(
+            factored.brave_probability(&atom("Tails", &[20])),
+            Prob::ratio(1, 2)
+        );
+        // Top events of 2^20 equally heavy outcomes: each joint event has
+        // mass 1/2^20 exactly.
+        let top = factored.events_by_mass_top(3);
+        assert_eq!(top.len(), 3);
+        for (_, mass) in &top {
+            assert_eq!(*mass, Prob::ratio(1, 1 << 20));
+        }
+    }
+
+    #[test]
+    fn deterministic_skeleton_lands_in_a_base_factor() {
+        // Facts plus a deterministic rule chain with no choices attached,
+        // alongside two independent coins.
+        let half = Term::Const(Const::real(0.5).expect("finite"));
+        let program = ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![half],
+                    vec![Term::var("x")],
+                )
+            })
+            .rule(|r| {
+                r.body("Edge", vec![Term::var("x"), Term::var("y")])
+                    .head("Reach", vec![Term::var("y")])
+            })
+            .build()
+            .unwrap();
+        let mut db = Database::new();
+        db.insert_fact("Coin", [Const::Int(1)]);
+        db.insert_fact("Coin", [Const::Int(2)]);
+        db.insert_fact("Edge", [Const::Int(7), Const::Int(8)]);
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        let factored = pipeline.solve_factored().unwrap();
+        // Two coin factors plus the deterministic base factor.
+        assert_eq!(factored.factor_count(), 3);
+        assert_eq!(factored.has_stable_model_probability(), Prob::ONE);
+        // The deterministic atom is certain — witnessed through the base
+        // factor times the other factors' nonempty mass (all one).
+        assert_eq!(factored.brave_probability(&atom("Reach", &[8])), Prob::ONE);
+        assert_eq!(
+            factored.cautious_probability(&atom("Reach", &[8])),
+            Prob::ONE
+        );
+        // And it matches the flat answer.
+        let flat = pipeline.solve().unwrap();
+        assert_eq!(flat.brave_probability(&atom("Reach", &[8])), Prob::ONE);
+        assert_eq!(factored.events_by_mass_top(16), flat.events_by_mass());
+    }
+}

@@ -41,6 +41,7 @@ pub mod delta;
 pub mod depgraph;
 pub mod error;
 pub mod exec;
+pub mod factor;
 pub mod fingerprint;
 pub mod grounding;
 pub mod mc;
@@ -66,6 +67,7 @@ pub use delta::DeltaTerm;
 pub use depgraph::{dependency_graph, stratification, DependencyGraph, Stratification};
 pub use error::CoreError;
 pub use exec::{Executor, THREADS_ENV};
+pub use factor::{ChaseComponent, ComponentGrounder, Factor, FactoredOutputSpace, FactoredSolve};
 pub use fingerprint::fnv1a_fingerprint;
 pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder, Grounding};
 pub use mc::{sample_outcome, walk_rng, MonteCarlo, SampleStats, SampledPath};

@@ -61,6 +61,37 @@ impl ModelSetKey {
         self.0.iter().any(|m| m.binary_search(atom).is_ok())
     }
 
+    /// The event key of a union of programs over disjoint atom sets: by the
+    /// splitting theorem, `sms(P₁ ⊎ … ⊎ Pₘ)` is the set of unions of one
+    /// stable model per part, so the joint key is the cross product of the
+    /// per-part keys with each joint model the (sorted, deduplicated) union
+    /// of its parts. Any empty part makes the whole product empty — a union
+    /// has a stable model only if every part does.
+    pub fn product(keys: &[&ModelSetKey]) -> ModelSetKey {
+        if keys.iter().any(|k| k.is_empty()) {
+            return ModelSetKey::empty();
+        }
+        let mut encoded: Vec<Vec<GroundAtom>> = vec![Vec::new()];
+        for key in keys {
+            let mut next = Vec::with_capacity(encoded.len() * key.0.len());
+            for prefix in &encoded {
+                for model in &key.0 {
+                    let mut joined = prefix.clone();
+                    joined.extend(model.iter().cloned());
+                    next.push(joined);
+                }
+            }
+            encoded = next;
+        }
+        for model in &mut encoded {
+            model.sort();
+            model.dedup();
+        }
+        encoded.sort();
+        encoded.dedup();
+        ModelSetKey(encoded)
+    }
+
     /// Restrict every model to the given predicate filter, re-canonicalising
     /// the key (used to compare outcomes "modulo active").
     pub fn filter_atoms<F: Fn(&GroundAtom) -> bool>(&self, keep: F) -> ModelSetKey {
@@ -219,6 +250,27 @@ mod tests {
         let filtered = k.filter_atoms(|a| a.predicate.name() != "Hidden");
         // After dropping the Hidden atom both models coincide.
         assert_eq!(filtered.model_count(), 1);
+    }
+
+    #[test]
+    fn product_is_the_cross_product_of_model_unions() {
+        let left = ModelSetKey::from_models(&[db(&[atom("A", &[1])]), db(&[atom("A", &[2])])]);
+        let right = ModelSetKey::from_models(&[db(&[atom("B", &[1])])]);
+        let joint = ModelSetKey::product(&[&left, &right]);
+        assert_eq!(joint.model_count(), 2);
+        assert!(joint.brave(&atom("A", &[1])));
+        assert!(joint.cautious(&atom("B", &[1])));
+        assert!(!joint.cautious(&atom("A", &[1])));
+        // Projecting back onto the factor's atoms recovers the factor key.
+        assert_eq!(joint.filter_atoms(|a| a.predicate.name() == "A"), left);
+        assert_eq!(joint.filter_atoms(|a| a.predicate.name() == "B"), right);
+        // Any empty part collapses the whole product.
+        assert!(ModelSetKey::product(&[&left, &ModelSetKey::empty()]).is_empty());
+        // The empty product is the key with one empty model (the union of no
+        // programs has exactly one stable model: the empty database).
+        let unit = ModelSetKey::product(&[]);
+        assert_eq!(unit.model_count(), 1);
+        assert_eq!(ModelSetKey::product(&[&left, &unit]), left);
     }
 
     #[test]

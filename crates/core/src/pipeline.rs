@@ -14,6 +14,9 @@
 use crate::chase::{enumerate_outcomes_with, ChaseBudget, ChaseResult, TriggerOrder};
 use crate::error::CoreError;
 use crate::exec::Executor;
+use crate::factor::{
+    self, ChaseComponent, ComponentGrounder, Factor, FactoredOutputSpace, FactoredSolve,
+};
 use crate::grounding::Grounder;
 use crate::mc::MonteCarlo;
 use crate::model_cache::{ModelCacheStats, ModelSetCache};
@@ -167,6 +170,63 @@ impl Pipeline {
     /// every [`Pipeline::solve`] call on this pipeline.
     pub fn stable_cache_stats(&self) -> ModelCacheStats {
         self.stable_cache.stats()
+    }
+
+    /// The stable-model memo table itself (shared across flat and factored
+    /// solves on this pipeline).
+    pub fn stable_cache(&self) -> &ModelSetCache {
+        &self.stable_cache
+    }
+
+    /// The chase-independence analysis for this pipeline's program and
+    /// budget: the components an independent per-component chase would run,
+    /// or `None` when the program should take the flat path.
+    pub fn factor_components(&self) -> Result<Option<Vec<ChaseComponent>>, CoreError> {
+        factor::analyze(&self.sigma, &self.budget)
+    }
+
+    /// How many independent factors [`Pipeline::solve_factored`] would use
+    /// (one on the flat path).
+    pub fn factor_count(&self) -> Result<usize, CoreError> {
+        Ok(self.factor_components()?.map_or(1, |c| c.len()))
+    }
+
+    /// Run the full pipeline with front-of-pipeline factorization: when the
+    /// ground program splits into chase-independent components, chase and
+    /// solve each component separately and answer queries from the *product*
+    /// of the per-component output spaces — exact inference past the `2^n`
+    /// wall of the flat enumeration. Programs with a single component fall
+    /// back to [`Pipeline::solve`] byte-for-byte.
+    ///
+    /// Component chases always run on a fresh simple grounder regardless of
+    /// the pipeline's configured grounder: the perfect grounder's
+    /// stratum-cursor saturation intentionally stalls at the stratum of an
+    /// undefined trigger, and in a component chase every *other* component's
+    /// `Active` atoms stay undefined forever by design. Stable-model solving
+    /// per factor reuses the pipeline's executor, limits and memo table.
+    pub fn solve_factored(&self) -> Result<FactoredSolve, CoreError> {
+        let Some(components) = self.factor_components()? else {
+            return Ok(FactoredSolve::Flat(self.solve()?));
+        };
+        let simple = SimpleGrounder::new(self.sigma.clone());
+        let mut factors = Vec::with_capacity(components.len());
+        for component in components {
+            let grounder = ComponentGrounder::new(&simple, &component.triggers);
+            let chase =
+                enumerate_outcomes_with(&grounder, &self.budget, self.order, &self.executor)?;
+            let chase = factor::restrict_outcomes(chase, &component.atoms);
+            let space = OutputSpace::from_chase_with(
+                chase,
+                &self.limits,
+                &self.executor,
+                Some(&self.stable_cache),
+            )?;
+            factors.push(Factor {
+                atoms: component.atoms,
+                space,
+            });
+        }
+        Ok(FactoredSolve::Product(FactoredOutputSpace::new(factors)))
     }
 
     /// A Monte-Carlo estimator over the same grounder (sharing the

@@ -271,6 +271,36 @@ pub fn sccs_of(n: usize, succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
     out
 }
 
+/// The connected components of an index-based *undirected* graph (given as a
+/// directed adjacency that is symmetrized internally), each sorted, ordered
+/// by smallest member.
+///
+/// This is the independence kernel shared with the chase-factorization
+/// analysis (`gdlog-core::factor`): two vertices land in the same component
+/// exactly when some chain of edges connects them in either direction, so
+/// distinct components share no dependencies at all. Implemented as
+/// [`sccs_of`] over the symmetrized adjacency — in an undirected graph the
+/// strongly connected components *are* the connected components.
+pub fn connected_components(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    debug_assert_eq!(adj.len(), n);
+    let mut sym: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, next) in adj.iter().enumerate() {
+        for &w in next {
+            sym[v].push(w);
+            sym[w].push(v);
+        }
+    }
+    for s in &mut sym {
+        s.sort_unstable();
+        s.dedup();
+    }
+    let mut comps = sccs_of(n, &sym);
+    // `sccs_of` sorts each component internally; order the components
+    // themselves canonically by their smallest member.
+    comps.sort_by_key(|c| c.first().copied().unwrap_or(usize::MAX));
+    comps
+}
+
 /// Error returned when a program is not stratified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NotStratified {
@@ -441,6 +471,21 @@ mod tests {
         assert!(g
             .edges()
             .any(|(f, _, s)| f.name() == "Infected" && *s == EdgeSign::Negative));
+    }
+
+    #[test]
+    fn connected_components_symmetrize_and_order() {
+        // Directed edges 0→1, 3→2, isolated 4: components {0,1}, {2,3}, {4}
+        // regardless of edge direction, ordered by smallest member.
+        let adj = vec![vec![1], vec![], vec![], vec![2], vec![]];
+        assert_eq!(
+            connected_components(5, &adj),
+            vec![vec![0, 1], vec![2, 3], vec![4]]
+        );
+        // A chain through both directions collapses into one component.
+        let chain = vec![vec![1], vec![], vec![1], vec![2]];
+        assert_eq!(connected_components(4, &chain), vec![vec![0, 1, 2, 3]]);
+        assert!(connected_components(0, &[]).is_empty());
     }
 
     #[test]

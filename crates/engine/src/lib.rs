@@ -34,7 +34,7 @@ pub mod stable;
 pub mod stratified;
 pub mod wellfounded;
 
-pub use depgraph::{sccs_of, DependencyGraph, EdgeSign, Stratification};
+pub use depgraph::{connected_components, sccs_of, DependencyGraph, EdgeSign, Stratification};
 pub use ground::{GroundProgram, GroundRule};
 pub use least_model::least_model;
 pub use naive_stable::naive_stable_models;

@@ -13,12 +13,15 @@
 //! * [`DeltaRegistry`] — the finite set Δ of distributions a program may use,
 //! * [`DiscreteSpace`] — discrete probability spaces `(Ω, P)` and event
 //!   partitions used to build the output space of a program,
+//! * [`FactoredSpace`] — products of independent discrete spaces that are
+//!   never materialized into a flat cross product,
 //! * [`sampler`] — random sampling from parameterized distributions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod factored;
 pub mod probability;
 pub mod rational;
 pub mod registry;
@@ -26,6 +29,7 @@ pub mod sampler;
 pub mod space;
 
 pub use distribution::{DistError, Distribution, Support};
+pub use factored::FactoredSpace;
 pub use probability::Prob;
 pub use rational::Rational;
 pub use registry::DeltaRegistry;

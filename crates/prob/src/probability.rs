@@ -125,6 +125,26 @@ impl Prob {
         Prob::ONE.sub(self)
     }
 
+    /// Division, staying exact when both operands are exact and the quotient
+    /// does not overflow. Returns `None` when `other` is zero.
+    ///
+    /// Exact division goes through [`Rational::checked_div`], whose
+    /// cross-reduction keeps deep quotients of dyadic masses (e.g. a joint
+    /// mass over a conditioning mass, both with denominator `2^100`) exact
+    /// instead of silently overflowing to floats.
+    pub fn div(&self, other: &Prob) -> Option<Prob> {
+        if other.is_zero() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Prob::Exact(a), Prob::Exact(b)) => match a.checked_div(b) {
+                Some(r) => Prob::Exact(r),
+                None => Prob::Approx(a.to_f64() / b.to_f64()),
+            },
+            _ => Prob::Approx(self.to_f64() / other.to_f64()),
+        })
+    }
+
     /// Product of an iterator of probabilities (1 for the empty product).
     pub fn product<I: IntoIterator<Item = Prob>>(iter: I) -> Prob {
         iter.into_iter().fold(Prob::ONE, |acc, p| acc.mul(&p))
@@ -293,6 +313,43 @@ mod tests {
         assert_eq!(Prob::sum(vec![quarter, quarter]), half);
         assert_eq!(Prob::product(Vec::<Prob>::new()), Prob::ONE);
         assert_eq!(Prob::sum(Vec::<Prob>::new()), Prob::ZERO);
+    }
+
+    #[test]
+    fn division_is_exact_and_guards_zero() {
+        let half = Prob::ratio(1, 2);
+        let quarter = Prob::ratio(1, 4);
+        assert_eq!(quarter.div(&half), Some(half));
+        assert_eq!(half.div(&Prob::ONE), Some(half));
+        assert!(half.div(&Prob::ZERO).is_none());
+        assert!(half.div(&Prob::Approx(0.0)).is_none());
+        // Mixed exact/approx degrades explicitly.
+        let mixed = half.div(&Prob::Approx(0.25)).unwrap();
+        assert!(!mixed.is_exact());
+        assert!((mixed.to_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_dyadic_quotients_stay_exact() {
+        // Joint and conditioning masses with denominator 2^100 (far past
+        // i128 cross-multiplication range): the quotient must reduce
+        // exactly, not overflow to a float.
+        let dyadic = |num: i128| {
+            Prob::exact((0..100).fold(r(num, 1), |acc, _| {
+                acc.checked_mul(&r(1, 2)).expect("2^100 fits i128")
+            }))
+        };
+        let joint = dyadic(3);
+        let given = dyadic(5);
+        let q = joint.div(&given).unwrap();
+        assert!(q.is_exact(), "deep dyadic quotient overflowed to float");
+        assert_eq!(q, Prob::ratio(3, 5));
+        // Self-division at the extreme is exactly one.
+        assert_eq!(joint.div(&joint), Some(Prob::ONE));
+        // And products of 100 halves stay exact end to end.
+        let p = Prob::product(std::iter::repeat_n(Prob::ratio(1, 2), 100));
+        assert!(p.is_exact());
+        assert_eq!(p.div(&p), Some(Prob::ONE));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct RunOptions {
     pub path: String,
     /// Emit the machine-readable JSON report instead of text.
     pub json: bool,
+    /// Solve through the factored pipeline (`Pipeline::solve_factored`):
+    /// independent chase components become a product of outcome spaces.
+    pub factored: bool,
     /// Grounder selection (`--grounder simple|perfect|auto`).
     pub grounder: GrounderChoice,
     /// Worker threads (`--threads N`); `None` defers to `GDLOG_THREADS`.
@@ -81,6 +84,7 @@ impl RunOptions {
         RunOptions {
             path,
             json: false,
+            factored: false,
             grounder: GrounderChoice::Simple,
             threads: None,
             trigger_order: TriggerOrder::First,
@@ -144,6 +148,10 @@ USAGE:
 
 RUN FLAGS:
     --json                     machine-readable JSON report
+    --factored                 chase independent components separately and
+                               answer from the product of their outcome
+                               spaces (falls back to the flat path when the
+                               program does not factor)
     --grounder <G>             simple | perfect | auto      (default simple)
     --threads <N>              worker threads (0 = all cores; default:
                                the GDLOG_THREADS environment variable, else 1)
@@ -206,6 +214,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         match a.as_str() {
             "--json" => {
                 o.json = true;
+                i += 1;
+            }
+            "--factored" => {
+                o.factored = true;
                 i += 1;
             }
             "--grounder" => {
@@ -325,6 +337,7 @@ mod tests {
             "run",
             "scenarios/coin.gdl",
             "--json",
+            "--factored",
             "--grounder",
             "auto",
             "--query",
@@ -340,6 +353,7 @@ mod tests {
         };
         assert_eq!(o.path, "scenarios/coin.gdl");
         assert!(o.json);
+        assert!(o.factored);
         assert_eq!(o.grounder, GrounderChoice::Auto);
         assert_eq!(o.queries, vec!["Coin(1)".to_owned()]);
         assert_eq!(o.top, Some(4));

@@ -15,14 +15,13 @@ pub mod json;
 pub mod report;
 
 use args::{Command, RunOptions, USAGE};
-use gdlog_core::{CoreError, GrounderChoice, OutputSpace, Pipeline, Program};
+use gdlog_core::{CoreError, FactoredSolve, GrounderChoice, OutputSpace, Pipeline, Program};
 use gdlog_data::GroundAtom;
 use gdlog_parser::ast::Span;
 use gdlog_parser::pretty::{pretty_atom, pretty_database, pretty_rule};
 use gdlog_parser::{parse_database, parse_source, ParseError, RuleAst};
-use gdlog_prob::{Prob, Rational};
+use gdlog_prob::Prob;
 use report::{EventReport, McReport, QueryReport, ScenarioReport};
-use std::collections::BTreeSet;
 use std::io::Write;
 
 /// Run the CLI against an argument list (excluding the program name),
@@ -187,24 +186,11 @@ fn parse_ground_atom(text: &str) -> Result<GroundAtom, String> {
     Ok(atoms.pop().expect("one atom"))
 }
 
-/// Exact division of probabilities when both sides are rational (falling
-/// back to floats on overflow); `None` when the denominator is zero.
+/// Exact division of probabilities; `None` when the denominator is zero.
+/// Delegates to [`Prob::div`], which gcd-reduces before cross-multiplying so
+/// ratios of deep dyadic products stay exact instead of spilling to floats.
 fn div_prob(num: &Prob, den: &Prob) -> Option<Prob> {
-    let d = den.to_f64();
-    if d == 0.0 {
-        return None;
-    }
-    if let (Some(a), Some(b)) = (num.as_exact(), den.as_exact()) {
-        if let (Some(n), Some(m)) = (
-            a.numer().checked_mul(b.denom()),
-            a.denom().checked_mul(b.numer()),
-        ) {
-            if let Some(r) = Rational::new(n, m) {
-                return Some(Prob::exact(r));
-            }
-        }
-    }
-    Some(Prob::Approx(num.to_f64() / d))
+    num.div(den)
 }
 
 fn grounder_name(choice: GrounderChoice) -> &'static str {
@@ -230,13 +216,29 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
         pipeline = pipeline.threads(threads);
     }
 
-    let chase = pipeline
-        .chase()
-        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-    let nodes_visited = chase.nodes_visited;
     let limits = o.limits();
-    let space = OutputSpace::from_chase_with(chase, &limits, pipeline.executor(), None)
+    let (solve, nodes_visited) = if o.factored {
+        // Factored path: independent chase components solved separately,
+        // answers come from the product space (flat fallback when the
+        // program has a single component).
+        let solve = pipeline
+            .solve_factored()
+            .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
+        (solve, 0)
+    } else {
+        let chase = pipeline
+            .chase()
+            .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
+        let nodes_visited = chase.nodes_visited;
+        let space = OutputSpace::from_chase_with(
+            chase,
+            &limits,
+            pipeline.executor(),
+            Some(pipeline.stable_cache()),
+        )
         .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
+        (FactoredSolve::Flat(space), nodes_visited)
+    };
 
     let given_atom = o.given.as_deref().map(parse_ground_atom).transpose()?;
 
@@ -244,15 +246,15 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
     let mut query_atoms = Vec::new();
     for q in &o.queries {
         let atom = parse_ground_atom(q)?;
-        let brave = space.brave_probability(&atom);
-        let cautious = space.cautious_probability(&atom);
+        let brave = solve.brave_probability(&atom);
+        let cautious = solve.cautious_probability(&atom);
         let (brave_given, cautious_given) = match &given_atom {
             Some(g) => {
-                let joint_brave = space.probability_where(|k| k.brave(&atom) && k.brave(g));
-                let p_brave_g = space.probability_where(|k| k.brave(g));
-                let joint_cautious =
-                    space.probability_where(|k| k.cautious(&atom) && k.cautious(g));
-                let p_cautious_g = space.probability_where(|k| k.cautious(g));
+                let pair = [atom.clone(), g.clone()];
+                let joint_brave = solve.probability_brave_all(&pair);
+                let p_brave_g = solve.probability_brave_all(std::slice::from_ref(g));
+                let joint_cautious = solve.probability_cautious_all(&pair);
+                let p_cautious_g = solve.probability_cautious_all(std::slice::from_ref(g));
                 (
                     div_prob(&joint_brave, &p_brave_g),
                     div_prob(&joint_cautious, &p_cautious_g),
@@ -272,21 +274,11 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
 
     let mut marginals = Vec::new();
     for pred in &o.marginals {
-        let mut atoms: BTreeSet<GroundAtom> = BTreeSet::new();
-        for (key, _) in space.events_by_mass() {
-            for model in key.models() {
-                for atom in model {
-                    if atom.predicate.name() == pred {
-                        atoms.insert(atom.clone());
-                    }
-                }
-            }
-        }
-        for atom in atoms {
+        for atom in solve.atoms_with_predicate(pred) {
             marginals.push(QueryReport {
                 atom: atom.to_string(),
-                brave: space.brave_probability(&atom),
-                cautious: space.cautious_probability(&atom),
+                brave: solve.brave_probability(&atom),
+                cautious: solve.cautious_probability(&atom),
                 brave_given: None,
                 cautious_given: None,
             });
@@ -294,10 +286,9 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
     }
 
     let top_events = match o.top {
-        Some(k) => space
-            .events_by_mass()
+        Some(k) => solve
+            .events_by_mass_top(k)
             .into_iter()
-            .take(k)
             .map(|(key, mass)| EventReport {
                 models: key.model_count(),
                 key: key.to_string(),
@@ -335,14 +326,16 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
         facts: facts.len(),
         grounder: grounder_name(o.grounder),
         threads: pipeline.executor().threads(),
-        outcomes: space.outcome_count(),
+        factors: solve.factor_count(),
+        outcomes: solve.combined_outcomes(),
         nodes_visited,
-        events: space.event_count(),
-        explored_mass: space.explored_mass(),
-        residual_mass: space.residual_mass(),
-        truncated: space.is_truncated(),
-        p_stable: space.has_stable_model_probability(),
-        fingerprint: space.fingerprint(),
+        events: solve.combined_events(),
+        explored_mass: solve.explored_mass(),
+        residual_mass: solve.residual_mass(),
+        truncated: solve.is_truncated(),
+        p_stable: solve.has_stable_model_probability(),
+        stable_cache: pipeline.stable_cache_stats(),
+        fingerprint: solve.fingerprint(),
         queries,
         given: given_atom.as_ref().map(|a| a.to_string()),
         marginals,

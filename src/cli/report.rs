@@ -7,6 +7,7 @@
 //! thread count appears only in the *text* rendering.
 
 use super::json::Json;
+use gdlog_core::ModelCacheStats;
 use gdlog_prob::Prob;
 use std::fmt::Write as _;
 
@@ -64,12 +65,18 @@ pub struct ScenarioReport {
     pub grounder: &'static str,
     /// Worker threads used (text rendering only; see module docs).
     pub threads: usize,
-    /// Finite outcomes enumerated by the chase.
-    pub outcomes: usize,
-    /// Chase-tree nodes visited.
+    /// Independent chase components solved (1 on the flat path).
+    pub factors: usize,
+    /// Finite outcomes covered — the *product* across factors on the
+    /// factored path, which can dwarf anything the flat chase could ever
+    /// materialize, hence the wide integer.
+    pub outcomes: u128,
+    /// Chase-tree nodes visited (0 on the factored path, where each factor
+    /// runs its own chase; text rendering only).
     pub nodes_visited: usize,
-    /// Distinct events (sets of stable models).
-    pub events: usize,
+    /// Distinct events (sets of stable models); combined count across
+    /// factors on the factored path.
+    pub events: u128,
     /// Total mass of the explored events.
     pub explored_mass: Prob,
     /// Mass not explored (error event + beyond-budget paths).
@@ -78,6 +85,8 @@ pub struct ScenarioReport {
     pub truncated: bool,
     /// Probability that at least one stable model exists.
     pub p_stable: Prob,
+    /// Stable-model memo-table counters for the run.
+    pub stable_cache: ModelCacheStats,
     /// FNV-1a fingerprint of the event listing (the bench scheme).
     pub fingerprint: String,
     /// Per-query probabilities.
@@ -109,6 +118,12 @@ fn prob_json(p: &Prob) -> Json {
     }
 }
 
+/// Clamp a (possibly astronomically large) factored count into the JSON
+/// integer range; `i128::MAX` marks saturation, which no real count reaches.
+fn wide_count(n: u128) -> i128 {
+    n.min(i128::MAX as u128) as i128
+}
+
 fn opt_prob_json(p: &Option<Prob>) -> Json {
     match p {
         Some(p) => prob_json(p),
@@ -137,12 +152,21 @@ impl ScenarioReport {
             ("rules", Json::Int(self.rules as i128)),
             ("facts", Json::Int(self.facts as i128)),
             ("grounder", Json::str(self.grounder)),
-            ("outcomes", Json::Int(self.outcomes as i128)),
-            ("events", Json::Int(self.events as i128)),
+            ("factors", Json::Int(self.factors as i128)),
+            ("outcomes", Json::Int(wide_count(self.outcomes))),
+            ("events", Json::Int(wide_count(self.events))),
             ("explored_mass", prob_json(&self.explored_mass)),
             ("residual_mass", prob_json(&self.residual_mass)),
             ("truncated", Json::Bool(self.truncated)),
             ("p_stable", prob_json(&self.p_stable)),
+            (
+                "stable_cache",
+                Json::obj([
+                    ("hits", Json::Int(self.stable_cache.hits as i128)),
+                    ("misses", Json::Int(self.stable_cache.misses as i128)),
+                    ("hit_rate", Json::Float(self.stable_cache.hit_rate())),
+                ]),
+            ),
             ("fingerprint", Json::str(&self.fingerprint)),
         ];
         if let Some(g) = &self.given {
@@ -201,14 +225,18 @@ impl ScenarioReport {
         );
         let _ = writeln!(
             out,
-            "grounder: {}, threads: {}",
-            self.grounder, self.threads
+            "grounder: {}, threads: {}, factors: {}",
+            self.grounder, self.threads, self.factors
         );
-        let _ = writeln!(
-            out,
-            "outcomes: {} (nodes visited: {}), events: {}",
-            self.outcomes, self.nodes_visited, self.events
-        );
+        if self.nodes_visited > 0 {
+            let _ = writeln!(
+                out,
+                "outcomes: {} (nodes visited: {}), events: {}",
+                self.outcomes, self.nodes_visited, self.events
+            );
+        } else {
+            let _ = writeln!(out, "outcomes: {}, events: {}", self.outcomes, self.events);
+        }
         let _ = writeln!(
             out,
             "explored mass: {}, residual mass: {}, truncated: {}",
@@ -217,6 +245,13 @@ impl ScenarioReport {
             if self.truncated { "yes" } else { "no" }
         );
         let _ = writeln!(out, "P(stable model exists) = {}", self.p_stable);
+        let _ = writeln!(
+            out,
+            "stable cache: {} hits, {} misses (hit rate {:.2})",
+            self.stable_cache.hits,
+            self.stable_cache.misses,
+            self.stable_cache.hit_rate()
+        );
         let _ = writeln!(out, "fingerprint: {}", self.fingerprint);
         for q in &self.queries {
             let _ = write!(
@@ -265,6 +300,7 @@ mod tests {
             facts: 0,
             grounder: "simple",
             threads: 1,
+            factors: 1,
             outcomes: 2,
             nodes_visited: 5,
             events: 2,
@@ -272,6 +308,7 @@ mod tests {
             residual_mass: Prob::ZERO,
             truncated: false,
             p_stable: Prob::ratio(1, 2),
+            stable_cache: ModelCacheStats { hits: 1, misses: 1 },
             fingerprint: "cbf29ce484222325".into(),
             queries: vec![QueryReport {
                 atom: "Coin(1)".into(),
@@ -304,6 +341,23 @@ mod tests {
         assert!(text.contains("query Coin(1): brave 1/2, cautious 1/2"));
         assert!(text.contains("fingerprint: cbf29ce484222325"));
         assert!(text.contains("mc Coin(1): mean 0.5"));
+        assert!(text.contains("factors: 1"));
+        assert!(text.contains("stable cache: 1 hits, 1 misses (hit rate 0.50)"));
+    }
+
+    #[test]
+    fn factored_report_drops_the_nodes_visited_parenthetical() {
+        let mut r = sample();
+        r.factors = 20;
+        r.nodes_visited = 0;
+        r.outcomes = 1u128 << 100;
+        let text = r.render_text();
+        assert!(text.contains("factors: 20"));
+        assert!(text.contains(&format!("outcomes: {}, events: 2", 1u128 << 100)));
+        assert!(!text.contains("nodes visited"));
+        let json = r.render_json();
+        assert!(json.contains(&format!("\"outcomes\": {}", 1u128 << 100)));
+        assert!(json.contains("\"factors\": 20"));
     }
 
     #[test]
@@ -313,6 +367,9 @@ mod tests {
         assert!(json.contains("\"den\": 2"));
         assert!(json.contains("\"text\": \"1/2\""));
         assert!(json.contains("\"fingerprint\": \"cbf29ce484222325\""));
+        assert!(json.contains("\"factors\": 1"));
+        assert!(json.contains("\"hits\": 1"));
+        assert!(json.contains("\"hit_rate\": 0.5"));
         // Thread counts must never reach the golden format.
         assert!(!json.contains("thread"));
     }

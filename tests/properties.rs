@@ -10,8 +10,8 @@
 use gdlog::core::{
     coin_program, dime_quarter_program, enumerate_outcomes, enumerate_outcomes_with,
     network_resilience_program, AtrRule, AtrSet, ChaseBudget, Executor, Grounder, ModelSetCache,
-    MonteCarlo, NaivePerfectGrounder, NaiveSimpleGrounder, OutputSpace, PerfectGrounder, SigmaPi,
-    SimpleGrounder, TriggerOrder,
+    ModelSetKey, MonteCarlo, NaivePerfectGrounder, NaiveSimpleGrounder, OutputSpace,
+    PerfectGrounder, Pipeline, SigmaPi, SimpleGrounder, TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
@@ -791,6 +791,188 @@ proptest! {
         prop_assert_eq!(program2, program, "program drifted through print+parse:\n{}", text);
         prop_assert_eq!(db2, db, "database drifted through print+parse:\n{}", text);
     }
+}
+
+/// One independent island of a planted program. Every predicate name AND
+/// every Δ-term event tag carries the island index: a `Flip<p>[e…]` with
+/// identical parameter and event signature names the *same* random variable
+/// wherever it appears, so untagged same-shaped islands would be genuinely
+/// correlated (and correctly merged by the analysis). With the tags,
+/// distinct islands share no atoms and the chase-independence analysis must
+/// recover (at least) one component per island. The shapes cover a single
+/// coin with a derived consequence, a stable-negation game (two stable
+/// models behind a flip), a small reachability cascade, and two coins
+/// welded into one component by a zero-arity head — the coupling
+/// `coin_chain` uses.
+fn island_text(shape: u8, i: usize, p: u32) -> String {
+    let p = f64::from(p) / 10.0;
+    match shape % 4 {
+        0 => format!(
+            "CoinI{i}(x) -> TossI{i}(x, Flip<{p}>[{i}, x]).\n\
+             TossI{i}(x, 1) -> TailsI{i}(x).\n\
+             CoinI{i}(1).\n"
+        ),
+        1 => format!(
+            "-> RichI{i}(Flip<{p}>[{i}]).\n\
+             RichI{i}(1), not PassI{i} -> PlayI{i}.\n\
+             RichI{i}(1), not PlayI{i} -> PassI{i}.\n\
+             RichI{i}(0) -> IdleI{i}.\n"
+        ),
+        2 => format!(
+            "SrcI{i}(x) -> ReachI{i}(x, 1).\n\
+             ReachI{i}(x, 1), EdgeI{i}(x, y) -> ReachI{i}(y, Flip<{p}>[{i}, x, y]).\n\
+             SrcI{i}(1).\nEdgeI{i}(1, 2).\nEdgeI{i}(1, 3).\nEdgeI{i}(2, 4).\n"
+        ),
+        _ => format!(
+            "CoinI{i}(x) -> TossI{i}(x, Flip<{p}>[{i}, x]).\n\
+             TossI{i}(x, 1) -> AnyTailI{i}.\n\
+             CoinI{i}(1).\nCoinI{i}(2).\n"
+        ),
+    }
+}
+
+/// Order-insensitive canonical form of an event listing, so ties in mass
+/// cannot make the comparison depend on either side's tie-breaking.
+fn canon_events(events: &[(ModelSetKey, Prob)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = events
+        .iter()
+        .map(|(key, mass)| (key.to_string(), mass.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole equivalence for the factorized pipeline: on random programs
+    /// planted with independent islands, `solve_factored` must agree with
+    /// the flat enumeration *exactly* — same `P(sms ≠ ∅)`, explored and
+    /// residual mass, outcome/event counts, per-event masses, per-atom brave
+    /// and cautious probabilities, cross-island conjunctions and the full
+    /// event listing (tie-normalized) — at every thread count of the sweep,
+    /// cold and with a warm memo cache (the warm re-solve must add no
+    /// misses). With two or more islands the analysis must actually factor.
+    #[test]
+    fn factored_solve_equals_flat_on_planted_islands(
+        islands in prop::collection::vec((any::<u8>(), 1u32..=9), 1..4),
+    ) {
+        let text: String = islands
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, p))| island_text(shape, i, p))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (program, db) = gdlog_parser::parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("planted program failed to parse: {e}\n{text}")))?;
+
+        // The flat oracle, solved once WITHOUT any memo cache.
+        let oracle = Pipeline::new(&program, &db).unwrap();
+        let chase = oracle.chase().unwrap();
+        let flat = OutputSpace::from_chase(&chase, &StableModelLimits::default()).unwrap();
+        let flat_events = flat.events_by_mass();
+        let flat_canon = canon_events(&flat_events);
+
+        // Probe atoms: a spread of atoms drawn from the flat stable models.
+        let mut seen = std::collections::BTreeSet::new();
+        for (key, _) in &flat_events {
+            for model in key.models() {
+                for atom in model {
+                    seen.insert(atom.clone());
+                }
+            }
+        }
+        let stride = (seen.len() / 16).max(1);
+        let probe: Vec<GroundAtom> = seen.iter().step_by(stride).cloned().collect();
+
+        for threads in THREAD_SWEEP {
+            let pipeline = Pipeline::new(&program, &db).unwrap().threads(threads);
+            let cold = pipeline.solve_factored().unwrap();
+            let stats_after_cold = pipeline.stable_cache_stats();
+            let warm = pipeline.solve_factored().unwrap();
+            // Everything the warm run solves was memoized by the cold run.
+            prop_assert_eq!(
+                pipeline.stable_cache_stats().misses,
+                stats_after_cold.misses,
+                "warm factored re-solve missed the memo cache at {} threads",
+                threads
+            );
+
+            if islands.len() >= 2 {
+                prop_assert!(cold.is_factored(), "{} islands did not factor", islands.len());
+                prop_assert!(cold.factor_count() >= islands.len());
+            }
+
+            for solve in [&cold, &warm] {
+                prop_assert_eq!(solve.combined_outcomes(), flat.outcome_count() as u128);
+                prop_assert_eq!(solve.combined_events(), flat.event_count() as u128);
+                prop_assert_eq!(
+                    solve.has_stable_model_probability(),
+                    flat.has_stable_model_probability()
+                );
+                prop_assert_eq!(solve.explored_mass(), flat.explored_mass());
+                prop_assert_eq!(solve.residual_mass(), flat.residual_mass());
+                prop_assert_eq!(solve.is_truncated(), flat.is_truncated());
+                prop_assert_eq!(
+                    canon_events(&solve.events_by_mass_top(flat_events.len())),
+                    flat_canon.clone(),
+                    "event listings diverged at {} threads\n{}",
+                    threads,
+                    text.clone()
+                );
+                for (key, mass) in &flat_events {
+                    prop_assert_eq!(&solve.event_probability(key), mass);
+                }
+                for atom in &probe {
+                    prop_assert_eq!(
+                        solve.brave_probability(atom),
+                        flat.brave_probability(atom),
+                        "brave P({}) diverged at {} threads",
+                        atom,
+                        threads
+                    );
+                    prop_assert_eq!(
+                        solve.cautious_probability(atom),
+                        flat.cautious_probability(atom),
+                        "cautious P({}) diverged at {} threads",
+                        atom,
+                        threads
+                    );
+                }
+                // Cross-island conjunctions exercise the per-factor
+                // grouping of `probability_*_all`.
+                let conj: Vec<GroundAtom> = probe.iter().take(3).cloned().collect();
+                prop_assert_eq!(
+                    solve.probability_brave_all(&conj),
+                    flat.probability_where(|k| conj.iter().all(|a| k.brave(a)))
+                );
+                prop_assert_eq!(
+                    solve.probability_cautious_all(&conj),
+                    flat.probability_where(|k| conj.iter().all(|a| k.cautious(a)))
+                );
+            }
+        }
+    }
+}
+
+/// A program whose choices are all welded into one component (coin_chain's
+/// zero-arity `SomeHeads` head couples every coin) must take the flat
+/// fallback: `solve_factored` returns the `Flat` variant, byte-identical —
+/// same fingerprint, same event listing — to `Pipeline::solve`.
+#[test]
+fn single_component_programs_fall_back_to_the_flat_path() {
+    let (program, db) = gdlog_bench::workloads::coin_chain(3, 0.5);
+    let pipeline = Pipeline::new(&program, &db).unwrap();
+    assert_eq!(pipeline.factor_count().unwrap(), 1);
+    let solve = pipeline.solve_factored().unwrap();
+    assert!(!solve.is_factored());
+    assert_eq!(solve.factor_count(), 1);
+    let flat = pipeline.solve().unwrap();
+    assert_eq!(solve.fingerprint(), flat.fingerprint());
+    assert_eq!(
+        solve.as_flat().expect("flat fallback").events_by_mass(),
+        flat.events_by_mass()
+    );
 }
 
 /// Satellite check for the parallel stable-model back-end: on every workload

@@ -42,8 +42,8 @@ fn scenario_files() -> Vec<(String, PathBuf)> {
 
 #[derive(Debug)]
 enum Expect {
-    Outcomes(usize),
-    Events(usize),
+    Outcomes(u128),
+    Events(u128),
     PStable(String),
     Residual(String),
     Truncated(bool),
@@ -241,8 +241,8 @@ fn dime_quarter_cli_matches_the_builder_api_byte_for_byte() {
         report.p_stable.to_string(),
         space.has_stable_model_probability().to_string()
     );
-    assert_eq!(report.outcomes, space.outcome_count());
-    assert_eq!(report.events, space.event_count());
+    assert_eq!(report.outcomes, space.outcome_count() as u128);
+    assert_eq!(report.events, space.event_count() as u128);
 
     // The --top 8 listing equals the full builder event listing, in order,
     // with identical display text for keys and masses.
@@ -304,6 +304,62 @@ fn json_report_is_thread_count_invariant() {
     assert_eq!(four.threads, 4);
     assert!(!one.render_json().contains("threads"));
     assert_eq!(one.render_json(), four.render_json());
+}
+
+/// The factored pipeline behind `--factored` answers exactly what the flat
+/// path answers: running `coin_farm.gdl` both ways yields the same masses,
+/// query probabilities and top-event listing — the flat report differs only
+/// in its factor count and chase bookkeeping.
+#[test]
+fn factored_scenario_matches_the_flat_path() {
+    let source = std::fs::read_to_string(manifest_dir().join("scenarios/coin_farm.gdl"))
+        .expect("scenario readable");
+    let directives = parse_directives(&source, "coin_farm");
+    let factored = run_scenario("scenarios/coin_farm.gdl", &directives.args);
+    let flat_args: Vec<String> = directives
+        .args
+        .iter()
+        .filter(|a| *a != "--factored")
+        .cloned()
+        .collect();
+    let flat = run_scenario("scenarios/coin_farm.gdl", &flat_args);
+
+    assert_eq!(factored.factors, 4, "one factor per coin");
+    assert_eq!(flat.factors, 1);
+    assert_eq!(factored.outcomes, flat.outcomes);
+    assert_eq!(factored.events, flat.events);
+    assert_eq!(factored.p_stable.to_string(), flat.p_stable.to_string());
+    assert_eq!(
+        factored.explored_mass.to_string(),
+        flat.explored_mass.to_string()
+    );
+    assert_eq!(
+        factored.residual_mass.to_string(),
+        flat.residual_mass.to_string()
+    );
+    let probs = |r: &ScenarioReport| -> Vec<String> {
+        r.queries
+            .iter()
+            .chain(&r.marginals)
+            .flat_map(|q| {
+                [
+                    q.atom.clone(),
+                    q.brave.to_string(),
+                    q.cautious.to_string(),
+                    format!("{:?}", q.brave_given),
+                    format!("{:?}", q.cautious_given),
+                ]
+            })
+            .collect()
+    };
+    assert_eq!(probs(&factored), probs(&flat));
+    let events = |r: &ScenarioReport| -> Vec<(String, String)> {
+        r.top_events
+            .iter()
+            .map(|e| (e.key.clone(), e.mass.to_string()))
+            .collect()
+    };
+    assert_eq!(events(&factored), events(&flat));
 }
 
 /// Scenario sources themselves round-trip through `gdlog fmt`'s printer:
