@@ -43,12 +43,13 @@
 //! `min_path_probability` cuts are *joint*-mass cuts and do not factorize;
 //! the analysis falls back to the flat path when one is set.
 
+use crate::analyze::{certainly_single_trigger, StaticComponents};
 use crate::chase::ChaseBudget;
 use crate::error::CoreError;
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder, Grounding};
 use crate::outcome::ModelSetKey;
 use crate::semantics::OutputSpace;
-use crate::translate::SigmaPi;
+use crate::translate::{AtrSchema, SigmaPi, TgdRule};
 use gdlog_data::{match_atoms, Database, GroundAtom};
 use gdlog_engine::{connected_components, GroundProgram, GroundRule};
 use gdlog_prob::{DiscreteSpace, FactoredSpace, Prob};
@@ -82,14 +83,26 @@ struct Universe {
     atr_pairs: Vec<(GroundAtom, Vec<GroundAtom>)>,
 }
 
-/// Least fixpoint over `sigma.rules` (facts are bodyless rules, so they are
-/// covered), ignoring negative bodies and expanding every reachable `Active`
-/// atom to its first `budget.max_branching` outcomes — the same truncation
-/// the chase applies, so the universe covers every explored branch.
+/// Least fixpoint over a group of `sigma.rules` (facts are bodyless rules,
+/// so they are covered), ignoring negative bodies and expanding every
+/// reachable `Active` atom to its first `budget.max_branching` outcomes —
+/// the same truncation the chase applies, so the universe covers every
+/// explored branch.
+///
+/// The caller passes the rules and AtR schemas of one *static* predicate
+/// component (see [`StaticComponents`]); a rule can only match and derive
+/// atoms whose predicates lie in its own component, so per-group fixpoints
+/// produce exactly the same universe as one global fixpoint — the static
+/// analysis *seeds* the dynamic one.
 ///
 /// Returns `Ok(None)` (flat fallback) when a distribution errors (the flat
-/// path will surface it) or the universe exceeds [`UNIVERSE_ATOM_CAP`].
-fn saturate_universe(sigma: &SigmaPi, budget: &ChaseBudget) -> Result<Option<Universe>, CoreError> {
+/// path will surface it) or the universe exceeds `cap` atoms.
+fn saturate_group(
+    rules: &[&TgdRule],
+    schemas: &[&AtrSchema],
+    budget: &ChaseBudget,
+    cap: usize,
+) -> Result<Option<Universe>, CoreError> {
     let mut derived = GroundProgram::new();
     let mut heads = Database::new();
     let mut expanded: BTreeSet<GroundAtom> = BTreeSet::new();
@@ -99,7 +112,7 @@ fn saturate_universe(sigma: &SigmaPi, budget: &ChaseBudget) -> Result<Option<Uni
         let mut changed = false;
 
         // Expand every newly derived Active atom to all its outcomes.
-        for schema in &sigma.atr_schemas {
+        for schema in schemas {
             let actives: Vec<GroundAtom> = heads
                 .atoms_of(&schema.active)
                 .filter(|a| !expanded.contains(*a))
@@ -125,7 +138,7 @@ fn saturate_universe(sigma: &SigmaPi, budget: &ChaseBudget) -> Result<Option<Uni
         // One naive pass of every rule against all heads; negative literals
         // are ignored (over-approximation).
         let mut new_rules: Vec<GroundRule> = Vec::new();
-        for rule in &sigma.rules {
+        for rule in rules {
             for h in match_atoms(&rule.pos, |pattern| heads.candidates(pattern)) {
                 let head = rule
                     .head
@@ -155,7 +168,7 @@ fn saturate_universe(sigma: &SigmaPi, budget: &ChaseBudget) -> Result<Option<Uni
             }
         }
 
-        if heads.len() > UNIVERSE_ATOM_CAP {
+        if heads.len() > cap {
             return Ok(None);
         }
         if !changed {
@@ -211,6 +224,28 @@ fn partition(sigma: &SigmaPi, universe: &Universe) -> Vec<ChaseComponent> {
         .collect()
 }
 
+/// How [`analyze_with`] reached its verdict: `Static` means the static
+/// predicate-level analysis alone decided (no universe saturation ran at
+/// all), `Dynamic` means saturation ran (seeded per static component).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorAnalysis {
+    /// Decided without any saturation: a `min_path_probability` cut is set,
+    /// or [`certainly_single_trigger`] proved the flat fallback.
+    Static,
+    /// The saturation-based analysis ran, seeded by the static components.
+    Dynamic,
+}
+
+impl FactorAnalysis {
+    /// Lowercase label for reports (`static` / `dynamic`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FactorAnalysis::Static => "static",
+            FactorAnalysis::Dynamic => "dynamic",
+        }
+    }
+}
+
 /// The chase-independence analysis: the components an independent
 /// per-component chase would run, or `None` when the program should take
 /// the flat path — fewer than two trigger-bearing components, a positive
@@ -224,17 +259,69 @@ pub fn analyze(
     sigma: &SigmaPi,
     budget: &ChaseBudget,
 ) -> Result<Option<Vec<ChaseComponent>>, CoreError> {
+    analyze_with(sigma, budget).map(|(components, _)| components)
+}
+
+/// [`analyze`] plus the [`FactorAnalysis`] verdict describing how it was
+/// reached.
+///
+/// Static short-circuits (no saturation): a positive `min_path_probability`
+/// (joint-mass cuts never factorize) or the [`certainly_single_trigger`]
+/// certificate (at most one trigger means at most one trigger-bearing
+/// component, which is exactly the dynamic analysis's flat-fallback
+/// condition — skipping saturation cannot change the outcome).
+///
+/// Otherwise the saturation fixpoint runs once per *static* component
+/// (rules and AtR schemas grouped by [`StaticComponents`]; every rule's
+/// predicates share one static component by construction, so the grouped
+/// fixpoints reproduce the global universe exactly), the per-group ground
+/// partitions are concatenated and re-sorted into the canonical
+/// smallest-atom order, and the usual trigger-bearing/base split applies —
+/// byte-identical components to the unseeded global analysis.
+pub fn analyze_with(
+    sigma: &SigmaPi,
+    budget: &ChaseBudget,
+) -> Result<(Option<Vec<ChaseComponent>>, FactorAnalysis), CoreError> {
     if budget.min_path_probability > 0.0 {
-        return Ok(None);
+        return Ok((None, FactorAnalysis::Static));
     }
-    let Some(universe) = saturate_universe(sigma, budget)? else {
-        return Ok(None);
-    };
-    let (with_triggers, without): (Vec<_>, Vec<_>) = partition(sigma, &universe)
-        .into_iter()
-        .partition(|c| !c.triggers.is_empty());
+    if certainly_single_trigger(sigma) {
+        return Ok((None, FactorAnalysis::Static));
+    }
+
+    // Seed the dynamic analysis: group Σ∄ rules and AtR schemas by static
+    // predicate component and saturate each group independently.
+    let statics = StaticComponents::of_sigma(sigma);
+    let mut groups: BTreeMap<usize, (Vec<&TgdRule>, Vec<&AtrSchema>)> = BTreeMap::new();
+    for rule in &sigma.rules {
+        let c = statics
+            .component_of(&rule.head.predicate)
+            .expect("every rule head is a static-graph vertex");
+        groups.entry(c).or_default().0.push(rule);
+    }
+    for schema in &sigma.atr_schemas {
+        let c = statics
+            .component_of(&schema.active)
+            .expect("every Active predicate is a static-graph vertex");
+        groups.entry(c).or_default().1.push(schema);
+    }
+
+    let mut raw: Vec<ChaseComponent> = Vec::new();
+    let mut cap = UNIVERSE_ATOM_CAP;
+    for (rules, schemas) in groups.values() {
+        let Some(universe) = saturate_group(rules, schemas, budget, cap)? else {
+            return Ok((None, FactorAnalysis::Dynamic));
+        };
+        cap = cap.saturating_sub(universe.heads.len());
+        raw.extend(partition(sigma, &universe));
+    }
+    // Canonical order: by smallest atom, as the global partition produces.
+    raw.sort_by(|a, b| a.atoms.first().cmp(&b.atoms.first()));
+
+    let (with_triggers, without): (Vec<_>, Vec<_>) =
+        raw.into_iter().partition(|c| !c.triggers.is_empty());
     if with_triggers.len() <= 1 {
-        return Ok(None);
+        return Ok((None, FactorAnalysis::Dynamic));
     }
     let mut components = with_triggers;
     if !without.is_empty() {
@@ -247,7 +334,7 @@ pub fn analyze(
         }
         components.push(base);
     }
-    Ok(Some(components))
+    Ok((Some(components), FactorAnalysis::Dynamic))
 }
 
 /// A grounder restricted to one chase component: grounding delegates to the
@@ -862,6 +949,37 @@ mod tests {
             ..ChaseBudget::default()
         };
         assert!(analyze(pipeline.sigma(), &budget).unwrap().is_none());
+    }
+
+    #[test]
+    fn analysis_verdicts_static_vs_dynamic() {
+        // Coin program: one ground Δ-fact, so the static certificate decides
+        // without any saturation.
+        let pipeline = Pipeline::new(&coin_program(), &Database::new()).unwrap();
+        let (components, verdict) =
+            analyze_with(pipeline.sigma(), &ChaseBudget::default()).unwrap();
+        assert!(components.is_none());
+        assert_eq!(verdict, FactorAnalysis::Static);
+        assert_eq!(verdict.label(), "static");
+
+        // Coin farm: per-coin event variables defeat the certificate; the
+        // seeded dynamic analysis finds the four components.
+        let (program, db) = coin_farm(4, true);
+        let pipeline = Pipeline::new(&program, &db).unwrap();
+        let (components, verdict) =
+            analyze_with(pipeline.sigma(), &ChaseBudget::default()).unwrap();
+        assert_eq!(verdict, FactorAnalysis::Dynamic);
+        assert_eq!(verdict.label(), "dynamic");
+        assert_eq!(components.expect("factors").len(), 4);
+
+        // A joint-mass cut is decided statically too.
+        let budget = ChaseBudget {
+            min_path_probability: 0.01,
+            ..ChaseBudget::default()
+        };
+        let (components, verdict) = analyze_with(pipeline.sigma(), &budget).unwrap();
+        assert!(components.is_none());
+        assert_eq!(verdict, FactorAnalysis::Static);
     }
 
     #[test]

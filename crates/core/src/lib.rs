@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod bckov;
 pub mod builder;
 pub mod chase;
@@ -57,6 +58,10 @@ pub mod semantics;
 pub mod simple_grounder;
 pub mod translate;
 
+pub use analyze::{
+    certainly_single_trigger, lint, validate_all, weak_cycles, Finding, LintReport, RuleIssue,
+    RuleLocus, Severity, StaticComponents, WeakCycle,
+};
 pub use bckov::{bckov_output, isomorphic_to_bckov, BckovOutcome, BckovOutput};
 pub use builder::{ProgramBuilder, RuleBuilder};
 pub use chase::{
@@ -67,7 +72,9 @@ pub use delta::DeltaTerm;
 pub use depgraph::{dependency_graph, stratification, DependencyGraph, Stratification};
 pub use error::CoreError;
 pub use exec::{Executor, THREADS_ENV};
-pub use factor::{ChaseComponent, ComponentGrounder, Factor, FactoredOutputSpace, FactoredSolve};
+pub use factor::{
+    ChaseComponent, ComponentGrounder, Factor, FactorAnalysis, FactoredOutputSpace, FactoredSolve,
+};
 pub use fingerprint::fnv1a_fingerprint;
 pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder, Grounding};
 pub use mc::{sample_outcome, walk_rng, MonteCarlo, SampleStats, SampledPath};

@@ -15,7 +15,8 @@ use crate::chase::{enumerate_outcomes_with, ChaseBudget, ChaseResult, TriggerOrd
 use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::factor::{
-    self, ChaseComponent, ComponentGrounder, Factor, FactoredOutputSpace, FactoredSolve,
+    self, ChaseComponent, ComponentGrounder, Factor, FactorAnalysis, FactoredOutputSpace,
+    FactoredSolve,
 };
 use crate::grounding::Grounder;
 use crate::mc::MonteCarlo;
@@ -185,6 +186,16 @@ impl Pipeline {
         factor::analyze(&self.sigma, &self.budget)
     }
 
+    /// [`Pipeline::factor_components`] plus the [`FactorAnalysis`] verdict:
+    /// `Static` when the predicate-level analysis alone decided (no universe
+    /// saturation ran), `Dynamic` when the saturation-based analysis ran,
+    /// seeded by the static components.
+    pub fn factor_analysis(
+        &self,
+    ) -> Result<(Option<Vec<ChaseComponent>>, FactorAnalysis), CoreError> {
+        factor::analyze_with(&self.sigma, &self.budget)
+    }
+
     /// How many independent factors [`Pipeline::solve_factored`] would use
     /// (one on the flat path).
     pub fn factor_count(&self) -> Result<usize, CoreError> {
@@ -205,8 +216,19 @@ impl Pipeline {
     /// `Active` atoms stay undefined forever by design. Stable-model solving
     /// per factor reuses the pipeline's executor, limits and memo table.
     pub fn solve_factored(&self) -> Result<FactoredSolve, CoreError> {
-        let Some(components) = self.factor_components()? else {
-            return Ok(FactoredSolve::Flat(self.solve()?));
+        self.solve_factored_with_analysis().map(|(solve, _)| solve)
+    }
+
+    /// [`Pipeline::solve_factored`] plus the [`FactorAnalysis`] verdict
+    /// (reported by the CLI as `analysis: static|dynamic`). The solve result
+    /// is identical either way; the verdict only records whether universe
+    /// saturation could be skipped.
+    pub fn solve_factored_with_analysis(
+        &self,
+    ) -> Result<(FactoredSolve, FactorAnalysis), CoreError> {
+        let (components, analysis) = self.factor_analysis()?;
+        let Some(components) = components else {
+            return Ok((FactoredSolve::Flat(self.solve()?), analysis));
         };
         let simple = SimpleGrounder::new(self.sigma.clone());
         let mut factors = Vec::with_capacity(components.len());
@@ -226,7 +248,10 @@ impl Pipeline {
                 space,
             });
         }
-        Ok(FactoredSolve::Product(FactoredOutputSpace::new(factors)))
+        Ok((
+            FactoredSolve::Product(FactoredOutputSpace::new(factors)),
+            analysis,
+        ))
     }
 
     /// A Monte-Carlo estimator over the same grounder (sharing the

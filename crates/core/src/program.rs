@@ -128,43 +128,22 @@ impl Program {
     /// [`Program::rules`]) of the first offending rule alongside the error —
     /// the parser maps the index back to a source span so the CLI can render
     /// a caret diagnostic instead of a bare message.
+    ///
+    /// Arity consistency is checked by accumulating the schema rule by rule,
+    /// so a conflict is attributed to the *later* rule (the first one at
+    /// which the program became inconsistent).
     pub fn validate_rules(&self) -> Result<(), (usize, CoreError)> {
-        // Consistent arities across the whole program: the schema accumulates
-        // rule by rule, so a conflict is attributed to the *later* rule (the
-        // first one at which the program became inconsistent).
-        let mut schema = Schema::new();
-        for (index, rule) in self.rules.iter().enumerate() {
-            rule.validate().map_err(|e| (index, e))?;
-            for p in rule.predicates() {
-                schema.add(p).map_err(|e| (index, e.into()))?;
-            }
-            for (_, d) in rule.head.delta_terms() {
-                let dist = self
-                    .delta
-                    .get(&d.distribution)
-                    .map_err(|e| (index, e.into()))?;
-                if let Some(k) = dist.param_dim() {
-                    if d.params.len() != k {
-                        return Err((
-                            index,
-                            CoreError::Validation(format!(
-                                "Δ-term {d} supplies {} parameter(s) but {} expects {k}",
-                                d.params.len(),
-                                d.distribution
-                            )),
-                        ));
-                    }
-                } else if d.params.is_empty() {
-                    return Err((
-                        index,
-                        CoreError::Validation(format!(
-                            "Δ-term {d} must supply at least one parameter"
-                        )),
-                    ));
-                }
-            }
+        match self.validate_all().into_iter().next() {
+            Some(issue) => Err((issue.rule, issue.error)),
+            None => Ok(()),
         }
-        Ok(())
+    }
+
+    /// Collect *every* validation issue (safety, arity consistency, Δ-term
+    /// well-formedness), each with the rule index and a
+    /// [`crate::analyze::RuleLocus`] naming the offending literal or term.
+    pub fn validate_all(&self) -> Vec<crate::analyze::RuleIssue> {
+        crate::analyze::validate_all(self)
     }
 
     /// Does the program have stratified negation (no cycle of `dg(Π)` through

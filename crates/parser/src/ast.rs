@@ -9,7 +9,7 @@
 //! (unsafe variables, arity conflicts, unknown distributions, unstratifiable
 //! negation) can still be rendered against the source with a caret.
 
-use gdlog_core::{CoreError, Program, Rule};
+use gdlog_core::{CoreError, Program, Rule, RuleLocus};
 use gdlog_data::{Atom, Database};
 
 /// A 1-based source position (line and column of a statement's first token).
@@ -43,6 +43,101 @@ impl std::fmt::Display for Span {
     }
 }
 
+/// Which literal of a rule a [`VarSite`] occurs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteTag {
+    /// The i-th positive body literal.
+    Pos(usize),
+    /// The i-th negative body literal.
+    Neg(usize),
+    /// The j-th head argument (Δ-term parameters and events included).
+    Head(usize),
+}
+
+/// One occurrence of a variable in a rule's source text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarSite {
+    /// The variable's name (without any sigil).
+    pub name: String,
+    /// Which literal the occurrence sits in.
+    pub tag: SiteTag,
+    /// The position of the variable token itself.
+    pub span: Span,
+}
+
+/// Source positions for every addressable part of one rule.
+///
+/// Produced by the parser alongside each statement so that analysis findings
+/// — which carry a [`gdlog_core::RuleLocus`] naming the offending literal,
+/// head argument or variable — can be rendered with a caret under the exact
+/// token rather than the statement start. All spans fall back to the
+/// statement span (and ultimately to `0:0`, "unknown") when the parser could
+/// not attribute them, so [`RuleSpans::locus_span`] is total.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The statement's first token (the coarse span used before this type
+    /// existed).
+    pub rule: Span,
+    /// The head predicate token.
+    pub head: Span,
+    /// First token of each head argument.
+    pub head_args: Vec<Span>,
+    /// Predicate token of each positive body literal.
+    pub pos: Vec<Span>,
+    /// The `not` token of each negative body literal.
+    pub neg: Vec<Span>,
+    /// Every variable occurrence, in source order.
+    pub var_sites: Vec<VarSite>,
+}
+
+impl RuleSpans {
+    /// A spans record that knows only the statement position.
+    pub fn statement_only(span: Span) -> Self {
+        RuleSpans {
+            rule: span,
+            ..RuleSpans::default()
+        }
+    }
+
+    fn var_with(&self, name: &str, want: impl Fn(&SiteTag) -> bool) -> Option<Span> {
+        self.var_sites
+            .iter()
+            .find(|s| s.name == name && want(&s.tag))
+            .map(|s| s.span)
+    }
+
+    /// Resolve an analysis locus to the most precise known span.
+    ///
+    /// Falls back along locus → enclosing literal → head → statement; never
+    /// panics on out-of-range indices (hand-built rules may have no recorded
+    /// sites at all).
+    pub fn locus_span(&self, locus: &RuleLocus) -> Span {
+        let candidates: [Option<Span>; 3] = match locus {
+            RuleLocus::Rule => [None, None, None],
+            RuleLocus::Head => [Some(self.head), None, None],
+            RuleLocus::HeadArg(j) => [self.head_args.get(*j).copied(), Some(self.head), None],
+            RuleLocus::Pos(i) => [self.pos.get(*i).copied(), None, None],
+            RuleLocus::Neg(i) => [self.neg.get(*i).copied(), None, None],
+            RuleLocus::HeadVar(v) => [
+                self.var_with(v, |t| matches!(t, SiteTag::Head(_))),
+                Some(self.head),
+                None,
+            ],
+            RuleLocus::NegVar(i, v) => [
+                self.var_with(v, |t| t == &SiteTag::Neg(*i)),
+                self.neg.get(*i).copied(),
+                None,
+            ],
+            RuleLocus::Var(v) => [self.var_with(v, |_| true), None, None],
+        };
+        candidates
+            .into_iter()
+            .flatten()
+            .find(|s| !s.is_unknown())
+            .unwrap_or(self.rule)
+    }
+}
+
 /// One parsed statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RuleAst {
@@ -70,6 +165,10 @@ pub struct ParsedProgram {
     /// shorter for hand-built values, in which case missing spans are
     /// unknown).
     pub spans: Vec<Span>,
+    /// Fine-grained spans per statement (parallel to `statements`; may be
+    /// shorter for hand-built values, in which case only the statement span
+    /// is known).
+    pub literal_spans: Vec<RuleSpans>,
     /// The ground facts, as a database.
     pub facts: Database,
 }
@@ -85,20 +184,45 @@ impl ParsedProgram {
     /// [`gdlog_core::Program::validate_rules`] errors (and stratification
     /// failures) point back into the source text.
     pub fn into_parts(self) -> (Program, Database, Vec<Span>) {
+        let (program, facts, spans) = self.into_spanned_parts();
+        (program, facts, spans.iter().map(|rs| rs.rule).collect())
+    }
+
+    /// Like [`into_parts`](Self::into_parts), but returning the full
+    /// [`RuleSpans`] per program rule so analysis findings can be rendered at
+    /// the offending literal rather than the statement start.
+    ///
+    /// A constraint's `Fail` rule inherits the constraint's literal spans
+    /// (its synthetic head is attributed to the statement); the desugared
+    /// `Fail, ¬Aux → Aux` auxiliary rule, emitted once, knows only the
+    /// statement span.
+    pub fn into_spanned_parts(self) -> (Program, Database, Vec<RuleSpans>) {
         let mut program = Program::new(Vec::new());
-        let mut rule_spans: Vec<Span> = Vec::new();
+        let mut rule_spans: Vec<RuleSpans> = Vec::new();
         for (i, statement) in self.statements.into_iter().enumerate() {
             let span = self.spans.get(i).copied().unwrap_or_default();
+            let mut spans = self
+                .literal_spans
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| RuleSpans::statement_only(span));
+            if spans.rule.is_unknown() {
+                spans.rule = span;
+            }
             match statement {
                 RuleAst::Rule(rule) => {
                     program.push(rule);
-                    rule_spans.push(span);
+                    rule_spans.push(spans);
                 }
                 RuleAst::Constraint { pos, neg } => {
                     let before = program.len();
                     program.push_constraint(pos, neg);
-                    for _ in before..program.len() {
-                        rule_spans.push(span);
+                    for k in before..program.len() {
+                        if k == before {
+                            rule_spans.push(spans.clone());
+                        } else {
+                            rule_spans.push(RuleSpans::statement_only(span));
+                        }
                     }
                 }
             }
@@ -146,6 +270,7 @@ mod tests {
                 },
             ],
             spans: Vec::new(),
+            literal_spans: Vec::new(),
             facts: Database::new(),
         };
         let (program, facts) = parsed.into_program().unwrap();
@@ -169,6 +294,7 @@ mod tests {
                 },
             ],
             spans: vec![Span::new(1, 1), Span::new(2, 5)],
+            literal_spans: Vec::new(),
             facts: Database::new(),
         };
         let (program, _, spans) = parsed.into_parts();
@@ -178,6 +304,61 @@ mod tests {
         // Both the Fail rule and the aux rule point at the constraint.
         assert_eq!(spans[1], Span::new(2, 5));
         assert_eq!(spans[2], Span::new(2, 5));
+    }
+
+    #[test]
+    fn locus_span_resolves_with_fallbacks() {
+        let spans = RuleSpans {
+            rule: Span::new(2, 1),
+            head: Span::new(2, 20),
+            head_args: vec![Span::new(2, 22), Span::new(2, 25)],
+            pos: vec![Span::new(2, 1)],
+            neg: vec![Span::new(2, 9)],
+            var_sites: vec![
+                VarSite {
+                    name: "x".into(),
+                    tag: SiteTag::Pos(0),
+                    span: Span::new(2, 3),
+                },
+                VarSite {
+                    name: "y".into(),
+                    tag: SiteTag::Head(1),
+                    span: Span::new(2, 25),
+                },
+            ],
+        };
+        assert_eq!(spans.locus_span(&RuleLocus::Rule), Span::new(2, 1));
+        assert_eq!(spans.locus_span(&RuleLocus::Head), Span::new(2, 20));
+        assert_eq!(spans.locus_span(&RuleLocus::HeadArg(1)), Span::new(2, 25));
+        // Out-of-range head arg falls back to the head predicate.
+        assert_eq!(spans.locus_span(&RuleLocus::HeadArg(9)), Span::new(2, 20));
+        assert_eq!(spans.locus_span(&RuleLocus::Pos(0)), Span::new(2, 1));
+        assert_eq!(spans.locus_span(&RuleLocus::Neg(0)), Span::new(2, 9));
+        assert_eq!(
+            spans.locus_span(&RuleLocus::HeadVar("y".into())),
+            Span::new(2, 25)
+        );
+        // A head variable with no head occurrence lands on the head itself.
+        assert_eq!(
+            spans.locus_span(&RuleLocus::HeadVar("z".into())),
+            Span::new(2, 20)
+        );
+        // A negated variable with no recorded site lands on its `not` token.
+        assert_eq!(
+            spans.locus_span(&RuleLocus::NegVar(0, "w".into())),
+            Span::new(2, 9)
+        );
+        assert_eq!(
+            spans.locus_span(&RuleLocus::Var("x".into())),
+            Span::new(2, 3)
+        );
+        // Everything unknown degrades to the statement span.
+        let bare = RuleSpans::statement_only(Span::new(7, 2));
+        assert_eq!(
+            spans.locus_span(&RuleLocus::Var("q".into())),
+            Span::new(2, 1)
+        );
+        assert_eq!(bare.locus_span(&RuleLocus::HeadArg(0)), Span::new(7, 2));
     }
 
     #[test]

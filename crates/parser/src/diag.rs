@@ -29,7 +29,22 @@ pub fn render_diagnostic(
     line: usize,
     column: usize,
 ) -> String {
-    let mut out = format!("error: {message}\n");
+    render_diagnostic_with("error", message, path, source, line, column)
+}
+
+/// Like [`render_diagnostic`], but with an explicit severity label
+/// (`"error"`, `"warning"`, `"note"`) in place of the fixed `error:` prefix.
+/// Lint findings render through this so warnings and notes read like
+/// compiler diagnostics.
+pub fn render_diagnostic_with(
+    label: &str,
+    message: &str,
+    path: &str,
+    source: &str,
+    line: usize,
+    column: usize,
+) -> String {
+    let mut out = format!("{label}: {message}\n");
     if line == 0 {
         out.push_str(&format!("  --> {path}\n"));
         return out;
@@ -109,6 +124,18 @@ mod tests {
         // Caret pad must start with the same hard tab as the excerpt.
         let caret_line = text.lines().last().unwrap();
         assert!(caret_line.contains("| \t"), "{text:?}");
+    }
+
+    #[test]
+    fn severity_labels_replace_the_error_prefix() {
+        let text =
+            render_diagnostic_with("warning", "chase may not terminate", "w.gdl", "X.", 1, 1);
+        assert!(
+            text.starts_with("warning: chase may not terminate\n"),
+            "{text}"
+        );
+        let text = render_diagnostic_with("note", "unused predicate", "w.gdl", "X.", 0, 0);
+        assert_eq!(text, "note: unused predicate\n  --> w.gdl\n");
     }
 
     #[test]

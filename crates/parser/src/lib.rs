@@ -34,8 +34,8 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
-pub use ast::{ParsedProgram, RuleAst, Span};
-pub use diag::render_diagnostic;
+pub use ast::{ParsedProgram, RuleAst, RuleSpans, SiteTag, Span, VarSite};
+pub use diag::{render_diagnostic, render_diagnostic_with};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_database, parse_program, parse_rule, parse_source, ParseError};
 pub use pretty::{pretty_database, pretty_program, pretty_rule};

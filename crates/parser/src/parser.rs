@@ -1,6 +1,6 @@
 //! Recursive-descent parser for GDatalog¬\[Δ\] programs and databases.
 
-use crate::ast::{ParsedProgram, RuleAst, Span};
+use crate::ast::{ParsedProgram, RuleAst, RuleSpans, SiteTag, Span, VarSite};
 use crate::lexer::{LexError, Lexer, Token, TokenKind};
 use gdlog_core::{CoreError, DeltaTerm, Head, HeadTerm, Program, Rule};
 use gdlog_data::{Atom, Const, Database, Term};
@@ -97,23 +97,34 @@ impl Parser {
         self.peek().kind == TokenKind::Eof
     }
 
+    /// The span of the next token.
+    fn here(&self) -> Span {
+        let t = self.peek();
+        Span::new(t.line, t.column)
+    }
+
     /// statement := literal ("," literal)* "->" head "." | head "." (fact)
-    fn statement(&mut self) -> Result<RuleAst, ParseError> {
+    fn statement(&mut self) -> Result<(RuleAst, RuleSpans), ParseError> {
         // A statement is either `head.` (a fact) or `body -> head.`; we parse
         // a comma-separated list of literals, then decide based on the next
-        // token.
+        // token. Alongside the AST we record a span per literal, per head
+        // argument and per variable occurrence so later analyses can point a
+        // caret at the exact offending token.
+        let rule_span = self.here();
+        let mut spans = RuleSpans::statement_only(rule_span);
         let mut pos: Vec<Atom> = Vec::new();
         let mut neg: Vec<Atom> = Vec::new();
 
         if self.peek().kind == TokenKind::Arrow {
             // Explicit bodyless rule `-> Head.` (the paper's `→ Coin(...)`).
             self.bump();
-            let head = self.head()?;
+            let head = self.head(&mut spans)?;
             self.expect(&TokenKind::Dot)?;
-            return Ok(RuleAst::Rule(Rule::new(pos, neg, head)));
+            return Ok((RuleAst::Rule(Rule::new(pos, neg, head)), spans));
         }
 
         loop {
+            let literal_span = self.here();
             let negated = matches!(self.peek().kind, TokenKind::Not);
             if negated {
                 self.bump();
@@ -121,10 +132,27 @@ impl Parser {
             // A head position may also be `false`; but `false` can only
             // appear after `->`, which is handled below, so here we always
             // parse an atom.
-            let atom = self.atom()?;
+            let (atom, vars) = self.atom()?;
             if negated {
+                // A negative literal's span is its `not` token.
+                let tag = SiteTag::Neg(neg.len());
+                spans.neg.push(literal_span);
+                spans
+                    .var_sites
+                    .extend(
+                        vars.into_iter()
+                            .map(|(name, span)| VarSite { name, tag, span }),
+                    );
                 neg.push(atom);
             } else {
+                let tag = SiteTag::Pos(pos.len());
+                spans.pos.push(literal_span);
+                spans
+                    .var_sites
+                    .extend(
+                        vars.into_iter()
+                            .map(|(name, span)| VarSite { name, tag, span }),
+                    );
                 pos.push(atom);
             }
             match self.peek().kind.clone() {
@@ -136,22 +164,33 @@ impl Parser {
                     if self.peek().kind == TokenKind::False {
                         self.bump();
                         self.expect(&TokenKind::Dot)?;
-                        return Ok(RuleAst::Constraint { pos, neg });
+                        // The desugared `Fail` head is synthetic; attribute
+                        // it to the statement.
+                        spans.head = rule_span;
+                        return Ok((RuleAst::Constraint { pos, neg }, spans));
                     }
-                    let head = self.head()?;
+                    let head = self.head(&mut spans)?;
                     self.expect(&TokenKind::Dot)?;
-                    return Ok(RuleAst::Rule(Rule::new(pos, neg, head)));
+                    return Ok((RuleAst::Rule(Rule::new(pos, neg, head)), spans));
                 }
                 TokenKind::Dot => {
                     // A fact: a single positive atom followed by '.'.
                     self.bump();
                     if pos.len() == 1 && neg.is_empty() {
                         let atom = pos.pop().expect("one atom");
+                        // The atom becomes the head; retarget its spans.
+                        spans.head = spans.pos.pop().unwrap_or(rule_span);
+                        for site in &mut spans.var_sites {
+                            site.tag = SiteTag::Head(0);
+                        }
                         let head = Head::make(
                             atom.predicate.name(),
                             atom.args.into_iter().map(HeadTerm::Term).collect(),
                         );
-                        return Ok(RuleAst::Rule(Rule::new(Vec::new(), Vec::new(), head)));
+                        return Ok((
+                            RuleAst::Rule(Rule::new(Vec::new(), Vec::new(), head)),
+                            spans,
+                        ));
                     }
                     return Err(self.error_at("a fact must consist of a single positive atom"));
                 }
@@ -163,7 +202,8 @@ impl Parser {
     }
 
     /// head := UpperIdent "(" head_term ("," head_term)* ")" | UpperIdent
-    fn head(&mut self) -> Result<Head, ParseError> {
+    fn head(&mut self, spans: &mut RuleSpans) -> Result<Head, ParseError> {
+        spans.head = self.here();
         let name = match self.bump().kind {
             TokenKind::UpperIdent(name) => name,
             other => {
@@ -175,7 +215,16 @@ impl Parser {
             self.bump();
             if self.peek().kind != TokenKind::RParen {
                 loop {
-                    args.push(self.head_term()?);
+                    let tag = SiteTag::Head(args.len());
+                    spans.head_args.push(self.here());
+                    let (term, vars) = self.head_term()?;
+                    spans
+                        .var_sites
+                        .extend(
+                            vars.into_iter()
+                                .map(|(name, span)| VarSite { name, tag, span }),
+                        );
+                    args.push(term);
                     if self.peek().kind == TokenKind::Comma {
                         self.bump();
                     } else {
@@ -189,7 +238,11 @@ impl Parser {
     }
 
     /// head_term := term | UpperIdent "<" term,* ">" ("[" term,* "]")?
-    fn head_term(&mut self) -> Result<HeadTerm, ParseError> {
+    ///
+    /// Returns the term plus the variable occurrences inside it (Δ-term
+    /// parameters and event tuples included).
+    fn head_term(&mut self) -> Result<(HeadTerm, Vec<(String, Span)>), ParseError> {
+        let mut vars: Vec<(String, Span)> = Vec::new();
         if let TokenKind::UpperIdent(name) = self.peek().kind.clone() {
             // Look ahead: `Name<` is a Δ-term, `Name` alone is a symbolic
             // constant-like predicate misuse; we require Δ-terms to use `<`.
@@ -199,7 +252,7 @@ impl Parser {
                 let mut params = Vec::new();
                 if self.peek().kind != TokenKind::RAngle {
                     loop {
-                        params.push(self.term()?);
+                        params.push(self.term_sited(&mut vars)?);
                         if self.peek().kind == TokenKind::Comma {
                             self.bump();
                         } else {
@@ -213,7 +266,7 @@ impl Parser {
                     self.bump();
                     if self.peek().kind != TokenKind::RBracket {
                         loop {
-                            event.push(self.term()?);
+                            event.push(self.term_sited(&mut vars)?);
                             if self.peek().kind == TokenKind::Comma {
                                 self.bump();
                             } else {
@@ -223,14 +276,17 @@ impl Parser {
                     }
                     self.expect(&TokenKind::RBracket)?;
                 }
-                return Ok(HeadTerm::Delta(DeltaTerm::new(&name, params, event)));
+                return Ok((HeadTerm::Delta(DeltaTerm::new(&name, params, event)), vars));
             }
         }
-        Ok(HeadTerm::Term(self.term()?))
+        let term = self.term_sited(&mut vars)?;
+        Ok((HeadTerm::Term(term), vars))
     }
 
     /// atom := UpperIdent ("(" term ("," term)* ")")?
-    fn atom(&mut self) -> Result<Atom, ParseError> {
+    ///
+    /// Returns the atom plus the variable occurrences inside it.
+    fn atom(&mut self) -> Result<(Atom, Vec<(String, Span)>), ParseError> {
         let name = match self.bump().kind {
             TokenKind::UpperIdent(name) => name,
             other => {
@@ -238,11 +294,12 @@ impl Parser {
             }
         };
         let mut args = Vec::new();
+        let mut vars = Vec::new();
         if self.peek().kind == TokenKind::LParen {
             self.bump();
             if self.peek().kind != TokenKind::RParen {
                 loop {
-                    args.push(self.term()?);
+                    args.push(self.term_sited(&mut vars)?);
                     if self.peek().kind == TokenKind::Comma {
                         self.bump();
                     } else {
@@ -252,7 +309,17 @@ impl Parser {
             }
             self.expect(&TokenKind::RParen)?;
         }
-        Ok(Atom::make(&name, args))
+        Ok((Atom::make(&name, args), vars))
+    }
+
+    /// Parse a term, recording its span in `vars` if it is a variable.
+    fn term_sited(&mut self, vars: &mut Vec<(String, Span)>) -> Result<Term, ParseError> {
+        let span = self.here();
+        let term = self.term()?;
+        if let Term::Var(v) = &term {
+            vars.push((v.name().to_string(), span));
+        }
+        Ok(term)
     }
 
     /// term := LowerIdent | Int | Decimal | SymbolConst | "true" | "false"-ish
@@ -296,12 +363,10 @@ impl Parser {
         }
     }
 
-    fn parse_statements(&mut self) -> Result<Vec<(RuleAst, Span)>, ParseError> {
+    fn parse_statements(&mut self) -> Result<Vec<(RuleAst, RuleSpans)>, ParseError> {
         let mut out = Vec::new();
         while !self.at_eof() {
-            let start = self.peek();
-            let span = Span::new(start.line, start.column);
-            out.push((self.statement()?, span));
+            out.push(self.statement()?);
         }
         Ok(out)
     }
@@ -320,7 +385,7 @@ pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
     let mut parser = Parser::new(source)?;
     let statements = parser.parse_statements()?;
     let mut parsed = ParsedProgram::default();
-    for (statement, span) in statements {
+    for (statement, spans) in statements {
         match statement {
             RuleAst::Rule(rule) => match as_ground_fact(&rule) {
                 Some(fact) => {
@@ -328,12 +393,14 @@ pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
                 }
                 None => {
                     parsed.statements.push(RuleAst::Rule(rule));
-                    parsed.spans.push(span);
+                    parsed.spans.push(spans.rule);
+                    parsed.literal_spans.push(spans);
                 }
             },
             constraint => {
                 parsed.statements.push(constraint);
-                parsed.spans.push(span);
+                parsed.spans.push(spans.rule);
+                parsed.literal_spans.push(spans);
             }
         }
     }
@@ -347,11 +414,14 @@ pub fn parse_source(source: &str) -> Result<ParsedProgram, ParseError> {
 /// distributions) are reported at the offending statement's source position
 /// rather than as bare messages.
 pub fn parse_program(source: &str) -> Result<(Program, Database), ParseError> {
-    let (program, facts, spans) = parse_source(source)?.into_parts();
-    if let Err((index, e)) = program.validate_rules() {
-        let span = spans.get(index).copied().unwrap_or_default();
+    let (program, facts, spans) = parse_source(source)?.into_spanned_parts();
+    if let Some(issue) = program.validate_all().into_iter().next() {
+        let span = spans
+            .get(issue.rule)
+            .map(|rs| rs.locus_span(&issue.locus))
+            .unwrap_or_default();
         return Err(ParseError {
-            message: e.to_string(),
+            message: issue.error.to_string(),
             line: span.line,
             column: span.column,
         });
@@ -491,16 +561,48 @@ mod tests {
         assert!(err.to_string().contains("predicate name"));
 
         // Unsafe rules are rejected through validation, and the error points
-        // at the offending statement.
+        // at the offending variable occurrence in the head.
         let err = parse_program("A(x) -> B(x).\nA(x) -> B(z).").unwrap_err();
         assert!(err.to_string().contains("unsafe"));
-        assert_eq!((err.line, err.column), (2, 1));
+        assert_eq!((err.line, err.column), (2, 11));
 
-        // Arity conflicts are attributed to the statement that introduced the
+        // Unsafe negated variables point at their occurrence in the negative
+        // literal.
+        let err = parse_program("A(x), not Q(x, w) -> P(x).").unwrap_err();
+        assert!(err.to_string().contains("unsafe"));
+        assert_eq!((err.line, err.column), (1, 16));
+
+        // Arity conflicts are attributed to the literal that introduced the
         // conflicting use.
         let err = parse_program("A(x) -> B(x).\n\n  A(x, y) -> C(x).").unwrap_err();
         assert!(err.to_string().contains("arity"));
         assert_eq!((err.line, err.column), (3, 3));
+    }
+
+    #[test]
+    fn literal_spans_pinpoint_rule_parts() {
+        use gdlog_core::RuleLocus;
+        let source = "Seed(1).\nSeed(x), not Bad(x) -> Val(x, Flip<0.5>[x]).";
+        let parsed = parse_source(source).unwrap();
+        let (_, _, spans) = parsed.into_spanned_parts();
+        assert_eq!(spans.len(), 1);
+        let rs = &spans[0];
+        assert_eq!(rs.rule, Span::new(2, 1));
+        assert_eq!(rs.locus_span(&RuleLocus::Pos(0)), Span::new(2, 1));
+        // Negative literals are anchored at their `not` token.
+        assert_eq!(rs.locus_span(&RuleLocus::Neg(0)), Span::new(2, 10));
+        assert_eq!(rs.locus_span(&RuleLocus::Head), Span::new(2, 24));
+        // Head argument 1 is the Δ-term.
+        assert_eq!(rs.locus_span(&RuleLocus::HeadArg(1)), Span::new(2, 31));
+        // The variable sites distinguish occurrences per literal.
+        assert_eq!(
+            rs.locus_span(&RuleLocus::NegVar(0, "x".into())),
+            Span::new(2, 18)
+        );
+        assert_eq!(
+            rs.locus_span(&RuleLocus::HeadVar("x".into())),
+            Span::new(2, 28)
+        );
     }
 
     #[test]

@@ -23,6 +23,20 @@ pub enum Command {
     Check {
         /// Path to the `.gdl` file.
         path: String,
+        /// Also run the full static-analysis lint pass (`--lint`).
+        lint: bool,
+        /// Treat warnings as errors for the exit code (`--deny-warnings`).
+        deny_warnings: bool,
+    },
+    /// Run the full static-analysis lint pass (safety, chase termination,
+    /// stratifiability, independence, hygiene).
+    Lint {
+        /// Path to the `.gdl` file.
+        path: String,
+        /// Emit the machine-readable JSON lint report.
+        json: bool,
+        /// Treat warnings as errors for the exit code.
+        deny_warnings: bool,
     },
     /// Reprint the program in canonical surface syntax.
     Fmt {
@@ -143,8 +157,18 @@ gdlog — Generative Datalog with stable negation (GDatalog¬[Δ])
 USAGE:
     gdlog [run] <file.gdl> [flags]   evaluate a scenario
     gdlog check <file.gdl>           parse + validate only
+    gdlog lint <file.gdl>            static analysis: safety, termination,
+                                     stratifiability, independence, hygiene
     gdlog fmt <file.gdl>             reprint in canonical surface syntax
     gdlog --help | --version
+
+CHECK FLAGS:
+    --lint                     also run the full lint pass after validation
+    --deny-warnings            exit nonzero on lint warnings
+
+LINT FLAGS:
+    --json                     machine-readable JSON lint report
+    --deny-warnings            exit nonzero on warnings
 
 RUN FLAGS:
     --json                     machine-readable JSON report
@@ -188,14 +212,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Version);
     }
 
-    // Subcommand detection: `run` is optional; `check`/`fmt` take no flags.
+    // Subcommand detection: `run` is optional; `fmt` takes no flags;
+    // `check`/`lint` take only their own small flag sets.
     let (verb, rest) = match args[0].as_str() {
-        v @ ("run" | "check" | "fmt") => (v, &args[1..]),
+        v @ ("run" | "check" | "lint" | "fmt") => (v, &args[1..]),
         _ => ("run", args),
     };
 
     let mut path: Option<String> = None;
     let mut o = RunOptions::new(String::new());
+    let mut lint_flag = false;
+    let mut deny_warnings = false;
     let mut i = 0;
     while i < rest.len() {
         let a = &rest[i];
@@ -204,6 +231,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err(format!("unexpected argument `{a}`"));
             }
             path = Some(a.clone());
+            i += 1;
+            continue;
+        }
+        if verb == "check" || verb == "lint" {
+            match a.as_str() {
+                "--lint" if verb == "check" => lint_flag = true,
+                "--json" if verb == "lint" => o.json = true,
+                "--deny-warnings" => deny_warnings = true,
+                other => return Err(format!("`gdlog {verb}` does not take `{other}`")),
+            }
             i += 1;
             continue;
         }
@@ -314,7 +351,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     }
     let path = path.ok_or_else(|| "missing <file.gdl> argument".to_owned())?;
     match verb {
-        "check" => Ok(Command::Check { path }),
+        "check" => Ok(Command::Check {
+            path,
+            lint: lint_flag,
+            deny_warnings,
+        }),
+        "lint" => Ok(Command::Lint {
+            path,
+            json: o.json,
+            deny_warnings,
+        }),
         "fmt" => Ok(Command::Fmt { path }),
         _ => {
             o.path = path;
@@ -374,10 +420,37 @@ mod tests {
         assert_eq!(
             parse_args(&args(&["check", "x.gdl"])).unwrap(),
             Command::Check {
-                path: "x.gdl".into()
+                path: "x.gdl".into(),
+                lint: false,
+                deny_warnings: false,
             }
         );
         assert!(parse_args(&args(&["fmt", "x.gdl", "--json"])).is_err());
+    }
+
+    #[test]
+    fn lint_and_check_flag_sets() {
+        assert_eq!(
+            parse_args(&args(&["lint", "x.gdl", "--json", "--deny-warnings"])).unwrap(),
+            Command::Lint {
+                path: "x.gdl".into(),
+                json: true,
+                deny_warnings: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["check", "x.gdl", "--lint"])).unwrap(),
+            Command::Check {
+                path: "x.gdl".into(),
+                lint: true,
+                deny_warnings: false,
+            }
+        );
+        // `--lint` belongs to check, `--json` to lint; the run flags belong
+        // to neither.
+        assert!(parse_args(&args(&["lint", "x.gdl", "--lint"])).is_err());
+        assert!(parse_args(&args(&["check", "x.gdl", "--json"])).is_err());
+        assert!(parse_args(&args(&["lint", "x.gdl", "--top", "3"])).is_err());
     }
 
     #[test]

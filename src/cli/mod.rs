@@ -12,15 +12,19 @@
 
 pub mod args;
 pub mod json;
+pub mod lint;
 pub mod report;
 
 use args::{Command, RunOptions, USAGE};
-use gdlog_core::{CoreError, FactoredSolve, GrounderChoice, OutputSpace, Pipeline, Program};
+use gdlog_core::{
+    CoreError, FactoredSolve, GrounderChoice, OutputSpace, Pipeline, Program, RuleLocus, Severity,
+};
 use gdlog_data::GroundAtom;
-use gdlog_parser::ast::Span;
+use gdlog_parser::ast::RuleSpans;
 use gdlog_parser::pretty::{pretty_atom, pretty_database, pretty_rule};
-use gdlog_parser::{parse_database, parse_source, ParseError, RuleAst};
+use gdlog_parser::{parse_database, parse_source, render_diagnostic_with, ParseError, RuleAst};
 use gdlog_prob::Prob;
+use lint::LintOutcome;
 use report::{EventReport, McReport, QueryReport, ScenarioReport};
 use std::io::Write;
 
@@ -44,16 +48,16 @@ pub fn main_with(argv: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write
             let _ = writeln!(stdout, "gdlog {}", crate::VERSION);
             0
         }
-        Command::Check { path } => match check_file(&path) {
-            Ok(summary) => {
-                let _ = writeln!(stdout, "{summary}");
-                0
-            }
-            Err(rendered) => {
-                let _ = write!(stderr, "{rendered}");
-                1
-            }
-        },
+        Command::Check {
+            path,
+            lint: with_lint,
+            deny_warnings,
+        } => check_command(&path, with_lint, deny_warnings, stdout, stderr),
+        Command::Lint {
+            path,
+            json,
+            deny_warnings,
+        } => lint_command(&path, json, deny_warnings, stdout, stderr),
         Command::Fmt { path } => match format_file(&path) {
             Ok(text) => {
                 let _ = write!(stdout, "{text}");
@@ -85,42 +89,76 @@ fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("error: cannot read {path}: {e}\n"))
 }
 
-/// Parse and validate a scenario file, rendering every error as a caret
-/// diagnostic. Returns the validated program, its facts, and the per-rule
-/// spans (for later stratification diagnostics).
+/// Parse and validate a scenario file, rendering **every** validation error
+/// as a caret diagnostic at its precise locus (offending variable, literal
+/// or head argument), span-ordered. Returns the validated program, its
+/// facts, and the per-rule literal spans (for later stratification
+/// diagnostics).
 fn load_program(
     path: &str,
     source: &str,
-) -> Result<(Program, gdlog_data::Database, Vec<Span>), String> {
+) -> Result<(Program, gdlog_data::Database, Vec<RuleSpans>), String> {
     let parsed = parse_source(source).map_err(|e| e.render(path, source))?;
-    let (program, facts, spans) = parsed.into_parts();
-    if let Err((index, e)) = program.validate_rules() {
-        let span = spans.get(index).copied().unwrap_or_default();
-        let error = ParseError {
-            message: e.to_string(),
-            line: span.line,
-            column: span.column,
-        };
-        return Err(error.render(path, source));
+    let (program, facts, spans) = parsed.into_spanned_parts();
+    let issues = program.validate_all();
+    if !issues.is_empty() {
+        let mut diagnostics: Vec<(usize, usize, String)> = issues
+            .into_iter()
+            .map(|issue| {
+                let span = spans
+                    .get(issue.rule)
+                    .map(|rs| rs.locus_span(&issue.locus))
+                    .unwrap_or_default();
+                (
+                    if span.line == 0 {
+                        usize::MAX
+                    } else {
+                        span.line
+                    },
+                    span.column,
+                    ParseError {
+                        message: issue.error.to_string(),
+                        line: span.line,
+                        column: span.column,
+                    }
+                    .render(path, source),
+                )
+            })
+            .collect();
+        diagnostics.sort();
+        return Err(diagnostics
+            .into_iter()
+            .map(|(_, _, rendered)| rendered)
+            .collect::<Vec<_>>()
+            .join(""));
     }
     Ok((program, facts, spans))
 }
 
 /// Render a pipeline-construction error; stratification failures point at
-/// the offending rule (head `to`, `from` in the negative body).
+/// the offending negative literal (head `to`, `from` in the negative body).
 fn render_core_error(
     e: &CoreError,
     path: &str,
     source: &str,
     program: &Program,
-    spans: &[Span],
+    spans: &[RuleSpans],
 ) -> String {
     if let CoreError::NotStratified(ns) = e {
-        let offending = program.rules().iter().position(|r| {
-            r.head.predicate == ns.to && r.neg.iter().any(|a| a.predicate == ns.from)
+        let offending = program.rules().iter().enumerate().find_map(|(i, r)| {
+            if r.head.predicate != ns.to {
+                return None;
+            }
+            r.neg
+                .iter()
+                .position(|a| a.predicate == ns.from)
+                .map(|neg_index| (i, neg_index))
         });
-        if let Some(index) = offending {
-            let span = spans.get(index).copied().unwrap_or_default();
+        if let Some((index, neg_index)) = offending {
+            let span = spans
+                .get(index)
+                .map(|rs| rs.locus_span(&RuleLocus::Neg(neg_index)))
+                .unwrap_or_default();
             let error = ParseError {
                 message: e.to_string(),
                 line: span.line,
@@ -132,25 +170,131 @@ fn render_core_error(
     format!("error: {e}\n")
 }
 
-fn check_file(path: &str) -> Result<String, String> {
-    let source = read_file(path)?;
-    let (program, facts, _) = load_program(path, &source)?;
-    Ok(format!(
-        "ok: {path}: {} rules, {} facts, stratified: {}",
-        program.len(),
-        facts.len(),
-        if program.has_stratified_negation() {
-            "yes"
-        } else {
-            "no"
+/// `gdlog check`: parse + validate (all diagnostics, span-ordered); with
+/// `--lint`, run the full static-analysis pass as well.
+fn check_command(
+    path: &str,
+    with_lint: bool,
+    deny_warnings: bool,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> i32 {
+    let source = match read_file(path) {
+        Ok(s) => s,
+        Err(rendered) => {
+            let _ = write!(stderr, "{rendered}");
+            return 1;
         }
-    ))
+    };
+    let outcome = match lint::lint_source(path, &source) {
+        Ok(o) => o,
+        Err(rendered) => {
+            let _ = write!(stderr, "{rendered}");
+            return 1;
+        }
+    };
+    // Plain `check` reports validation errors only; `--lint` (or a
+    // `--deny-warnings` gate, which must show what it gates on) reports
+    // everything.
+    render_findings(
+        &outcome,
+        !with_lint && !deny_warnings,
+        path,
+        &source,
+        stderr,
+    );
+    let code = outcome.exit_code(deny_warnings);
+    if code == 0 {
+        let _ = writeln!(
+            stdout,
+            "ok: {path}: {} rules, {} facts, stratified: {}",
+            outcome.rules,
+            outcome.facts,
+            if outcome.stratified { "yes" } else { "no" }
+        );
+        if with_lint {
+            let _ = writeln!(stdout, "{}", outcome.summary(path));
+        }
+    }
+    code
+}
+
+/// `gdlog lint`: the full static-analysis pass, as caret diagnostics plus a
+/// summary line, or as the deterministic JSON report with `--json`.
+fn lint_command(
+    path: &str,
+    json: bool,
+    deny_warnings: bool,
+    stdout: &mut dyn Write,
+    stderr: &mut dyn Write,
+) -> i32 {
+    let source = match read_file(path) {
+        Ok(s) => s,
+        Err(rendered) => {
+            let _ = write!(stderr, "{rendered}");
+            return 1;
+        }
+    };
+    let outcome = match lint::lint_source(path, &source) {
+        Ok(o) => o,
+        Err(rendered) => {
+            let _ = write!(stderr, "{rendered}");
+            return 1;
+        }
+    };
+    if json {
+        let _ = write!(stdout, "{}", outcome.render_json(path));
+    } else {
+        render_findings(&outcome, false, path, &source, stderr);
+        let _ = writeln!(stdout, "{}", outcome.summary(path));
+    }
+    outcome.exit_code(deny_warnings)
+}
+
+/// Render lint findings as caret diagnostics (errors only when
+/// `errors_only`, e.g. for plain `gdlog check`).
+fn render_findings(
+    outcome: &LintOutcome,
+    errors_only: bool,
+    path: &str,
+    source: &str,
+    stderr: &mut dyn Write,
+) {
+    for f in &outcome.findings {
+        if errors_only && f.severity != Severity::Error {
+            continue;
+        }
+        let _ = write!(
+            stderr,
+            "{}",
+            render_diagnostic_with(
+                f.severity.label(),
+                &format!("{} [{}]", f.message, f.code),
+                path,
+                source,
+                f.line,
+                f.column,
+            )
+        );
+    }
 }
 
 fn format_file(path: &str) -> Result<String, String> {
     let source = read_file(path)?;
     let parsed = parse_source(&source).map_err(|e| e.render(path, &source))?;
     let mut out = String::new();
+    // `%!` lines are scenario directives (`%! args:`, `%! expect:`), not
+    // ordinary comments: the corpus harness executes them, so reformatting
+    // must carry them through verbatim (in order, hoisted to the top).
+    for line in source.lines() {
+        if line.trim_start().starts_with("%!") {
+            out.push_str(line.trim_start());
+            out.push('\n');
+        }
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
     for statement in &parsed.statements {
         match statement {
             RuleAst::Rule(rule) => {
@@ -217,14 +361,16 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
     }
 
     let limits = o.limits();
-    let (solve, nodes_visited) = if o.factored {
+    let (solve, nodes_visited, analysis) = if o.factored {
         // Factored path: independent chase components solved separately,
         // answers come from the product space (flat fallback when the
-        // program has a single component).
-        let solve = pipeline
-            .solve_factored()
+        // program has a single component). The verdict records whether the
+        // static independence analysis alone settled the decomposition
+        // (skipping saturation) or the dynamic Δ-analysis ran.
+        let (solve, verdict) = pipeline
+            .solve_factored_with_analysis()
             .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-        (solve, 0)
+        (solve, 0, Some(verdict.label()))
     } else {
         let chase = pipeline
             .chase()
@@ -237,7 +383,7 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
             Some(pipeline.stable_cache()),
         )
         .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-        (FactoredSolve::Flat(space), nodes_visited)
+        (FactoredSolve::Flat(space), nodes_visited, None)
     };
 
     let given_atom = o.given.as_deref().map(parse_ground_atom).transpose()?;
@@ -327,6 +473,7 @@ pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
         grounder: grounder_name(o.grounder),
         threads: pipeline.executor().threads(),
         factors: solve.factor_count(),
+        analysis,
         outcomes: solve.combined_outcomes(),
         nodes_visited,
         events: solve.combined_events(),

@@ -67,6 +67,10 @@ pub struct ScenarioReport {
     pub threads: usize,
     /// Independent chase components solved (1 on the flat path).
     pub factors: usize,
+    /// How the factored decomposition was decided (`"static"` when the
+    /// grounding-free independence analysis alone settled it, `"dynamic"`
+    /// when the Δ-analysis had to saturate); `None` on the flat path.
+    pub analysis: Option<&'static str>,
     /// Finite outcomes covered — the *product* across factors on the
     /// factored path, which can dwarf anything the flat chase could ever
     /// materialize, hence the wide integer.
@@ -153,6 +157,11 @@ impl ScenarioReport {
             ("facts", Json::Int(self.facts as i128)),
             ("grounder", Json::str(self.grounder)),
             ("factors", Json::Int(self.factors as i128)),
+        ];
+        if let Some(a) = self.analysis {
+            pairs.push(("analysis", Json::str(a)));
+        }
+        pairs.extend([
             ("outcomes", Json::Int(wide_count(self.outcomes))),
             ("events", Json::Int(wide_count(self.events))),
             ("explored_mass", prob_json(&self.explored_mass)),
@@ -168,7 +177,7 @@ impl ScenarioReport {
                 ]),
             ),
             ("fingerprint", Json::str(&self.fingerprint)),
-        ];
+        ]);
         if let Some(g) = &self.given {
             pairs.push(("given", Json::str(g)));
         }
@@ -223,11 +232,15 @@ impl ScenarioReport {
             "source: {} ({} rules, {} facts)",
             self.source, self.rules, self.facts
         );
-        let _ = writeln!(
+        let _ = write!(
             out,
             "grounder: {}, threads: {}, factors: {}",
             self.grounder, self.threads, self.factors
         );
+        if let Some(a) = self.analysis {
+            let _ = write!(out, ", analysis: {a}");
+        }
+        out.push('\n');
         if self.nodes_visited > 0 {
             let _ = writeln!(
                 out,
@@ -301,6 +314,7 @@ mod tests {
             grounder: "simple",
             threads: 1,
             factors: 1,
+            analysis: None,
             outcomes: 2,
             nodes_visited: 5,
             events: 2,
@@ -358,6 +372,19 @@ mod tests {
         let json = r.render_json();
         assert!(json.contains(&format!("\"outcomes\": {}", 1u128 << 100)));
         assert!(json.contains("\"factors\": 20"));
+    }
+
+    #[test]
+    fn analysis_verdict_renders_only_on_the_factored_path() {
+        let mut r = sample();
+        // Flat runs carry no verdict and the key stays out of the JSON.
+        assert!(!r.render_json().contains("analysis"));
+        assert!(!r.render_text().contains("analysis"));
+        r.analysis = Some("static");
+        assert!(r.render_json().contains("\"analysis\": \"static\""));
+        assert!(r
+            .render_text()
+            .contains("grounder: simple, threads: 1, factors: 1, analysis: static"));
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn arity_conflict_points_at_the_later_rule() {
 }
 
 #[test]
-fn unsafe_head_variable_points_at_its_rule() {
+fn unsafe_head_variable_points_at_its_occurrence() {
     let path = temp_scenario("unsafe.gdl", "A(1).\nA(x) -> B(y).\n");
     let (code, _, err) = run_cli(&["run", &path]);
     assert_eq!(code, 1);
@@ -75,16 +75,16 @@ fn unsafe_head_variable_points_at_its_rule() {
         format!(
             "error: invalid program: unsafe variable y in head B(y) of rule \
              `A(x) -> B(y).`\n\
-             \x20 --> {path}:2:1\n\
+             \x20 --> {path}:2:11\n\
              \x20  |\n\
              \x202 | A(x) -> B(y).\n\
-             \x20  | ^\n"
+             \x20  |           ^\n"
         )
     );
 }
 
 #[test]
-fn unstratifiable_negation_under_perfect_grounder_points_at_the_cycle_rule() {
+fn unstratifiable_negation_under_perfect_grounder_points_at_the_negative_literal() {
     let path = temp_scenario(
         "unstrat.gdl",
         "A(1).\nA(x), not Q(x) -> P(x).\nA(x), not P(x) -> Q(x).\n",
@@ -95,10 +95,10 @@ fn unstratifiable_negation_under_perfect_grounder_points_at_the_cycle_rule() {
         err,
         format!(
             "error: not stratified: negative edge Q/1 -> P/1 lies on a cycle\n\
-             \x20 --> {path}:2:1\n\
+             \x20 --> {path}:2:7\n\
              \x20  |\n\
              \x202 | A(x), not Q(x) -> P(x).\n\
-             \x20  | ^\n"
+             \x20  |       ^\n"
         )
     );
 }
@@ -128,7 +128,104 @@ fn check_subcommand_renders_the_same_diagnostics() {
     assert_eq!(code, 1);
     assert_eq!(out, "");
     assert!(err.starts_with("error: invalid program: unsafe variable y"));
-    assert!(err.contains(&format!("--> {path}:2:1")));
+    assert!(err.contains(&format!("--> {path}:2:11")));
+}
+
+#[test]
+fn check_collects_every_diagnostic_in_span_order() {
+    // Two independent validation errors; the old behavior stopped at the
+    // first. Both must render, ordered by source position.
+    let path = temp_scenario("check_multi.gdl", "A(1).\nA(x) -> B(y).\nA(x) -> C(z).\n");
+    let (code, _, err) = run_cli(&["check", &path]);
+    assert_eq!(code, 1);
+    let y = err.find("unsafe variable y").expect("first diagnostic");
+    let z = err.find("unsafe variable z").expect("second diagnostic");
+    assert!(y < z, "diagnostics out of span order:\n{err}");
+    assert!(err.contains(&format!("--> {path}:2:11")), "{err}");
+    assert!(err.contains(&format!("--> {path}:3:11")), "{err}");
+}
+
+#[test]
+fn lint_flags_an_unsafe_program_with_exit_one() {
+    let (code, out, err) = run_cli(&["lint", "scenarios/bad/unsafe_var.gdl"]);
+    assert_eq!(code, 1);
+    assert!(
+        err.contains("error: invalid program: unsafe variable y"),
+        "{err}"
+    );
+    assert!(err.contains("scenarios/bad/unsafe_var.gdl:2:11"), "{err}");
+    assert!(err.contains('^'), "{err}");
+    assert!(out.contains("1 errors"), "{out}");
+}
+
+#[test]
+fn lint_warns_on_weak_acyclicity_violations() {
+    let (code, out, err) = run_cli(&["lint", "scenarios/bad/weakly_cyclic.gdl"]);
+    // A chase-termination warning alone exits 0 …
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("warning: chase may not terminate"), "{err}");
+    assert!(err.contains("[chase-may-not-terminate]"), "{err}");
+    // … and the diagnostic points at the Δ-term on the recursive rule.
+    assert!(err.contains("scenarios/bad/weakly_cyclic.gdl:3:"), "{err}");
+    assert!(out.contains("warnings"), "{out}");
+
+    // `--deny-warnings` upgrades the exit code.
+    let (code, _, _) = run_cli(&["lint", "scenarios/bad/weakly_cyclic.gdl", "--deny-warnings"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn lint_notes_unstratifiable_negation_without_failing() {
+    let (code, out, err) = run_cli(&["lint", "scenarios/bad/not_stratified.gdl"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("note: not stratified"), "{err}");
+    // The note anchors at the `not` token of the offending literal.
+    assert!(
+        err.contains("scenarios/bad/not_stratified.gdl:2:7"),
+        "{err}"
+    );
+    assert!(out.contains("notes"), "{out}");
+
+    // Notes survive even `--deny-warnings`: the program is still runnable
+    // under the simple grounder.
+    let (code, _, _) = run_cli(&[
+        "lint",
+        "scenarios/bad/not_stratified.gdl",
+        "--deny-warnings",
+    ]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn lint_json_report_is_deterministic_and_structured() {
+    let (code, out, _) = run_cli(&["lint", "scenarios/bad/weakly_cyclic.gdl", "--json"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("\"findings\""), "{out}");
+    assert!(
+        out.contains("\"code\": \"chase-may-not-terminate\""),
+        "{out}"
+    );
+    assert!(out.contains("\"severity\": \"warning\""), "{out}");
+    assert!(out.contains("\"static_components\""), "{out}");
+    // Byte-identical across invocations.
+    let (_, again, _) = run_cli(&["lint", "scenarios/bad/weakly_cyclic.gdl", "--json"]);
+    assert_eq!(out, again);
+}
+
+#[test]
+fn check_with_lint_runs_the_full_pass() {
+    let (code, out, err) = run_cli(&["check", "scenarios/bad/weakly_cyclic.gdl", "--lint"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("warning: chase may not terminate"), "{err}");
+    assert!(out.contains("rules"), "{out}");
+    assert!(out.contains("warnings"), "{out}");
+    let (code, _, _) = run_cli(&[
+        "check",
+        "scenarios/bad/weakly_cyclic.gdl",
+        "--lint",
+        "--deny-warnings",
+    ]);
+    assert_eq!(code, 1);
 }
 
 #[test]

@@ -11,7 +11,7 @@ use gdlog::core::{
     coin_program, dime_quarter_program, enumerate_outcomes, enumerate_outcomes_with,
     network_resilience_program, AtrRule, AtrSet, ChaseBudget, Executor, Grounder, ModelSetCache,
     ModelSetKey, MonteCarlo, NaivePerfectGrounder, NaiveSimpleGrounder, OutputSpace,
-    PerfectGrounder, Pipeline, SigmaPi, SimpleGrounder, TriggerOrder,
+    PerfectGrounder, Pipeline, SigmaPi, SimpleGrounder, StaticComponents, TriggerOrder,
 };
 use gdlog::prelude::*;
 use gdlog_engine::{
@@ -949,6 +949,66 @@ proptest! {
                 prop_assert_eq!(
                     solve.probability_cautious_all(&conj),
                     flat.probability_where(|k| conj.iter().all(|a| k.cautious(a)))
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Soundness of the grounding-free independence prediction: the static
+    /// predicate-level components ([`StaticComponents`]) over-approximate
+    /// the dynamic saturation-based analysis — on planted island programs,
+    /// every trigger-bearing component `Pipeline::factor_components`
+    /// discovers has all its universe atoms (and all its triggers) inside
+    /// exactly ONE static component, at every thread count. The dynamic
+    /// analysis may refine (split) a static component at the ground level,
+    /// but can never straddle two: a straddle would mean the predicate
+    /// graph missed a connection the ground universe has, and the static
+    /// seeding of the saturation would then be unsound. The trigger-free
+    /// base factor is exempt — it deliberately merges every choice-free
+    /// component into one deterministic factor.
+    #[test]
+    fn static_components_over_approximate_dynamic_factors(
+        islands in prop::collection::vec((any::<u8>(), 1u32..=9), 1..4),
+    ) {
+        let text: String = islands
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, p))| island_text(shape, i, p))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (program, db) = gdlog_parser::parse_program(&text)
+            .map_err(|e| TestCaseError::fail(format!("planted program failed to parse: {e}\n{text}")))?;
+
+        for threads in [1usize, 8] {
+            let pipeline = Pipeline::new(&program, &db).unwrap().threads(threads);
+            let statics = StaticComponents::of_sigma(pipeline.sigma());
+            let Some(components) = pipeline.factor_components().unwrap() else {
+                // Flat fallback (fewer than two trigger-bearing components):
+                // nothing to map, but the static certificate must not have
+                // promised more than one trigger-bearing component either.
+                continue;
+            };
+            for component in components.iter().filter(|c| !c.triggers.is_empty()) {
+                let homes: std::collections::BTreeSet<usize> = component
+                    .atoms
+                    .iter()
+                    .map(|atom| {
+                        statics
+                            .component_of(&atom.predicate)
+                            .expect("every universe predicate occurs in the translated program")
+                    })
+                    .collect();
+                prop_assert_eq!(
+                    homes.len(),
+                    1,
+                    "a dynamic component straddles {} static components at {} threads\n{}",
+                    homes.len(),
+                    threads,
+                    text.clone()
                 );
             }
         }

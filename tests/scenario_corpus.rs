@@ -27,6 +27,7 @@ fn manifest_dir() -> PathBuf {
 }
 
 fn scenario_files() -> Vec<(String, PathBuf)> {
+    canonical_interning();
     let dir = manifest_dir().join("scenarios");
     let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(&dir)
         .expect("scenarios/ directory exists")
@@ -38,6 +39,41 @@ fn scenario_files() -> Vec<(String, PathBuf)> {
         .collect();
     files.sort();
     files
+}
+
+/// Pin the global symbol-interning order for this test binary.
+///
+/// Atom listings in model keys (and hence event fingerprints) sort by
+/// [`gdlog_data::Symbol`]'s interning index, which is assigned on first use
+/// anywhere in the process. The goldens were recorded against the order the
+/// main corpus loop interns in — per scenario (sorted), directives first,
+/// then the program text, then the translated Active/Result predicates.
+/// With several `#[test]`s now parsing scenarios concurrently, the first
+/// toucher would otherwise be a thread-scheduling race; this `Once` makes
+/// every test intern through the same deterministic sweep before doing
+/// anything else.
+fn canonical_interning() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let dir = manifest_dir().join("scenarios");
+        let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(&dir)
+            .expect("scenarios/ directory exists")
+            .filter_map(|entry| {
+                let path = entry.expect("readable dir entry").path();
+                let stem = path.file_stem()?.to_str()?.to_owned();
+                (path.extension()?.to_str()? == "gdl").then_some((stem, path))
+            })
+            .collect();
+        files.sort();
+        for (name, path) in files {
+            let source = std::fs::read_to_string(&path).expect("scenario readable");
+            parse_directives(&source, &name);
+            if let Ok((program, db)) = gdlog_parser::parse_program(&source) {
+                // Intern the synthetic Active/Result predicate names too.
+                let _ = gdlog_core::SigmaPi::translate(&program, &db);
+            }
+        }
+    });
 }
 
 #[derive(Debug)]
@@ -221,6 +257,7 @@ fn every_scenario_runs_and_matches_its_directives_and_golden() {
 /// same fingerprint, same event listing, same probabilities.
 #[test]
 fn dime_quarter_cli_matches_the_builder_api_byte_for_byte() {
+    canonical_interning();
     let source = std::fs::read_to_string(manifest_dir().join("scenarios/dime_quarter.gdl"))
         .expect("scenario readable");
     let directives = parse_directives(&source, "dime_quarter");
@@ -286,6 +323,7 @@ fn dime_quarter_cli_matches_the_builder_api_byte_for_byte() {
 /// is what lets CI diff goldens across `GDLOG_THREADS` matrix legs).
 #[test]
 fn json_report_is_thread_count_invariant() {
+    canonical_interning();
     let run = |threads: &str| {
         let args = [
             "--threads",
@@ -312,6 +350,7 @@ fn json_report_is_thread_count_invariant() {
 /// in its factor count and chase bookkeeping.
 #[test]
 fn factored_scenario_matches_the_flat_path() {
+    canonical_interning();
     let source = std::fs::read_to_string(manifest_dir().join("scenarios/coin_farm.gdl"))
         .expect("scenario readable");
     let directives = parse_directives(&source, "coin_farm");
@@ -360,6 +399,115 @@ fn factored_scenario_matches_the_flat_path() {
             .collect()
     };
     assert_eq!(events(&factored), events(&flat));
+}
+
+/// Every corpus scenario must lint clean — no errors, no warnings (notes
+/// are fine: game programs legitimately use unstratified negation) — and
+/// its JSON lint report must match `scenarios/golden/<name>.lint.json`
+/// byte for byte. Regenerate with GDLOG_REGEN_GOLDEN=1.
+#[test]
+fn every_scenario_lints_clean_and_matches_its_lint_golden() {
+    for (name, path) in scenario_files() {
+        let source = std::fs::read_to_string(&path).expect("scenario readable");
+        let rel = format!("scenarios/{name}.gdl");
+        let outcome = gdlog::cli::lint::lint_source(&rel, &source)
+            .unwrap_or_else(|e| panic!("{name}: lint failed to parse:\n{e}"));
+        // The corpus is gated under `--deny-warnings`.
+        assert_eq!(
+            outcome.exit_code(true),
+            0,
+            "{name}: corpus scenarios must be lint-clean, found {:#?}",
+            outcome.findings
+        );
+        assert!(
+            outcome.static_components.is_some(),
+            "{name}: valid scenarios must report their static component count"
+        );
+
+        let golden_path = manifest_dir()
+            .join("scenarios/golden")
+            .join(format!("{name}.lint.json"));
+        let rendered = outcome.render_json(&rel);
+        if std::env::var_os("GDLOG_REGEN_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &rendered).expect("write lint golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{name}: missing lint golden {}; regenerate with GDLOG_REGEN_GOLDEN=1",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            rendered, golden,
+            "{name}: lint report drifted from its golden; if intentional, \
+             regenerate with GDLOG_REGEN_GOLDEN=1 cargo test --test scenario_corpus"
+        );
+    }
+}
+
+/// The static-independence showcase: `coin.gdl` runs `--factored` and its
+/// only Δ-rule is ground, so the grounding-free analysis alone must settle
+/// the decomposition (`analysis: static`, no saturation); `coin_farm.gdl`
+/// needs the dynamic Δ-analysis (`analysis: dynamic`).
+#[test]
+fn static_analysis_verdicts_appear_in_reports() {
+    canonical_interning();
+    let coin_src = std::fs::read_to_string(manifest_dir().join("scenarios/coin.gdl"))
+        .expect("scenario readable");
+    let coin_args = parse_directives(&coin_src, "coin").args;
+    assert!(coin_args.iter().any(|a| a == "--factored"));
+    let coin = run_scenario("scenarios/coin.gdl", &coin_args);
+    assert_eq!(coin.analysis, Some("static"), "coin: ground Δ-rule");
+
+    let farm_src = std::fs::read_to_string(manifest_dir().join("scenarios/coin_farm.gdl"))
+        .expect("scenario readable");
+    let farm_args = parse_directives(&farm_src, "coin_farm").args;
+    let farm = run_scenario("scenarios/coin_farm.gdl", &farm_args);
+    assert_eq!(farm.analysis, Some("dynamic"), "coin_farm: saturation ran");
+    assert_eq!(farm.factors, 4);
+}
+
+/// `gdlog fmt` must carry `%!` directive lines through verbatim — they are
+/// executable corpus metadata, not prose comments — and its output must
+/// still parse to the same program.
+#[test]
+fn fmt_preserves_scenario_directives() {
+    for (name, path) in scenario_files() {
+        let source = std::fs::read_to_string(&path).expect("scenario readable");
+        let rel = format!("scenarios/{name}.gdl");
+        let argv = vec!["fmt".to_owned(), rel.clone()];
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = gdlog::cli::main_with(&argv, &mut out, &mut err);
+        assert_eq!(
+            code,
+            0,
+            "{name}: fmt failed: {}",
+            String::from_utf8_lossy(&err)
+        );
+        let formatted = String::from_utf8(out).expect("fmt output utf-8");
+
+        let directive_lines = |text: &str| -> Vec<String> {
+            text.lines()
+                .map(str::trim_start)
+                .filter(|l| l.starts_with("%!"))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(
+            directive_lines(&source),
+            directive_lines(&formatted),
+            "{name}: fmt dropped or reordered `%!` directives"
+        );
+
+        // And the reformatted text is still the same scenario.
+        let (p1, d1) = gdlog_parser::parse_program(&source).expect("source parses");
+        let (p2, d2) = gdlog_parser::parse_program(&formatted)
+            .unwrap_or_else(|e| panic!("{name}: formatted output failed to parse: {e}"));
+        assert_eq!(p1.to_string(), p2.to_string(), "{name}");
+        assert_eq!(d1, d2, "{name}");
+    }
 }
 
 /// Scenario sources themselves round-trip through `gdlog fmt`'s printer:
