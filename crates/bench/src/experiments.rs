@@ -11,8 +11,8 @@ use crate::workloads::{
 };
 use gdlog_core::{
     as_good_as, bckov_output, coin_program, compare_outputs, dependency_graph, enumerate_outcomes,
-    isomorphic_to_bckov, stratification, ChaseBudget, Grounder, GrounderChoice, PerfectGrounder,
-    Pipeline, Program, SigmaPi, SimpleGrounder, TriggerOrder,
+    isomorphic_to_bckov, stratification, ChaseBudget, Grounder, GrounderChoice, McParams,
+    PerfectGrounder, Pipeline, Program, SigmaPi, SimpleGrounder, TriggerOrder,
 };
 use gdlog_data::{Const, Database, GroundAtom, Predicate};
 use gdlog_engine::{stable_models, StableModelLimits};
@@ -524,7 +524,7 @@ fn e10_monte_carlo() -> Report {
     let db = network_database(3, Topology::Clique);
     let pipeline = Pipeline::new(&network_program(0.1), &db).unwrap();
     let limits = StableModelLimits::default();
-    let mut mc = pipeline.monte_carlo(128, 20230613);
+    let mut mc = pipeline.sampler_with(McParams::new().with_max_triggers(128).with_seed(20230613));
     let stats = mc
         .estimate(5000, |outcome| {
             !outcome.stable_models(&limits).unwrap().is_empty()
@@ -551,7 +551,7 @@ fn e10_monte_carlo() -> Report {
     let db = network_database(5, Topology::Ring);
     let pipeline = Pipeline::new(&network_program(0.2), &db).unwrap();
     let exact = pipeline.solve().unwrap().has_stable_model_probability();
-    let mut mc = pipeline.monte_carlo(256, 7);
+    let mut mc = pipeline.sampler_with(McParams::new().with_max_triggers(256).with_seed(7));
     let stats = mc
         .estimate(2000, |outcome| {
             !outcome.stable_models(&limits).unwrap().is_empty()

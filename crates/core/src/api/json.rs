@@ -1,0 +1,174 @@
+//! A tiny deterministic JSON value tree and renderer.
+//!
+//! The `--json` report of the CLI and the wire responses of `gdlog serve`
+//! are rendered through this tree, consumed by the scenario-corpus golden
+//! tests, and diffed byte-for-byte across CI's thread-matrix legs *and*
+//! across the CLI/server surfaces, so rendering must be fully deterministic:
+//! object keys keep insertion order, floats render through Rust's `Display`
+//! (shortest round-trip form, never scientific notation), and nothing
+//! environment-dependent (timestamps, thread counts, hostnames) is ever
+//! emitted.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (covers every count and exact-rational component we emit).
+    Int(i128),
+    /// A float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Render as pretty-printed JSON with two-space indentation and a
+    /// trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let s = v.to_string();
+                    out.push_str(&s);
+                    // `Display` omits the decimal point for integral floats;
+                    // keep the value typed as a float on the wire.
+                    if !s.contains('.') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = Json::obj([
+            ("name", Json::str("coin")),
+            ("n", Json::Int(2)),
+            ("mass", Json::Float(0.5)),
+            ("whole", Json::Float(3.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty", Json::Arr(vec![])),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"name\": \"coin\""));
+        assert!(text.contains("\"mass\": 0.5"));
+        assert!(text.contains("\"whole\": 3.0"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("  \"items\": [\n    1,\n    2\n  ]"));
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_nonfinite_to_null() {
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+        // Unicode (the ≈ of approximate probabilities) passes through raw.
+        assert_eq!(Json::str("≈0.3").render(), "\"≈0.3\"\n");
+    }
+}

@@ -1,0 +1,28 @@
+//! The unified query API: one request, one response, one solver.
+//!
+//! Every front-end — `gdlog run`, the resident `gdlog serve` server, the
+//! examples and the bench harness — asks questions of a program through the
+//! same three types:
+//!
+//! * [`QueryRequest`] describes *everything one asks*: the solve
+//!   configuration (grounder, [`SolveStrategy`], budget, order, limits) plus
+//!   the question list (brave/cautious queries, `--given` conditionals,
+//!   marginals, top-K events, [`McRequest`] Monte-Carlo estimates).
+//! * [`Solver`] is a warm compiled program: translation runs once at
+//!   [`Solver::compile`], each distinct solve configuration runs once, and
+//!   every further request with the same configuration answers from the
+//!   cached output space — with responses **byte-identical** to a cold run.
+//! * [`QueryResponse`] is the single report schema, rendered as human text
+//!   or deterministic JSON ([`Json`]); the CLI's `--json` output, the
+//!   scenario-corpus goldens and the server's wire responses are all this
+//!   one rendering.
+
+pub mod json;
+pub mod request;
+pub mod response;
+pub mod solver;
+
+pub use json::Json;
+pub use request::{McRequest, QueryRequest, SolveKey, SolveStrategy};
+pub use response::{EventReport, McReport, QueryReport, QueryResponse};
+pub use solver::Solver;

@@ -23,6 +23,9 @@ pub enum CoreError {
     /// The chase exceeded its budget in a way that prevents producing a
     /// meaningful result (e.g. zero explored outcomes requested).
     Budget(String),
+    /// A [`crate::api::QueryRequest`] is malformed (e.g. Monte-Carlo
+    /// estimation without any query atoms).
+    Request(String),
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::NotStratified(e) => write!(f, "{e}"),
             CoreError::Stable(e) => write!(f, "stable model search: {e}"),
             CoreError::Budget(msg) => write!(f, "chase budget: {msg}"),
+            CoreError::Request(msg) => write!(f, "invalid request: {msg}"),
         }
     }
 }

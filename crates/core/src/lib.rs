@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod api;
 pub mod bckov;
 pub mod builder;
 pub mod chase;
@@ -62,6 +63,10 @@ pub use analyze::{
     certainly_single_trigger, lint, validate_all, weak_cycles, Finding, LintReport, RuleIssue,
     RuleLocus, Severity, StaticComponents, WeakCycle,
 };
+pub use api::{
+    EventReport, Json, McReport, McRequest, QueryReport, QueryRequest, QueryResponse, SolveKey,
+    SolveStrategy, Solver,
+};
 pub use bckov::{bckov_output, isomorphic_to_bckov, BckovOutcome, BckovOutput};
 pub use builder::{ProgramBuilder, RuleBuilder};
 pub use chase::{
@@ -82,7 +87,7 @@ pub use model_cache::{ModelCacheStats, ModelSetCache, ProgramFingerprint};
 pub use naive::{NaivePerfectGrounder, NaiveSimpleGrounder};
 pub use outcome::{ModelSetKey, PossibleOutcome};
 pub use perfect_grounder::PerfectGrounder;
-pub use pipeline::{GrounderChoice, Pipeline};
+pub use pipeline::{GrounderChoice, McParams, Pipeline};
 pub use program::{
     coin_program, dime_quarter_program, network_resilience_program, Program, AUX_PREDICATE,
     FAIL_PREDICATE,
@@ -123,5 +128,9 @@ mod send_sync_audit {
         assert_send_sync::<CoreError>();
         assert_send_sync::<Executor>();
         assert_send_sync::<Pipeline>();
+        // The resident server shares one `Solver` across session threads.
+        assert_send_sync::<Solver>();
+        assert_send_sync::<QueryRequest>();
+        assert_send_sync::<QueryResponse>();
     }
 }

@@ -43,6 +43,57 @@ pub enum GrounderChoice {
     Auto,
 }
 
+impl GrounderChoice {
+    /// Lowercase label (`simple` / `perfect` / `auto`) for flags and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GrounderChoice::Simple => "simple",
+            GrounderChoice::Perfect => "perfect",
+            GrounderChoice::Auto => "auto",
+        }
+    }
+}
+
+/// Monte-Carlo sampling parameters for [`Pipeline::sampler_with`]; replaces
+/// the bare positional arguments of the deprecated
+/// [`Pipeline::monte_carlo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct McParams {
+    /// Per-walk trigger budget (walks beyond it count as abandoned).
+    pub max_triggers: usize,
+    /// Root seed; per-walk RNG streams are split from it, so estimates are
+    /// bit-identical across executors.
+    pub seed: u64,
+}
+
+impl McParams {
+    /// The default parameters: 64 triggers per walk, seed 0.
+    pub fn new() -> Self {
+        McParams {
+            max_triggers: 64,
+            seed: 0,
+        }
+    }
+
+    /// Override the per-walk trigger budget.
+    pub fn with_max_triggers(mut self, max_triggers: usize) -> Self {
+        self.max_triggers = max_triggers;
+        self
+    }
+
+    /// Override the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for McParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A configured evaluation pipeline.
 pub struct Pipeline {
     sigma: Arc<SigmaPi>,
@@ -50,7 +101,9 @@ pub struct Pipeline {
     budget: ChaseBudget,
     order: TriggerOrder,
     limits: StableModelLimits,
-    executor: Executor,
+    /// Shared so a resident [`crate::api::Solver`] can run many pipelines
+    /// (one per solve configuration) on one pool.
+    executor: Arc<Executor>,
     /// Memo table for `sms(Σ ∪ G(Σ))` across outcomes and across repeated
     /// [`Pipeline::solve`] calls, keyed by the outcomes' canonical program
     /// fingerprints (hits can never change a result — equal fingerprints
@@ -72,11 +125,24 @@ impl Pipeline {
         choice: GrounderChoice,
     ) -> Result<Self, CoreError> {
         let sigma = Arc::new(SigmaPi::translate(program, database)?);
+        Self::from_sigma(sigma, program.has_stratified_negation(), choice)
+    }
+
+    /// Build a pipeline over an **already translated** program. This is the
+    /// "translate once, solve many" entry point of the resident
+    /// [`crate::api::Solver`]: the translation is shared, only grounding and
+    /// solving run per pipeline. `stratified` is the source program's
+    /// stratification verdict (it drives [`GrounderChoice::Auto`]).
+    pub fn from_sigma(
+        sigma: Arc<SigmaPi>,
+        stratified: bool,
+        choice: GrounderChoice,
+    ) -> Result<Self, CoreError> {
         let grounder: Box<dyn Grounder> = match choice {
             GrounderChoice::Simple => Box::new(SimpleGrounder::new(sigma.clone())),
             GrounderChoice::Perfect => Box::new(PerfectGrounder::new(sigma.clone())?),
             GrounderChoice::Auto => {
-                if program.has_stratified_negation() {
+                if stratified {
                     Box::new(PerfectGrounder::new(sigma.clone())?)
                 } else {
                     Box::new(SimpleGrounder::new(sigma.clone()))
@@ -93,7 +159,7 @@ impl Pipeline {
             // bit-identical either way, so the env knob (and the CI thread
             // matrix built on it) can parallelize every pipeline consumer
             // without touching call sites.
-            executor: Executor::from_env(),
+            executor: Arc::new(Executor::from_env()),
             stable_cache: ModelSetCache::new(),
         })
     }
@@ -121,7 +187,14 @@ impl Pipeline {
     /// CPU. Results are bit-identical for every value — the thread count
     /// only changes wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.executor = Executor::new(threads);
+        self.executor = Arc::new(Executor::new(threads));
+        self
+    }
+
+    /// Run on a shared executor (the server multiplexes every session's
+    /// pipelines onto one pool this way).
+    pub fn with_executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -159,6 +232,14 @@ impl Pipeline {
     /// every thread count and with a warm or cold cache.
     pub fn solve(&self) -> Result<OutputSpace, CoreError> {
         let chase = self.chase()?;
+        self.space_from_chase(chase)
+    }
+
+    /// Turn an already-enumerated chase into the output space (the second
+    /// half of [`Pipeline::solve`], split out so callers that need the
+    /// chase's own statistics — `nodes_visited` — can run the halves
+    /// separately without re-chasing).
+    pub fn space_from_chase(&self, chase: ChaseResult) -> Result<OutputSpace, CoreError> {
         OutputSpace::from_chase_with(
             chase,
             &self.limits,
@@ -255,9 +336,29 @@ impl Pipeline {
     }
 
     /// A Monte-Carlo estimator over the same grounder (sharing the
-    /// pipeline's executor).
+    /// pipeline's executor) with the default [`McParams`].
+    pub fn sampler(&self) -> MonteCarlo<'_> {
+        self.sampler_with(McParams::new())
+    }
+
+    /// A Monte-Carlo estimator with explicit [`McParams`].
+    pub fn sampler_with(&self, params: McParams) -> MonteCarlo<'_> {
+        MonteCarlo::new(self.grounder.as_ref(), params.max_triggers, params.seed)
+            .with_executor(&self.executor)
+    }
+
+    /// A Monte-Carlo estimator from bare positional parameters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `sampler_with(McParams::new().with_max_triggers(..).with_seed(..))` \
+                (or `QueryRequest::monte_carlo` through the unified API)"
+    )]
     pub fn monte_carlo(&self, max_triggers: usize, seed: u64) -> MonteCarlo<'_> {
-        MonteCarlo::new(self.grounder.as_ref(), max_triggers, seed).with_executor(&self.executor)
+        self.sampler_with(
+            McParams::new()
+                .with_max_triggers(max_triggers)
+                .with_seed(seed),
+        )
     }
 }
 
@@ -355,15 +456,30 @@ mod tests {
     #[test]
     fn monte_carlo_from_pipeline() {
         let pipeline = Pipeline::new(&coin_program(), &Database::new()).unwrap();
-        let mut mc = pipeline.monte_carlo(16, 11);
-        let stats = mc
-            .estimate(500, |outcome| {
-                outcome
-                    .rules
-                    .heads()
-                    .contains(&gdlog_data::GroundAtom::make("Coin", vec![Const::Int(1)]))
-            })
+        let params = McParams::new().with_max_triggers(16).with_seed(11);
+        assert_eq!((params.max_triggers, params.seed), (16, 11));
+        let heads_coin = |outcome: &crate::outcome::PossibleOutcome| {
+            outcome
+                .rules
+                .heads()
+                .contains(&gdlog_data::GroundAtom::make("Coin", vec![Const::Int(1)]))
+        };
+        let stats = pipeline
+            .sampler_with(params)
+            .estimate(500, heads_coin)
             .unwrap();
         assert!(stats.estimate.consistent_with(0.5, 4.0));
+        // The deprecated positional shim routes through the same params and
+        // the walk RNG is seed-split, so the estimates are bit-identical.
+        #[allow(deprecated)]
+        let legacy = pipeline
+            .monte_carlo(16, 11)
+            .estimate(500, heads_coin)
+            .unwrap();
+        assert_eq!(legacy.estimate.mean, stats.estimate.mean);
+        assert_eq!(legacy.abandoned, stats.abandoned);
+        // Default params are a plain sampler.
+        assert_eq!(McParams::default(), McParams::new());
+        let _ = pipeline.sampler();
     }
 }

@@ -19,8 +19,31 @@ use std::sync::OnceLock;
 ///
 /// Symbols are cheap to copy, compare and hash. Two symbols are equal iff the
 /// strings they intern are equal (interning is global per process).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Ordering is **lexicographic on the interned string**, not by interning
+/// index: every canonical sort downstream (model-set event keys, program
+/// fingerprints, golden JSON reports) goes through this `Ord`, and
+/// interning-index order is an accident of process history — two processes
+/// that compile programs in different orders must still render identical
+/// canonical output. Equality stays the O(1) index compare.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Symbol(u32);
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
 
 impl Symbol {
     /// Intern `name` and return its symbol.
@@ -184,13 +207,18 @@ mod tests {
     }
 
     #[test]
-    fn symbols_are_ordered_consistently_with_identity() {
+    fn symbols_are_ordered_lexicographically() {
+        // Interning order must not leak into the canonical order: `zeta`
+        // interned before `alpha` still sorts after it.
         let a = Symbol::new("zeta-ordering-test");
         let b = Symbol::new("alpha-ordering-test");
-        // Ordering is by interning index, not lexicographic: it only matters
-        // that it is a total order usable for canonical sorting.
-        assert!(a < b || b < a);
+        assert!(b < a);
         assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        assert_eq!(
+            a.partial_cmp(&b),
+            Some(std::cmp::Ordering::Greater),
+            "partial_cmp must agree with cmp"
+        );
     }
 
     #[test]

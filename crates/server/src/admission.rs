@@ -1,0 +1,174 @@
+//! Admission control: bounded in-flight queries with a bounded wait queue.
+//!
+//! Every `QUERY` acquires a [`Permit`] before solving. At most
+//! `max_inflight` permits are out at once; up to `max_queued` further
+//! acquisitions block until a permit frees; beyond that, acquisition fails
+//! **immediately** with [`Overloaded`] — the caller turns that into a
+//! well-formed wire rejection rather than letting clients hang on an
+//! unbounded queue. Built on `std::sync`'s `Mutex`/`Condvar` (the vendored
+//! `parking_lot` stand-in has no condition variables).
+
+use std::sync::{Condvar, Mutex};
+
+/// Returned when both the in-flight slots and the wait queue are full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Configured in-flight cap.
+    pub max_inflight: usize,
+    /// Configured queue cap.
+    pub max_queued: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "server overloaded: {} queries in flight and {} queued",
+            self.max_inflight, self.max_queued
+        )
+    }
+}
+
+struct State {
+    inflight: usize,
+    queued: usize,
+}
+
+/// The admission gate. Shared by every connection of one server.
+pub struct Admission {
+    state: Mutex<State>,
+    freed: Condvar,
+    max_inflight: usize,
+    max_queued: usize,
+}
+
+impl Admission {
+    /// A gate with the given caps. `max_inflight` is clamped to ≥ 1 (a gate
+    /// that can never admit would deadlock every client).
+    pub fn new(max_inflight: usize, max_queued: usize) -> Self {
+        Admission {
+            state: Mutex::new(State {
+                inflight: 0,
+                queued: 0,
+            }),
+            freed: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queued,
+        }
+    }
+
+    /// Acquire a permit: immediate when a slot is free, blocking while the
+    /// queue has room, `Err(Overloaded)` when both are full.
+    pub fn acquire(&self) -> Result<Permit<'_>, Overloaded> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.queued >= self.max_queued {
+            return Err(Overloaded {
+                max_inflight: self.max_inflight,
+                max_queued: self.max_queued,
+            });
+        }
+        state.queued += 1;
+        while state.inflight >= self.max_inflight {
+            state = self.freed.wait(state).expect("admission wait");
+        }
+        state.queued -= 1;
+        state.inflight += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Current (inflight, queued) counts — for `STATS`.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("admission lock");
+        (state.inflight, state.queued)
+    }
+
+    /// The configured caps.
+    pub fn caps(&self) -> (usize, usize) {
+        (self.max_inflight, self.max_queued)
+    }
+}
+
+/// An admitted query slot; releasing is dropping.
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (inflight, queued) = self.gate.load();
+        f.debug_struct("Permit")
+            .field("inflight", &inflight)
+            .field("queued", &queued)
+            .finish()
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("admission lock");
+        state.inflight -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_the_cap_then_rejects_past_the_queue() {
+        let gate = Admission::new(2, 0);
+        let a = gate.acquire().unwrap();
+        let _b = gate.acquire().unwrap();
+        assert_eq!(gate.load(), (2, 0));
+        // Queue of zero: the third acquisition rejects immediately.
+        let err = gate.acquire().unwrap_err();
+        assert_eq!((err.max_inflight, err.max_queued), (2, 0));
+        assert!(err.to_string().contains("overloaded"));
+        drop(a);
+        let _c = gate.acquire().unwrap();
+        assert_eq!(gate.load(), (2, 0));
+    }
+
+    #[test]
+    fn queued_acquisitions_block_until_a_permit_frees() {
+        let gate = Arc::new(Admission::new(1, 4));
+        let first = gate.acquire().unwrap();
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            waiters.push(std::thread::spawn(move || {
+                let permit = gate.acquire();
+                assert!(permit.is_ok());
+            }));
+        }
+        // Wait until all four are parked in the queue, then a fifth rejects.
+        for _ in 0..400 {
+            if gate.load().1 == 4 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(gate.load(), (1, 4));
+        assert!(gate.acquire().is_err());
+        drop(first);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn zero_inflight_clamps_to_one() {
+        let gate = Admission::new(0, 0);
+        assert_eq!(gate.caps(), (1, 0));
+        let _p = gate.acquire().unwrap();
+        assert!(gate.acquire().is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! A typed client for the wire protocol — used by the integration tests,
+//! `bench_serve`, and CI's corpus replay.
+
+use crate::session::{ErrorCode, ServeError};
+use std::io;
+use std::net::SocketAddr;
+
+/// Errors a client call can produce: transport failures or typed protocol
+/// errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed mid-call.
+    Io(io::Error),
+    /// The server answered `ERR <code>` with a JSON body.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Serve(e) => write!(f, "{}: {}", e.code.token(), e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn parse_error_code(token: &str) -> ErrorCode {
+    match token {
+        "no-session" => ErrorCode::NoSession,
+        "compile-failed" => ErrorCode::CompileFailed,
+        "query-failed" => ErrorCode::QueryFailed,
+        "overloaded" => ErrorCode::Overloaded,
+        _ => ErrorCode::BadRequest,
+    }
+}
+
+/// Pull the `"message"` string out of an error body without a JSON parser —
+/// the body shape is fixed (our own renderer), so a split suffices.
+fn error_message(body: &str) -> String {
+    body.split_once("\"message\": \"")
+        .map(|(_, rest)| {
+            let mut out = String::new();
+            let mut chars = rest.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => break,
+                    '\\' => match chars.next() {
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some(other) => out.push(other),
+                        None => break,
+                    },
+                    c => out.push(c),
+                }
+            }
+            out
+        })
+        .unwrap_or_else(|| body.to_owned())
+}
+
+/// One blocking connection to a `gdlog serve` instance.
+pub struct ServeClient {
+    inner: netline::Client,
+}
+
+impl ServeClient {
+    /// Connect.
+    pub fn connect(addr: SocketAddr) -> io::Result<ServeClient> {
+        Ok(ServeClient {
+            inner: netline::Client::connect(addr)?,
+        })
+    }
+
+    fn call(&mut self, head: &str, body: Vec<u8>) -> Result<String, ClientError> {
+        let response = self.inner.call(head, body)?;
+        let body = response.body_text();
+        if let Some(code) = response.head.strip_prefix("ERR ") {
+            return Err(ClientError::Serve(ServeError {
+                code: parse_error_code(code.trim()),
+                message: error_message(&body),
+            }));
+        }
+        Ok(body)
+    }
+
+    /// `PING` → `pong`.
+    pub fn ping(&mut self) -> Result<String, ClientError> {
+        self.call("PING", Vec::new())
+    }
+
+    /// Open a session: compile `source` under `label` (label must be a
+    /// single token; scenario paths are).
+    pub fn open(&mut self, label: &str, source: &str) -> Result<String, ClientError> {
+        self.call(&format!("OPEN {label}"), source.as_bytes().to_vec())
+    }
+
+    /// Query an open session with `gdlog run`-style flags, one argument per
+    /// element. Returns the response JSON.
+    pub fn query(&mut self, label: &str, argv: &[&str]) -> Result<String, ClientError> {
+        let body = argv.join("\n").into_bytes();
+        self.call(&format!("QUERY {label}"), body)
+    }
+
+    /// Close a session.
+    pub fn close(&mut self, label: &str) -> Result<String, ClientError> {
+        self.call(&format!("CLOSE {label}"), Vec::new())
+    }
+
+    /// Server statistics JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.call("STATS", Vec::new())
+    }
+
+    /// Drop the server's compiled-program cache (cold-path measurements).
+    pub fn reset(&mut self) -> Result<String, ClientError> {
+        self.call("RESET", Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_round_trip_through_the_scraper() {
+        let e = ServeError {
+            code: ErrorCode::CompileFailed,
+            message: "error: boom\n  --> x.gdl:1:9\n".into(),
+        };
+        let body = e.body();
+        assert_eq!(error_message(&body), e.message);
+        assert_eq!(parse_error_code("compile-failed"), ErrorCode::CompileFailed);
+        assert_eq!(parse_error_code("???"), ErrorCode::BadRequest);
+    }
+}

@@ -1,0 +1,145 @@
+//! # gdlog-server — the resident query daemon
+//!
+//! `gdlog serve` keeps compiled programs **warm**: parse → lint → ground →
+//! solve runs once per `(program, solve configuration)`, and every further
+//! query answers from the cached output space, with responses byte-identical
+//! to a cold one-shot `gdlog run --json`. The pieces:
+//!
+//! * [`flags`] — the run/query flag grammar shared verbatim with the CLI
+//!   (one parser, so the two front-ends cannot drift).
+//! * [`compile`] — parse + validate + compile into a
+//!   [`gdlog_core::api::Solver`], with caret diagnostics.
+//! * [`session`] — per-connection sessions over a global compiled-program
+//!   cache keyed by `(label, source text)`; admission-controlled query
+//!   dispatch.
+//! * [`admission`] — bounded in-flight queries with a bounded wait queue;
+//!   overload is a prompt typed rejection, never a hang.
+//! * [`protocol`] — the framed line protocol (`OPEN`/`QUERY`/`CLOSE`/
+//!   `STATS`/`RESET`/`PING`) over [`netline`].
+//! * [`client`] — a typed blocking client for tests, benches and CI replay.
+//!
+//! The transport is the first-party `netline` crate under `vendor/`
+//! (std-only blocking TCP; the build environment has no crates.io access).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod compile;
+pub mod flags;
+pub mod protocol;
+pub mod session;
+
+pub use admission::{Admission, Overloaded, Permit};
+pub use client::{ClientError, ServeClient};
+pub use compile::{compile_source, load_source, render_core_error, Loaded};
+pub use flags::{parse_ground_atom, parse_query_flags, QueryFlags};
+pub use protocol::Protocol;
+pub use session::{ErrorCode, OpenInfo, ServeError, SessionManager};
+
+use gdlog_core::Executor;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Configuration of a resident server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7171` by default; port `0` for ephemeral).
+    pub addr: String,
+    /// Worker threads of the shared executor (`None` defers to
+    /// `GDLOG_THREADS`, like the CLI).
+    pub threads: Option<usize>,
+    /// Maximum concurrently solving queries.
+    pub max_inflight: usize,
+    /// Maximum queries waiting for a solve slot before rejection.
+    pub max_queued: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_owned(),
+            threads: None,
+            // Defaults sized for a small resident daemon: a handful of
+            // concurrent solves, a short queue, prompt rejection beyond.
+            max_inflight: 4,
+            max_queued: 16,
+        }
+    }
+}
+
+/// A running server; stop it (or drop it) to shut down.
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: netline::ServerHandle,
+    protocol: Arc<Protocol>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The session manager behind the protocol (for in-process inspection
+    /// and tests — e.g. pinning an admission permit deterministically).
+    pub fn sessions(&self) -> &SessionManager {
+        self.protocol.sessions()
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn stop(&mut self) {
+        self.handle.stop();
+    }
+}
+
+/// Bind and start serving in background threads. Returns once the socket is
+/// bound (clients may connect immediately).
+pub fn start(config: &ServeConfig) -> io::Result<RunningServer> {
+    let executor = Arc::new(match config.threads {
+        Some(n) => Executor::new(n),
+        None => Executor::from_env(),
+    });
+    let sessions = SessionManager::new(executor, config.max_inflight, config.max_queued);
+    let server = netline::Server::bind(&config.addr)?;
+    let addr = server.local_addr();
+    let protocol = Arc::new(Protocol::new(sessions));
+    let handle = server.spawn(protocol.clone());
+    Ok(RunningServer {
+        addr,
+        handle,
+        protocol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_serves_and_stops() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: Some(1),
+            ..ServeConfig::default()
+        };
+        let mut server = start(&config).unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.ping().unwrap(), "pong");
+        client
+            .open("coin.gdl", "-> Coin(Flip<0.5>).\nCoin(0) -> false.\n")
+            .unwrap();
+        let json = client.query("coin.gdl", &["--query", "Coin(1)"]).unwrap();
+        assert!(json.contains("\"p_stable\""), "{json}");
+        // Typed errors cross the wire.
+        let err = client.query("nope.gdl", &[]).unwrap_err();
+        match err {
+            ClientError::Serve(e) => assert_eq!(e.code, ErrorCode::NoSession),
+            other => panic!("expected protocol error, got {other}"),
+        }
+        drop(client);
+        server.stop();
+    }
+}

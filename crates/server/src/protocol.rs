@@ -1,0 +1,189 @@
+//! The wire protocol: netline frames in, netline frames out.
+//!
+//! Every request is one frame (`<head tokens> <body-len>\n<body>`); every
+//! response frame has head `OK` or `ERR <code>`. Commands:
+//!
+//! | request head      | body                        | OK body                                |
+//! |-------------------|-----------------------------|----------------------------------------|
+//! | `PING`            | empty                       | `pong`                                 |
+//! | `OPEN <label>`    | scenario source text        | `{label, rules, facts, cached}`        |
+//! | `QUERY <label>`   | one run-flag per line       | the response JSON (`run --json` bytes) |
+//! | `CLOSE <label>`   | empty                       | `{closed}`                             |
+//! | `STATS`           | empty                       | cache/admission counters JSON          |
+//! | `RESET`           | empty                       | `{dropped}`                            |
+//!
+//! `ERR` bodies are always `{"error": <code>, "message": <text>}` — in
+//! particular an admission-control rejection is a prompt, well-formed
+//! `ERR overloaded` response, never a hang. Labels are single tokens (no
+//! whitespace); query arguments travel in the body, one per line, so ground
+//! atoms containing spaces (`Likes(#alice, 2)`) survive verbatim.
+
+use crate::session::{ErrorCode, ServeError, SessionManager};
+use gdlog_core::api::Json;
+use netline::{Frame, Handler};
+
+/// The netline handler: dispatches frames onto a [`SessionManager`].
+pub struct Protocol {
+    sessions: SessionManager,
+}
+
+impl Protocol {
+    /// Wrap a session manager.
+    pub fn new(sessions: SessionManager) -> Self {
+        Protocol { sessions }
+    }
+
+    /// The session manager (for in-process tests).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    fn dispatch(&self, conn_id: u64, request: &Frame) -> Result<Frame, ServeError> {
+        let mut tokens = request.head.split_whitespace();
+        let command = tokens.next().unwrap_or("");
+        let label = tokens.next();
+        if let Some(extra) = tokens.next() {
+            return Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("unexpected token `{extra}` in `{command}`"),
+            });
+        }
+        let no_label = |command: &str| ServeError {
+            code: ErrorCode::BadRequest,
+            message: format!("`{command}` requires a session label"),
+        };
+        match (command, label) {
+            ("PING", None) => Ok(Frame::new("OK", b"pong".to_vec())),
+            ("OPEN", Some(label)) => {
+                let info = self.sessions.open(conn_id, label, &request.body_text())?;
+                Ok(Frame::new("OK", info.body(label)))
+            }
+            ("OPEN", None) => Err(no_label("OPEN")),
+            ("QUERY", Some(label)) => {
+                let body = request.body_text();
+                let argv: Vec<String> = body
+                    .lines()
+                    .filter(|l| !l.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                let json = self.sessions.query(conn_id, label, &argv)?;
+                Ok(Frame::new("OK", json))
+            }
+            ("QUERY", None) => Err(no_label("QUERY")),
+            ("CLOSE", Some(label)) => {
+                let closed = self.sessions.close(conn_id, label);
+                Ok(Frame::new(
+                    "OK",
+                    Json::obj([("closed", Json::Bool(closed))]).render(),
+                ))
+            }
+            ("CLOSE", None) => Err(no_label("CLOSE")),
+            ("STATS", None) => Ok(Frame::new("OK", self.sessions.stats_body())),
+            ("RESET", None) => {
+                let dropped = self.sessions.reset();
+                Ok(Frame::new(
+                    "OK",
+                    Json::obj([("dropped", Json::Int(dropped as i128))]).render(),
+                ))
+            }
+            (other, _) => Err(ServeError {
+                code: ErrorCode::BadRequest,
+                message: format!("unknown command `{other}`"),
+            }),
+        }
+    }
+}
+
+impl Handler for Protocol {
+    fn handle(&self, request: Frame) -> Frame {
+        self.handle_on(u64::MAX, request)
+    }
+
+    fn handle_on(&self, conn_id: u64, request: Frame) -> Frame {
+        match self.dispatch(conn_id, &request) {
+            Ok(response) => response,
+            Err(e) => Frame::new(format!("ERR {}", e.code.token()), e.body()),
+        }
+    }
+
+    fn disconnected(&self, conn_id: u64) {
+        self.sessions.disconnect(conn_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdlog_core::Executor;
+    use std::sync::Arc;
+
+    const COIN: &str = "-> Coin(Flip<0.5>).\nCoin(0) -> false.\n";
+
+    fn protocol() -> Protocol {
+        Protocol::new(SessionManager::new(Arc::new(Executor::sequential()), 2, 0))
+    }
+
+    #[test]
+    fn dispatches_the_full_command_set() {
+        let p = protocol();
+        let pong = p.handle_on(0, Frame::new("PING", Vec::new()));
+        assert_eq!(
+            (pong.head.as_str(), pong.body_text().as_str()),
+            ("OK", "pong")
+        );
+
+        let opened = p.handle_on(0, Frame::new("OPEN coin.gdl", COIN.as_bytes().to_vec()));
+        assert_eq!(opened.head, "OK");
+        assert!(opened.body_text().contains("\"rules\": 3"));
+
+        let queried = p.handle_on(
+            0,
+            Frame::new("QUERY coin.gdl", "--query\nCoin(1)\n".as_bytes().to_vec()),
+        );
+        assert_eq!(queried.head, "OK", "{}", queried.body_text());
+        assert!(queried.body_text().contains("\"p_stable\""));
+
+        let stats = p.handle_on(0, Frame::new("STATS", Vec::new()));
+        assert!(stats.body_text().contains("\"queries\": 1"));
+
+        let closed = p.handle_on(0, Frame::new("CLOSE coin.gdl", Vec::new()));
+        assert!(closed.body_text().contains("\"closed\": true"));
+
+        let reset = p.handle_on(0, Frame::new("RESET", Vec::new()));
+        assert!(reset.body_text().contains("\"dropped\": 1"));
+    }
+
+    #[test]
+    fn errors_are_err_frames_with_json_bodies() {
+        let p = protocol();
+        let e = p.handle_on(0, Frame::new("FROB", Vec::new()));
+        assert_eq!(e.head, "ERR bad-request");
+        assert!(e.body_text().contains("unknown command"));
+
+        let e = p.handle_on(0, Frame::new("QUERY", Vec::new()));
+        assert_eq!(e.head, "ERR bad-request");
+
+        let e = p.handle_on(0, Frame::new("QUERY nope.gdl", Vec::new()));
+        assert_eq!(e.head, "ERR no-session");
+
+        let e = p.handle_on(0, Frame::new("OPEN bad.gdl", b"A(x) -> B(x)\n".to_vec()));
+        assert_eq!(e.head, "ERR compile-failed");
+        assert!(e.body_text().contains("\"message\""));
+
+        let e = p.handle_on(0, Frame::new("PING extra tokens", Vec::new()));
+        assert_eq!(e.head, "ERR bad-request");
+    }
+
+    #[test]
+    fn sessions_are_connection_scoped() {
+        let p = protocol();
+        p.handle_on(1, Frame::new("OPEN coin.gdl", COIN.as_bytes().to_vec()));
+        // Another connection has no such session...
+        let e = p.handle_on(2, Frame::new("QUERY coin.gdl", Vec::new()));
+        assert_eq!(e.head, "ERR no-session");
+        // ...and a disconnect drops it.
+        p.disconnected(1);
+        let e = p.handle_on(1, Frame::new("QUERY coin.gdl", Vec::new()));
+        assert_eq!(e.head, "ERR no-session");
+    }
+}

@@ -1,0 +1,393 @@
+//! Sessions, the compiled-program cache, and query dispatch.
+//!
+//! A **session** binds a label to a warm [`Solver`] on one connection. The
+//! [`SessionManager`] multiplexes every connection's sessions onto one
+//! shared executor and one global **compiled-program cache** keyed by
+//! `(label, source text)` — the label is part of the key because it appears
+//! verbatim in response bytes (`source` field), and the source text keeps
+//! two programs opened under the same label from cross-contaminating each
+//! other's caches. Opening a scenario a second time (any connection) reuses
+//! the compiled solver and everything it has already solved; `RESET` drops
+//! the cache for cold-path measurements.
+
+use crate::admission::{Admission, Overloaded};
+use crate::compile::compile_source;
+use crate::flags::parse_query_flags;
+use gdlog_core::api::{Json, Solver};
+use gdlog_core::Executor;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Machine-readable error codes of the wire protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The command or its arguments were malformed.
+    BadRequest,
+    /// `QUERY`/`CLOSE` named a label with no open session on the connection.
+    NoSession,
+    /// The program failed to compile (body carries rendered diagnostics).
+    CompileFailed,
+    /// The solve or answer assembly failed (body carries the rendered error).
+    QueryFailed,
+    /// Admission control rejected the query; retry later.
+    Overloaded,
+}
+
+impl ErrorCode {
+    /// The wire token of the code.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::NoSession => "no-session",
+            ErrorCode::CompileFailed => "compile-failed",
+            ErrorCode::QueryFailed => "query-failed",
+            ErrorCode::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// A typed protocol error: a code plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// The machine-readable code.
+    pub code: ErrorCode,
+    /// The rendered message (may span lines for caret diagnostics).
+    pub message: String,
+}
+
+impl ServeError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServeError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The JSON error body: `{"error": <code>, "message": <message>}`.
+    pub fn body(&self) -> String {
+        Json::obj([
+            ("error", Json::str(self.code.token())),
+            ("message", Json::str(&self.message)),
+        ])
+        .render()
+    }
+}
+
+impl From<Overloaded> for ServeError {
+    fn from(o: Overloaded) -> Self {
+        ServeError::new(ErrorCode::Overloaded, o.to_string())
+    }
+}
+
+/// What `OPEN` reports about a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenInfo {
+    /// Program rules (after constraint desugaring).
+    pub rules: usize,
+    /// Ground facts.
+    pub facts: usize,
+    /// Did the compiled-program cache already hold this `(label, source)`?
+    pub cached: bool,
+}
+
+impl OpenInfo {
+    /// The JSON body of a successful `OPEN`.
+    pub fn body(&self, label: &str) -> String {
+        Json::obj([
+            ("label", Json::str(label)),
+            ("rules", Json::Int(self.rules as i128)),
+            ("facts", Json::Int(self.facts as i128)),
+            ("cached", Json::Bool(self.cached)),
+        ])
+        .render()
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    opens: AtomicUsize,
+    compile_hits: AtomicUsize,
+    compile_misses: AtomicUsize,
+    queries: AtomicUsize,
+    rejected: AtomicUsize,
+}
+
+/// The resident state of one server: shared executor, admission gate,
+/// compiled-program cache, and per-connection sessions.
+pub struct SessionManager {
+    executor: Arc<Executor>,
+    admission: Admission,
+    programs: Mutex<HashMap<(String, String), Arc<Solver>>>,
+    sessions: Mutex<HashMap<u64, HashMap<String, Arc<Solver>>>>,
+    counters: Counters,
+}
+
+impl SessionManager {
+    /// A manager running queries on `executor`, admitting at most
+    /// `max_inflight` concurrent solves with `max_queued` waiters.
+    pub fn new(executor: Arc<Executor>, max_inflight: usize, max_queued: usize) -> Self {
+        SessionManager {
+            executor,
+            admission: Admission::new(max_inflight, max_queued),
+            programs: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The admission gate (exposed so tests can pin permits
+    /// deterministically instead of racing slow queries).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// Open (or re-open) a session: compile `source` under `label` on
+    /// `conn`, serving from the compiled-program cache when the same
+    /// `(label, source)` was compiled before — by any connection.
+    pub fn open(&self, conn: u64, label: &str, source: &str) -> Result<OpenInfo, ServeError> {
+        self.counters.opens.fetch_add(1, Ordering::Relaxed);
+        let key = (label.to_owned(), source.to_owned());
+        let cached_solver = self.programs.lock().get(&key).cloned();
+        let (solver, cached) = match cached_solver {
+            Some(solver) => {
+                self.counters.compile_hits.fetch_add(1, Ordering::Relaxed);
+                (solver, true)
+            }
+            None => {
+                // Compile outside the cache lock (compilation can be slow);
+                // a racing open of the same program keeps the first insert.
+                let (solver, _loaded) =
+                    compile_source(label, source, Arc::clone(&self.executor))
+                        .map_err(|rendered| ServeError::new(ErrorCode::CompileFailed, rendered))?;
+                let mut programs = self.programs.lock();
+                let solver = programs.entry(key).or_insert(solver).clone();
+                self.counters.compile_misses.fetch_add(1, Ordering::Relaxed);
+                (solver, false)
+            }
+        };
+        let info = OpenInfo {
+            rules: solver.rules(),
+            facts: solver.facts(),
+            cached,
+        };
+        self.sessions
+            .lock()
+            .entry(conn)
+            .or_default()
+            .insert(label.to_owned(), solver);
+        Ok(info)
+    }
+
+    /// Answer one `QUERY`: parse the argument list (one argument per body
+    /// line, same grammar as `gdlog run`), acquire an admission permit, and
+    /// solve on the session's warm solver. The success body is the response
+    /// JSON — byte-identical to `gdlog run --json` with the same flags.
+    pub fn query(&self, conn: u64, label: &str, argv: &[String]) -> Result<String, ServeError> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let solver = self
+            .sessions
+            .lock()
+            .get(&conn)
+            .and_then(|sessions| sessions.get(label))
+            .cloned()
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorCode::NoSession,
+                    format!("no open session `{label}` on this connection (send OPEN first)"),
+                )
+            })?;
+        let (flags, positionals) =
+            parse_query_flags(argv).map_err(|msg| ServeError::new(ErrorCode::BadRequest, msg))?;
+        if let Some(extra) = positionals.first() {
+            return Err(ServeError::new(
+                ErrorCode::BadRequest,
+                format!("unexpected argument `{extra}`"),
+            ));
+        }
+        let request = flags
+            .to_request()
+            .map_err(|msg| ServeError::new(ErrorCode::BadRequest, msg))?;
+        let _permit = self.admission.acquire().map_err(|overloaded| {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            ServeError::from(overloaded)
+        })?;
+        let response = solver
+            .query(&request)
+            .map_err(|e| ServeError::new(ErrorCode::QueryFailed, format!("error: {e}\n")))?;
+        Ok(response.render_json())
+    }
+
+    /// Close a session. Returns whether it existed. The compiled program
+    /// stays cached for future opens.
+    pub fn close(&self, conn: u64, label: &str) -> bool {
+        self.sessions
+            .lock()
+            .get_mut(&conn)
+            .is_some_and(|sessions| sessions.remove(label).is_some())
+    }
+
+    /// Drop every session of a connection (connection closed).
+    pub fn disconnect(&self, conn: u64) {
+        self.sessions.lock().remove(&conn);
+    }
+
+    /// Drop the compiled-program cache (cold-path measurements). Open
+    /// sessions keep their solvers; new opens recompile. Returns the number
+    /// of cached programs dropped.
+    pub fn reset(&self) -> usize {
+        let mut programs = self.programs.lock();
+        let dropped = programs.len();
+        programs.clear();
+        dropped
+    }
+
+    /// The `STATS` body: cache and admission counters as deterministic-order
+    /// JSON.
+    pub fn stats_body(&self) -> String {
+        let (inflight, queued) = self.admission.load();
+        let (max_inflight, max_queued) = self.admission.caps();
+        let open_sessions: usize = self.sessions.lock().values().map(|s| s.len()).sum();
+        Json::obj([
+            ("programs", Json::Int(self.programs.lock().len() as i128)),
+            ("sessions", Json::Int(open_sessions as i128)),
+            (
+                "opens",
+                Json::Int(self.counters.opens.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "compile_hits",
+                Json::Int(self.counters.compile_hits.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "compile_misses",
+                Json::Int(self.counters.compile_misses.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "queries",
+                Json::Int(self.counters.queries.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "rejected",
+                Json::Int(self.counters.rejected.load(Ordering::Relaxed) as i128),
+            ),
+            ("inflight", Json::Int(inflight as i128)),
+            ("queued", Json::Int(queued as i128)),
+            ("max_inflight", Json::Int(max_inflight as i128)),
+            ("max_queued", Json::Int(max_queued as i128)),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COIN: &str = "-> Coin(Flip<0.5>).\nCoin(0) -> false.\n";
+
+    fn manager() -> SessionManager {
+        SessionManager::new(Arc::new(Executor::sequential()), 2, 0)
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn open_query_close_round_trip() {
+        let m = manager();
+        let info = m.open(1, "coin.gdl", COIN).unwrap();
+        assert_eq!((info.rules, info.facts, info.cached), (3, 0, false));
+        assert!(info.body("coin.gdl").contains("\"cached\": false"));
+
+        let body = m
+            .query(1, "coin.gdl", &args(&["--query", "Coin(1)"]))
+            .unwrap();
+        assert!(body.contains("\"source\": \"coin.gdl\""), "{body}");
+        assert!(body.contains("\"atom\": \"Coin(1)\""), "{body}");
+
+        assert!(m.close(1, "coin.gdl"));
+        assert!(!m.close(1, "coin.gdl"));
+        let err = m.query(1, "coin.gdl", &args(&[])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::NoSession);
+        assert!(err.body().contains("\"error\": \"no-session\""));
+    }
+
+    #[test]
+    fn compiled_programs_are_shared_across_connections() {
+        let m = manager();
+        assert!(!m.open(1, "coin.gdl", COIN).unwrap().cached);
+        assert!(m.open(2, "coin.gdl", COIN).unwrap().cached);
+        // Same label, different source: a distinct compilation.
+        let other = "-> Coin(Flip<0.25>).\n";
+        assert!(!m.open(2, "coin.gdl", other).unwrap().cached);
+        assert!(m.stats_body().contains("\"compile_hits\": 1"));
+        assert_eq!(m.reset(), 2);
+        assert!(!m.open(1, "coin.gdl", COIN).unwrap().cached);
+    }
+
+    #[test]
+    fn sessions_die_with_their_connection() {
+        let m = manager();
+        m.open(7, "coin.gdl", COIN).unwrap();
+        m.disconnect(7);
+        assert_eq!(
+            m.query(7, "coin.gdl", &args(&[])).unwrap_err().code,
+            ErrorCode::NoSession
+        );
+    }
+
+    #[test]
+    fn bad_flags_and_compile_errors_are_typed() {
+        let m = manager();
+        let err = m.open(1, "bad.gdl", "A(x) -> B(x)\n").unwrap_err();
+        assert_eq!(err.code, ErrorCode::CompileFailed);
+        assert!(
+            err.message.contains('^'),
+            "caret diagnostics: {}",
+            err.message
+        );
+
+        m.open(1, "coin.gdl", COIN).unwrap();
+        let err = m
+            .query(1, "coin.gdl", &args(&["--frobnicate"]))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        let err = m.query(1, "coin.gdl", &args(&["stray"])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+        // `--mc` without `--query` surfaces the core request error.
+        let err = m.query(1, "coin.gdl", &args(&["--mc", "10"])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::QueryFailed);
+        assert!(err.message.contains("--query"));
+    }
+
+    #[test]
+    fn admission_rejection_is_a_typed_overload_error() {
+        let m = SessionManager::new(Arc::new(Executor::sequential()), 1, 0);
+        m.open(1, "coin.gdl", COIN).unwrap();
+        // Pin the only permit so the next query rejects deterministically.
+        let _pinned = m.admission().acquire().unwrap();
+        let err = m.query(1, "coin.gdl", &args(&[])).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert!(err.body().contains("\"error\": \"overloaded\""));
+        assert!(m.stats_body().contains("\"rejected\": 1"));
+        drop(_pinned);
+        assert!(m.query(1, "coin.gdl", &args(&[])).is_ok());
+    }
+
+    #[test]
+    fn warm_queries_are_byte_identical_to_cold() {
+        let m = manager();
+        m.open(1, "coin.gdl", COIN).unwrap();
+        let argv = args(&["--query", "Coin(1)", "--top", "4"]);
+        let cold = m.query(1, "coin.gdl", &argv).unwrap();
+        let warm = m.query(1, "coin.gdl", &argv).unwrap();
+        // A second session on the same cached program is warm too.
+        m.open(2, "coin.gdl", COIN).unwrap();
+        let other_conn = m.query(2, "coin.gdl", &argv).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, other_conn);
+    }
+}

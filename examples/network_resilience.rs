@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example network_resilience`
 
-use gdlog::core::{network_resilience_program, Pipeline};
+use gdlog::core::{network_resilience_program, McParams, Pipeline};
 use gdlog::data::{Const, Database};
 use gdlog_engine::StableModelLimits;
 
@@ -49,7 +49,7 @@ fn main() {
     );
     for p in [0.1, 0.3, 0.5] {
         let pipeline = Pipeline::new(&network_resilience_program(p), &ring(12)).unwrap();
-        let mut mc = pipeline.monte_carlo(512, 2023);
+        let mut mc = pipeline.sampler_with(McParams::new().with_max_triggers(512).with_seed(2023));
         let stats = mc
             .estimate(500, |outcome| {
                 !outcome.stable_models(&limits).unwrap().is_empty()

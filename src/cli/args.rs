@@ -5,13 +5,18 @@
 //!
 //! ```text
 //! gdlog [run] <file.gdl> [flags]   evaluate a scenario
+//! gdlog serve [flags]              resident server over the wire protocol
 //! gdlog check <file.gdl>           parse + validate only
 //! gdlog fmt <file.gdl>             reprint in canonical surface syntax
 //! gdlog --help | --version
 //! ```
+//!
+//! The run flags are the shared grammar of [`gdlog_server::flags`] — the
+//! same parser serves the CLI and the wire `QUERY` command, so the two
+//! front-ends cannot drift.
 
-use gdlog_core::{ChaseBudget, GrounderChoice, TriggerOrder};
-use gdlog_engine::StableModelLimits;
+use gdlog_server::flags::{parse_query_flags, QueryFlags};
+use gdlog_server::ServeConfig;
 
 /// What the invocation asked for.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +24,8 @@ pub enum Command {
     /// Evaluate a scenario end to end (boxed: the options dwarf the other
     /// variants).
     Run(Box<RunOptions>),
+    /// Start the resident server.
+    Serve(ServeConfig),
     /// Parse and validate, reporting rule/fact counts.
     Check {
         /// Path to the `.gdl` file.
@@ -49,105 +56,14 @@ pub enum Command {
     Version,
 }
 
-/// Options for `gdlog run`.
+/// Options for `gdlog run`: the scenario path plus the shared query flags.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunOptions {
     /// Path to the `.gdl` scenario file.
     pub path: String,
-    /// Emit the machine-readable JSON report instead of text.
-    pub json: bool,
-    /// Solve through the factored pipeline (`Pipeline::solve_factored`):
-    /// independent chase components become a product of outcome spaces.
-    pub factored: bool,
-    /// Grounder selection (`--grounder simple|perfect|auto`).
-    pub grounder: GrounderChoice,
-    /// Worker threads (`--threads N`); `None` defers to `GDLOG_THREADS`.
-    pub threads: Option<usize>,
-    /// Trigger exploration order (`--trigger-order first|last|scrambled`).
-    pub trigger_order: TriggerOrder,
-    /// Chase budget: maximum outcomes to enumerate.
-    pub max_outcomes: Option<usize>,
-    /// Chase budget: maximum Δ-depth per path.
-    pub max_depth: Option<usize>,
-    /// Chase budget: maximum branching per Δ-term.
-    pub max_branching: Option<usize>,
-    /// Chase budget: drop paths below this probability.
-    pub min_path_prob: Option<f64>,
-    /// Stable-model search: cap on returned models.
-    pub max_models: Option<usize>,
-    /// Stable-model search: cap on branching atoms per component.
-    pub max_branch_atoms: Option<usize>,
-    /// Ground atoms to query (brave and cautious probability each).
-    pub queries: Vec<String>,
-    /// Condition every query on this ground atom (conditional probability).
-    pub given: Option<String>,
-    /// Predicates to report full marginals for.
-    pub marginals: Vec<String>,
-    /// Report the top-K events by probability mass.
-    pub top: Option<usize>,
-    /// Monte-Carlo sample count (estimates each `--query` by sampling).
-    pub mc: Option<usize>,
-    /// Monte-Carlo seed.
-    pub seed: u64,
-    /// Monte-Carlo per-walk trigger budget.
-    pub max_triggers: usize,
-}
-
-impl RunOptions {
-    fn new(path: String) -> Self {
-        RunOptions {
-            path,
-            json: false,
-            factored: false,
-            grounder: GrounderChoice::Simple,
-            threads: None,
-            trigger_order: TriggerOrder::First,
-            max_outcomes: None,
-            max_depth: None,
-            max_branching: None,
-            min_path_prob: None,
-            max_models: None,
-            max_branch_atoms: None,
-            queries: Vec::new(),
-            given: None,
-            marginals: Vec::new(),
-            top: None,
-            mc: None,
-            seed: 0,
-            max_triggers: 64,
-        }
-    }
-
-    /// The chase budget implied by the flags (defaults from
-    /// [`ChaseBudget::default`]).
-    pub fn budget(&self) -> ChaseBudget {
-        let mut b = ChaseBudget::default();
-        if let Some(v) = self.max_outcomes {
-            b.max_outcomes = v;
-        }
-        if let Some(v) = self.max_depth {
-            b.max_depth = v;
-        }
-        if let Some(v) = self.max_branching {
-            b.max_branching = v;
-        }
-        if let Some(v) = self.min_path_prob {
-            b.min_path_probability = v;
-        }
-        b
-    }
-
-    /// The stable-model limits implied by the flags.
-    pub fn limits(&self) -> StableModelLimits {
-        let mut l = StableModelLimits::default();
-        if let Some(v) = self.max_models {
-            l.max_models = v;
-        }
-        if let Some(v) = self.max_branch_atoms {
-            l.max_branch_atoms = v;
-        }
-        l
-    }
+    /// The shared run/query flag set (grounder, strategy, budgets, queries,
+    /// Monte-Carlo parameters, output format).
+    pub flags: QueryFlags,
 }
 
 /// The usage text printed by `--help` and on argument errors.
@@ -156,6 +72,8 @@ gdlog — Generative Datalog with stable negation (GDatalog¬[Δ])
 
 USAGE:
     gdlog [run] <file.gdl> [flags]   evaluate a scenario
+    gdlog serve [flags]              resident server: sessions over a wire
+                                     protocol, warm compiled-program cache
     gdlog check <file.gdl>           parse + validate only
     gdlog lint <file.gdl>            static analysis: safety, termination,
                                      stratifiability, independence, hygiene
@@ -170,12 +88,22 @@ LINT FLAGS:
     --json                     machine-readable JSON lint report
     --deny-warnings            exit nonzero on warnings
 
+SERVE FLAGS:
+    --addr <A>                 bind address            (default 127.0.0.1:7171)
+    --threads <N>              worker threads (0 = all cores; default:
+                               the GDLOG_THREADS environment variable, else 1)
+    --max-inflight <N>         concurrent solves admitted      (default 4)
+    --max-queued <N>           queries queued beyond that, then rejected
+                               with a typed `overloaded` error (default 16)
+
 RUN FLAGS:
     --json                     machine-readable JSON report
-    --factored                 chase independent components separately and
-                               answer from the product of their outcome
-                               spaces (falls back to the flat path when the
-                               program does not factor)
+    --strategy <S>             flat | factored | auto       (default flat)
+                               factored: chase independent components
+                               separately and answer from the product of
+                               their outcome spaces; auto: let the static
+                               analysis pick
+    --factored                 alias for --strategy factored
     --grounder <G>             simple | perfect | auto      (default simple)
     --threads <N>              worker threads (0 = all cores; default:
                                the GDLOG_THREADS environment variable, else 1)
@@ -203,6 +131,35 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Resu
         .map_err(|_| format!("invalid value `{raw}` for flag `{flag}`"))
 }
 
+fn parse_serve(rest: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        let value = rest.get(i + 1);
+        match a.as_str() {
+            "--addr" => {
+                config.addr = value.ok_or("flag `--addr` expects a value")?.clone();
+                i += 2;
+            }
+            "--threads" => {
+                config.threads = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--max-inflight" => {
+                config.max_inflight = parse_value(a, value)?;
+                i += 2;
+            }
+            "--max-queued" => {
+                config.max_queued = parse_value(a, value)?;
+                i += 2;
+            }
+            other => return Err(format!("`gdlog serve` does not take `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
 /// Parse command-line arguments (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
@@ -212,141 +169,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         return Ok(Command::Version);
     }
 
-    // Subcommand detection: `run` is optional; `fmt` takes no flags;
-    // `check`/`lint` take only their own small flag sets.
+    // Subcommand detection: `run` is optional; `serve` takes no path;
+    // `fmt` takes no flags; `check`/`lint` take only their own small sets.
     let (verb, rest) = match args[0].as_str() {
-        v @ ("run" | "check" | "lint" | "fmt") => (v, &args[1..]),
+        v @ ("run" | "serve" | "check" | "lint" | "fmt") => (v, &args[1..]),
         _ => ("run", args),
     };
 
+    if verb == "serve" {
+        return Ok(Command::Serve(parse_serve(rest)?));
+    }
+
+    if verb == "run" {
+        let (flags, positionals) = parse_query_flags(rest)?;
+        let mut positionals = positionals.into_iter();
+        let path = positionals
+            .next()
+            .ok_or_else(|| "missing <file.gdl> argument".to_owned())?;
+        if let Some(extra) = positionals.next() {
+            return Err(format!("unexpected argument `{extra}`"));
+        }
+        return Ok(Command::Run(Box::new(RunOptions { path, flags })));
+    }
+
     let mut path: Option<String> = None;
-    let mut o = RunOptions::new(String::new());
+    let mut json = false;
     let mut lint_flag = false;
     let mut deny_warnings = false;
-    let mut i = 0;
-    while i < rest.len() {
-        let a = &rest[i];
+    for a in rest {
         if !a.starts_with("--") {
             if path.is_some() {
                 return Err(format!("unexpected argument `{a}`"));
             }
             path = Some(a.clone());
-            i += 1;
             continue;
         }
-        if verb == "check" || verb == "lint" {
-            match a.as_str() {
-                "--lint" if verb == "check" => lint_flag = true,
-                "--json" if verb == "lint" => o.json = true,
-                "--deny-warnings" => deny_warnings = true,
-                other => return Err(format!("`gdlog {verb}` does not take `{other}`")),
-            }
-            i += 1;
-            continue;
+        if verb == "fmt" {
+            return Err(format!("`gdlog fmt` takes no flags (got `{a}`)"));
         }
-        if verb != "run" {
-            return Err(format!("`gdlog {verb}` takes no flags (got `{a}`)"));
-        }
-        let value = rest.get(i + 1);
         match a.as_str() {
-            "--json" => {
-                o.json = true;
-                i += 1;
-            }
-            "--factored" => {
-                o.factored = true;
-                i += 1;
-            }
-            "--grounder" => {
-                o.grounder = match value.map(String::as_str) {
-                    Some("simple") => GrounderChoice::Simple,
-                    Some("perfect") => GrounderChoice::Perfect,
-                    Some("auto") => GrounderChoice::Auto,
-                    Some(other) => {
-                        return Err(format!(
-                            "invalid grounder `{other}` (expected simple, perfect or auto)"
-                        ))
-                    }
-                    None => return Err("flag `--grounder` expects a value".to_owned()),
-                };
-                i += 2;
-            }
-            "--trigger-order" => {
-                o.trigger_order = match value.map(String::as_str) {
-                    Some("first") => TriggerOrder::First,
-                    Some("last") => TriggerOrder::Last,
-                    Some("scrambled") => TriggerOrder::Scrambled,
-                    Some(other) => {
-                        return Err(format!(
-                            "invalid trigger order `{other}` (expected first, last or scrambled)"
-                        ))
-                    }
-                    None => return Err("flag `--trigger-order` expects a value".to_owned()),
-                };
-                i += 2;
-            }
-            "--threads" => {
-                o.threads = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--max-outcomes" => {
-                o.max_outcomes = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--max-depth" => {
-                o.max_depth = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--max-branching" => {
-                o.max_branching = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--min-path-prob" => {
-                o.min_path_prob = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--max-models" => {
-                o.max_models = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--max-branch-atoms" => {
-                o.max_branch_atoms = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--query" => {
-                o.queries
-                    .push(value.ok_or("flag `--query` expects a ground atom")?.clone());
-                i += 2;
-            }
-            "--given" => {
-                o.given = Some(value.ok_or("flag `--given` expects a ground atom")?.clone());
-                i += 2;
-            }
-            "--marginal" => {
-                o.marginals.push(
-                    value
-                        .ok_or("flag `--marginal` expects a predicate name")?
-                        .clone(),
-                );
-                i += 2;
-            }
-            "--top" => {
-                o.top = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--mc" => {
-                o.mc = Some(parse_value(a, value)?);
-                i += 2;
-            }
-            "--seed" => {
-                o.seed = parse_value(a, value)?;
-                i += 2;
-            }
-            "--max-triggers" => {
-                o.max_triggers = parse_value(a, value)?;
-                i += 2;
-            }
-            other => return Err(format!("unknown flag `{other}`")),
+            "--lint" if verb == "check" => lint_flag = true,
+            "--json" if verb == "lint" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            other => return Err(format!("`gdlog {verb}` does not take `{other}`")),
         }
     }
     let path = path.ok_or_else(|| "missing <file.gdl> argument".to_owned())?;
@@ -358,20 +223,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         "lint" => Ok(Command::Lint {
             path,
-            json: o.json,
+            json,
             deny_warnings,
         }),
-        "fmt" => Ok(Command::Fmt { path }),
-        _ => {
-            o.path = path;
-            Ok(Command::Run(Box::new(o)))
-        }
+        _ => Ok(Command::Fmt { path }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gdlog_core::api::SolveStrategy;
+    use gdlog_core::{ChaseBudget, GrounderChoice};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -398,12 +261,12 @@ mod tests {
             panic!("expected run")
         };
         assert_eq!(o.path, "scenarios/coin.gdl");
-        assert!(o.json);
-        assert!(o.factored);
-        assert_eq!(o.grounder, GrounderChoice::Auto);
-        assert_eq!(o.queries, vec!["Coin(1)".to_owned()]);
-        assert_eq!(o.top, Some(4));
-        assert_eq!(o.seed, 7);
+        assert!(o.flags.json);
+        assert_eq!(o.flags.strategy, SolveStrategy::Factored);
+        assert_eq!(o.flags.grounder, GrounderChoice::Auto);
+        assert_eq!(o.flags.queries, vec!["Coin(1)".to_owned()]);
+        assert_eq!(o.flags.top, Some(4));
+        assert_eq!(o.flags.seed, 7);
     }
 
     #[test]
@@ -412,7 +275,46 @@ mod tests {
             panic!("expected run")
         };
         assert_eq!(o.path, "x.gdl");
-        assert_eq!(o.mc, Some(100));
+        assert_eq!(o.flags.mc, Some(100));
+    }
+
+    #[test]
+    fn strategy_flag_and_factored_alias_agree() {
+        let Command::Run(a) = parse_args(&args(&["x.gdl", "--strategy", "auto"])).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(a.flags.strategy, SolveStrategy::Auto);
+        let Command::Run(b) = parse_args(&args(&["x.gdl", "--factored"])).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(b.flags.strategy, SolveStrategy::Factored);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let Command::Serve(config) = parse_args(&args(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--max-inflight",
+            "8",
+            "--max-queued",
+            "3",
+        ]))
+        .unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.threads, Some(2));
+        assert_eq!((config.max_inflight, config.max_queued), (8, 3));
+        // Defaults, and the flag set is closed.
+        let Command::Serve(d) = parse_args(&args(&["serve"])).unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(d, ServeConfig::default());
+        assert!(parse_args(&args(&["serve", "--query", "X"])).is_err());
     }
 
     #[test]
@@ -480,11 +382,11 @@ mod tests {
         .unwrap() else {
             panic!("expected run")
         };
-        let b = o.budget();
+        let b = o.flags.budget();
         assert_eq!(b.max_outcomes, 10);
         assert_eq!(b.max_branching, 8);
         assert!((b.min_path_probability - 0.001).abs() < 1e-12);
         assert_eq!(b.max_depth, ChaseBudget::default().max_depth);
-        assert_eq!(o.limits().max_models, 50);
+        assert_eq!(o.flags.limits().max_models, 50);
     }
 }

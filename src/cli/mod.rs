@@ -1,11 +1,14 @@
 //! The `gdlog` command-line interface.
 //!
-//! `gdlog run scenario.gdl` parses the surface syntax, runs the full pipeline
-//! (translate → ground → chase → stable models → output space) and prints a
-//! [`report::ScenarioReport`] as text or, with `--json`, in the deterministic
-//! golden-file format of the scenario corpus. Parse, validation and
-//! stratification errors are rendered as caret diagnostics pointing into the
-//! source file.
+//! `gdlog run scenario.gdl` compiles the scenario into a warm
+//! [`gdlog_core::api::Solver`] and dispatches one unified
+//! [`gdlog_core::api::QueryRequest`] at it — exactly the path a resident
+//! `gdlog serve` session takes, so a one-shot run and a served query produce
+//! byte-identical reports. The report prints as text or, with `--json`, in
+//! the deterministic golden-file format of the scenario corpus. Parse,
+//! validation and stratification errors are rendered as caret diagnostics
+//! pointing into the source file (via [`gdlog_server::compile`], shared with
+//! the server).
 //!
 //! The entire interface is exposed as a library (`main_with`) so the
 //! integration tests drive it in-process with captured output.
@@ -14,19 +17,17 @@ pub mod args;
 pub mod json;
 pub mod lint;
 pub mod report;
+pub mod serve;
 
 use args::{Command, RunOptions, USAGE};
-use gdlog_core::{
-    CoreError, FactoredSolve, GrounderChoice, OutputSpace, Pipeline, Program, RuleLocus, Severity,
-};
-use gdlog_data::GroundAtom;
-use gdlog_parser::ast::RuleSpans;
+use gdlog_core::{Executor, Severity};
 use gdlog_parser::pretty::{pretty_atom, pretty_database, pretty_rule};
-use gdlog_parser::{parse_database, parse_source, render_diagnostic_with, ParseError, RuleAst};
-use gdlog_prob::Prob;
+use gdlog_parser::{parse_source, render_diagnostic_with, RuleAst};
+use gdlog_server::{compile_source, render_core_error};
 use lint::LintOutcome;
-use report::{EventReport, McReport, QueryReport, ScenarioReport};
+use report::ScenarioReport;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Run the CLI against an argument list (excluding the program name),
 /// writing to the given streams. Returns the process exit code: 0 on
@@ -68,9 +69,10 @@ pub fn main_with(argv: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write
                 1
             }
         },
+        Command::Serve(config) => serve::serve_command(&config, stdout, stderr),
         Command::Run(options) => match execute_run(&options) {
             Ok(report) => {
-                if options.json {
+                if options.flags.json {
                     let _ = write!(stdout, "{}", report.render_json());
                 } else {
                     let _ = write!(stdout, "{}", report.render_text());
@@ -87,87 +89,6 @@ pub fn main_with(argv: &[String], stdout: &mut dyn Write, stderr: &mut dyn Write
 
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("error: cannot read {path}: {e}\n"))
-}
-
-/// Parse and validate a scenario file, rendering **every** validation error
-/// as a caret diagnostic at its precise locus (offending variable, literal
-/// or head argument), span-ordered. Returns the validated program, its
-/// facts, and the per-rule literal spans (for later stratification
-/// diagnostics).
-fn load_program(
-    path: &str,
-    source: &str,
-) -> Result<(Program, gdlog_data::Database, Vec<RuleSpans>), String> {
-    let parsed = parse_source(source).map_err(|e| e.render(path, source))?;
-    let (program, facts, spans) = parsed.into_spanned_parts();
-    let issues = program.validate_all();
-    if !issues.is_empty() {
-        let mut diagnostics: Vec<(usize, usize, String)> = issues
-            .into_iter()
-            .map(|issue| {
-                let span = spans
-                    .get(issue.rule)
-                    .map(|rs| rs.locus_span(&issue.locus))
-                    .unwrap_or_default();
-                (
-                    if span.line == 0 {
-                        usize::MAX
-                    } else {
-                        span.line
-                    },
-                    span.column,
-                    ParseError {
-                        message: issue.error.to_string(),
-                        line: span.line,
-                        column: span.column,
-                    }
-                    .render(path, source),
-                )
-            })
-            .collect();
-        diagnostics.sort();
-        return Err(diagnostics
-            .into_iter()
-            .map(|(_, _, rendered)| rendered)
-            .collect::<Vec<_>>()
-            .join(""));
-    }
-    Ok((program, facts, spans))
-}
-
-/// Render a pipeline-construction error; stratification failures point at
-/// the offending negative literal (head `to`, `from` in the negative body).
-fn render_core_error(
-    e: &CoreError,
-    path: &str,
-    source: &str,
-    program: &Program,
-    spans: &[RuleSpans],
-) -> String {
-    if let CoreError::NotStratified(ns) = e {
-        let offending = program.rules().iter().enumerate().find_map(|(i, r)| {
-            if r.head.predicate != ns.to {
-                return None;
-            }
-            r.neg
-                .iter()
-                .position(|a| a.predicate == ns.from)
-                .map(|neg_index| (i, neg_index))
-        });
-        if let Some((index, neg_index)) = offending {
-            let span = spans
-                .get(index)
-                .map(|rs| rs.locus_span(&RuleLocus::Neg(neg_index)))
-                .unwrap_or_default();
-            let error = ParseError {
-                message: e.to_string(),
-                line: span.line,
-                column: span.column,
-            };
-            return error.render(path, source);
-        }
-    }
-    format!("error: {e}\n")
 }
 
 /// `gdlog check`: parse + validate (all diagnostics, span-ordered); with
@@ -318,177 +239,24 @@ fn format_file(path: &str) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parse a ground atom written in surface syntax (e.g. `Coin(1)`,
-/// `SomeDimeTail`, `Likes(#alice, 2)`).
-fn parse_ground_atom(text: &str) -> Result<GroundAtom, String> {
-    let db = parse_database(&format!("{text}."))
-        .map_err(|e| format!("error: invalid ground atom `{text}`: {}\n", e.message))?;
-    let mut atoms = db.canonical_atoms();
-    if atoms.len() != 1 {
-        return Err(format!("error: invalid ground atom `{text}`\n"));
-    }
-    Ok(atoms.pop().expect("one atom"))
-}
-
-/// Exact division of probabilities; `None` when the denominator is zero.
-/// Delegates to [`Prob::div`], which gcd-reduces before cross-multiplying so
-/// ratios of deep dyadic products stay exact instead of spilling to floats.
-fn div_prob(num: &Prob, den: &Prob) -> Option<Prob> {
-    num.div(den)
-}
-
-fn grounder_name(choice: GrounderChoice) -> &'static str {
-    match choice {
-        GrounderChoice::Simple => "simple",
-        GrounderChoice::Perfect => "perfect",
-        GrounderChoice::Auto => "auto",
-    }
-}
-
-/// Evaluate a scenario end to end. Errors come back fully rendered
-/// (diagnostics included) and ready to print.
+/// Evaluate a scenario end to end: compile into a [`gdlog_core::api::Solver`]
+/// and dispatch the flags as one unified request — the same code path a
+/// resident server session runs, minus the wire. Errors come back fully
+/// rendered (diagnostics included) and ready to print.
 pub fn execute_run(o: &RunOptions) -> Result<ScenarioReport, String> {
     let source = read_file(&o.path)?;
-    let (program, facts, spans) = load_program(&o.path, &source)?;
-
-    let mut pipeline = Pipeline::with_grounder(&program, &facts, o.grounder)
-        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?
-        .budget(o.budget())
-        .trigger_order(o.trigger_order)
-        .stable_limits(o.limits());
-    if let Some(threads) = o.threads {
-        pipeline = pipeline.threads(threads);
-    }
-
-    let limits = o.limits();
-    let (solve, nodes_visited, analysis) = if o.factored {
-        // Factored path: independent chase components solved separately,
-        // answers come from the product space (flat fallback when the
-        // program has a single component). The verdict records whether the
-        // static independence analysis alone settled the decomposition
-        // (skipping saturation) or the dynamic Δ-analysis ran.
-        let (solve, verdict) = pipeline
-            .solve_factored_with_analysis()
-            .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-        (solve, 0, Some(verdict.label()))
-    } else {
-        let chase = pipeline
-            .chase()
-            .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-        let nodes_visited = chase.nodes_visited;
-        let space = OutputSpace::from_chase_with(
-            chase,
-            &limits,
-            pipeline.executor(),
-            Some(pipeline.stable_cache()),
-        )
-        .map_err(|e| render_core_error(&e, &o.path, &source, &program, &spans))?;
-        (FactoredSolve::Flat(space), nodes_visited, None)
-    };
-
-    let given_atom = o.given.as_deref().map(parse_ground_atom).transpose()?;
-
-    let mut queries = Vec::new();
-    let mut query_atoms = Vec::new();
-    for q in &o.queries {
-        let atom = parse_ground_atom(q)?;
-        let brave = solve.brave_probability(&atom);
-        let cautious = solve.cautious_probability(&atom);
-        let (brave_given, cautious_given) = match &given_atom {
-            Some(g) => {
-                let pair = [atom.clone(), g.clone()];
-                let joint_brave = solve.probability_brave_all(&pair);
-                let p_brave_g = solve.probability_brave_all(std::slice::from_ref(g));
-                let joint_cautious = solve.probability_cautious_all(&pair);
-                let p_cautious_g = solve.probability_cautious_all(std::slice::from_ref(g));
-                (
-                    div_prob(&joint_brave, &p_brave_g),
-                    div_prob(&joint_cautious, &p_cautious_g),
-                )
-            }
-            None => (None, None),
-        };
-        queries.push(QueryReport {
-            atom: atom.to_string(),
-            brave,
-            cautious,
-            brave_given,
-            cautious_given,
-        });
-        query_atoms.push(atom);
-    }
-
-    let mut marginals = Vec::new();
-    for pred in &o.marginals {
-        for atom in solve.atoms_with_predicate(pred) {
-            marginals.push(QueryReport {
-                atom: atom.to_string(),
-                brave: solve.brave_probability(&atom),
-                cautious: solve.cautious_probability(&atom),
-                brave_given: None,
-                cautious_given: None,
-            });
-        }
-    }
-
-    let top_events = match o.top {
-        Some(k) => solve
-            .events_by_mass_top(k)
-            .into_iter()
-            .map(|(key, mass)| EventReport {
-                models: key.model_count(),
-                key: key.to_string(),
-                mass,
-            })
-            .collect(),
-        None => Vec::new(),
-    };
-
-    let mut mc_reports = Vec::new();
-    if let Some(samples) = o.mc {
-        if query_atoms.is_empty() {
-            return Err("error: `--mc` requires at least one `--query` atom\n".to_owned());
-        }
-        for atom in &query_atoms {
-            let mut estimator = pipeline.monte_carlo(o.max_triggers, o.seed);
-            let stats = estimator
-                .estimate(samples, |outcome| {
-                    outcome.full_program().heads().contains(atom)
-                })
-                .map_err(|e| format!("error: {e}\n"))?;
-            mc_reports.push(McReport {
-                atom: atom.to_string(),
-                mean: stats.estimate.mean,
-                std_error: stats.estimate.std_error,
-                samples: stats.samples,
-                abandoned: stats.abandoned,
-            });
-        }
-    }
-
-    Ok(ScenarioReport {
-        source: o.path.clone(),
-        rules: program.len(),
-        facts: facts.len(),
-        grounder: grounder_name(o.grounder),
-        threads: pipeline.executor().threads(),
-        factors: solve.factor_count(),
-        analysis,
-        outcomes: solve.combined_outcomes(),
-        nodes_visited,
-        events: solve.combined_events(),
-        explored_mass: solve.explored_mass(),
-        residual_mass: solve.residual_mass(),
-        truncated: solve.is_truncated(),
-        p_stable: solve.has_stable_model_probability(),
-        stable_cache: pipeline.stable_cache_stats(),
-        fingerprint: solve.fingerprint(),
-        queries,
-        given: given_atom.as_ref().map(|a| a.to_string()),
-        marginals,
-        top_events,
-        mc: mc_reports,
-    })
+    let executor = Arc::new(match o.flags.threads {
+        Some(n) => Executor::new(n),
+        None => Executor::from_env(),
+    });
+    let (solver, loaded) = compile_source(&o.path, &source, executor)?;
+    let request = o
+        .flags
+        .to_request()
+        .map_err(|msg| format!("error: {msg}\n"))?;
+    solver
+        .query(&request)
+        .map_err(|e| render_core_error(&e, &o.path, &source, &loaded))
 }
 
 #[cfg(test)]
@@ -520,6 +288,7 @@ mod tests {
         let (code, out, _) = run_cli(&["--help"]);
         assert_eq!(code, 0);
         assert!(out.contains("USAGE"));
+        assert!(out.contains("serve"), "{out}");
         let (code, out, _) = run_cli(&["--version"]);
         assert_eq!(code, 0);
         assert!(out.starts_with("gdlog "));
@@ -547,6 +316,18 @@ mod tests {
         assert_eq!(code, 0);
         assert!(json_out.contains("\"p_stable\""));
         assert!(json_out.contains("\"text\": \"1/2\""));
+    }
+
+    #[test]
+    fn strategy_auto_matches_flat_output() {
+        let path = temp_scenario("auto_unit.gdl", "-> Coin(Flip<0.5>).\nCoin(0) -> false.\n");
+        let (code, flat, _) = run_cli(&[path.to_str().unwrap(), "--json"]);
+        assert_eq!(code, 0);
+        let (code, auto, _) = run_cli(&[path.to_str().unwrap(), "--json", "--strategy", "auto"]);
+        assert_eq!(code, 0);
+        // The single-Δ-trigger certificate routes `auto` to the flat solve.
+        assert_eq!(flat, auto);
+        assert!(flat.contains("\"analysis\": \"flat\""), "{flat}");
     }
 
     #[test]
@@ -586,13 +367,5 @@ mod tests {
         assert!(err.starts_with("error: "), "{err}");
         assert!(err.contains("-->"), "{err}");
         assert!(err.contains('^'), "{err}");
-    }
-
-    #[test]
-    fn div_prob_is_exact_and_guards_zero() {
-        let half = Prob::ratio(1, 2);
-        let quarter = Prob::ratio(1, 4);
-        assert_eq!(div_prob(&quarter, &half), Some(Prob::ratio(1, 2)));
-        assert_eq!(div_prob(&half, &Prob::ZERO), None);
     }
 }

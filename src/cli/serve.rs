@@ -1,0 +1,34 @@
+//! `gdlog serve`: boot the resident server and block.
+//!
+//! Prints one `serving on <addr>` line once the socket is bound (CI and
+//! scripts wait for it), then parks the main thread while the accept loop
+//! and per-connection handlers run in background threads. The process ends
+//! via signal; sessions are per-connection, so no shutdown bookkeeping is
+//! owed to clients.
+
+use gdlog_server::ServeConfig;
+use std::io::Write;
+
+/// Run the resident server until the process is killed. Returns only on a
+/// bind failure (exit code 1).
+pub fn serve_command(config: &ServeConfig, stdout: &mut dyn Write, stderr: &mut dyn Write) -> i32 {
+    let server = match gdlog_server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            let _ = writeln!(stderr, "error: cannot bind {}: {e}", config.addr);
+            return 1;
+        }
+    };
+    let _ = writeln!(
+        stdout,
+        "serving on {} (inflight {}, queued {})",
+        server.local_addr(),
+        config.max_inflight,
+        config.max_queued
+    );
+    let _ = stdout.flush();
+    loop {
+        // The accept loop owns the work; nothing to do here but stay alive.
+        std::thread::park();
+    }
+}

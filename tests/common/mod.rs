@@ -1,0 +1,43 @@
+//! Helpers shared by the end-to-end test binaries (`scenario_corpus`,
+//! `server_sessions`): scenario discovery and `%!` directive extraction.
+//!
+//! No interning choreography is needed: [`gdlog_data::Symbol`] orders
+//! lexicographically, so canonical output (event keys, fingerprints, golden
+//! JSON) is independent of which test interned which name first.
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::path::PathBuf;
+
+/// The repository root (scenario paths in goldens are relative to it).
+pub fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every `scenarios/*.gdl` file, sorted by stem.
+pub fn scenario_files() -> Vec<(String, PathBuf)> {
+    let dir = manifest_dir().join("scenarios");
+    let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(&dir)
+        .expect("scenarios/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            let stem = path.file_stem()?.to_str()?.to_owned();
+            (path.extension()?.to_str()? == "gdl").then_some((stem, path))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The `%! args:` flags of a scenario, in order.
+pub fn directive_args(source: &str) -> Vec<String> {
+    let mut args = Vec::new();
+    for line in source.lines() {
+        let Some(rest) = line.trim().strip_prefix("%!") else {
+            continue;
+        };
+        if let Some(arg_text) = rest.trim().strip_prefix("args:") {
+            args.extend(arg_text.split_whitespace().map(str::to_owned));
+        }
+    }
+    args
+}

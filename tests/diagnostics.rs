@@ -94,10 +94,10 @@ fn unstratifiable_negation_under_perfect_grounder_points_at_the_negative_literal
     assert_eq!(
         err,
         format!(
-            "error: not stratified: negative edge Q/1 -> P/1 lies on a cycle\n\
-             \x20 --> {path}:2:7\n\
+            "error: not stratified: negative edge P/1 -> Q/1 lies on a cycle\n\
+             \x20 --> {path}:3:7\n\
              \x20  |\n\
-             \x202 | A(x), not Q(x) -> P(x).\n\
+             \x203 | A(x), not P(x) -> Q(x).\n\
              \x20  |       ^\n"
         )
     );
@@ -181,7 +181,7 @@ fn lint_notes_unstratifiable_negation_without_failing() {
     assert!(err.contains("note: not stratified"), "{err}");
     // The note anchors at the `not` token of the offending literal.
     assert!(
-        err.contains("scenarios/bad/not_stratified.gdl:2:7"),
+        err.contains("scenarios/bad/not_stratified.gdl:3:7"),
         "{err}"
     );
     assert!(out.contains("notes"), "{out}");

@@ -15,66 +15,14 @@
 //! Regenerate goldens with `GDLOG_REGEN_GOLDEN=1 cargo test --test
 //! scenario_corpus`.
 
+mod common;
+
+use common::{manifest_dir, scenario_files};
 use gdlog::cli::args::{parse_args, Command};
 use gdlog::cli::execute_run;
 use gdlog::cli::report::ScenarioReport;
 use gdlog_core::{dime_quarter_program, GrounderChoice, Pipeline};
 use gdlog_data::Database;
-use std::path::PathBuf;
-
-fn manifest_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-}
-
-fn scenario_files() -> Vec<(String, PathBuf)> {
-    canonical_interning();
-    let dir = manifest_dir().join("scenarios");
-    let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(&dir)
-        .expect("scenarios/ directory exists")
-        .filter_map(|entry| {
-            let path = entry.expect("readable dir entry").path();
-            let stem = path.file_stem()?.to_str()?.to_owned();
-            (path.extension()?.to_str()? == "gdl").then_some((stem, path))
-        })
-        .collect();
-    files.sort();
-    files
-}
-
-/// Pin the global symbol-interning order for this test binary.
-///
-/// Atom listings in model keys (and hence event fingerprints) sort by
-/// [`gdlog_data::Symbol`]'s interning index, which is assigned on first use
-/// anywhere in the process. The goldens were recorded against the order the
-/// main corpus loop interns in — per scenario (sorted), directives first,
-/// then the program text, then the translated Active/Result predicates.
-/// With several `#[test]`s now parsing scenarios concurrently, the first
-/// toucher would otherwise be a thread-scheduling race; this `Once` makes
-/// every test intern through the same deterministic sweep before doing
-/// anything else.
-fn canonical_interning() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let dir = manifest_dir().join("scenarios");
-        let mut files: Vec<(String, PathBuf)> = std::fs::read_dir(&dir)
-            .expect("scenarios/ directory exists")
-            .filter_map(|entry| {
-                let path = entry.expect("readable dir entry").path();
-                let stem = path.file_stem()?.to_str()?.to_owned();
-                (path.extension()?.to_str()? == "gdl").then_some((stem, path))
-            })
-            .collect();
-        files.sort();
-        for (name, path) in files {
-            let source = std::fs::read_to_string(&path).expect("scenario readable");
-            parse_directives(&source, &name);
-            if let Ok((program, db)) = gdlog_parser::parse_program(&source) {
-                // Intern the synthetic Active/Result predicate names too.
-                let _ = gdlog_core::SigmaPi::translate(&program, &db);
-            }
-        }
-    });
-}
 
 #[derive(Debug)]
 enum Expect {
@@ -257,7 +205,6 @@ fn every_scenario_runs_and_matches_its_directives_and_golden() {
 /// same fingerprint, same event listing, same probabilities.
 #[test]
 fn dime_quarter_cli_matches_the_builder_api_byte_for_byte() {
-    canonical_interning();
     let source = std::fs::read_to_string(manifest_dir().join("scenarios/dime_quarter.gdl"))
         .expect("scenario readable");
     let directives = parse_directives(&source, "dime_quarter");
@@ -323,7 +270,6 @@ fn dime_quarter_cli_matches_the_builder_api_byte_for_byte() {
 /// is what lets CI diff goldens across `GDLOG_THREADS` matrix legs).
 #[test]
 fn json_report_is_thread_count_invariant() {
-    canonical_interning();
     let run = |threads: &str| {
         let args = [
             "--threads",
@@ -350,7 +296,6 @@ fn json_report_is_thread_count_invariant() {
 /// in its factor count and chase bookkeeping.
 #[test]
 fn factored_scenario_matches_the_flat_path() {
-    canonical_interning();
     let source = std::fs::read_to_string(manifest_dir().join("scenarios/coin_farm.gdl"))
         .expect("scenario readable");
     let directives = parse_directives(&source, "coin_farm");
@@ -452,19 +397,18 @@ fn every_scenario_lints_clean_and_matches_its_lint_golden() {
 /// needs the dynamic Δ-analysis (`analysis: dynamic`).
 #[test]
 fn static_analysis_verdicts_appear_in_reports() {
-    canonical_interning();
     let coin_src = std::fs::read_to_string(manifest_dir().join("scenarios/coin.gdl"))
         .expect("scenario readable");
     let coin_args = parse_directives(&coin_src, "coin").args;
     assert!(coin_args.iter().any(|a| a == "--factored"));
     let coin = run_scenario("scenarios/coin.gdl", &coin_args);
-    assert_eq!(coin.analysis, Some("static"), "coin: ground Δ-rule");
+    assert_eq!(coin.analysis, "static", "coin: ground Δ-rule");
 
     let farm_src = std::fs::read_to_string(manifest_dir().join("scenarios/coin_farm.gdl"))
         .expect("scenario readable");
     let farm_args = parse_directives(&farm_src, "coin_farm").args;
     let farm = run_scenario("scenarios/coin_farm.gdl", &farm_args);
-    assert_eq!(farm.analysis, Some("dynamic"), "coin_farm: saturation ran");
+    assert_eq!(farm.analysis, "dynamic", "coin_farm: saturation ran");
     assert_eq!(farm.factors, 4);
 }
 

@@ -1,0 +1,149 @@
+//! End-to-end tests of the resident server: the scenario corpus replayed
+//! over the wire protocol must be **byte-identical** to the CLI's `--json`
+//! goldens, warm responses byte-identical to cold ones, concurrent sessions
+//! with distinct programs must not cross-contaminate, and admission-control
+//! overload must be a prompt typed rejection, never a hang.
+
+mod common;
+
+use common::{directive_args, manifest_dir, scenario_files};
+use gdlog_server::{start, ClientError, ErrorCode, ServeClient, ServeConfig};
+
+fn ephemeral() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    }
+}
+
+/// The tentpole acceptance check: every corpus scenario, opened as a server
+/// session and queried with its own `%! args:` flags, answers with exactly
+/// the bytes of its `scenarios/golden/<name>.json` — one schema, one
+/// renderer, whether the query arrives via `gdlog run --json` or the wire.
+/// Re-querying the warm session answers byte-identically to the cold query.
+#[test]
+fn corpus_replayed_over_the_wire_is_byte_identical_to_goldens() {
+    let files = scenario_files();
+    assert!(!files.is_empty());
+    let mut server = start(&ephemeral()).expect("bind ephemeral server");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    for (name, path) in &files {
+        let source = std::fs::read_to_string(path).expect("scenario readable");
+        let rel = format!("scenarios/{name}.gdl");
+        let golden_path = manifest_dir()
+            .join("scenarios/golden")
+            .join(format!("{name}.json"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("{name}: missing golden {}", golden_path.display()));
+
+        client
+            .open(&rel, &source)
+            .unwrap_or_else(|e| panic!("{name}: open failed: {e}"));
+        let args = directive_args(&source);
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let cold = client
+            .query(&rel, &argv)
+            .unwrap_or_else(|e| panic!("{name}: query failed: {e}"));
+        assert_eq!(cold, golden, "{name}: wire response drifted from golden");
+        let warm = client
+            .query(&rel, &argv)
+            .unwrap_or_else(|e| panic!("{name}: warm query failed: {e}"));
+        assert_eq!(warm, cold, "{name}: warm response != cold response");
+    }
+
+    // The whole corpus went through the compiled-program cache: one compile
+    // per scenario, one solve-cache hit per warm re-query.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains(&format!("\"programs\": {}", files.len())),
+        "{stats}"
+    );
+    server.stop();
+}
+
+/// Distinct programs opened under the *same label* on different connections
+/// are different sessions over different compiled programs — answers never
+/// bleed across connections, even under concurrent querying.
+#[test]
+fn concurrent_sessions_with_distinct_programs_do_not_cross_contaminate() {
+    let biases = ["0.125", "0.5", "0.875"];
+    let programs: Vec<String> = biases
+        .iter()
+        .map(|b| format!("-> Coin(Flip<{b}>).\n"))
+        .collect();
+
+    let mut server = start(&ephemeral()).expect("bind ephemeral server");
+    let addr = server.local_addr();
+
+    // Expected responses, computed serially first (also primes the compiled
+    // cache, so the concurrent phase exercises the warm path).
+    let expected: Vec<String> = programs
+        .iter()
+        .map(|source| {
+            let mut c = ServeClient::connect(addr).expect("connect");
+            c.open("prog.gdl", source).expect("open");
+            c.query("prog.gdl", &["--query", "Coin(1)"]).expect("query")
+        })
+        .collect();
+    for (i, a) in expected.iter().enumerate() {
+        for b in &expected[i + 1..] {
+            assert_ne!(a, b, "biases must yield distinguishable responses");
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for (source, want) in programs.iter().zip(&expected) {
+            scope.spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                c.open("prog.gdl", source).expect("open");
+                for _ in 0..8 {
+                    let got = c.query("prog.gdl", &["--query", "Coin(1)"]).expect("query");
+                    assert_eq!(&got, want, "response from another session leaked in");
+                }
+            });
+        }
+    });
+    server.stop();
+}
+
+/// Overload is a prompt, well-formed `ERR overloaded` response — not a hang,
+/// and not a poisoned connection: once a solve slot frees up, the same
+/// session answers normally.
+#[test]
+fn admission_rejection_is_a_typed_error_not_a_hang() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_inflight: 1,
+        max_queued: 0,
+        ..ServeConfig::default()
+    };
+    let mut server = start(&config).expect("bind ephemeral server");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client
+        .open("coin.gdl", "-> Coin(Flip<0.5>).\nCoin(0) -> false.\n")
+        .expect("open");
+
+    // Pin the only solve slot, exactly as a long-running query would hold it.
+    let permit = server.sessions().admission().acquire().expect("pin slot");
+    let err = client
+        .query("coin.gdl", &["--query", "Coin(1)"])
+        .expect_err("queue is full, query must be rejected");
+    match err {
+        ClientError::Serve(e) => {
+            assert_eq!(e.code, ErrorCode::Overloaded);
+            assert!(e.message.contains("overloaded"), "{}", e.message);
+        }
+        other => panic!("expected a typed protocol error, got {other}"),
+    }
+
+    // Releasing the slot heals the server; the same connection answers.
+    drop(permit);
+    let json = client
+        .query("coin.gdl", &["--query", "Coin(1)"])
+        .expect("query after slot freed");
+    assert!(json.contains("\"p_stable\""), "{json}");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"rejected\": 1"), "{stats}");
+    server.stop();
+}

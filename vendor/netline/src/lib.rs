@@ -1,0 +1,419 @@
+//! A minimal framed line protocol over TCP, std-only.
+//!
+//! This is **not** a stand-in for a crates.io crate: it is the first-party
+//! transport of `gdlog serve`, kept under `vendor/` with the other
+//! network-free infrastructure because the build environment has no
+//! registry access and the server needs nothing more than blocking sockets.
+//!
+//! ## Framing
+//!
+//! A frame is one ASCII header line followed by a raw body:
+//!
+//! ```text
+//! <head tokens...> <body-len>\n
+//! <body-len bytes>
+//! ```
+//!
+//! The header line is UTF-8, terminated by `\n`, and its **last**
+//! whitespace-separated token is the body length in bytes (so heads may
+//! contain spaces). The body is arbitrary bytes, commonly UTF-8 JSON. A
+//! zero-length body is just `... 0\n`. Both requests and responses use the
+//! same framing, which keeps the protocol trivially inspectable with
+//! `nc`/`socat` and makes responses byte-diffable against golden files.
+//!
+//! ## Server model
+//!
+//! [`Server`] is a blocking accept loop on its own thread with a
+//! thread-per-connection handler — the right scale for a resident query
+//! daemon whose per-query work (a chase + stable-model search) dwarfs any
+//! connection overhead. [`ServerHandle::stop`] flips a flag and wakes the
+//! accept loop with a loopback connect, so shutdown is prompt without
+//! non-blocking sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Upper bound on a frame body (64 MiB) — a malformed or hostile length
+/// token must not make the server allocate unboundedly.
+pub const MAX_BODY_LEN: usize = 64 << 20;
+
+/// One protocol frame: a header line (without the length token) plus a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The header tokens, exactly as sent, with the trailing length token
+    /// and newline stripped.
+    pub head: String,
+    /// The raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(head: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        Frame {
+            head: head.into(),
+            body: body.into(),
+        }
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Write one frame. The head must not contain `\n`.
+///
+/// Header and body go out as a single `write_all` — a request/response
+/// protocol that dribbles two small writes per frame trips over Nagle's
+/// algorithm + delayed ACKs (tens of milliseconds per round trip, even on
+/// loopback).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    debug_assert!(!frame.head.contains('\n'), "frame head must be one line");
+    let mut wire = Vec::with_capacity(frame.head.len() + frame.body.len() + 16);
+    if frame.head.is_empty() {
+        let _ = writeln!(wire, "{}", frame.body.len());
+    } else {
+        let _ = writeln!(wire, "{} {}", frame.head, frame.body.len());
+    }
+    wire.extend_from_slice(&frame.body);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary;
+/// EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (head, len_token) = match line.rsplit_once(char::is_whitespace) {
+        Some((head, len)) => (head.trim_end(), len),
+        None => ("", line),
+    };
+    let len: usize = len_token.parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header must end with a body length, got {line:?}"),
+        )
+    })?;
+    if len > MAX_BODY_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body of {len} bytes exceeds the {MAX_BODY_LEN}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(Frame {
+        head: head.to_owned(),
+        body,
+    }))
+}
+
+/// Per-connection handler: receives each request frame in arrival order and
+/// returns the response frame. Runs on the connection's thread; shared
+/// across connections, hence `Sync`.
+pub trait Handler: Send + Sync + 'static {
+    /// Answer one request.
+    fn handle(&self, request: Frame) -> Frame;
+
+    /// Called when a connection closes (cleanly or not). Sessions with
+    /// connection-scoped state clean up here.
+    fn disconnected(&self, _conn_id: u64) {}
+
+    /// Called when a connection opens; the id is echoed to
+    /// [`Handler::handle_on`] and [`Handler::disconnected`].
+    fn connected(&self, _conn_id: u64) {}
+
+    /// Connection-aware variant of [`Handler::handle`]; the default ignores
+    /// the connection id.
+    fn handle_on(&self, _conn_id: u64, request: Frame) -> Frame {
+        self.handle(request)
+    }
+}
+
+/// A bound, not-yet-serving TCP server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    pub fn bind(addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start serving on a background accept thread, one handler thread per
+    /// connection. Returns the handle used to stop the server.
+    pub fn spawn(self, handler: Arc<dyn Handler>) -> ServerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let addr = self.addr;
+        let listener = self.listener;
+        let accept = std::thread::spawn(move || {
+            let mut next_conn: u64 = 0;
+            // Each entry keeps a second handle on the connection's socket so
+            // shutdown can unblock a reader parked in `read_frame` — joining
+            // alone would wait forever for clients that never disconnect.
+            let mut conns: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let Ok(peer) = stream.try_clone() else {
+                    continue;
+                };
+                let conn_id = next_conn;
+                next_conn += 1;
+                let handler = Arc::clone(&handler);
+                conns.push((
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, conn_id, &*handler);
+                    }),
+                    peer,
+                ));
+                conns.retain(|(c, _)| !c.is_finished());
+            }
+            for (conn, peer) in conns {
+                let _ = peer.shutdown(std::net::Shutdown::Both);
+                let _ = conn.join();
+            }
+        });
+        ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, conn_id: u64, handler: &dyn Handler) -> io::Result<()> {
+    // One frame in, one frame out: never wait for a coalescing timer.
+    let _ = stream.set_nodelay(true);
+    handler.connected(conn_id);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let result = loop {
+        match read_frame(&mut reader) {
+            Ok(Some(request)) => {
+                let response = handler.handle_on(conn_id, request);
+                if let Err(e) = write_frame(&mut writer, &response) {
+                    break Err(e);
+                }
+            }
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+    };
+    handler.disconnected(conn_id);
+    result
+}
+
+/// A running server; dropping the handle stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, shut down live connections and
+    /// join every thread. A connection mid-request finishes computing its
+    /// response (the write then fails); idle connections unblock
+    /// immediately, so stopping is prompt even with clients still attached.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A blocking request/response client over one connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response over small frames: disable Nagle coalescing.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request frame and wait for its response frame.
+    pub fn call(&mut self, head: &str, body: impl Into<Vec<u8>>) -> io::Result<Frame> {
+        write_frame(&mut self.writer, &Frame::new(head, body))?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new("QUERY 1 --top 4", b"body".to_vec())).unwrap();
+        write_frame(&mut wire, &Frame::new("PING", Vec::new())).unwrap();
+        write_frame(&mut wire, &Frame::new("", b"x".to_vec())).unwrap();
+        assert!(wire.starts_with(b"QUERY 1 --top 4 4\nbody"));
+        let mut r = io::BufReader::new(&wire[..]);
+        let a = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (a.head.as_str(), a.body_text().as_str()),
+            ("QUERY 1 --top 4", "body")
+        );
+        let b = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((b.head.as_str(), b.body.len()), ("PING", 0));
+        let c = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((c.head.as_str(), &c.body[..]), ("", &b"x"[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        let mut r = io::BufReader::new(&b"QUERY notanumber\nrest"[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Length beyond the cap is rejected before allocating.
+        let huge = format!("X {}\n", MAX_BODY_LEN + 1);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // EOF mid-body is an error, not a silent truncation.
+        let mut r = io::BufReader::new(&b"X 10\nshort"[..]);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    struct Echo;
+    impl Handler for Echo {
+        fn handle(&self, request: Frame) -> Frame {
+            Frame::new(format!("OK {}", request.head), request.body)
+        }
+    }
+
+    #[test]
+    fn server_round_trip_and_prompt_stop() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(Arc::new(Echo));
+        let addr = handle.local_addr();
+
+        let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(addr).unwrap()).collect();
+        for (i, client) in clients.iter_mut().enumerate() {
+            let resp = client
+                .call(&format!("HELLO {i}"), format!("body-{i}"))
+                .unwrap();
+            assert_eq!(resp.head, format!("OK HELLO {i}"));
+            assert_eq!(resp.body_text(), format!("body-{i}"));
+        }
+        drop(clients);
+        handle.stop();
+        // Stopped server refuses (or resets) new connections; a second stop
+        // is a no-op.
+        handle.stop();
+        assert!(
+            Client::connect(addr)
+                .and_then(|mut c| c.call("PING", Vec::new()))
+                .is_err(),
+            "stopped server must not answer"
+        );
+    }
+
+    #[test]
+    fn stop_is_prompt_with_clients_still_connected() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(Arc::new(Echo));
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        client.call("HELLO", Vec::new()).unwrap();
+        // The client never disconnects: stop shuts its socket down rather
+        // than waiting for it.
+        handle.stop();
+        assert!(client.call("PING", Vec::new()).is_err());
+    }
+
+    struct ConnTracker(std::sync::Mutex<Vec<(u64, &'static str)>>);
+    impl Handler for ConnTracker {
+        fn handle(&self, request: Frame) -> Frame {
+            Frame::new("OK", request.body)
+        }
+        fn connected(&self, id: u64) {
+            self.0.lock().unwrap().push((id, "open"));
+        }
+        fn disconnected(&self, id: u64) {
+            self.0.lock().unwrap().push((id, "close"));
+        }
+    }
+
+    #[test]
+    fn connection_lifecycle_hooks_fire() {
+        let tracker = Arc::new(ConnTracker(std::sync::Mutex::new(Vec::new())));
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(tracker.clone());
+        {
+            let mut c = Client::connect(handle.local_addr()).unwrap();
+            c.call("X", Vec::new()).unwrap();
+        }
+        // The close hook fires on the connection thread after the client
+        // drops; poll briefly rather than sleeping a fixed amount.
+        for _ in 0..200 {
+            if tracker.0.lock().unwrap().iter().any(|(_, e)| *e == "close") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let events = tracker.0.lock().unwrap().clone();
+        assert!(events.contains(&(0, "open")), "{events:?}");
+        assert!(events.contains(&(0, "close")), "{events:?}");
+        handle.stop();
+    }
+}
