@@ -19,21 +19,38 @@
 //! directives (`coin_farm` runs `--factored`, exercising the product-space
 //! path end to end).
 //!
+//! A **fault leg** follows the healthy measurements: the same warm workload
+//! against a server with `netline`'s chaos layer armed — half the
+//! connections stall mid-frame and occasionally drop responses outright —
+//! queried through a retry-armed client. Every response must still be
+//! byte-identical to the healthy one (corruption costs latency, never
+//! correctness), and the recorded p50/p99 put a number on that latency
+//! cost in `BENCH_serve.json`.
+//!
 //! Usage: `bench_serve [--threads N] [--out PATH] [--gate-warm]`
 //! (defaults: `GDLOG_THREADS` or 1 thread, `BENCH_serve.json` in the
 //! current directory). With `--gate-warm` the run exits non-zero unless at
 //! least two workloads reach a 5× warm-over-cold throughput floor.
 
 use gdlog_core::THREADS_ENV;
-use gdlog_server::{ServeClient, ServeConfig};
+use gdlog_server::{RetryPolicy, ServeClient, ServeConfig};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Corpus scenarios replayed as server workloads.
 const WORKLOADS: &[&str] = &["network_resilience", "game_chain", "coin_farm"];
 
 const COLD_ITERS: usize = 5;
 const WARM_ITERS: usize = 200;
+
+/// The fault leg's chaos spec: **every** connection (reconnects included —
+/// there is no healthy connection to escape to) stalls each response
+/// mid-frame for 2ms and drops one response in eight, which kills that
+/// connection — the retry-armed client reconnects, replays its `OPEN`s and
+/// retries the query.
+const FAULT_SPEC: &str = "every=1,seed=7,stall=2,drop=8";
+const FAULT_WORKLOAD: &str = "network_resilience";
+const FAULT_ITERS: usize = 120;
 
 struct Row {
     name: String,
@@ -127,6 +144,62 @@ fn measure(client: &mut ServeClient, name: &str) -> Row {
     row
 }
 
+/// Warm latencies for one workload against a chaos-armed server, through a
+/// retry-armed client. Asserts every response byte-identical to `expected`
+/// (taken from the healthy server) — the fault leg measures the latency
+/// cost of faults, never a correctness discount.
+fn measure_under_fault(
+    label: &str,
+    source: &str,
+    argv: &[&str],
+    expected: &str,
+    threads: usize,
+) -> Vec<f64> {
+    // Chaos arms via the environment, read once at server startup; set it
+    // only around this `start` so nothing else inherits it.
+    std::env::set_var(netline::chaos::CHAOS_ENV, FAULT_SPEC);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: Some(threads),
+        ..ServeConfig::default()
+    };
+    let started = gdlog_server::start(&config);
+    std::env::remove_var(netline::chaos::CHAOS_ENV);
+    let mut server = started.expect("bind chaos server");
+
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    client
+        .set_io_timeout(Some(Duration::from_secs(30)))
+        .expect("io timeout");
+    client.set_retry_policy(Some(RetryPolicy {
+        attempts: 10,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(20),
+        seed: 5,
+    }));
+    client.open(label, source).expect("OPEN under fault");
+    let primed = client
+        .query(label, argv)
+        .expect("priming QUERY under fault");
+    assert_eq!(
+        primed, expected,
+        "{label}: fault-leg response must be byte-identical to healthy"
+    );
+    let mut fault_ms = Vec::with_capacity(FAULT_ITERS);
+    for _ in 0..FAULT_ITERS {
+        let start = Instant::now();
+        let response = client.query(label, argv).expect("QUERY under fault");
+        fault_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            response, expected,
+            "fault corruption leaked into a response"
+        );
+    }
+    drop(client);
+    server.stop();
+    fault_ms
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let gate = args.iter().any(|a| a == "--gate-warm");
@@ -158,6 +231,27 @@ fn main() {
 
     let rows: Vec<Row> = WORKLOADS.iter().map(|w| measure(&mut client, w)).collect();
 
+    // Tail latency under injected transport faults, against the healthy
+    // response as the byte-identity reference.
+    let fault_ms = {
+        let path = scenario_dir().join(format!("{FAULT_WORKLOAD}.gdl"));
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let label = format!("scenarios/{FAULT_WORKLOAD}.gdl");
+        let args = directive_args(&source);
+        let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+        let expected = client
+            .query(&label, &argv)
+            .expect("healthy reference QUERY");
+        measure_under_fault(&label, &source, &argv, &expected, threads)
+    };
+    eprintln!(
+        "{FAULT_WORKLOAD} under {FAULT_SPEC}: warm p50 {:.3}ms, p99 {:.3}ms ({:.0} qps)",
+        percentile(&fault_ms, 50.0),
+        percentile(&fault_ms, 99.0),
+        qps(&fault_ms).unwrap_or(0.0),
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"resident_server\",\n");
@@ -184,7 +278,16 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fault_leg\": {{\"workload\": \"{FAULT_WORKLOAD}\", \"chaos\": \"{FAULT_SPEC}\", \
+         \"iters\": {FAULT_ITERS}, \"warm_ms_p50\": {:.4}, \"warm_ms_p99\": {:.4}, \
+         \"warm_qps\": {:.2}}}\n",
+        percentile(&fault_ms, 50.0),
+        percentile(&fault_ms, 99.0),
+        qps(&fault_ms).unwrap_or(0.0),
+    ));
+    json.push_str("}\n");
     drop(client);
     server.stop();
 

@@ -41,9 +41,8 @@ impl SolveStrategy {
     }
 }
 
-/// Monte-Carlo estimation parameters, folded into the unified request (the
-/// old bare-positional `Pipeline::monte_carlo(max_triggers, seed)` is a
-/// deprecated shim over [`crate::pipeline::McParams`]).
+/// Monte-Carlo estimation parameters, folded into the unified request
+/// (backed by [`crate::pipeline::McParams`] on the pipeline).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct McRequest {
     /// Number of sampled walks per queried atom.
@@ -104,6 +103,13 @@ pub struct QueryRequest {
     pub top: Option<usize>,
     /// Monte-Carlo estimate each queried atom.
     pub mc: Option<McRequest>,
+    /// Cooperative per-query deadline in milliseconds. When it fires, the
+    /// chase degrades gracefully (truncated enumeration with exact residual
+    /// mass, marked `interrupted`); phases that are exact-or-nothing surface
+    /// [`crate::CoreError::Interrupted`]. Deliberately *not* part of
+    /// [`SolveKey`]: a timeout shapes when a solve is abandoned, never what a
+    /// completed solve contains, and interrupted solves are never cached.
+    pub timeout_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -172,6 +178,12 @@ impl QueryRequest {
         self
     }
 
+    /// Give up on the query after `timeout_ms` milliseconds.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
     /// The solve configuration of this request — everything that determines
     /// the solved output space (and therefore the warm-cache key), nothing
     /// that only shapes the answers.
@@ -237,7 +249,12 @@ mod tests {
 
     #[test]
     fn solve_keys_ignore_the_question_list() {
-        let a = QueryRequest::new().top(4).marginal("Coin");
+        // The timeout shapes when a solve is abandoned, not what a completed
+        // solve contains — it must not split the warm-solve cache.
+        let a = QueryRequest::new()
+            .top(4)
+            .marginal("Coin")
+            .with_timeout_ms(500);
         let b = QueryRequest::new();
         assert_eq!(a.solve_key(), b.solve_key());
         let c = QueryRequest::new().with_strategy(SolveStrategy::Auto);

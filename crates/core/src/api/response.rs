@@ -94,6 +94,11 @@ pub struct QueryResponse {
     pub residual_mass: Prob,
     /// Did the chase hit its budget?
     pub truncated: bool,
+    /// Was the chase cut short by a deadline? The response is still an exact
+    /// partial result (the residual accounts for every cut subtree), but it
+    /// depends on when the deadline fired: interrupted responses are never
+    /// golden, so the JSON key is emitted only when the flag is set.
+    pub interrupted: bool,
     /// Probability that at least one stable model exists.
     pub p_stable: Prob,
     /// Stable-model memo-table counters of the solve that produced this
@@ -176,6 +181,13 @@ impl QueryResponse {
             ("residual_mass", prob_json(&self.residual_mass)),
             ("truncated", Json::Bool(self.truncated)),
             ("p_stable", prob_json(&self.p_stable)),
+        ];
+        // Interrupted responses can never be goldens, so the key's presence
+        // cannot perturb committed golden files (same pattern as `given`).
+        if self.interrupted {
+            pairs.push(("interrupted", Json::Bool(true)));
+        }
+        pairs.extend([
             (
                 "stable_cache",
                 Json::obj([
@@ -185,7 +197,7 @@ impl QueryResponse {
                 ]),
             ),
             ("fingerprint", Json::str(&self.fingerprint)),
-        ];
+        ]);
         if let Some(g) = &self.given {
             pairs.push(("given", Json::str(g)));
         }
@@ -261,6 +273,12 @@ impl QueryResponse {
             self.residual_mass,
             if self.truncated { "yes" } else { "no" }
         );
+        if self.interrupted {
+            let _ = writeln!(
+                out,
+                "interrupted: yes (deadline hit; residual mass is exact, result is partial)"
+            );
+        }
         let _ = writeln!(out, "P(stable model exists) = {}", self.p_stable);
         let _ = writeln!(
             out,
@@ -325,6 +343,7 @@ mod tests {
             explored_mass: Prob::ONE,
             residual_mass: Prob::ZERO,
             truncated: false,
+            interrupted: false,
             p_stable: Prob::ratio(1, 2),
             stable_cache: ModelCacheStats { hits: 1, misses: 1 },
             fingerprint: "cbf29ce484222325".into(),
@@ -402,6 +421,19 @@ mod tests {
         assert!(flat.render_json().contains("\"analysis\": \"flat\""));
         assert!(flat.render_json().contains("\"nodes_visited\": 5"));
         assert!(factored.render_json().contains("\"analysis\": \"static\""));
+    }
+
+    #[test]
+    fn interrupted_key_is_emitted_only_when_set() {
+        // Goldens are recorded from uninterrupted runs; the key must be
+        // wholly absent there so its introduction cannot perturb them.
+        let clean = sample();
+        assert!(!clean.render_json().contains("interrupted"));
+        assert!(!clean.render_text().contains("interrupted"));
+        let mut cut = sample();
+        cut.interrupted = true;
+        assert!(cut.render_json().contains("\"interrupted\": true"));
+        assert!(cut.render_text().contains("interrupted: yes"));
     }
 
     #[test]

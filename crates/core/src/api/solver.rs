@@ -37,8 +37,10 @@ use crate::pipeline::{McParams, Pipeline};
 use crate::program::Program;
 use crate::translate::SigmaPi;
 use gdlog_data::Database;
+use gdlog_engine::CancelToken;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One solved output space plus the bookkeeping a response reports about
 /// its solve. Shared by every query whose [`SolveKey`] matches.
@@ -119,18 +121,45 @@ impl Solver {
     /// Answer one request. The solve is served from the entry cache when a
     /// query with the same solve configuration ran before; the answers
     /// (queries, marginals, top-K, Monte-Carlo) are computed per call.
+    ///
+    /// When `request.timeout_ms` is set, a deadline is armed around the call:
+    /// a chase cut by it returns a graceful partial response (marked
+    /// `interrupted`, with exact residual mass); exact-or-nothing phases
+    /// surface [`CoreError::Interrupted`].
     pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, CoreError> {
+        match request.timeout_ms {
+            None => self.query_with_cancel(request, &CancelToken::never()),
+            Some(ms) => {
+                let cancel = CancelToken::new();
+                let _guard = cancel.cancel_after(Duration::from_millis(ms));
+                self.query_with_cancel(request, &cancel)
+            }
+        }
+    }
+
+    /// [`Solver::query`] against a caller-owned cancellation token (the
+    /// server's watchdog arms deadlines this way). `request.timeout_ms` is
+    /// ignored here — whoever owns the token owns the deadline.
+    pub fn query_with_cancel(
+        &self,
+        request: &QueryRequest,
+        cancel: &CancelToken,
+    ) -> Result<QueryResponse, CoreError> {
         if request.mc.is_some() && request.queries.is_empty() {
             return Err(CoreError::Request(
                 "`--mc` requires at least one `--query` atom".into(),
             ));
         }
-        let entry = self.entry(request)?;
-        self.answer(&entry, request)
+        let entry = self.entry(request, cancel)?;
+        self.answer(&entry, request, cancel)
     }
 
     /// Get or compute the solve entry for a request's configuration.
-    fn entry(&self, request: &QueryRequest) -> Result<Arc<SolveEntry>, CoreError> {
+    fn entry(
+        &self,
+        request: &QueryRequest,
+        cancel: &CancelToken,
+    ) -> Result<Arc<SolveEntry>, CoreError> {
         let key = request.solve_key();
         let mut solves = self.solves.lock();
         if let Some((_, entry)) = solves.iter().find(|(k, _)| *k == key) {
@@ -143,7 +172,8 @@ impl Solver {
                 .budget(key.budget)
                 .trigger_order(key.order)
                 .stable_limits(key.limits)
-                .with_executor(Arc::clone(&self.executor));
+                .with_executor(Arc::clone(&self.executor))
+                .with_cancel(cancel.clone());
         let (solve, nodes_visited, analysis) =
             match resolve_strategy(key.strategy, &self.sigma, &key.budget) {
                 SolveStrategy::Factored => {
@@ -164,7 +194,12 @@ impl Solver {
             nodes_visited,
             analysis,
         });
-        solves.push((key, Arc::clone(&entry)));
+        // Interrupted solves are timing-dependent partial results; caching
+        // one would serve a deadline-shaped answer to later queries with no
+        // deadline at all (and break warm == cold byte-identity).
+        if !entry.solve.is_interrupted() {
+            solves.push((key, Arc::clone(&entry)));
+        }
         Ok(entry)
     }
 
@@ -173,6 +208,7 @@ impl Solver {
         &self,
         entry: &SolveEntry,
         request: &QueryRequest,
+        cancel: &CancelToken,
     ) -> Result<QueryResponse, CoreError> {
         let solve = &entry.solve;
         let mut queries = Vec::with_capacity(request.queries.len());
@@ -231,11 +267,17 @@ impl Solver {
         let mut mc_reports = Vec::new();
         if let Some(mc) = &request.mc {
             for atom in &request.queries {
-                let mut estimator = entry.pipeline.sampler_with(
-                    McParams::new()
-                        .with_max_triggers(mc.max_triggers)
-                        .with_seed(mc.seed),
-                );
+                // The entry's pipeline carries the token of the query that
+                // solved it; a warm-served MC must observe *this* call's
+                // deadline, so the fresh token is attached explicitly.
+                let mut estimator = entry
+                    .pipeline
+                    .sampler_with(
+                        McParams::new()
+                            .with_max_triggers(mc.max_triggers)
+                            .with_seed(mc.seed),
+                    )
+                    .with_cancel(cancel.clone());
                 let stats = estimator.estimate(mc.samples, |outcome| {
                     outcome.full_program().heads().contains(atom)
                 })?;
@@ -263,6 +305,7 @@ impl Solver {
             explored_mass: solve.explored_mass(),
             residual_mass: solve.residual_mass(),
             truncated: solve.is_truncated(),
+            interrupted: solve.is_interrupted(),
             p_stable: solve.has_stable_model_probability(),
             stable_cache: entry.stats,
             fingerprint: solve.fingerprint(),
@@ -309,8 +352,8 @@ fn resolve_strategy(
     }
 }
 
-/// Convenience: Monte-Carlo request plumbing shared with the deprecated
-/// positional [`Pipeline::monte_carlo`] shim.
+/// Convenience: lift the request's Monte-Carlo parameters into the
+/// pipeline's [`McParams`].
 impl From<McRequest> for McParams {
     fn from(mc: McRequest) -> Self {
         McParams::new()
@@ -433,6 +476,88 @@ mod tests {
             .expect_err("mc without queries");
         assert!(matches!(err, CoreError::Request(_)));
         assert!(err.to_string().contains("--query"));
+    }
+
+    #[test]
+    fn cancelled_queries_degrade_gracefully_and_never_pollute_the_cache() {
+        let solver = network_solver();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let request = QueryRequest::new();
+        let cut = solver
+            .query_with_cancel(&request, &cancel)
+            .expect("a cancelled chase degrades to a partial response");
+        assert!(cut.interrupted);
+        assert!(cut.truncated);
+        // The residual accounts for every cut subtree exactly.
+        assert_eq!(
+            cut.explored_mass.add(&cut.residual_mass),
+            gdlog_prob::Prob::ONE
+        );
+        assert_eq!(cut.residual_mass, gdlog_prob::Prob::ONE);
+        // Interrupted solves must never be served to later queries.
+        assert_eq!(solver.warm_solves(), 0);
+        let clean = solver.query(&request).expect("uncancelled query");
+        assert!(!clean.interrupted);
+        assert_eq!(clean.residual_mass, gdlog_prob::Prob::ZERO);
+        assert_eq!(solver.warm_solves(), 1);
+        // The interrupted JSON key never appears on the clean path.
+        assert!(!clean.render_json().contains("interrupted"));
+        assert!(cut.render_json().contains("\"interrupted\": true"));
+    }
+
+    #[test]
+    fn cancelled_monte_carlo_is_a_typed_interruption() {
+        let solver = network_solver();
+        // Solve warm first so only the MC phase sees the fired token.
+        let atom = GroundAtom::make("Uninfected", vec![Const::Int(2)]);
+        let request = QueryRequest::new()
+            .query(atom)
+            .monte_carlo(McRequest::samples(1000));
+        solver.query(&request).expect("warm-up");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = solver
+            .query_with_cancel(&request, &cancel)
+            .expect_err("mc is exact-sample-count-or-nothing");
+        assert!(matches!(err, CoreError::Interrupted(_)));
+        assert!(err.to_string().contains("monte-carlo"));
+    }
+
+    #[test]
+    fn self_armed_timeout_interrupts_long_queries() {
+        // 18 chained coins: 2^18 outcomes, far more than a 1ms deadline
+        // allows. The response must come back promptly, marked interrupted,
+        // with the explored/residual split still exact.
+        use crate::builder::ProgramBuilder;
+        use gdlog_data::Term;
+        let mut db = Database::new();
+        for i in 1..=18i64 {
+            db.insert_fact("Coin", [Const::Int(i)]);
+        }
+        let program = ProgramBuilder::new()
+            .rule(|r| {
+                r.body("Coin", vec![Term::var("x")]).head_with_delta(
+                    "Toss",
+                    vec![Term::var("x")],
+                    "Flip",
+                    vec![Term::Const(Const::real(0.5).unwrap())],
+                    vec![Term::var("x")],
+                )
+            })
+            .build()
+            .unwrap();
+        let solver = Solver::compile("coins", &program, &db, Arc::new(Executor::sequential()))
+            .expect("compile");
+        let request = QueryRequest::new().with_timeout_ms(1);
+        let response = solver.query(&request).expect("graceful degradation");
+        assert!(response.interrupted, "1ms cannot enumerate 2^18 outcomes");
+        assert!(response.residual_mass.is_positive());
+        assert_eq!(
+            response.explored_mass.add(&response.residual_mass),
+            gdlog_prob::Prob::ONE
+        );
+        assert_eq!(solver.warm_solves(), 0);
     }
 
     #[test]

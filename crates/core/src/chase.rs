@@ -20,6 +20,7 @@ use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::grounding::{AtrRule, AtrSet, Grounder, Grounding};
 use gdlog_data::GroundAtom;
+use gdlog_engine::CancelToken;
 use gdlog_prob::Prob;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -117,6 +118,12 @@ pub struct ChaseResult {
     pub truncated: bool,
     /// Number of chase-tree nodes visited.
     pub nodes_visited: usize,
+    /// Did a [`CancelToken`] cut the enumeration short? The result is still
+    /// exact — cancelled subtrees are accounted in `residual_mass` like any
+    /// budget cut (and `truncated` is set alongside) — but *which* subtrees
+    /// were cut depends on when the token fired, so an interrupted result is
+    /// not reproducible and must never be treated as golden.
+    pub interrupted: bool,
 }
 
 impl ChaseResult {
@@ -175,6 +182,12 @@ impl ChaseResult {
                 self.nodes_visited, other.nodes_visited
             ));
         }
+        if self.interrupted != other.interrupted {
+            return Some(format!(
+                "interrupted: {} vs {}",
+                self.interrupted, other.interrupted
+            ));
+        }
         None
     }
 }
@@ -206,6 +219,25 @@ pub fn enumerate_outcomes_with(
     order: TriggerOrder,
     executor: &Executor,
 ) -> Result<ChaseResult, CoreError> {
+    enumerate_outcomes_cancellable(grounder, budget, order, executor, &CancelToken::never())
+}
+
+/// [`enumerate_outcomes_with`] under a cooperative [`CancelToken`].
+///
+/// The token is polled at every chase-node expansion (and re-checked after
+/// each node's grounding, so a saturation the grounder broke out of early
+/// can never masquerade as a terminal leaf). A cancelled subtree is cut
+/// exactly like a budget cut: its path mass moves to `residual_mass`,
+/// `truncated` is set, and additionally [`ChaseResult::interrupted`] records
+/// that the cut was a cancellation — the invariant `explored + residual = 1`
+/// holds for interrupted results too.
+pub fn enumerate_outcomes_cancellable(
+    grounder: &dyn Grounder,
+    budget: &ChaseBudget,
+    order: TriggerOrder,
+    executor: &Executor,
+    cancel: &CancelToken,
+) -> Result<ChaseResult, CoreError> {
     if budget.max_outcomes == 0 {
         return Err(CoreError::Budget(
             "max_outcomes must be at least one".to_owned(),
@@ -216,6 +248,7 @@ pub fn enumerate_outcomes_with(
         residual_mass: Prob::ZERO,
         truncated: false,
         nodes_visited: 0,
+        interrupted: false,
     };
     match executor.pool() {
         None => explore(
@@ -226,6 +259,7 @@ pub fn enumerate_outcomes_with(
             None,
             Prob::ONE,
             0,
+            cancel,
             &mut result,
         )?,
         Some(pool) => {
@@ -234,6 +268,7 @@ pub fn enumerate_outcomes_with(
                 budget,
                 order,
                 found: AtomicUsize::new(0),
+                cancel,
             };
             let root = Arc::new(Cell::new());
             pool.scope(|scope| {
@@ -243,7 +278,14 @@ pub fn enumerate_outcomes_with(
                     speculate(ctx, scope, AtrSet::new(), None, Prob::ONE, 0, root)
                 });
             });
-            replay(grounder, budget, order, take_node(root), &mut result)?;
+            replay(
+                grounder,
+                budget,
+                order,
+                take_node(root),
+                cancel,
+                &mut result,
+            )?;
         }
     }
     Ok(result)
@@ -305,6 +347,9 @@ struct Ctx<'a> {
     /// to stop speculative work once the budget *could* be full; the replay
     /// re-establishes the exact sequential semantics.
     found: AtomicUsize,
+    /// Cooperative cancellation: once set, speculation defers every node it
+    /// reaches and the replay cuts them to residual mass.
+    cancel: &'a CancelToken,
 }
 
 fn set_node(cell: &Cell, node: Node) {
@@ -334,7 +379,10 @@ fn speculate<'s>(
     depth: usize,
     cell: Arc<Cell>,
 ) {
-    if ctx.found.load(Ordering::Relaxed) >= ctx.budget.max_outcomes {
+    // A cancelled speculation defers: the replay re-enters the node
+    // sequentially, sees the cancelled token, and cuts it to residual mass
+    // without redoing any grounding work.
+    if ctx.cancel.is_cancelled() || ctx.found.load(Ordering::Relaxed) >= ctx.budget.max_outcomes {
         set_node(
             &cell,
             Node::Deferred {
@@ -357,6 +405,21 @@ fn speculate<'s>(
         }
         None => ctx.grounder.ground_node(&atr),
     };
+
+    // Re-check after grounding: a cancelled grounder may have broken out of
+    // saturation early, so this node's rule set (and hence its trigger set)
+    // cannot be trusted to decide leaf-ness. Defer it; the replay cuts it.
+    if ctx.cancel.is_cancelled() {
+        set_node(
+            &cell,
+            Node::Deferred {
+                atr,
+                path_prob,
+                depth,
+            },
+        );
+        return;
+    }
     let triggers = ctx.grounder.triggers(&atr, grounding.rules());
 
     if triggers.is_empty() {
@@ -485,6 +548,7 @@ fn replay(
     budget: &ChaseBudget,
     order: TriggerOrder,
     node: Node,
+    cancel: &CancelToken,
     result: &mut ChaseResult,
 ) -> Result<(), CoreError> {
     match node {
@@ -494,7 +558,9 @@ fn replay(
             path_prob,
             depth,
         } => {
-            return explore(grounder, budget, order, atr, None, path_prob, depth, result);
+            return explore(
+                grounder, budget, order, atr, None, path_prob, depth, cancel, result,
+            );
         }
         // Raised in the parent's branch loop, before this node is entered.
         Node::FailedChild(e) => return Err(e),
@@ -511,6 +577,12 @@ fn replay(
         Node::Deferred { .. } | Node::FailedChild(_) => unreachable!("handled above"),
     };
 
+    if cancel.is_cancelled() {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        result.interrupted = true;
+        return Ok(());
+    }
     if result.outcomes.len() >= budget.max_outcomes {
         result.residual_mass = result.residual_mass.add(&path_prob);
         result.truncated = true;
@@ -543,7 +615,7 @@ fn replay(
                 result.residual_mass = result.residual_mass.add(&tail);
             }
             for child in children {
-                replay(grounder, budget, order, take_node(child), result)?;
+                replay(grounder, budget, order, take_node(child), cancel, result)?;
             }
         }
         Node::Failed { error, .. } => return Err(error),
@@ -563,9 +635,19 @@ fn explore(
     parent: Option<(&AtrSet, &mut Grounding)>,
     path_prob: Prob,
     depth: usize,
+    cancel: &CancelToken,
     result: &mut ChaseResult,
 ) -> Result<(), CoreError> {
     result.nodes_visited += 1;
+
+    // Cancellation cuts exactly like a budget cut: the whole subtree's mass
+    // is accounted in the residual, keeping explored + residual = 1.
+    if cancel.is_cancelled() {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        result.interrupted = true;
+        return Ok(());
+    }
 
     // Once the outcome budget is full, no further node can contribute an
     // outcome: stop before doing any grounding work, so `max_outcomes`
@@ -591,6 +673,16 @@ fn explore(
         }
         None => grounder.ground_node(&atr),
     };
+
+    // Re-check after grounding, *before* the leaf decision: a cancelled
+    // grounder may have broken out of saturation early, and an incomplete
+    // rule set must never be recorded as a terminal outcome.
+    if cancel.is_cancelled() {
+        result.residual_mass = result.residual_mass.add(&path_prob);
+        result.truncated = true;
+        result.interrupted = true;
+        return Ok(());
+    }
     let triggers = grounder.triggers(&atr, grounding.rules());
 
     if triggers.is_empty() {
@@ -651,6 +743,7 @@ fn explore(
             Some((&atr, &mut grounding)),
             path_prob.mul(&mass),
             depth + 1,
+            cancel,
             result,
         )?;
     }
@@ -907,6 +1000,83 @@ mod tests {
         assert_eq!(result.total_mass(), Prob::ONE);
         // Root-to-leaf path (7 nodes) plus one pruned sibling per level (6).
         assert_eq!(result.nodes_visited, 13);
+    }
+
+    #[test]
+    fn pre_cancelled_chase_is_all_residual_and_interrupted() {
+        let mut db = Database::new();
+        let program = coin_chain_program(4, &mut db);
+        let grounder = simple_for(&program, &db);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = enumerate_outcomes_cancellable(
+            &grounder,
+            &ChaseBudget::default(),
+            TriggerOrder::First,
+            &Executor::sequential(),
+            &cancel,
+        )
+        .unwrap();
+        // The root is cut before grounding anything: no outcomes, the whole
+        // unit of mass is residual, and the accounting invariant holds.
+        assert!(result.outcomes.is_empty());
+        assert!(result.interrupted);
+        assert!(result.truncated);
+        assert_eq!(result.residual_mass, Prob::ONE);
+        assert_eq!(result.total_mass(), Prob::ONE);
+    }
+
+    #[test]
+    fn never_token_reproduces_the_uncancelled_chase() {
+        let mut db = Database::new();
+        let program = coin_chain_program(4, &mut db);
+        let grounder = simple_for(&program, &db);
+        let plain =
+            enumerate_outcomes(&grounder, &ChaseBudget::default(), TriggerOrder::First).unwrap();
+        let never = enumerate_outcomes_cancellable(
+            &grounder,
+            &ChaseBudget::default(),
+            TriggerOrder::First,
+            &Executor::sequential(),
+            &CancelToken::never(),
+        )
+        .unwrap();
+        assert!(!never.interrupted);
+        assert!(plain.diff(&never).is_none());
+    }
+
+    #[test]
+    fn mid_flight_cancellation_keeps_mass_accounting_exact() {
+        // Cancel after the chase is already running (from a second thread,
+        // racing real exploration): whatever prefix was explored, the
+        // explored + residual invariant must hold exactly and the result
+        // must be flagged interrupted.
+        let mut db = Database::new();
+        let program = coin_chain_program(12, &mut db);
+        let grounder = simple_for(&program, &db);
+        let cancel = CancelToken::new();
+        let flag = cancel.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            flag.cancel();
+        });
+        let result = enumerate_outcomes_cancellable(
+            &grounder,
+            &ChaseBudget::default(),
+            TriggerOrder::First,
+            &Executor::sequential(),
+            &cancel,
+        )
+        .unwrap();
+        canceller.join().unwrap();
+        assert_eq!(result.total_mass(), Prob::ONE);
+        // 2^12 outcomes under a 2ms deadline: the cut must land mid-tree on
+        // any realistic machine; if the walk somehow finished first, the
+        // invariants above still validated the uncancelled path.
+        if result.interrupted {
+            assert!(result.truncated);
+            assert!(result.residual_mass.is_positive());
+        }
     }
 
     #[test]

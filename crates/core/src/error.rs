@@ -26,6 +26,11 @@ pub enum CoreError {
     /// A [`crate::api::QueryRequest`] is malformed (e.g. Monte-Carlo
     /// estimation without any query atoms).
     Request(String),
+    /// A cooperative [`gdlog_engine::CancelToken`] fired mid-solve in a
+    /// phase that cannot degrade to an exact partial result (stable-model
+    /// search, factor analysis, Monte-Carlo estimation, space
+    /// finalization). The payload names the interrupted phase.
+    Interrupted(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +43,7 @@ impl fmt::Display for CoreError {
             CoreError::Stable(e) => write!(f, "stable model search: {e}"),
             CoreError::Budget(msg) => write!(f, "chase budget: {msg}"),
             CoreError::Request(msg) => write!(f, "invalid request: {msg}"),
+            CoreError::Interrupted(phase) => write!(f, "query interrupted during {phase}"),
         }
     }
 }
@@ -64,7 +70,10 @@ impl From<NotStratified> for CoreError {
 
 impl From<StableError> for CoreError {
     fn from(e: StableError) -> Self {
-        CoreError::Stable(e)
+        match e {
+            StableError::Interrupted => CoreError::Interrupted("stable-model search".into()),
+            other => CoreError::Stable(other),
+        }
     }
 }
 

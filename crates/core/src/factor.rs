@@ -51,7 +51,7 @@ use crate::outcome::ModelSetKey;
 use crate::semantics::OutputSpace;
 use crate::translate::{AtrSchema, SigmaPi, TgdRule};
 use gdlog_data::{match_atoms, Database, GroundAtom};
-use gdlog_engine::{connected_components, GroundProgram, GroundRule};
+use gdlog_engine::{connected_components, CancelToken, GroundProgram, GroundRule};
 use gdlog_prob::{DiscreteSpace, FactoredSpace, Prob};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -102,6 +102,7 @@ fn saturate_group(
     schemas: &[&AtrSchema],
     budget: &ChaseBudget,
     cap: usize,
+    cancel: &CancelToken,
 ) -> Result<Option<Universe>, CoreError> {
     let mut derived = GroundProgram::new();
     let mut heads = Database::new();
@@ -109,6 +110,13 @@ fn saturate_group(
     let mut atr_pairs: Vec<(GroundAtom, Vec<GroundAtom>)> = Vec::new();
 
     loop {
+        // Factor saturation rounds are cancellation checkpoints; a cancelled
+        // analysis cannot fall back to the flat path (the flat chase would
+        // just burn the rest of the deadline), so it surfaces as a typed
+        // interruption.
+        if cancel.is_cancelled() {
+            return Err(CoreError::Interrupted("factor analysis".into()));
+        }
         let mut changed = false;
 
         // Expand every newly derived Active atom to all its outcomes.
@@ -259,7 +267,7 @@ pub fn analyze(
     sigma: &SigmaPi,
     budget: &ChaseBudget,
 ) -> Result<Option<Vec<ChaseComponent>>, CoreError> {
-    analyze_with(sigma, budget).map(|(components, _)| components)
+    analyze_cancellable(sigma, budget, &CancelToken::never()).map(|(components, _)| components)
 }
 
 /// [`analyze`] plus the [`FactorAnalysis`] verdict describing how it was
@@ -281,6 +289,18 @@ pub fn analyze(
 pub fn analyze_with(
     sigma: &SigmaPi,
     budget: &ChaseBudget,
+) -> Result<(Option<Vec<ChaseComponent>>, FactorAnalysis), CoreError> {
+    analyze_cancellable(sigma, budget, &CancelToken::never())
+}
+
+/// [`analyze_with`] with a cooperative cancellation token checked once per
+/// universe-saturation round. A cancelled analysis returns
+/// [`CoreError::Interrupted`] rather than silently taking the flat fallback
+/// (which would start a full flat chase against an already-expired deadline).
+pub fn analyze_cancellable(
+    sigma: &SigmaPi,
+    budget: &ChaseBudget,
+    cancel: &CancelToken,
 ) -> Result<(Option<Vec<ChaseComponent>>, FactorAnalysis), CoreError> {
     if budget.min_path_probability > 0.0 {
         return Ok((None, FactorAnalysis::Static));
@@ -309,7 +329,7 @@ pub fn analyze_with(
     let mut raw: Vec<ChaseComponent> = Vec::new();
     let mut cap = UNIVERSE_ATOM_CAP;
     for (rules, schemas) in groups.values() {
-        let Some(universe) = saturate_group(rules, schemas, budget, cap)? else {
+        let Some(universe) = saturate_group(rules, schemas, budget, cap, cancel)? else {
             return Ok((None, FactorAnalysis::Dynamic));
         };
         cap = cap.saturating_sub(universe.heads.len());
@@ -500,6 +520,12 @@ impl FactoredOutputSpace {
     /// Did any factor's chase hit its budget?
     pub fn is_truncated(&self) -> bool {
         self.factors.iter().any(|f| f.space.is_truncated())
+    }
+
+    /// Was any factor's chase cut short by cancellation? Interrupted results
+    /// are timing-dependent and must never be treated as golden.
+    pub fn is_interrupted(&self) -> bool {
+        self.factors.iter().any(|f| f.space.is_interrupted())
     }
 
     /// `P(sms ≠ ∅)` of the joint program: a union of disjoint programs has a
@@ -747,6 +773,15 @@ impl FactoredSolve {
         match self {
             FactoredSolve::Flat(s) => s.is_truncated(),
             FactoredSolve::Product(p) => p.is_truncated(),
+        }
+    }
+
+    /// Was any chase cut short by cancellation (a deadline) rather than by
+    /// its budget?
+    pub fn is_interrupted(&self) -> bool {
+        match self {
+            FactoredSolve::Flat(s) => s.is_interrupted(),
+            FactoredSolve::Product(p) => p.is_interrupted(),
         }
     }
 

@@ -262,6 +262,15 @@ pub trait Grounder: Send + Sync {
     /// A short human-readable name ("simple", "perfect").
     fn name(&self) -> &'static str;
 
+    /// Install a cooperative [`gdlog_engine::CancelToken`] polled at
+    /// saturation-round boundaries. A cancelled grounder may return
+    /// *partial* rule sets from then on, so callers must re-check the token
+    /// before trusting any grounding produced after installation. The
+    /// default ignores the token (grounding stays uninterruptible).
+    fn set_cancel(&mut self, cancel: gdlog_engine::CancelToken) {
+        let _ = cancel;
+    }
+
     /// Compute `G(Σ)`: the ground existential-free rules induced by the
     /// choice set `Σ`.
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet;

@@ -70,7 +70,8 @@ pub use api::{
 pub use bckov::{bckov_output, isomorphic_to_bckov, BckovOutcome, BckovOutput};
 pub use builder::{ProgramBuilder, RuleBuilder};
 pub use chase::{
-    enumerate_outcomes, enumerate_outcomes_with, ChaseBudget, ChaseResult, TriggerOrder,
+    enumerate_outcomes, enumerate_outcomes_cancellable, enumerate_outcomes_with, ChaseBudget,
+    ChaseResult, TriggerOrder,
 };
 pub use compare::{as_good_as, compare_outputs, SemanticsComparison};
 pub use delta::DeltaTerm;
@@ -81,6 +82,7 @@ pub use factor::{
     ChaseComponent, ComponentGrounder, Factor, FactorAnalysis, FactoredOutputSpace, FactoredSolve,
 };
 pub use fingerprint::fnv1a_fingerprint;
+pub use gdlog_engine::{CancelToken, DeadlineGuard};
 pub use grounding::{AtrRule, AtrSet, GroundRuleSet, Grounder, Grounding};
 pub use mc::{sample_outcome, walk_rng, MonteCarlo, SampleStats, SampledPath};
 pub use model_cache::{ModelCacheStats, ModelSetCache, ProgramFingerprint};

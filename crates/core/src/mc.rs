@@ -18,6 +18,7 @@ use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::grounding::{AtrRule, AtrSet, Grounder};
 use crate::outcome::PossibleOutcome;
+use gdlog_engine::CancelToken;
 use gdlog_prob::sampler::{sample_distribution, Estimate};
 use gdlog_prob::Prob;
 use rand::rngs::StdRng;
@@ -148,6 +149,7 @@ pub struct MonteCarlo<'a> {
     seed: u64,
     next_walk: u64,
     executor: Option<&'a Executor>,
+    cancel: CancelToken,
 }
 
 impl<'a> MonteCarlo<'a> {
@@ -159,6 +161,7 @@ impl<'a> MonteCarlo<'a> {
             seed,
             next_walk: 0,
             executor: None,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -167,6 +170,15 @@ impl<'a> MonteCarlo<'a> {
     /// count; only wall-clock time changes.
     pub fn with_executor(mut self, executor: &'a Executor) -> Self {
         self.executor = Some(executor);
+        self
+    }
+
+    /// Observe `cancel` at every walk boundary. A cancelled estimate returns
+    /// [`CoreError::Interrupted`] — a partial tally would not be an unbiased
+    /// estimate of anything the caller asked for, so Monte-Carlo is
+    /// exact-sample-count-or-nothing.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -193,6 +205,9 @@ impl<'a> MonteCarlo<'a> {
                 let mut hits = 0usize;
                 let mut abandoned = 0usize;
                 for walk in first_walk..first_walk + samples as u64 {
+                    if self.cancel.is_cancelled() {
+                        return Err(CoreError::Interrupted("monte-carlo estimation".into()));
+                    }
                     match self.run_walk(walk, &event)? {
                         Some(true) => hits += 1,
                         Some(false) => {}
@@ -233,6 +248,12 @@ impl<'a> MonteCarlo<'a> {
                             let mut abandoned = 0usize;
                             let mut outcome = Ok(());
                             for walk in start..end {
+                                if this.cancel.is_cancelled() {
+                                    outcome = Err(CoreError::Interrupted(
+                                        "monte-carlo estimation".into(),
+                                    ));
+                                    break;
+                                }
                                 match this.run_walk(walk, event) {
                                     Ok(Some(true)) => hits += 1,
                                     Ok(Some(false)) => {}

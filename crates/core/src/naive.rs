@@ -1,7 +1,7 @@
 //! The retained **naive** saturation — the paper-literal reference oracle.
 //!
-//! Before the semi-naive refactor, `simple_grounder::saturate`
-//! executed Definition 3.4 verbatim: every round re-matched *all* rules
+//! Before the semi-naive refactor, the shared saturation loop of
+//! `simple_grounder` executed Definition 3.4 verbatim: every round re-matched *all* rules
 //! against the *entire* head set. That formulation is kept here, unchanged,
 //! for two purposes:
 //!
@@ -26,8 +26,8 @@ use std::collections::HashSet;
 
 /// The pre-refactor saturation loop: each round re-matches every rule
 /// against the full head set, with candidate atoms filtered by predicate
-/// only. Semantically identical to
-/// [`crate::simple_grounder::saturate`], asymptotically slower.
+/// only. Semantically identical to the semi-naive loop in
+/// `simple_grounder`, asymptotically slower.
 pub(crate) fn saturate_naive(
     rules: &[&TgdRule],
     atr: &AtrSet,
@@ -137,9 +137,10 @@ mod tests {
     use super::*;
     use crate::grounding::AtrRule;
     use crate::program::{dime_quarter_program, network_resilience_program};
-    use crate::simple_grounder::saturate;
+    use crate::simple_grounder::saturate_cancellable;
     use crate::translate::SigmaPi;
     use gdlog_data::{Atom, Const, Predicate, Term};
+    use gdlog_engine::CancelToken;
     use std::sync::Arc;
 
     fn network_db(n: i64) -> Database {
@@ -236,7 +237,13 @@ mod tests {
         ];
         let rules: Vec<&TgdRule> = rules_owned.iter().collect();
         let atr = AtrSet::new();
-        let seminaive = saturate(&rules, &atr, GroundRuleSet::new(), None);
+        let seminaive = saturate_cancellable(
+            &rules,
+            &atr,
+            GroundRuleSet::new(),
+            None,
+            &CancelToken::never(),
+        );
         let naive = saturate_naive(&rules, &atr, GroundRuleSet::new(), None);
         assert_eq!(seminaive, naive);
         // 3 E facts, 3 direct T rules, 2 + 1 transitive T rules.

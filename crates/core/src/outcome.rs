@@ -10,7 +10,9 @@
 use crate::error::CoreError;
 use crate::grounding::{AtrSet, GroundRuleSet};
 use gdlog_data::{Database, GroundAtom};
-use gdlog_engine::{stable_models, GroundProgram, StableModelLimits};
+use gdlog_engine::{
+    stable_models, stable_models_with_cancel, CancelToken, GroundProgram, StableModelLimits,
+};
 use gdlog_prob::Prob;
 use std::fmt;
 
@@ -160,9 +162,36 @@ impl PossibleOutcome {
         Ok(stable_models(&self.full_program(), limits)?)
     }
 
+    /// [`Self::stable_models`] with a cooperative cancellation token. A
+    /// cancelled search returns [`CoreError::Interrupted`] — stable-model
+    /// enumeration is exact-or-nothing, so there is no partial result to
+    /// degrade to.
+    pub fn stable_models_cancellable(
+        &self,
+        limits: &StableModelLimits,
+        cancel: &CancelToken,
+    ) -> Result<Vec<Database>, CoreError> {
+        Ok(stable_models_with_cancel(
+            &self.full_program(),
+            limits,
+            cancel,
+        )?)
+    }
+
     /// Compute the event key of the outcome (its set of stable models).
     pub fn model_set_key(&self, limits: &StableModelLimits) -> Result<ModelSetKey, CoreError> {
         Ok(ModelSetKey::from_models(&self.stable_models(limits)?))
+    }
+
+    /// [`Self::model_set_key`] with a cooperative cancellation token.
+    pub fn model_set_key_cancellable(
+        &self,
+        limits: &StableModelLimits,
+        cancel: &CancelToken,
+    ) -> Result<ModelSetKey, CoreError> {
+        Ok(ModelSetKey::from_models(
+            &self.stable_models_cancellable(limits, cancel)?,
+        ))
     }
 
     /// The canonical, collision-free identity of the outcome's ground

@@ -15,16 +15,18 @@
 
 use crate::error::CoreError;
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder, Grounding};
-use crate::simple_grounder::{saturate, saturate_extending};
+use crate::simple_grounder::{saturate_cancellable, saturate_extending_cancellable};
 use crate::translate::{SigmaPi, TgdRule};
 use gdlog_data::{Database, Predicate};
 use gdlog_engine::depgraph::{DependencyGraph, EdgeSign};
+use gdlog_engine::CancelToken;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Signature shared by the semi-naive saturation and the retained naive
 /// reference, so the stratum loop is written once.
-type SaturateFn = fn(&[&TgdRule], &AtrSet, GroundRuleSet, Option<&Database>) -> GroundRuleSet;
+type SaturateFn<'a> =
+    dyn Fn(&[&TgdRule], &AtrSet, GroundRuleSet, Option<&Database>) -> GroundRuleSet + 'a;
 
 /// The perfect grounder. Construction fails if the program does not have
 /// stratified negation.
@@ -34,6 +36,10 @@ pub struct PerfectGrounder {
     /// Rule indices of `sigma.rules`, grouped by the stratum of the rule's
     /// originating head predicate, in bottom-up stratum order.
     rules_by_stratum: Vec<Vec<usize>>,
+    /// Cooperative cancellation, polled per stratum and per saturation
+    /// round; a cancelled grounding returns its partial rule set (the chase
+    /// re-checks the token before trusting it).
+    cancel: CancelToken,
 }
 
 impl PerfectGrounder {
@@ -73,6 +79,7 @@ impl PerfectGrounder {
         Ok(PerfectGrounder {
             sigma,
             rules_by_stratum,
+            cancel: CancelToken::never(),
         })
     }
 
@@ -84,21 +91,38 @@ impl PerfectGrounder {
     /// Ground with the retained naive saturation — the reference oracle kept
     /// for property tests and benchmarks; see [`crate::naive`].
     pub fn ground_naive(&self, atr: &AtrSet) -> GroundRuleSet {
-        self.ground_with(atr, crate::naive::saturate_naive)
+        self.ground_with(atr, &crate::naive::saturate_naive)
     }
 
-    fn ground_with(&self, atr: &AtrSet, saturate_fn: SaturateFn) -> GroundRuleSet {
+    fn ground_with(&self, atr: &AtrSet, saturate_fn: &SaturateFn<'_>) -> GroundRuleSet {
         self.ground_with_cursor(atr, saturate_fn).into_rules()
+    }
+
+    /// The semi-naive per-stratum saturation, polling the grounder's cancel
+    /// token once per round.
+    fn saturate_stratum(
+        &self,
+        rules: &[&TgdRule],
+        atr: &AtrSet,
+        initial: GroundRuleSet,
+        neg_reference: Option<&Database>,
+    ) -> GroundRuleSet {
+        saturate_cancellable(rules, atr, initial, neg_reference, &self.cancel)
     }
 
     /// The stratum-by-stratum grounding loop, returning the rules together
     /// with the *stratum cursor*: the number of strata whose saturation
     /// completed before `AtR_Σ` stopped being compatible (equal to the
     /// stratum count when the whole program was grounded).
-    fn ground_with_cursor(&self, atr: &AtrSet, saturate_fn: SaturateFn) -> Grounding {
+    fn ground_with_cursor(&self, atr: &AtrSet, saturate_fn: &SaturateFn<'_>) -> Grounding {
         let mut derived = GroundRuleSet::new();
         let mut cursor = 0usize;
         for (i, stratum_rules) in self.rules_by_stratum.iter().enumerate() {
+            // Stratum boundaries are cancellation checkpoints too: stop with
+            // the strata grounded so far (the chase re-checks the token).
+            if self.cancel.is_cancelled() {
+                break;
+            }
             // Σ↑Cᵢ is only computed if AtR_Σ is compatible with Σ↑Cᵢ₋₁
             // (defined on every Active atom derived so far); otherwise the
             // grounding is stuck at the previous stratum.
@@ -136,12 +160,16 @@ impl Grounder for PerfectGrounder {
         "perfect"
     }
 
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
-        self.ground_with(atr, saturate)
+        self.ground_with(atr, &|r, a, i, n| self.saturate_stratum(r, a, i, n))
     }
 
     fn ground_node(&self, atr: &AtrSet) -> Grounding {
-        self.ground_with_cursor(atr, saturate)
+        self.ground_with_cursor(atr, &|r, a, i, n| self.saturate_stratum(r, a, i, n))
     }
 
     /// Incremental chase descent via the stratum cursor.
@@ -184,17 +212,21 @@ impl Grounder for PerfectGrounder {
                 .filter(|r| neg_reference.contains(&r.active))
                 .map(|r| r.result.clone()),
         );
-        derived = saturate_extending(
+        derived = saturate_extending_cancellable(
             &self.stratum_rules(resume),
             atr,
             derived,
             Some(&neg_reference),
             &old_results,
+            &self.cancel,
         );
 
         // Continue the normal stratum loop from where the parent stopped.
         let mut cursor = parent_cursor;
         for i in parent_cursor..self.rules_by_stratum.len() {
+            if self.cancel.is_cancelled() {
+                break;
+            }
             if !self.is_compatible(atr, &derived) {
                 break;
             }
@@ -203,7 +235,8 @@ impl Grounder for PerfectGrounder {
                 continue;
             }
             let neg_reference = derived.heads_snapshot();
-            derived = saturate(&self.stratum_rules(i), atr, derived, Some(&neg_reference));
+            derived =
+                self.saturate_stratum(&self.stratum_rules(i), atr, derived, Some(&neg_reference));
         }
         Grounding::with_cursor(derived, cursor)
     }

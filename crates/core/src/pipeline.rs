@@ -11,7 +11,7 @@
 //! ([`Grounder::ground_from`]). See `ARCHITECTURE.md` at the repository root
 //! for the invariants.
 
-use crate::chase::{enumerate_outcomes_with, ChaseBudget, ChaseResult, TriggerOrder};
+use crate::chase::{enumerate_outcomes_cancellable, ChaseBudget, ChaseResult, TriggerOrder};
 use crate::error::CoreError;
 use crate::exec::Executor;
 use crate::factor::{
@@ -27,7 +27,7 @@ use crate::semantics::OutputSpace;
 use crate::simple_grounder::SimpleGrounder;
 use crate::translate::SigmaPi;
 use gdlog_data::Database;
-use gdlog_engine::StableModelLimits;
+use gdlog_engine::{CancelToken, StableModelLimits};
 use std::sync::Arc;
 
 /// Which grounder the pipeline should use.
@@ -54,9 +54,7 @@ impl GrounderChoice {
     }
 }
 
-/// Monte-Carlo sampling parameters for [`Pipeline::sampler_with`]; replaces
-/// the bare positional arguments of the deprecated
-/// [`Pipeline::monte_carlo`].
+/// Monte-Carlo sampling parameters for [`Pipeline::sampler_with`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct McParams {
     /// Per-walk trigger budget (walks beyond it count as abandoned).
@@ -109,6 +107,10 @@ pub struct Pipeline {
     /// fingerprints (hits can never change a result — equal fingerprints
     /// mean equal programs).
     stable_cache: ModelSetCache,
+    /// Cooperative cancellation token observed at every chase node, every
+    /// grounding saturation round, every stable-model branch decision and
+    /// every Monte-Carlo walk boundary. Defaults to a token that never fires.
+    cancel: CancelToken,
 }
 
 impl Pipeline {
@@ -161,6 +163,7 @@ impl Pipeline {
             // without touching call sites.
             executor: Arc::new(Executor::from_env()),
             stable_cache: ModelSetCache::new(),
+            cancel: CancelToken::never(),
         })
     }
 
@@ -198,6 +201,23 @@ impl Pipeline {
         self
     }
 
+    /// Observe `cancel` throughout the pipeline: the chase cuts cancelled
+    /// subtrees to residual mass (a graceful, exact partial result), while
+    /// grounding, factor analysis, stable-model search and Monte-Carlo — all
+    /// exact-or-nothing — surface [`CoreError::Interrupted`]. The token is
+    /// also installed into the grounder, so in-flight saturations stop at
+    /// their next round.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.grounder.set_cancel(cancel.clone());
+        self.cancel = cancel;
+        self
+    }
+
+    /// The pipeline's cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
     /// The execution policy in use.
     pub fn executor(&self) -> &Executor {
         &self.executor
@@ -215,11 +235,12 @@ impl Pipeline {
 
     /// Run the chase enumeration only.
     pub fn chase(&self) -> Result<ChaseResult, CoreError> {
-        enumerate_outcomes_with(
+        enumerate_outcomes_cancellable(
             self.grounder.as_ref(),
             &self.budget,
             self.order,
             &self.executor,
+            &self.cancel,
         )
     }
 
@@ -240,11 +261,12 @@ impl Pipeline {
     /// chase's own statistics — `nodes_visited` — can run the halves
     /// separately without re-chasing).
     pub fn space_from_chase(&self, chase: ChaseResult) -> Result<OutputSpace, CoreError> {
-        OutputSpace::from_chase_with(
+        OutputSpace::from_chase_cancellable(
             chase,
             &self.limits,
             &self.executor,
             Some(&self.stable_cache),
+            &self.cancel,
         )
     }
 
@@ -274,7 +296,7 @@ impl Pipeline {
     pub fn factor_analysis(
         &self,
     ) -> Result<(Option<Vec<ChaseComponent>>, FactorAnalysis), CoreError> {
-        factor::analyze_with(&self.sigma, &self.budget)
+        factor::analyze_cancellable(&self.sigma, &self.budget, &self.cancel)
     }
 
     /// How many independent factors [`Pipeline::solve_factored`] would use
@@ -311,18 +333,25 @@ impl Pipeline {
         let Some(components) = components else {
             return Ok((FactoredSolve::Flat(self.solve()?), analysis));
         };
-        let simple = SimpleGrounder::new(self.sigma.clone());
+        let mut simple = SimpleGrounder::new(self.sigma.clone());
+        simple.set_cancel(self.cancel.clone());
         let mut factors = Vec::with_capacity(components.len());
         for component in components {
             let grounder = ComponentGrounder::new(&simple, &component.triggers);
-            let chase =
-                enumerate_outcomes_with(&grounder, &self.budget, self.order, &self.executor)?;
+            let chase = enumerate_outcomes_cancellable(
+                &grounder,
+                &self.budget,
+                self.order,
+                &self.executor,
+                &self.cancel,
+            )?;
             let chase = factor::restrict_outcomes(chase, &component.atoms);
-            let space = OutputSpace::from_chase_with(
+            let space = OutputSpace::from_chase_cancellable(
                 chase,
                 &self.limits,
                 &self.executor,
                 Some(&self.stable_cache),
+                &self.cancel,
             )?;
             factors.push(Factor {
                 atoms: component.atoms,
@@ -345,20 +374,7 @@ impl Pipeline {
     pub fn sampler_with(&self, params: McParams) -> MonteCarlo<'_> {
         MonteCarlo::new(self.grounder.as_ref(), params.max_triggers, params.seed)
             .with_executor(&self.executor)
-    }
-
-    /// A Monte-Carlo estimator from bare positional parameters.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `sampler_with(McParams::new().with_max_triggers(..).with_seed(..))` \
-                (or `QueryRequest::monte_carlo` through the unified API)"
-    )]
-    pub fn monte_carlo(&self, max_triggers: usize, seed: u64) -> MonteCarlo<'_> {
-        self.sampler_with(
-            McParams::new()
-                .with_max_triggers(max_triggers)
-                .with_seed(seed),
-        )
+            .with_cancel(self.cancel.clone())
     }
 }
 
@@ -469,15 +485,14 @@ mod tests {
             .estimate(500, heads_coin)
             .unwrap();
         assert!(stats.estimate.consistent_with(0.5, 4.0));
-        // The deprecated positional shim routes through the same params and
-        // the walk RNG is seed-split, so the estimates are bit-identical.
-        #[allow(deprecated)]
-        let legacy = pipeline
-            .monte_carlo(16, 11)
+        // The walk RNG is seed-split, so a second estimator with the same
+        // params reproduces the estimates bit for bit.
+        let again = pipeline
+            .sampler_with(params)
             .estimate(500, heads_coin)
             .unwrap();
-        assert_eq!(legacy.estimate.mean, stats.estimate.mean);
-        assert_eq!(legacy.abandoned, stats.abandoned);
+        assert_eq!(again.estimate.mean, stats.estimate.mean);
+        assert_eq!(again.abandoned, stats.abandoned);
         // Default params are a plain sampler.
         assert_eq!(McParams::default(), McParams::new());
         let _ = pipeline.sampler();

@@ -11,7 +11,7 @@
 use crate::grounding::{AtrSet, GroundRuleSet, Grounder};
 use crate::translate::{SigmaPi, TgdRule};
 use gdlog_data::{match_atoms_delta, match_atoms_indexed, Database, GroundAtom, Substitution};
-use gdlog_engine::GroundRule;
+use gdlog_engine::{CancelToken, GroundRule};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -19,12 +19,19 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct SimpleGrounder {
     sigma: Arc<SigmaPi>,
+    /// Cooperative cancellation, polled once per saturation round. A
+    /// cancelled saturation returns its partial rule set; the chase re-checks
+    /// the token after grounding, so the partial set is never trusted.
+    cancel: CancelToken,
 }
 
 impl SimpleGrounder {
     /// Build a simple grounder for a translated program.
     pub fn new(sigma: Arc<SigmaPi>) -> Self {
-        SimpleGrounder { sigma }
+        SimpleGrounder {
+            sigma,
+            cancel: CancelToken::never(),
+        }
     }
 
     /// Ground with the retained naive (non-semi-naive) saturation — the
@@ -59,7 +66,14 @@ impl SimpleGrounder {
                 .map(|r| r.result.clone()),
         );
         let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
-        saturate_extending(&rules, atr, parent_rules, None, &old_results)
+        saturate_impl(
+            &rules,
+            atr,
+            parent_rules,
+            None,
+            Some(&old_results),
+            Some(&self.cancel),
+        )
     }
 }
 
@@ -72,9 +86,20 @@ impl Grounder for SimpleGrounder {
         "simple"
     }
 
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
     fn ground(&self, atr: &AtrSet) -> GroundRuleSet {
         let rules: Vec<&TgdRule> = self.sigma.rules.iter().collect();
-        saturate(&rules, atr, GroundRuleSet::new(), None)
+        saturate_impl(
+            &rules,
+            atr,
+            GroundRuleSet::new(),
+            None,
+            None,
+            Some(&self.cancel),
+        )
     }
 
     fn ground_from(
@@ -141,29 +166,43 @@ fn instantiate(
 ///
 /// The retained naive formulation lives in [`crate::naive`]; property tests
 /// assert both produce identical [`GroundRuleSet`]s.
-pub(crate) fn saturate(
+///
+/// The loop polls the [`CancelToken`] once per round; a cancelled saturation
+/// breaks out early and returns whatever it derived so far, so callers (the
+/// chase) must re-check the token before trusting the result. Pass
+/// [`CancelToken::never`] for an uninterruptible saturation.
+pub(crate) fn saturate_cancellable(
     rules: &[&TgdRule],
     atr: &AtrSet,
     initial: GroundRuleSet,
     neg_reference: Option<&Database>,
+    cancel: &CancelToken,
 ) -> GroundRuleSet {
-    saturate_impl(rules, atr, initial, neg_reference, None)
+    saturate_impl(rules, atr, initial, neg_reference, None, Some(cancel))
 }
 
-/// [`saturate`] for an `initial` set that is already saturated under a
-/// sub-configuration of `atr` whose activated `Result` atoms are
+/// [`saturate_cancellable`] for an `initial` set that is already saturated
+/// under a sub-configuration of `atr` whose activated `Result` atoms are
 /// `old_results`: the full round 0 is skipped and only the newly activated
 /// `Result` atoms form the first delta. Only sound when every rule
 /// instantiation over `initial`'s heads plus `old_results` is already
 /// present in `initial`.
-pub(crate) fn saturate_extending(
+pub(crate) fn saturate_extending_cancellable(
     rules: &[&TgdRule],
     atr: &AtrSet,
     initial: GroundRuleSet,
     neg_reference: Option<&Database>,
     old_results: &Database,
+    cancel: &CancelToken,
 ) -> GroundRuleSet {
-    saturate_impl(rules, atr, initial, neg_reference, Some(old_results))
+    saturate_impl(
+        rules,
+        atr,
+        initial,
+        neg_reference,
+        Some(old_results),
+        Some(cancel),
+    )
 }
 
 fn saturate_impl(
@@ -172,6 +211,7 @@ fn saturate_impl(
     initial: GroundRuleSet,
     neg_reference: Option<&Database>,
     saturated_with_results: Option<&Database>,
+    cancel: Option<&CancelToken>,
 ) -> GroundRuleSet {
     let mut derived = initial;
     let mut heads: Database = derived.heads().clone();
@@ -202,6 +242,11 @@ fn saturate_impl(
         }
     }
     loop {
+        // A saturation round is the grounding checkpoint: break out with the
+        // partial rule set; the chase re-checks the token and cuts the node.
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            break;
+        }
         let mut new_rules: Vec<GroundRule> = Vec::new();
         match &delta {
             None => {

@@ -1,0 +1,168 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! The chase is not guaranteed to terminate (weak acyclicity is a *lint*,
+//! not a precondition), and even terminating solves can outlive a caller's
+//! patience. A [`CancelToken`] is a shared flag that every long-running loop
+//! in the stack — chase node expansion, grounding saturation rounds,
+//! stable-model branch-and-prune steps, factor saturation, Monte-Carlo walk
+//! boundaries — polls between units of work. Cancellation is *cooperative*:
+//! setting the flag never tears anything down, it only asks the next
+//! checkpoint to stop, so every data structure a cancelled solve leaves
+//! behind is in a consistent (if incomplete) state and the layers above can
+//! degrade gracefully.
+//!
+//! The token lives in `gdlog-engine` — the lowest crate that runs unbounded
+//! searches — so `gdlog-core` and `gdlog-server` can thread one shared flag
+//! through every layer without a dependency cycle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A shared, cloneable cancellation flag.
+///
+/// Clones share the same underlying flag: cancelling any clone cancels them
+/// all. The default token is never cancelled unless someone calls
+/// [`CancelToken::cancel`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that is never cancelled by anyone — the identity element for
+    /// APIs that take a token unconditionally.
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next checkpoint
+    /// of every loop polling this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    ///
+    /// This is the checkpoint primitive: a relaxed-ish acquire load of one
+    /// shared `AtomicBool`, cheap enough to call once per chase node, per
+    /// saturation round, per branch decision, per Monte-Carlo walk.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Arm a deadline: cancel this token after `timeout` unless the returned
+    /// guard is dropped first. Dropping the guard *disarms* the deadline
+    /// (and reaps the timer thread), so the usual shape is
+    ///
+    /// ```ignore
+    /// let _deadline = token.cancel_after(Duration::from_millis(budget_ms));
+    /// run_the_solve(&token)?; // guard drops here; a finished solve is never cancelled late
+    /// ```
+    pub fn cancel_after(&self, timeout: Duration) -> DeadlineGuard {
+        let token = self.clone();
+        let disarm = Arc::new((Mutex::new(false), Condvar::new()));
+        let disarm2 = Arc::clone(&disarm);
+        let handle = std::thread::Builder::new()
+            .name("gdlog-deadline".into())
+            .spawn(move || {
+                let (lock, cvar) = &*disarm2;
+                let mut disarmed = lock.lock().expect("deadline mutex poisoned");
+                let mut remaining = timeout;
+                loop {
+                    if *disarmed {
+                        return;
+                    }
+                    let start = std::time::Instant::now();
+                    let (guard, result) = cvar
+                        .wait_timeout(disarmed, remaining)
+                        .expect("deadline mutex poisoned");
+                    disarmed = guard;
+                    if result.timed_out() {
+                        token.cancel();
+                        return;
+                    }
+                    // Spurious wakeup (or disarm, handled at loop top).
+                    remaining = remaining.saturating_sub(start.elapsed());
+                }
+            })
+            .expect("spawning the deadline timer thread failed");
+        DeadlineGuard {
+            disarm,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Disarms a [`CancelToken::cancel_after`] deadline when dropped.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    disarm: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.disarm;
+        *lock.lock().expect("deadline mutex poisoned") = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_are_uncancelled_and_cancel_is_shared() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn never_token_is_independent() {
+        let a = CancelToken::never();
+        let b = CancelToken::never();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_fires_after_timeout() {
+        let t = CancelToken::new();
+        let _guard = t.cancel_after(Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms_the_deadline() {
+        let t = CancelToken::new();
+        let guard = t.cancel_after(Duration::from_millis(30));
+        drop(guard); // well before the deadline
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!t.is_cancelled());
+    }
+}

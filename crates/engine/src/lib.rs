@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod depgraph;
 pub mod ground;
 pub mod least_model;
@@ -34,12 +35,15 @@ pub mod stable;
 pub mod stratified;
 pub mod wellfounded;
 
+pub use cancel::{CancelToken, DeadlineGuard};
 pub use depgraph::{connected_components, sccs_of, DependencyGraph, EdgeSign, Stratification};
 pub use ground::{GroundProgram, GroundRule};
 pub use least_model::least_model;
 pub use naive_stable::naive_stable_models;
 pub use reduct::reduct;
-pub use stable::{is_stable_model, stable_models, StableError, StableModelLimits};
+pub use stable::{
+    is_stable_model, stable_models, stable_models_with_cancel, StableError, StableModelLimits,
+};
 pub use stratified::{stratified_model, StratifiedError};
 pub use wellfounded::{well_founded, WellFounded};
 

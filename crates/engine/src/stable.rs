@@ -42,6 +42,7 @@
 //! components solve comfortably even when their total negative signature is
 //! large (that is the point of the split).
 
+use crate::cancel::CancelToken;
 use crate::depgraph::sccs_of;
 use crate::ground::GroundProgram;
 use crate::least_model::least_model;
@@ -89,6 +90,10 @@ pub enum StableError {
         /// The configured limit.
         limit: usize,
     },
+    /// The caller's [`CancelToken`] fired mid-search. The enumeration is
+    /// exact-or-nothing, so a cancelled search reports this typed error
+    /// rather than a silently incomplete model set.
+    Interrupted,
 }
 
 impl fmt::Display for StableError {
@@ -100,6 +105,9 @@ impl fmt::Display for StableError {
             ),
             StableError::TooManyModels { limit } => {
                 write!(f, "program has more than {limit} stable models")
+            }
+            StableError::Interrupted => {
+                write!(f, "stable-model search interrupted by cancellation")
             }
         }
     }
@@ -120,6 +128,22 @@ pub fn stable_models(
     program: &GroundProgram,
     limits: &StableModelLimits,
 ) -> Result<Vec<Database>, StableError> {
+    stable_models_with_cancel(program, limits, &CancelToken::never())
+}
+
+/// [`stable_models`] with a cooperative [`CancelToken`]: the token is polled
+/// once per branch decision, per component, and per cross-product step, so a
+/// cancellation request surfaces as [`StableError::Interrupted`] within one
+/// unit of search work. The enumeration stays exact-or-nothing — a cancelled
+/// search never returns a partial model set.
+pub fn stable_models_with_cancel(
+    program: &GroundProgram,
+    limits: &StableModelLimits,
+    cancel: &CancelToken,
+) -> Result<Vec<Database>, StableError> {
+    if cancel.is_cancelled() {
+        return Err(StableError::Interrupted);
+    }
     let wf = well_founded(program);
 
     // Fast path: a total well-founded model is the unique stable model
@@ -150,7 +174,7 @@ pub fn stable_models(
     let mut solved: Vec<Vec<Vec<u32>>> = Vec::with_capacity(components.len());
     let mut capped = false;
     for comp in &components {
-        let (mut models, hit_cap) = Solver::new(comp).solve(cap);
+        let (mut models, hit_cap) = Solver::new(comp).solve(cap, cancel)?;
         if models.is_empty() {
             // No stable model for this component ⇒ none for the program
             // (matches the naive enumerator, which never reports
@@ -177,6 +201,9 @@ pub fn stable_models(
     let mut out: BTreeSet<Vec<GroundAtom>> = BTreeSet::new();
     let mut pick = vec![0usize; solved.len()];
     loop {
+        if cancel.is_cancelled() {
+            return Err(StableError::Interrupted);
+        }
         let mut model: Vec<GroundAtom> = core.clone();
         for (ci, comp) in components.iter().enumerate() {
             for &local in &solved[ci][pick[ci]] {
@@ -417,6 +444,9 @@ struct Solver<'a> {
     in_model: Vec<bool>,
 
     models: Vec<Vec<u32>>,
+    /// Set when the cancel token fired mid-search (the search unwinds via
+    /// the same early-stop path as the model cap).
+    interrupted: bool,
 }
 
 impl<'a> Solver<'a> {
@@ -457,12 +487,18 @@ impl<'a> Solver<'a> {
             lm_stack: Vec::with_capacity(n),
             in_model: vec![false; n],
             models: Vec::new(),
+            interrupted: false,
         }
     }
 
     /// Enumerate the component's stable models, stopping after `cap` of them
-    /// (returns whether the cap was hit).
-    fn solve(mut self, cap: usize) -> (Vec<Vec<u32>>, bool) {
+    /// (returns whether the cap was hit). Errors with
+    /// [`StableError::Interrupted`] if `cancel` fires mid-search.
+    fn solve(
+        mut self,
+        cap: usize,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Vec<u32>>, bool), StableError> {
         // Root propagation: rules with (residually) empty bodies fire, atoms
         // with no rules are unfounded. A root conflict means no stable model.
         self.conflict = false;
@@ -478,10 +514,13 @@ impl<'a> Solver<'a> {
             }
         }
         if !self.run_queue() {
-            return (Vec::new(), false);
+            return Ok((Vec::new(), false));
         }
-        let hit_cap = !self.search(0, cap);
-        (self.models, hit_cap)
+        let hit_cap = !self.search(0, cap, cancel);
+        if self.interrupted {
+            return Err(StableError::Interrupted);
+        }
+        Ok((self.models, hit_cap))
     }
 
     fn fireable(&self, r: usize) -> bool {
@@ -611,8 +650,13 @@ impl<'a> Solver<'a> {
     }
 
     /// Branch on the remaining unassigned negative-signature atoms. Returns
-    /// `false` as soon as `cap` models have been collected.
-    fn search(&mut self, mut bi: usize, cap: usize) -> bool {
+    /// `false` as soon as `cap` models have been collected (or the cancel
+    /// token fires — distinguished by the `interrupted` flag).
+    fn search(&mut self, mut bi: usize, cap: usize, cancel: &CancelToken) -> bool {
+        if cancel.is_cancelled() {
+            self.interrupted = true;
+            return false;
+        }
         while bi < self.comp.branch.len()
             && self.value[self.comp.branch[bi] as usize] != Val::Unknown
         {
@@ -627,7 +671,7 @@ impl<'a> Solver<'a> {
         for val in [Val::False, Val::True] {
             let mark = self.trail.len();
             let ok = self.decide(atom, val);
-            if ok && !self.search(bi + 1, cap) {
+            if ok && !self.search(bi + 1, cap, cancel) {
                 self.undo_to(mark);
                 return false;
             }

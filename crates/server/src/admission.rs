@@ -9,6 +9,7 @@
 //! `parking_lot` stand-in has no condition variables).
 
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Returned when both the in-flight slots and the wait queue are full.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +28,17 @@ impl std::fmt::Display for Overloaded {
             self.max_inflight, self.max_queued
         )
     }
+}
+
+/// Why a watched acquisition ([`Admission::acquire_watched`]) ended
+/// without a permit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcquireError {
+    /// Both the in-flight slots and the wait queue were full.
+    Overloaded(Overloaded),
+    /// The watcher reported the requester gone while it was queued; its
+    /// queue entry has been released.
+    Abandoned,
 }
 
 struct State {
@@ -74,6 +86,55 @@ impl Admission {
         state.queued += 1;
         while state.inflight >= self.max_inflight {
             state = self.freed.wait(state).expect("admission wait");
+        }
+        state.queued -= 1;
+        state.inflight += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Like [`Admission::acquire`], but while queued, poll `abandoned`
+    /// every `poll` interval and give the queue entry back the moment it
+    /// returns true — a client that hangs up while waiting must not hold a
+    /// scarce queue slot until a permit happens to free.
+    pub fn acquire_watched(
+        &self,
+        abandoned: &dyn Fn() -> bool,
+        poll: Duration,
+    ) -> Result<Permit<'_>, AcquireError> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.queued >= self.max_queued {
+            return Err(AcquireError::Overloaded(Overloaded {
+                max_inflight: self.max_inflight,
+                max_queued: self.max_queued,
+            }));
+        }
+        state.queued += 1;
+        while state.inflight >= self.max_inflight {
+            let (s, _timed_out) = self
+                .freed
+                .wait_timeout(state, poll)
+                .expect("admission wait");
+            state = s;
+            if state.inflight < self.max_inflight {
+                break;
+            }
+            // Check liveness outside the lock: the probe peeks a socket,
+            // and a wedged peek must never stall every other waiter.
+            drop(state);
+            let gone = abandoned();
+            state = self.state.lock().expect("admission lock");
+            if gone {
+                state.queued -= 1;
+                drop(state);
+                // The wait may have consumed a wakeup meant for a live
+                // waiter; pass it on.
+                self.freed.notify_one();
+                return Err(AcquireError::Abandoned);
+            }
         }
         state.queued -= 1;
         state.inflight += 1;
@@ -161,6 +222,74 @@ mod tests {
         for w in waiters {
             w.join().unwrap();
         }
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn abandoned_waiters_release_their_queue_entry_promptly() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Instant;
+
+        let gate = Arc::new(Admission::new(1, 1));
+        // Wedge the only solve slot so watched waiters genuinely queue.
+        let wedge = gate.acquire().unwrap();
+        let hung_up = Arc::new(AtomicBool::new(false));
+        let (g, flag) = (Arc::clone(&gate), Arc::clone(&hung_up));
+        let waiter = std::thread::spawn(move || {
+            g.acquire_watched(&|| flag.load(Ordering::Relaxed), Duration::from_millis(2))
+                .err()
+        });
+        for _ in 0..400 {
+            if gate.load().1 == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(gate.load(), (1, 1), "waiter parked in the queue");
+
+        // With the slot wedged AND the queue full, further acquisitions of
+        // both flavors reject promptly — overload never degrades to a hang.
+        let start = Instant::now();
+        assert!(gate.acquire().is_err());
+        assert!(matches!(
+            gate.acquire_watched(&|| false, Duration::from_millis(2)),
+            Err(AcquireError::Overloaded(_))
+        ));
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "overload rejection must not wait on the wedged slot"
+        );
+
+        // The queued client hangs up: its queue entry must come back even
+        // though no permit ever freed.
+        hung_up.store(true, Ordering::Relaxed);
+        assert_eq!(waiter.join().unwrap(), Some(AcquireError::Abandoned));
+        assert_eq!(gate.load(), (1, 0), "queue entry released, no slot leaked");
+
+        // And the slot itself was never consumed by the abandoned waiter.
+        drop(wedge);
+        let p = gate.acquire().unwrap();
+        drop(p);
+        assert_eq!(gate.load(), (0, 0));
+    }
+
+    #[test]
+    fn watched_acquisition_proceeds_for_live_clients() {
+        let gate = Arc::new(Admission::new(1, 2));
+        let first = gate.acquire().unwrap();
+        let g = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            g.acquire_watched(&|| false, Duration::from_millis(2))
+                .is_ok()
+        });
+        for _ in 0..400 {
+            if gate.load().1 == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(first);
+        assert!(waiter.join().unwrap(), "live waiter gets the freed permit");
         assert_eq!(gate.load(), (0, 0));
     }
 

@@ -1,9 +1,19 @@
 //! A typed client for the wire protocol — used by the integration tests,
 //! `bench_serve`, and CI's corpus replay.
+//!
+//! With a [`RetryPolicy`] armed, transient failures — `overloaded`
+//! rejections and transport errors (the server dropped, truncated or
+//! garbled a response) — are retried with jittered exponential backoff on
+//! a fresh connection, and previously opened sessions are re-opened first,
+//! so a corrupted connection costs latency, not correctness. Every command
+//! here is idempotent (queries are pure; `OPEN` hits the compiled-program
+//! cache), which is what makes blind retry sound.
 
 use crate::session::{ErrorCode, ServeError};
+use std::collections::BTreeMap;
 use std::io;
 use std::net::SocketAddr;
+use std::time::Duration;
 
 /// Errors a client call can produce: transport failures or typed protocol
 /// errors.
@@ -38,7 +48,51 @@ fn parse_error_code(token: &str) -> ErrorCode {
         "compile-failed" => ErrorCode::CompileFailed,
         "query-failed" => ErrorCode::QueryFailed,
         "overloaded" => ErrorCode::Overloaded,
+        "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+        "internal-error" => ErrorCode::Internal,
         _ => ErrorCode::BadRequest,
+    }
+}
+
+/// Bounded, jittered exponential backoff for transient failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retrying).
+    pub attempts: u32,
+    /// Backoff before retry `n` is `base_delay * 2^n`, capped below.
+    pub base_delay: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream (tests replay exactly).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(400),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based): exponential, capped,
+    /// then jittered to 50–150% so synchronized clients don't re-dogpile
+    /// an overloaded server in lockstep.
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        let capped = exp.min(self.max_delay);
+        let mut x = *rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *rng = x;
+        capped * (50 + (x % 101) as u32) / 100
     }
 }
 
@@ -69,6 +123,13 @@ fn error_message(body: &str) -> String {
 /// One blocking connection to a `gdlog serve` instance.
 pub struct ServeClient {
     inner: netline::Client,
+    addr: SocketAddr,
+    retry: Option<RetryPolicy>,
+    rng: u64,
+    /// Sessions opened through this client (`label → source`), replayed
+    /// after a retry reconnect — sessions are connection-scoped on the
+    /// server, so a fresh connection starts with none.
+    opened: BTreeMap<String, String>,
 }
 
 impl ServeClient {
@@ -76,11 +137,30 @@ impl ServeClient {
     pub fn connect(addr: SocketAddr) -> io::Result<ServeClient> {
         Ok(ServeClient {
             inner: netline::Client::connect(addr)?,
+            addr,
+            retry: None,
+            rng: 0,
+            opened: BTreeMap::new(),
         })
     }
 
-    fn call(&mut self, head: &str, body: Vec<u8>) -> Result<String, ClientError> {
-        let response = self.inner.call(head, body)?;
+    /// Arm (or disarm) retry-with-backoff for `overloaded` and transport
+    /// errors.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        // Displace the jitter seed off xorshift's zero fixpoint.
+        self.rng = policy.map_or(0, |p| p.seed ^ 0x9e37_79b9_7f4a_7c15);
+        self.retry = policy;
+    }
+
+    /// Arm (or disarm) a socket read/write timeout so calls against a
+    /// stalled server fail (and, with a retry policy, reconnect) instead of
+    /// blocking forever.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_io_timeout(timeout)
+    }
+
+    fn call_once(&mut self, head: &str, body: &[u8]) -> Result<String, ClientError> {
+        let response = self.inner.call(head, body.to_vec())?;
         let body = response.body_text();
         if let Some(code) = response.head.strip_prefix("ERR ") {
             return Err(ClientError::Serve(ServeError {
@@ -91,6 +171,47 @@ impl ServeClient {
         Ok(body)
     }
 
+    /// Reconnect and re-open every session this client had opened, so a
+    /// retried `QUERY` does not land on a session-less fresh connection.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.inner = netline::Client::connect(self.addr)?;
+        for (label, source) in self.opened.clone() {
+            self.call_once(&format!("OPEN {label}"), source.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, head: &str, body: Vec<u8>) -> Result<String, ClientError> {
+        let Some(policy) = self.retry else {
+            return self.call_once(head, &body);
+        };
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1, &mut self.rng));
+            }
+            let transport_failed = matches!(last, Some(ClientError::Io(_)));
+            if transport_failed {
+                if let Err(e) = self.reconnect() {
+                    last = Some(e);
+                    continue;
+                }
+            }
+            match self.call_once(head, &body) {
+                Ok(response) => return Ok(response),
+                // Transient: the server shed load, or the transport died
+                // (dropped/truncated/garbled response, stalled socket).
+                Err(e @ ClientError::Io(_)) => last = Some(e),
+                Err(ClientError::Serve(e)) if e.code == ErrorCode::Overloaded => {
+                    last = Some(ClientError::Serve(e))
+                }
+                // Typed, non-transient protocol errors never retry.
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
     /// `PING` → `pong`.
     pub fn ping(&mut self) -> Result<String, ClientError> {
         self.call("PING", Vec::new())
@@ -99,7 +220,9 @@ impl ServeClient {
     /// Open a session: compile `source` under `label` (label must be a
     /// single token; scenario paths are).
     pub fn open(&mut self, label: &str, source: &str) -> Result<String, ClientError> {
-        self.call(&format!("OPEN {label}"), source.as_bytes().to_vec())
+        let response = self.call(&format!("OPEN {label}"), source.as_bytes().to_vec())?;
+        self.opened.insert(label.to_owned(), source.to_owned());
+        Ok(response)
     }
 
     /// Query an open session with `gdlog run`-style flags, one argument per
@@ -111,6 +234,7 @@ impl ServeClient {
 
     /// Close a session.
     pub fn close(&mut self, label: &str) -> Result<String, ClientError> {
+        self.opened.remove(label);
         self.call(&format!("CLOSE {label}"), Vec::new())
     }
 

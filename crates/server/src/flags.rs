@@ -57,6 +57,9 @@ pub struct QueryFlags {
     pub seed: u64,
     /// Monte-Carlo per-walk trigger budget.
     pub max_triggers: usize,
+    /// Per-query deadline in milliseconds (`--timeout-ms`); the query
+    /// degrades gracefully or returns a typed `deadline-exceeded` error.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for QueryFlags {
@@ -80,6 +83,7 @@ impl Default for QueryFlags {
             mc: None,
             seed: 0,
             max_triggers: 64,
+            timeout_ms: None,
         }
     }
 }
@@ -224,6 +228,10 @@ pub fn parse_query_flags<S: AsRef<str>>(args: &[S]) -> Result<(QueryFlags, Vec<S
                 flags.max_triggers = parse_value(a, value)?;
                 i += 2;
             }
+            "--timeout-ms" => {
+                flags.timeout_ms = Some(parse_value(a, value)?);
+                i += 2;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -303,6 +311,9 @@ impl QueryFlags {
                     .with_max_triggers(self.max_triggers),
             );
         }
+        if let Some(ms) = self.timeout_ms {
+            request = request.with_timeout_ms(ms);
+        }
         Ok(request)
     }
 }
@@ -344,6 +355,8 @@ mod tests {
             "7",
             "--max-triggers",
             "32",
+            "--timeout-ms",
+            "2500",
         ])
         .unwrap();
         assert_eq!(positionals, vec!["coin.gdl".to_owned()]);
@@ -360,6 +373,7 @@ mod tests {
         assert_eq!(request.top, Some(4));
         let mc = request.mc.unwrap();
         assert_eq!((mc.samples, mc.seed, mc.max_triggers), (100, 7, 32));
+        assert_eq!(request.timeout_ms, Some(2500));
     }
 
     #[test]

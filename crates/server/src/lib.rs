@@ -31,8 +31,8 @@ pub mod flags;
 pub mod protocol;
 pub mod session;
 
-pub use admission::{Admission, Overloaded, Permit};
-pub use client::{ClientError, ServeClient};
+pub use admission::{AcquireError, Admission, Overloaded, Permit};
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use compile::{compile_source, load_source, render_core_error, Loaded};
 pub use flags::{parse_ground_atom, parse_query_flags, QueryFlags};
 pub use protocol::Protocol;
@@ -55,6 +55,13 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Maximum queries waiting for a solve slot before rejection.
     pub max_queued: usize,
+    /// Default per-query deadline in milliseconds; a request's own
+    /// `--timeout-ms` wins. `None` leaves queries unbounded.
+    pub timeout_ms: Option<u64>,
+    /// Socket read/write timeout in milliseconds per connection; stalled
+    /// or idle-past-this connections are torn down. `None` (the default)
+    /// keeps long-lived interactive sessions fully blocking.
+    pub io_timeout_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +73,8 @@ impl Default for ServeConfig {
             // concurrent solves, a short queue, prompt rejection beyond.
             max_inflight: 4,
             max_queued: 16,
+            timeout_ms: None,
+            io_timeout_ms: None,
         }
     }
 }
@@ -102,11 +111,16 @@ pub fn start(config: &ServeConfig) -> io::Result<RunningServer> {
         Some(n) => Executor::new(n),
         None => Executor::from_env(),
     });
-    let sessions = SessionManager::new(executor, config.max_inflight, config.max_queued);
+    let sessions = SessionManager::new(executor, config.max_inflight, config.max_queued)
+        .with_default_timeout_ms(config.timeout_ms);
     let server = netline::Server::bind(&config.addr)?;
     let addr = server.local_addr();
     let protocol = Arc::new(Protocol::new(sessions));
-    let handle = server.spawn(protocol.clone());
+    // Chaos (fault injection) arms only via the GDLOG_CHAOS environment
+    // variable — a malformed spec is a loud startup error.
+    let mut options = netline::ServerOptions::from_env()?;
+    options.io_timeout = config.io_timeout_ms.map(std::time::Duration::from_millis);
+    let handle = server.spawn_with(protocol.clone(), options);
     Ok(RunningServer {
         addr,
         handle,

@@ -20,7 +20,7 @@
 
 use crate::session::{ErrorCode, ServeError, SessionManager};
 use gdlog_core::api::Json;
-use netline::{Frame, Handler};
+use netline::{ConnProbe, Frame, Handler};
 
 /// The netline handler: dispatches frames onto a [`SessionManager`].
 pub struct Protocol {
@@ -106,8 +106,23 @@ impl Handler for Protocol {
         }
     }
 
+    fn attached(&self, conn_id: u64, probe: ConnProbe) {
+        self.sessions.attach_probe(conn_id, probe);
+    }
+
     fn disconnected(&self, conn_id: u64) {
         self.sessions.disconnect(conn_id);
+    }
+
+    /// A panicking query worker costs its connection, not the server: the
+    /// client gets this typed error (same JSON shape as every `ERR`), then
+    /// netline tears the connection down and `disconnected` cleans up.
+    fn panic_response(&self, _conn_id: u64) -> Frame {
+        let e = ServeError {
+            code: ErrorCode::Internal,
+            message: "the query worker panicked; this connection is being closed".to_owned(),
+        };
+        Frame::new(format!("ERR {}", e.code.token()), e.body())
     }
 }
 

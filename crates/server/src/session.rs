@@ -10,15 +10,17 @@
 //! the compiled solver and everything it has already solved; `RESET` drops
 //! the cache for cold-path measurements.
 
-use crate::admission::{Admission, Overloaded};
+use crate::admission::{AcquireError, Admission, Overloaded};
 use crate::compile::compile_source;
 use crate::flags::parse_query_flags;
 use gdlog_core::api::{Json, Solver};
-use gdlog_core::Executor;
+use gdlog_core::{CoreError, Executor};
+use netline::ConnProbe;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Machine-readable error codes of the wire protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +35,13 @@ pub enum ErrorCode {
     QueryFailed,
     /// Admission control rejected the query; retry later.
     Overloaded,
+    /// The query hit its deadline in a phase that is exact-or-nothing (a
+    /// gracefully-degradable phase returns an `OK` response marked
+    /// `interrupted` instead).
+    DeadlineExceeded,
+    /// The query worker panicked; the connection is torn down after this
+    /// response, but the server keeps serving.
+    Internal,
 }
 
 impl ErrorCode {
@@ -44,6 +53,8 @@ impl ErrorCode {
             ErrorCode::CompileFailed => "compile-failed",
             ErrorCode::QueryFailed => "query-failed",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Internal => "internal-error",
         }
     }
 }
@@ -112,7 +123,11 @@ struct Counters {
     compile_misses: AtomicUsize,
     queries: AtomicUsize,
     rejected: AtomicUsize,
+    abandoned: AtomicUsize,
 }
+
+/// How often a queued query re-checks whether its peer is still connected.
+const ABANDON_POLL: Duration = Duration::from_millis(10);
 
 /// The resident state of one server: shared executor, admission gate,
 /// compiled-program cache, and per-connection sessions.
@@ -121,6 +136,8 @@ pub struct SessionManager {
     admission: Admission,
     programs: Mutex<HashMap<(String, String), Arc<Solver>>>,
     sessions: Mutex<HashMap<u64, HashMap<String, Arc<Solver>>>>,
+    probes: Mutex<HashMap<u64, Arc<ConnProbe>>>,
+    default_timeout_ms: Option<u64>,
     counters: Counters,
 }
 
@@ -133,14 +150,31 @@ impl SessionManager {
             admission: Admission::new(max_inflight, max_queued),
             programs: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
+            probes: Mutex::new(HashMap::new()),
+            default_timeout_ms: None,
             counters: Counters::default(),
         }
+    }
+
+    /// Give every query without its own `--timeout-ms` this deadline (the
+    /// server's `--timeout-ms` flag). `None` leaves queries unbounded.
+    pub fn with_default_timeout_ms(mut self, timeout_ms: Option<u64>) -> Self {
+        self.default_timeout_ms = timeout_ms;
+        self
     }
 
     /// The admission gate (exposed so tests can pin permits
     /// deterministically instead of racing slow queries).
     pub fn admission(&self) -> &Admission {
         &self.admission
+    }
+
+    /// Register the connection's liveness probe (wired from
+    /// [`netline::Handler::attached`]). Queued queries poll it so a peer
+    /// that disconnects while waiting for a slot does not hold its queue
+    /// entry to the bitter end.
+    pub fn attach_probe(&self, conn: u64, probe: ConnProbe) {
+        self.probes.lock().insert(conn, Arc::new(probe));
     }
 
     /// Open (or re-open) a session: compile `source` under `label` on
@@ -206,16 +240,47 @@ impl SessionManager {
                 format!("unexpected argument `{extra}`"),
             ));
         }
-        let request = flags
+        let mut request = flags
             .to_request()
             .map_err(|msg| ServeError::new(ErrorCode::BadRequest, msg))?;
-        let _permit = self.admission.acquire().map_err(|overloaded| {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            ServeError::from(overloaded)
+        // A per-request `--timeout-ms` wins; otherwise the server's default
+        // deadline (if any) applies. The solver arms the watchdog itself.
+        request.timeout_ms = request.timeout_ms.or(self.default_timeout_ms);
+        let probe = self.probes.lock().get(&conn).cloned();
+        let admitted = match &probe {
+            // Watched acquisition runs on the connection's own handler
+            // thread, which is the one place netline documents the probe as
+            // safe to poll (no reader is parked on the socket meanwhile).
+            Some(probe) => self
+                .admission
+                .acquire_watched(&|| probe.is_closed(), ABANDON_POLL),
+            None => self.admission.acquire().map_err(AcquireError::Overloaded),
+        };
+        let _permit = admitted.map_err(|e| match e {
+            AcquireError::Overloaded(overloaded) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                ServeError::from(overloaded)
+            }
+            AcquireError::Abandoned => {
+                // The peer is gone; this error body is undeliverable, but
+                // returning promptly frees the queue entry and lets the
+                // connection thread observe the hangup and clean up.
+                self.counters.abandoned.fetch_add(1, Ordering::Relaxed);
+                ServeError::new(
+                    ErrorCode::QueryFailed,
+                    "client disconnected while queued for admission",
+                )
+            }
         })?;
-        let response = solver
-            .query(&request)
-            .map_err(|e| ServeError::new(ErrorCode::QueryFailed, format!("error: {e}\n")))?;
+        let response = solver.query(&request).map_err(|e| match &e {
+            // Exact-or-nothing phase hit the deadline: a typed, retryable
+            // wire error. (Gracefully-degradable phases return Ok with the
+            // response marked `interrupted` instead and flow through below.)
+            CoreError::Interrupted(_) => {
+                ServeError::new(ErrorCode::DeadlineExceeded, format!("error: {e}\n"))
+            }
+            _ => ServeError::new(ErrorCode::QueryFailed, format!("error: {e}\n")),
+        })?;
         Ok(response.render_json())
     }
 
@@ -231,6 +296,7 @@ impl SessionManager {
     /// Drop every session of a connection (connection closed).
     pub fn disconnect(&self, conn: u64) {
         self.sessions.lock().remove(&conn);
+        self.probes.lock().remove(&conn);
     }
 
     /// Drop the compiled-program cache (cold-path measurements). Open
@@ -271,6 +337,10 @@ impl SessionManager {
             (
                 "rejected",
                 Json::Int(self.counters.rejected.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "abandoned",
+                Json::Int(self.counters.abandoned.load(Ordering::Relaxed) as i128),
             ),
             ("inflight", Json::Int(inflight as i128)),
             ("queued", Json::Int(queued as i128)),

@@ -95,6 +95,10 @@ SERVE FLAGS:
     --max-inflight <N>         concurrent solves admitted      (default 4)
     --max-queued <N>           queries queued beyond that, then rejected
                                with a typed `overloaded` error (default 16)
+    --timeout-ms <N>           default per-query deadline; queries degrade
+                               gracefully (exact residual mass, marked
+                               interrupted) or return `deadline-exceeded`
+    --io-timeout-ms <N>        tear down connections stalled or idle for N ms
 
 RUN FLAGS:
     --json                     machine-readable JSON report
@@ -123,6 +127,8 @@ RUN FLAGS:
     --mc <N>                   Monte-Carlo estimate each --query with N samples
     --seed <S>                 Monte-Carlo seed                (default 0)
     --max-triggers <N>         Monte-Carlo per-walk trigger cap (default 64)
+    --timeout-ms <N>           per-query deadline: degrade gracefully with
+                               exact residual mass, or a typed interruption
 ";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
@@ -152,6 +158,14 @@ fn parse_serve(rest: &[String]) -> Result<ServeConfig, String> {
             }
             "--max-queued" => {
                 config.max_queued = parse_value(a, value)?;
+                i += 2;
+            }
+            "--timeout-ms" => {
+                config.timeout_ms = Some(parse_value(a, value)?);
+                i += 2;
+            }
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = Some(parse_value(a, value)?);
                 i += 2;
             }
             other => return Err(format!("`gdlog serve` does not take `{other}`")),
@@ -302,6 +316,10 @@ mod tests {
             "8",
             "--max-queued",
             "3",
+            "--timeout-ms",
+            "1500",
+            "--io-timeout-ms",
+            "30000",
         ]))
         .unwrap() else {
             panic!("expected serve")
@@ -309,6 +327,8 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.threads, Some(2));
         assert_eq!((config.max_inflight, config.max_queued), (8, 3));
+        assert_eq!(config.timeout_ms, Some(1500));
+        assert_eq!(config.io_timeout_ms, Some(30000));
         // Defaults, and the flag set is closed.
         let Command::Serve(d) = parse_args(&args(&["serve"])).unwrap() else {
             panic!("expected serve")

@@ -1,0 +1,279 @@
+//! Deterministic fault injection for the netline transport.
+//!
+//! The chaos layer perturbs the **response path** of a serving connection so
+//! the rest of the stack can be proven to survive transport-level failure:
+//! delayed responses, responses cut mid-frame, garbage on the wire, stalled
+//! writes, connections dropped without a reply. It is entirely first-party
+//! (no process-external tooling) and entirely deterministic — every decision
+//! comes from an xorshift stream seeded by `seed ^ conn_id`, so a failing
+//! run replays exactly from its spec string.
+//!
+//! Two fault families with very different guarantees:
+//!
+//! * **Byte-preserving** (`delay`, `stall`): the response bytes the client
+//!   eventually observes are identical to a fault-free run. These are safe
+//!   to enable under golden-output tests — they attack timing, not content.
+//! * **Corrupting** (`drop`, `truncate`, `garbage`): the connection is
+//!   closed after the fault, because a request/response stream that has
+//!   lost framing can never be trusted again. Clients see a transport
+//!   error and must retry on a fresh connection.
+//!
+//! A spec is a comma-separated `key=value` string, normally supplied via
+//! the `GDLOG_CHAOS` environment variable:
+//!
+//! ```text
+//! GDLOG_CHAOS="every=2,seed=42,delay=5,stall=3,drop=8,truncate=16,garbage=16"
+//! ```
+//!
+//! `every=K` restricts chaos to connections with `conn_id % K == 0`, so a
+//! test can run corrupted and healthy sessions against one server and
+//! assert the healthy ones stay byte-identical. `delay`/`stall` are
+//! milliseconds applied to every chaotic response; `drop`/`truncate`/
+//! `garbage` are 1-in-N dice rolled per response (0 disables a fault).
+
+use std::time::Duration;
+
+/// Environment variable read by [`ChaosSpec::from_env`].
+pub const CHAOS_ENV: &str = "GDLOG_CHAOS";
+
+/// A parsed fault-injection spec. All-zero dice with `every = 1` means
+/// "chaotic connections exist but no fault ever fires", which is still
+/// useful for exercising the chaos code path itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Seed mixed with each connection id to derive that connection's
+    /// deterministic fault stream.
+    pub seed: u64,
+    /// Only connections with `conn_id % every == 0` are chaotic. `1`
+    /// (the default) makes every connection chaotic; `0` is rejected.
+    pub every: u64,
+    /// Fixed delay in milliseconds before each chaotic response
+    /// (byte-preserving).
+    pub delay_ms: u64,
+    /// Pause in milliseconds in the middle of each chaotic response write,
+    /// splitting the frame across two TCP pushes (byte-preserving).
+    pub stall_ms: u64,
+    /// 1-in-N chance per response to close the connection without
+    /// responding at all. `0` disables.
+    pub drop: u64,
+    /// 1-in-N chance per response to write only the first half of the
+    /// frame, then close. `0` disables.
+    pub truncate: u64,
+    /// 1-in-N chance per response to write 16 bytes of deterministic
+    /// garbage instead of the frame, then close. `0` disables.
+    pub garbage: u64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            seed: 0,
+            every: 1,
+            delay_ms: 0,
+            stall_ms: 0,
+            drop: 0,
+            truncate: 0,
+            garbage: 0,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// Parse a comma-separated `key=value` spec. Unknown keys, malformed
+    /// numbers, `every=0` and the empty string are errors — a chaos run
+    /// that silently ignored a typo would prove nothing.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        if spec.trim().is_empty() {
+            return Err("empty chaos spec (unset the variable to disable chaos)".to_owned());
+        }
+        let mut parsed = ChaosSpec::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec entry {part:?} is not key=value"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("chaos spec entry {part:?} has a non-numeric value"))?;
+            match key.trim() {
+                "seed" => parsed.seed = value,
+                "every" => parsed.every = value,
+                "delay" => parsed.delay_ms = value,
+                "stall" => parsed.stall_ms = value,
+                "drop" => parsed.drop = value,
+                "truncate" => parsed.truncate = value,
+                "garbage" => parsed.garbage = value,
+                other => return Err(format!("unknown chaos spec key {other:?}")),
+            }
+        }
+        if parsed.every == 0 {
+            return Err("chaos spec every=0 would select no connections".to_owned());
+        }
+        Ok(parsed)
+    }
+
+    /// Read the spec from the [`CHAOS_ENV`] environment variable.
+    /// `Ok(None)` when unset; a set-but-malformed value is an error so a
+    /// chaos CI job cannot silently run fault-free.
+    pub fn from_env() -> Result<Option<ChaosSpec>, String> {
+        match std::env::var(CHAOS_ENV) {
+            Ok(spec) => ChaosSpec::parse(&spec).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// True when every enabled fault preserves the bytes the client
+    /// observes (only `delay`/`stall`) — the spec is safe under golden
+    /// output comparison.
+    pub fn is_byte_preserving(&self) -> bool {
+        self.drop == 0 && self.truncate == 0 && self.garbage == 0
+    }
+
+    /// The per-connection fault stream, or `None` when `conn_id` is not
+    /// selected by `every`.
+    pub(crate) fn for_conn(&self, conn_id: u64) -> Option<ConnChaos> {
+        if conn_id % self.every != 0 {
+            return None;
+        }
+        Some(ConnChaos {
+            spec: self.clone(),
+            rng: Xorshift::new(self.seed ^ conn_id),
+        })
+    }
+}
+
+/// What to do with one response on a chaotic connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ChaosAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Write the first half of the frame, pause, write the rest
+    /// (byte-preserving).
+    Stall(Duration),
+    /// Close the connection without responding.
+    Drop,
+    /// Write the first half of the frame, then close.
+    Truncate,
+    /// Write garbage bytes instead of the frame, then close.
+    Garbage([u8; 16]),
+}
+
+/// The deterministic fault stream of one chaotic connection.
+#[derive(Debug)]
+pub(crate) struct ConnChaos {
+    spec: ChaosSpec,
+    rng: Xorshift,
+}
+
+impl ConnChaos {
+    /// Delay to apply before the next response, if any.
+    pub(crate) fn pre_delay(&self) -> Option<Duration> {
+        (self.spec.delay_ms > 0).then(|| Duration::from_millis(self.spec.delay_ms))
+    }
+
+    /// Decide the fate of the next response. Corrupting faults take
+    /// precedence over the byte-preserving stall because they end the
+    /// connection; the roll order is fixed so runs replay exactly.
+    pub(crate) fn next_action(&mut self) -> ChaosAction {
+        if self.roll(self.spec.drop) {
+            ChaosAction::Drop
+        } else if self.roll(self.spec.truncate) {
+            ChaosAction::Truncate
+        } else if self.roll(self.spec.garbage) {
+            let mut junk = [0u8; 16];
+            for b in &mut junk {
+                *b = (self.rng.next() & 0xff) as u8;
+            }
+            ChaosAction::Garbage(junk)
+        } else if self.spec.stall_ms > 0 {
+            ChaosAction::Stall(Duration::from_millis(self.spec.stall_ms))
+        } else {
+            ChaosAction::Deliver
+        }
+    }
+
+    /// A 1-in-`n` roll; `n == 0` disables the fault. The rng advances on
+    /// every enabled roll, so each fault family sees an independent-looking
+    /// stream while staying fully determined by `(seed, conn_id)`.
+    fn roll(&mut self, n: u64) -> bool {
+        n != 0 && self.rng.next() % n == 0
+    }
+}
+
+/// xorshift64 — tiny, seedable, good enough for fault dice. Not used for
+/// anything statistical.
+#[derive(Debug)]
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Xorshift {
+        // xorshift's one fixpoint is zero; displace with an arbitrary odd
+        // constant (the splitmix64 increment) so seed 0 still has a stream.
+        Xorshift(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject_garbage() {
+        let spec =
+            ChaosSpec::parse("every=2, seed=42, delay=5, stall=3, drop=8, truncate=16, garbage=9")
+                .unwrap();
+        assert_eq!(
+            spec,
+            ChaosSpec {
+                seed: 42,
+                every: 2,
+                delay_ms: 5,
+                stall_ms: 3,
+                drop: 8,
+                truncate: 16,
+                garbage: 9,
+            }
+        );
+        assert!(!spec.is_byte_preserving());
+        assert!(ChaosSpec::parse("delay=5,stall=3")
+            .unwrap()
+            .is_byte_preserving());
+
+        for bad in ["", "delay", "delay=x", "bogus=1", "every=0"] {
+            assert!(ChaosSpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn fault_streams_are_deterministic_and_gated_by_every() {
+        let spec = ChaosSpec::parse("every=2,seed=7,drop=3,garbage=3,stall=1").unwrap();
+        assert!(spec.for_conn(1).is_none(), "odd conn ids stay healthy");
+        let actions = |mut chaos: ConnChaos| -> Vec<ChaosAction> {
+            (0..32).map(|_| chaos.next_action()).collect()
+        };
+        let a = actions(spec.for_conn(4).unwrap());
+        let b = actions(spec.for_conn(4).unwrap());
+        assert_eq!(a, b, "same (seed, conn_id) must replay the same faults");
+        let c = actions(spec.for_conn(6).unwrap());
+        assert_ne!(a, c, "different connections draw different streams");
+        assert!(
+            a.iter().any(|x| matches!(x, ChaosAction::Drop))
+                && a.iter().any(|x| matches!(x, ChaosAction::Stall(_))),
+            "with 1-in-3 dice over 32 responses both families should fire: {a:?}"
+        );
+    }
+}

@@ -21,6 +21,11 @@
 //! same framing, which keeps the protocol trivially inspectable with
 //! `nc`/`socat` and makes responses byte-diffable against golden files.
 //!
+//! Both directions of the framing are bounded: a body length token beyond
+//! [`MAX_BODY_LEN`] and a header line that never reaches a newline within
+//! [`MAX_HEAD_LEN`] bytes are typed [`io::ErrorKind::InvalidData`] errors,
+//! never unbounded allocations.
+//!
 //! ## Server model
 //!
 //! [`Server`] is a blocking accept loop on its own thread with a
@@ -28,20 +33,43 @@
 //! daemon whose per-query work (a chase + stable-model search) dwarfs any
 //! connection overhead. [`ServerHandle::stop`] flips a flag and wakes the
 //! accept loop with a loopback connect, so shutdown is prompt without
-//! non-blocking sockets.
+//! non-blocking sockets; [`ServerHandle::stop_graceful`] first drains
+//! in-flight connections for a bounded grace period.
+//!
+//! ## Robustness
+//!
+//! A handler that panics never takes the process down: the panic is caught
+//! on the connection thread, the client receives the handler's
+//! [`Handler::panic_response`] frame, and only that connection is torn
+//! down. [`ServerOptions::io_timeout`] arms socket read/write timeouts so
+//! a stalled or hostile peer cannot pin a connection thread forever, and
+//! [`ConnProbe`] (handed to [`Handler::attached`]) lets a handler notice
+//! mid-request that its peer already disconnected — e.g. while the request
+//! is parked in an admission queue. The [`chaos`] module injects
+//! deterministic transport faults for tests and CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::io::{self, BufRead, BufReader, Write};
+pub mod chaos;
+
+use chaos::{ChaosAction, ChaosSpec, ConnChaos};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Upper bound on a frame body (64 MiB) — a malformed or hostile length
 /// token must not make the server allocate unboundedly.
 pub const MAX_BODY_LEN: usize = 64 << 20;
+
+/// Upper bound on a frame header line (64 KiB) including its newline — a
+/// peer that streams bytes without ever sending `\n` must not make
+/// `read_frame` buffer unboundedly.
+pub const MAX_HEAD_LEN: usize = 64 << 10;
 
 /// One protocol frame: a header line (without the length token) plus a body.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,13 +96,8 @@ impl Frame {
     }
 }
 
-/// Write one frame. The head must not contain `\n`.
-///
-/// Header and body go out as a single `write_all` — a request/response
-/// protocol that dribbles two small writes per frame trips over Nagle's
-/// algorithm + delayed ACKs (tens of milliseconds per round trip, even on
-/// loopback).
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+/// Serialize one frame to its wire bytes.
+fn encode_frame(frame: &Frame) -> Vec<u8> {
     debug_assert!(!frame.head.contains('\n'), "frame head must be one line");
     let mut wire = Vec::with_capacity(frame.head.len() + frame.body.len() + 16);
     if frame.head.is_empty() {
@@ -83,7 +106,17 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
         let _ = writeln!(wire, "{} {}", frame.head, frame.body.len());
     }
     wire.extend_from_slice(&frame.body);
-    w.write_all(&wire)?;
+    wire
+}
+
+/// Write one frame. The head must not contain `\n`.
+///
+/// Header and body go out as a single `write_all` — a request/response
+/// protocol that dribbles two small writes per frame trips over Nagle's
+/// algorithm + delayed ACKs (tens of milliseconds per round trip, even on
+/// loopback).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))?;
     w.flush()
 }
 
@@ -91,8 +124,21 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 /// EOF mid-frame is an error.
 pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
     let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
+    // Cap the header read: a bare `read_line` would buffer a hostile
+    // newline-less stream without bound. Reading one byte past the cap
+    // distinguishes "exactly at the cap" from "truncated by it".
+    if r.by_ref()
+        .take(MAX_HEAD_LEN as u64 + 1)
+        .read_line(&mut line)?
+        == 0
+    {
         return Ok(None);
+    }
+    if !line.ends_with('\n') && line.len() > MAX_HEAD_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header exceeds the {MAX_HEAD_LEN}-byte cap without a newline"),
+        ));
     }
     let line = line.trim_end_matches(['\r', '\n']);
     let (head, len_token) = match line.rsplit_once(char::is_whitespace) {
@@ -119,6 +165,39 @@ pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
     }))
 }
 
+/// A liveness probe on one connection's socket, handed to
+/// [`Handler::attached`] when the connection opens.
+///
+/// `is_closed` must only be polled from code running on (or on behalf of)
+/// the connection's own handler thread — i.e. while that thread is inside
+/// `handle_on`, not parked in a read. It briefly toggles the socket
+/// non-blocking to peek, and a reader blocked in `read_frame` on the same
+/// socket would observe the toggle.
+#[derive(Debug)]
+pub struct ConnProbe {
+    stream: TcpStream,
+}
+
+impl ConnProbe {
+    /// Best-effort: has the peer disconnected? A `true` is definite (EOF or
+    /// a hard socket error); `false` means the connection still looked open
+    /// at poll time.
+    pub fn is_closed(&self) -> bool {
+        if self.stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut buf = [0u8; 1];
+        let closed = match self.stream.peek(&mut buf) {
+            Ok(0) => true,  // orderly shutdown
+            Ok(_) => false, // pipelined request bytes waiting
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+            Err(_) => true, // reset / torn down
+        };
+        let _ = self.stream.set_nonblocking(false);
+        closed
+    }
+}
+
 /// Per-connection handler: receives each request frame in arrival order and
 /// returns the response frame. Runs on the connection's thread; shared
 /// across connections, hence `Sync`.
@@ -134,10 +213,49 @@ pub trait Handler: Send + Sync + 'static {
     /// [`Handler::handle_on`] and [`Handler::disconnected`].
     fn connected(&self, _conn_id: u64) {}
 
+    /// Called once per connection, before [`Handler::connected`], with a
+    /// liveness probe on the connection's socket. Handlers that park
+    /// requests (admission queues) keep it to notice abandoned peers.
+    fn attached(&self, _conn_id: u64, _probe: ConnProbe) {}
+
+    /// The frame written to the client when `handle`/`handle_on` panics.
+    /// The connection is torn down right after it is sent; the server
+    /// itself keeps running.
+    fn panic_response(&self, _conn_id: u64) -> Frame {
+        Frame::new("ERR internal-error", b"request handler panicked".to_vec())
+    }
+
     /// Connection-aware variant of [`Handler::handle`]; the default ignores
     /// the connection id.
     fn handle_on(&self, _conn_id: u64, request: Frame) -> Frame {
         self.handle(request)
+    }
+}
+
+/// Serving knobs beyond the bare accept loop.
+#[derive(Debug, Default)]
+pub struct ServerOptions {
+    /// Socket read/write timeout applied to every accepted connection.
+    /// With a timeout set, a connection that is idle or stalled (including
+    /// mid-frame) longer than this is torn down — slow-loris peers cannot
+    /// pin a thread. `None` (the default) keeps connections fully blocking,
+    /// which is right for long-lived interactive sessions.
+    pub io_timeout: Option<Duration>,
+    /// Deterministic transport-fault injection; see [`chaos`].
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl ServerOptions {
+    /// Options with the chaos spec (if any) taken from the `GDLOG_CHAOS`
+    /// environment variable. A set-but-malformed spec is an error: a chaos
+    /// run must fail loudly rather than silently run fault-free.
+    pub fn from_env() -> io::Result<ServerOptions> {
+        let chaos =
+            ChaosSpec::from_env().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        Ok(ServerOptions {
+            io_timeout: None,
+            chaos,
+        })
     }
 }
 
@@ -160,11 +278,19 @@ impl Server {
         self.addr
     }
 
+    /// Start serving with default [`ServerOptions`]; see
+    /// [`Server::spawn_with`].
+    pub fn spawn(self, handler: Arc<dyn Handler>) -> ServerHandle {
+        self.spawn_with(handler, ServerOptions::default())
+    }
+
     /// Start serving on a background accept thread, one handler thread per
     /// connection. Returns the handle used to stop the server.
-    pub fn spawn(self, handler: Arc<dyn Handler>) -> ServerHandle {
+    pub fn spawn_with(self, handler: Arc<dyn Handler>, options: ServerOptions) -> ServerHandle {
         let stop = Arc::new(AtomicBool::new(false));
+        let grace = Arc::new(Mutex::new(Duration::ZERO));
         let accept_stop = Arc::clone(&stop);
+        let accept_grace = Arc::clone(&grace);
         let addr = self.addr;
         let listener = self.listener;
         let accept = std::thread::spawn(move || {
@@ -181,16 +307,29 @@ impl Server {
                 let Ok(peer) = stream.try_clone() else {
                     continue;
                 };
+                if let Some(t) = options.io_timeout {
+                    let _ = stream.set_read_timeout(Some(t));
+                    let _ = stream.set_write_timeout(Some(t));
+                }
                 let conn_id = next_conn;
                 next_conn += 1;
+                let conn_chaos = options.chaos.as_ref().and_then(|c| c.for_conn(conn_id));
                 let handler = Arc::clone(&handler);
                 conns.push((
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, conn_id, &*handler);
+                        let _ = serve_connection(stream, conn_id, &*handler, conn_chaos);
                     }),
                     peer,
                 ));
                 conns.retain(|(c, _)| !c.is_finished());
+            }
+            // Drain: give in-flight connections a grace period to finish
+            // (compute + write their current response and see the client
+            // hang up) before cutting their sockets.
+            let grace = *accept_grace.lock().unwrap_or_else(|e| e.into_inner());
+            let deadline = Instant::now() + grace;
+            while conns.iter().any(|(c, _)| !c.is_finished()) && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
             }
             for (conn, peer) in conns {
                 let _ = peer.shutdown(std::net::Shutdown::Both);
@@ -200,22 +339,43 @@ impl Server {
         ServerHandle {
             addr,
             stop,
+            grace,
             accept: Some(accept),
         }
     }
 }
 
-fn serve_connection(stream: TcpStream, conn_id: u64, handler: &dyn Handler) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    conn_id: u64,
+    handler: &dyn Handler,
+    mut chaos: Option<ConnChaos>,
+) -> io::Result<()> {
     // One frame in, one frame out: never wait for a coalescing timer.
     let _ = stream.set_nodelay(true);
+    if let Ok(probe) = stream.try_clone() {
+        handler.attached(conn_id, ConnProbe { stream: probe });
+    }
     handler.connected(conn_id);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let result = loop {
         match read_frame(&mut reader) {
             Ok(Some(request)) => {
-                let response = handler.handle_on(conn_id, request);
-                if let Err(e) = write_frame(&mut writer, &response) {
+                // Panic isolation: a bug in one request must cost exactly
+                // one connection, not the process. The client still gets a
+                // typed response before the teardown, so it can tell "the
+                // server rejected this" from "the network died".
+                let response = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    handler.handle_on(conn_id, request)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        let _ = write_frame(&mut writer, &handler.panic_response(conn_id));
+                        break Err(io::Error::other("request handler panicked"));
+                    }
+                };
+                if let Err(e) = write_response(&mut writer, &response, chaos.as_mut()) {
                     break Err(e);
                 }
             }
@@ -223,14 +383,62 @@ fn serve_connection(stream: TcpStream, conn_id: u64, handler: &dyn Handler) -> i
             Err(e) => break Err(e),
         }
     };
+    // Shut the socket down explicitly: the accept loop keeps a `try_clone`
+    // of it (to unblock parked readers at stop), so merely dropping our
+    // handles would leave the peer's FIN unsent and a client blocked in a
+    // read would never learn the connection died.
+    let _ = writer.shutdown(std::net::Shutdown::Both);
     handler.disconnected(conn_id);
     result
+}
+
+/// Write one response, routed through the connection's chaos stream when
+/// one is armed. Corrupting faults return an error so the connection loop
+/// tears the session down — a stream that lost framing is unrecoverable.
+fn write_response(
+    writer: &mut TcpStream,
+    response: &Frame,
+    chaos: Option<&mut ConnChaos>,
+) -> io::Result<()> {
+    let Some(chaos) = chaos else {
+        return write_frame(writer, response);
+    };
+    if let Some(delay) = chaos.pre_delay() {
+        std::thread::sleep(delay);
+    }
+    let wire = encode_frame(response);
+    match chaos.next_action() {
+        ChaosAction::Deliver => {
+            writer.write_all(&wire)?;
+            writer.flush()
+        }
+        ChaosAction::Stall(pause) => {
+            let mid = wire.len() / 2;
+            writer.write_all(&wire[..mid])?;
+            writer.flush()?;
+            std::thread::sleep(pause);
+            writer.write_all(&wire[mid..])?;
+            writer.flush()
+        }
+        ChaosAction::Drop => Err(io::Error::other("chaos: response dropped")),
+        ChaosAction::Truncate => {
+            let _ = writer.write_all(&wire[..wire.len() / 2]);
+            let _ = writer.flush();
+            Err(io::Error::other("chaos: response truncated"))
+        }
+        ChaosAction::Garbage(junk) => {
+            let _ = writer.write_all(&junk);
+            let _ = writer.flush();
+            Err(io::Error::other("chaos: garbage written in place of response"))
+        }
+    }
 }
 
 /// A running server; dropping the handle stops it.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    grace: Arc<Mutex<Duration>>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -245,6 +453,15 @@ impl ServerHandle {
     /// response (the write then fails); idle connections unblock
     /// immediately, so stopping is prompt even with clients still attached.
     pub fn stop(&mut self) {
+        self.stop_graceful(Duration::ZERO);
+    }
+
+    /// Like [`ServerHandle::stop`], but first drain: stop accepting new
+    /// connections immediately, then give live connections up to `grace`
+    /// to finish their in-flight work (and observe their client hang up)
+    /// before their sockets are cut.
+    pub fn stop_graceful(&mut self, grace: Duration) {
+        *self.grace.lock().unwrap_or_else(|e| e.into_inner()) = grace;
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
@@ -278,6 +495,14 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
         })
+    }
+
+    /// Arm (or disarm, with `None`) a socket read/write timeout, so a call
+    /// against a stalled or chaotic server fails instead of blocking
+    /// forever.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
     }
 
     /// Send one request frame and wait for its response frame.
@@ -333,6 +558,27 @@ mod tests {
         // EOF mid-body is an error, not a silent truncation.
         let mut r = io::BufReader::new(&b"X 10\nshort"[..]);
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn header_reads_are_capped() {
+        // A peer that streams bytes and never sends a newline must get a
+        // typed error at the cap, not an unbounded buffer. The stream here
+        // is longer than the cap to prove reading stops at it.
+        let endless = vec![b'a'; MAX_HEAD_LEN + 4096];
+        let mut r = io::BufReader::new(&endless[..]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("cap"), "{err}");
+
+        // A long-but-legal head still round-trips.
+        let head = "Q".repeat(MAX_HEAD_LEN - 64);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(head.clone(), b"b".to_vec())).unwrap();
+        let frame = read_frame(&mut io::BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!((frame.head, frame.body), (head, b"b".to_vec()));
     }
 
     struct Echo;
@@ -394,6 +640,16 @@ mod tests {
         }
     }
 
+    fn poll_until(mut done: impl FnMut() -> bool) -> bool {
+        for _ in 0..400 {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
     #[test]
     fn connection_lifecycle_hooks_fire() {
         let tracker = Arc::new(ConnTracker(std::sync::Mutex::new(Vec::new())));
@@ -405,15 +661,180 @@ mod tests {
         }
         // The close hook fires on the connection thread after the client
         // drops; poll briefly rather than sleeping a fixed amount.
-        for _ in 0..200 {
-            if tracker.0.lock().unwrap().iter().any(|(_, e)| *e == "close") {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        assert!(poll_until(|| {
+            tracker.0.lock().unwrap().iter().any(|(_, e)| *e == "close")
+        }));
         let events = tracker.0.lock().unwrap().clone();
         assert!(events.contains(&(0, "open")), "{events:?}");
         assert!(events.contains(&(0, "close")), "{events:?}");
+        handle.stop();
+    }
+
+    struct Boomer;
+    impl Handler for Boomer {
+        fn handle(&self, request: Frame) -> Frame {
+            if request.head == "BOOM" {
+                panic!("injected handler bug");
+            }
+            Frame::new("OK", request.body)
+        }
+    }
+
+    #[test]
+    fn panicking_handler_costs_one_connection_not_the_server() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(Arc::new(Boomer));
+        let addr = handle.local_addr();
+
+        let mut victim = Client::connect(addr).unwrap();
+        victim.call("PING", Vec::new()).unwrap();
+        let resp = victim.call("BOOM", Vec::new()).unwrap();
+        assert_eq!(resp.head, "ERR internal-error");
+        // The panicking connection is torn down...
+        assert!(victim.call("PING", Vec::new()).is_err());
+        // ...but the server keeps serving fresh connections.
+        let mut healthy = Client::connect(addr).unwrap();
+        assert_eq!(healthy.call("PING", b"p".to_vec()).unwrap().head, "OK");
+        handle.stop();
+    }
+
+    struct ProbeKeeper(std::sync::Mutex<Vec<ConnProbe>>);
+    impl Handler for ProbeKeeper {
+        fn handle(&self, request: Frame) -> Frame {
+            Frame::new("OK", request.body)
+        }
+        fn attached(&self, _id: u64, probe: ConnProbe) {
+            self.0.lock().unwrap().push(probe);
+        }
+    }
+
+    #[test]
+    fn probe_notices_a_disconnected_peer() {
+        let keeper = Arc::new(ProbeKeeper(std::sync::Mutex::new(Vec::new())));
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(keeper.clone());
+        let client = Client::connect(handle.local_addr()).unwrap();
+        assert!(poll_until(|| !keeper.0.lock().unwrap().is_empty()));
+        // Peer attached and idle: open. (Safe to poll from the test thread
+        // here only because the connection is idle — no reader is blocked.)
+        assert!(!keeper.0.lock().unwrap()[0].is_closed());
+        drop(client);
+        assert!(poll_until(|| keeper.0.lock().unwrap()[0].is_closed()));
+        handle.stop();
+    }
+
+    #[test]
+    fn io_timeout_tears_down_stalled_connections() {
+        let tracker = Arc::new(ConnTracker(std::sync::Mutex::new(Vec::new())));
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn_with(
+            tracker.clone(),
+            ServerOptions {
+                io_timeout: Some(Duration::from_millis(40)),
+                chaos: None,
+            },
+        );
+        // A slow-loris peer: half a header, then silence.
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"STALLED").unwrap();
+        assert!(
+            poll_until(|| tracker.0.lock().unwrap().iter().any(|(_, e)| *e == "close")),
+            "stalled connection must be torn down by the io timeout"
+        );
+        handle.stop();
+    }
+
+    struct Slow;
+    impl Handler for Slow {
+        fn handle(&self, request: Frame) -> Frame {
+            std::thread::sleep(Duration::from_millis(80));
+            Frame::new("OK", request.body)
+        }
+    }
+
+    #[test]
+    fn graceful_stop_lets_in_flight_responses_finish() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn(Arc::new(Slow));
+        let addr = handle.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.call("SLOW", b"payload".to_vec())
+        });
+        // Let the request reach the handler, then drain-stop around it.
+        std::thread::sleep(Duration::from_millis(20));
+        handle.stop_graceful(Duration::from_secs(5));
+        let resp = client.join().unwrap().expect("in-flight response survives");
+        assert_eq!(
+            (resp.head.as_str(), &resp.body[..]),
+            ("OK", &b"payload"[..])
+        );
+    }
+
+    #[test]
+    fn byte_preserving_chaos_keeps_responses_identical() {
+        let spec = ChaosSpec::parse("delay=1,stall=1,seed=9").unwrap();
+        assert!(spec.is_byte_preserving());
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn_with(
+            Arc::new(Echo),
+            ServerOptions {
+                io_timeout: None,
+                chaos: Some(spec),
+            },
+        );
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for i in 0..5 {
+            let resp = client.call(&format!("R{i}"), format!("b{i}")).unwrap();
+            assert_eq!(resp.head, format!("OK R{i}"));
+            assert_eq!(resp.body_text(), format!("b{i}"));
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn corrupting_chaos_never_crashes_the_server() {
+        // Every even connection rolls drop/truncate/garbage dice; odd
+        // connections stay healthy. The server must survive all of it.
+        let spec = ChaosSpec::parse("every=2,seed=3,drop=2,truncate=3,garbage=3").unwrap();
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let mut handle = server.spawn_with(
+            Arc::new(Echo),
+            ServerOptions {
+                io_timeout: None,
+                chaos: Some(spec),
+            },
+        );
+        let addr = handle.local_addr();
+        let mut faults = 0;
+        for round in 0..8 {
+            // conn ids alternate even/odd as we reconnect each round.
+            let mut c = Client::connect(addr).unwrap();
+            c.set_io_timeout(Some(Duration::from_secs(2))).unwrap();
+            match c.call("R", format!("round-{round}")) {
+                Ok(resp) => assert!(
+                    resp.head == "OK R" || faults > 0 || resp.head.is_empty(),
+                    "unexpected response {resp:?}"
+                ),
+                Err(_) => faults += 1,
+            }
+        }
+        assert!(
+            faults > 0,
+            "1-in-2 drop dice over 4 chaotic rounds should fire"
+        );
+        // After all that abuse a fresh healthy connection still answers.
+        let mut healthy = Client::connect(addr).unwrap();
+        let mut ok = false;
+        for _ in 0..4 {
+            if let Ok(resp) = healthy.call("FINAL", b"x".to_vec()) {
+                assert_eq!(resp.head, "OK FINAL");
+                ok = true;
+                break;
+            }
+            healthy = Client::connect(addr).unwrap();
+        }
+        assert!(ok, "server must still serve after corrupting chaos");
         handle.stop();
     }
 }

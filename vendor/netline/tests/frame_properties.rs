@@ -1,0 +1,87 @@
+//! Property tests of the framing layer: `read_frame` over arbitrary byte
+//! streams must never panic, never buffer beyond the head/body caps, and
+//! always terminate in one of exactly three ways — a well-formed frame, a
+//! typed `io::Error`, or a clean EOF.
+//!
+//! Deterministic in CI like `tests/properties.rs` at the workspace root:
+//! the vendored proptest runner has a fixed seed; `PROPTEST_CASES` /
+//! `PROPTEST_RNG_SEED` override case count and stream.
+
+use netline::{read_frame, write_frame, Frame, MAX_BODY_LEN, MAX_HEAD_LEN};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Drain a byte stream through `read_frame`, asserting the invariants on
+/// every step; returns how many frames parsed.
+fn drain(bytes: &[u8]) -> Result<usize, proptest::test_runner::TestCaseError> {
+    let mut r = BufReader::new(bytes);
+    let mut frames = 0usize;
+    loop {
+        // `read_frame` consumes at least one byte per iteration (or ends),
+        // so this loop is bounded by the input length.
+        match read_frame(&mut r) {
+            Ok(Some(frame)) => {
+                prop_assert!(frame.body.len() <= MAX_BODY_LEN);
+                prop_assert!(frame.head.len() <= MAX_HEAD_LEN);
+                prop_assert!(!frame.head.contains('\n'));
+                frames += 1;
+            }
+            Ok(None) => return Ok(frames), // clean EOF at a frame boundary
+            Err(e) => {
+                // Typed error: corrupt length token, cap overflow, EOF
+                // mid-body, or invalid UTF-8 in the head. Never a panic.
+                let _ = e.kind();
+                return Ok(frames);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pure noise: any byte soup yields frames, a typed error, or EOF.
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        drain(&bytes)?;
+    }
+
+    /// Near-miss streams: drawn from the alphabet real frames use (digits,
+    /// spaces, newlines, a letter), which hits the length-token parser and
+    /// the body reader far more often than uniform noise does.
+    #[test]
+    fn almost_valid_frames_never_panic(
+        bytes in proptest::collection::vec(
+            proptest::sample::select(
+                b" \n\r0123456789Qx".to_vec()
+            ),
+            0..256,
+        )
+    ) {
+        drain(&bytes)?;
+    }
+
+    /// Valid frames embedded in a stream parse back exactly, and whatever
+    /// trailing junk follows them still resolves without a panic.
+    #[test]
+    fn valid_prefix_then_junk_recovers_the_prefix(
+        head_len in 0usize..40,
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        junk in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let head: String = "h".repeat(head_len);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::new(head.clone(), body.clone())).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        let frame = read_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(&frame.head, &head);
+        prop_assert_eq!(&frame.body, &body);
+
+        wire.extend_from_slice(&junk);
+        let mut r = BufReader::new(&wire[..]);
+        let first = read_frame(&mut r).unwrap().unwrap();
+        prop_assert_eq!(first.head, head);
+        prop_assert_eq!(first.body, body);
+        drain(&junk)?;
+    }
+}
